@@ -1,0 +1,145 @@
+// Shared utilities for the figure-reproduction benches.
+//
+// Every bench binary accepts:
+//   --n=<cardinality>   source size |R| = |T| (default: CI-scale)
+//   --dims=<d>          skyline dimensions
+//   --seed=<s>          workload seed
+//   --paper             paper-scale sizes (N = 500K; slow!)
+//   --quick             extra-small sizes for smoke runs
+//
+// The paper's workstation (2009 Java) and this C++ build differ in absolute
+// speed, so benches report both wall-clock series and machine-independent
+// work counters (dominance comparisons, join pairs). Shapes — who is first,
+// who wins, where crossovers fall — are the reproduction target
+// (EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace progxe {
+namespace bench {
+
+struct BenchArgs {
+  size_t n = 0;  // 0 = per-bench default
+  int dims = 0;  // 0 = per-bench default
+  uint64_t seed = 42;
+  bool paper_scale = false;
+  bool quick = false;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--n=", 4) == 0) {
+        args.n = static_cast<size_t>(std::atoll(arg + 4));
+      } else if (std::strncmp(arg, "--dims=", 7) == 0) {
+        args.dims = std::atoi(arg + 7);
+      } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+        args.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+      } else if (std::strcmp(arg, "--paper") == 0) {
+        args.paper_scale = true;
+      } else if (std::strcmp(arg, "--quick") == 0) {
+        args.quick = true;
+      } else if (std::strcmp(arg, "--help") == 0) {
+        std::printf(
+            "flags: --n=<N> --dims=<d> --seed=<s> --paper --quick\n");
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+
+  size_t ResolveN(size_t ci_default) const {
+    if (n != 0) return n;
+    if (paper_scale) return 500000;
+    if (quick) return ci_default / 4 + 1;
+    return ci_default;
+  }
+
+  int ResolveDims(int d) const { return dims != 0 ? dims : d; }
+};
+
+inline const char* ShortAlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kProgXe:
+      return "ProgXe";
+    case Algo::kProgXePlus:
+      return "ProgXe+";
+    case Algo::kProgXeNoOrder:
+      return "ProgXe(NoOrd)";
+    case Algo::kProgXePlusNoOrder:
+      return "ProgXe+(NoOrd)";
+    case Algo::kJfSl:
+      return "JF-SL";
+    case Algo::kJfSlPlus:
+      return "JF-SL+";
+    case Algo::kSsmj:
+      return "SSMJ";
+    case Algo::kSaj:
+      return "SAJ";
+  }
+  return "?";
+}
+
+/// Prints one progressiveness series in the paper's figure format:
+/// cumulative results over time, sampled at up to `samples` points.
+inline void PrintSeries(const ExperimentRun& run, int samples = 8) {
+  std::printf("  %-15s total=%-7zu t_first=%9.4fs t_50%%=%9.4fs "
+              "t_done=%9.4fs cmps=%-10llu pairs=%llu\n",
+              ShortAlgoName(run.algo), run.metrics.total_results,
+              run.metrics.time_to_first, run.metrics.time_to_50pct,
+              run.metrics.total_time,
+              static_cast<unsigned long long>(run.dominance_comparisons),
+              static_cast<unsigned long long>(run.join_pairs));
+  // Compact series row: "t:count" pairs.
+  std::vector<SeriesPoint> pts = run.series;
+  if (pts.size() > static_cast<size_t>(samples) && samples >= 2) {
+    std::vector<SeriesPoint> sampled;
+    const double step = static_cast<double>(pts.size() - 1) /
+                        static_cast<double>(samples - 1);
+    for (int i = 0; i < samples; ++i) {
+      size_t idx = static_cast<size_t>(step * i);
+      if (idx >= pts.size()) idx = pts.size() - 1;
+      sampled.push_back(pts[idx]);
+    }
+    sampled.back() = pts.back();
+    pts = std::move(sampled);
+  }
+  std::printf("    series:");
+  for (const SeriesPoint& p : pts) {
+    std::printf(" %.4fs:%zu", p.t_sec, p.count);
+  }
+  std::printf("\n");
+}
+
+/// Runs one algorithm and prints its series; exits on error.
+inline ExperimentRun RunAndPrint(Algo algo, const Workload& workload,
+                                 ProgXeOptions tuning = ProgXeOptions()) {
+  auto run = RunAlgorithm(algo, workload, tuning);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error running %s: %s\n", AlgoName(algo),
+                 run.status().ToString().c_str());
+    std::exit(1);
+  }
+  PrintSeries(*run);
+  return run.MoveValue();
+}
+
+inline Workload MustMakeWorkload(const WorkloadParams& params) {
+  auto workload = Workload::Make(params);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 workload.status().ToString().c_str());
+    std::exit(1);
+  }
+  return workload.MoveValue();
+}
+
+}  // namespace bench
+}  // namespace progxe

@@ -1,0 +1,53 @@
+// Figure 11 (a-f): progressiveness of ProgXe and ProgXe+ versus SSMJ at
+// sigma = 0.01 and sigma = 0.1, per distribution (d = 4, N = 500K in the
+// paper).
+//
+// Shapes under test:
+//   * anti-correlated: ProgXe/ProgXe+ report results orders of magnitude
+//     earlier than SSMJ (panels c and f);
+//   * correlated: ProgXe+ roughly matches SSMJ (panels a and d);
+//   * independent: ProgXe+ slightly ahead of SSMJ (panels b and e).
+// SSMJ's curve is two vertical steps (its two output batches).
+#include "bench_common.h"
+
+using namespace progxe;
+using namespace progxe::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  const size_t n = args.ResolveN(4000);
+  const int dims = args.ResolveDims(4);
+  const double sigmas[] = {0.01, 0.1};
+
+  std::printf("=== Figure 11(a-f): ProgXe / ProgXe+ vs SSMJ ===\n");
+  std::printf("d=%d N=%zu (paper: d=4 N=500K)\n\n", dims, n);
+
+  const Algo algos[] = {Algo::kProgXe, Algo::kProgXePlus, Algo::kSsmj};
+  const Distribution dists[] = {Distribution::kCorrelated,
+                                Distribution::kIndependent,
+                                Distribution::kAntiCorrelated};
+  const char* panels[2][3] = {{"11a", "11b", "11c"}, {"11d", "11e", "11f"}};
+
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      WorkloadParams params;
+      params.distribution = dists[i];
+      params.cardinality = n;
+      params.dims = dims;
+      params.sigma = sigmas[s];
+      params.seed = args.seed;
+      Workload workload = MustMakeWorkload(params);
+      std::printf("--- Fig %s: %s sigma=%g ---\n", panels[s][i],
+                  DistributionName(dists[i]), sigmas[s]);
+      for (Algo algo : algos) {
+        auto run = RunAndPrint(algo, workload);
+        if (algo == Algo::kSsmj && run.early_false_positives > 0) {
+          std::printf("    (SSMJ batch-1 false positives: %zu)\n",
+                      run.early_false_positives);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

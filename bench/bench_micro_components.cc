@@ -1,0 +1,179 @@
+// google-benchmark micro-benchmarks for the library's building blocks:
+// dominance tests, skyline algorithms, Bloom filters, grid geometry, joins
+// and the OutputTable insert path.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "grid/bloom_filter.h"
+#include "grid/grid_geometry.h"
+#include "join/hash_join.h"
+#include "prefs/dominance.h"
+#include "progxe/output_table.h"
+#include "skyline/skyline.h"
+
+namespace progxe {
+namespace {
+
+std::vector<double> RandomPoints(size_t n, int d, Distribution dist,
+                                 uint64_t seed = 1) {
+  GeneratorOptions opts;
+  opts.distribution = dist;
+  opts.cardinality = n;
+  opts.num_attributes = d;
+  opts.seed = seed;
+  Relation rel = GenerateRelation(opts).MoveValue();
+  std::vector<double> flat;
+  flat.reserve(n * static_cast<size_t>(d));
+  for (RowId i = 0; i < rel.size(); ++i) {
+    auto span = rel.attrs(i);
+    flat.insert(flat.end(), span.begin(), span.end());
+  }
+  return flat;
+}
+
+void BM_DominatesMin(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  std::vector<double> pts = RandomPoints(1024, d, Distribution::kIndependent);
+  size_t i = 0;
+  for (auto _ : state) {
+    const double* a = pts.data() + (i % 1000) * static_cast<size_t>(d);
+    const double* b = pts.data() + ((i + 13) % 1000) * static_cast<size_t>(d);
+    benchmark::DoNotOptimize(DominatesMin(a, b, d));
+    ++i;
+  }
+}
+BENCHMARK(BM_DominatesMin)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SkylineBNL(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto dist = static_cast<Distribution>(state.range(1));
+  std::vector<double> pts = RandomPoints(n, 4, dist);
+  PointView view{pts.data(), n, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SkylineBNL(view));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SkylineBNL)
+    ->Args({2000, static_cast<int>(Distribution::kCorrelated)})
+    ->Args({2000, static_cast<int>(Distribution::kIndependent)})
+    ->Args({2000, static_cast<int>(Distribution::kAntiCorrelated)});
+
+void BM_SkylineSFS(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto dist = static_cast<Distribution>(state.range(1));
+  std::vector<double> pts = RandomPoints(n, 4, dist);
+  PointView view{pts.data(), n, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SkylineSFS(view));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SkylineSFS)
+    ->Args({2000, static_cast<int>(Distribution::kCorrelated)})
+    ->Args({2000, static_cast<int>(Distribution::kIndependent)})
+    ->Args({2000, static_cast<int>(Distribution::kAntiCorrelated)});
+
+void BM_BloomFilterAdd(benchmark::State& state) {
+  BloomFilter bloom(8192, 4);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    bloom.Add(k++);
+  }
+}
+BENCHMARK(BM_BloomFilterAdd);
+
+void BM_BloomFilterQuery(benchmark::State& state) {
+  BloomFilter bloom(8192, 4);
+  for (uint64_t k = 0; k < 500; ++k) bloom.Add(k * 3);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloom.MightContain(k++));
+  }
+}
+BENCHMARK(BM_BloomFilterQuery);
+
+void BM_GridCoordsOf(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  GridGeometry grid(std::vector<Interval>(static_cast<size_t>(d),
+                                          Interval(0, 100)),
+                    12);
+  std::vector<double> pts = RandomPoints(1024, d, Distribution::kIndependent);
+  std::vector<CellCoord> coords(static_cast<size_t>(d));
+  size_t i = 0;
+  for (auto _ : state) {
+    grid.CoordsOf(pts.data() + (i % 1000) * static_cast<size_t>(d),
+                  coords.data());
+    benchmark::DoNotOptimize(grid.IndexOf(coords.data()));
+    ++i;
+  }
+}
+BENCHMARK(BM_GridCoordsOf)->Arg(2)->Arg(4)->Arg(5);
+
+void BM_HashJoin(benchmark::State& state) {
+  const double sigma = 1.0 / static_cast<double>(state.range(0));
+  GeneratorOptions opts;
+  opts.cardinality = 5000;
+  opts.num_attributes = 2;
+  opts.join_selectivity = sigma;
+  opts.seed = 1;
+  Relation r = GenerateRelation(opts).MoveValue();
+  opts.seed = 2;
+  Relation t = GenerateRelation(opts).MoveValue();
+  for (auto _ : state) {
+    size_t count = 0;
+    HashJoin(r, t, [&count](RowId, RowId) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_HashJoin)->Arg(10)->Arg(1000);
+
+void BM_OutputTableInsert(benchmark::State& state) {
+  const int d = 4;
+  std::vector<double> pts =
+      RandomPoints(20000, d, Distribution::kAntiCorrelated);
+  ProgXeStats stats;
+  for (auto _ : state) {
+    state.PauseTiming();
+    GridGeometry grid(std::vector<Interval>(static_cast<size_t>(d),
+                                            Interval(0, 100)),
+                      10);
+    OutputTable table(
+        grid,
+        std::vector<uint8_t>(static_cast<size_t>(grid.total_cells()), 0),
+        &stats);
+    state.ResumeTiming();
+    for (size_t i = 0; i < 20000; ++i) {
+      table.Insert(pts.data() + i * static_cast<size_t>(d),
+                   static_cast<RowId>(i), 0);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 20000);
+}
+BENCHMARK(BM_OutputTableInsert);
+
+void BM_Generator(benchmark::State& state) {
+  const auto dist = static_cast<Distribution>(state.range(0));
+  GeneratorOptions opts;
+  opts.distribution = dist;
+  opts.cardinality = 10000;
+  opts.num_attributes = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateRelation(opts));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_Generator)
+    ->Arg(static_cast<int>(Distribution::kIndependent))
+    ->Arg(static_cast<int>(Distribution::kCorrelated))
+    ->Arg(static_cast<int>(Distribution::kAntiCorrelated));
+
+}  // namespace
+}  // namespace progxe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Cardinality scaling (the paper's N dimension, Section VI-A: "we vary the
+// cardinality N [10K-500K]"). The figures in the paper fix N = 500K; this
+// bench sweeps N to expose how the algorithms scale and where SSMJ's
+// quadratic source-level skyline work starts to starve it on
+// anti-correlated data.
+#include "bench_common.h"
+
+using namespace progxe;
+using namespace progxe::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  const int dims = args.ResolveDims(4);
+  const double sigma = 0.01;
+  std::vector<size_t> cardinalities{1000, 2000, 4000, 8000};
+  if (args.n != 0) cardinalities = {args.n};
+  if (args.paper_scale) cardinalities = {10000, 50000, 100000, 500000};
+
+  std::printf("=== Cardinality scaling: d=%d sigma=%g ===\n\n", dims, sigma);
+
+  const Algo algos[] = {Algo::kProgXe, Algo::kProgXePlus, Algo::kSsmj,
+                        Algo::kJfSl};
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kAntiCorrelated}) {
+    std::printf("--- %s ---\n", DistributionName(dist));
+    std::printf("  %-8s", "N");
+    for (Algo algo : algos) {
+      std::printf(" %13s_t %13s_1st", ShortAlgoName(algo),
+                  ShortAlgoName(algo));
+    }
+    std::printf("\n");
+    for (size_t n : cardinalities) {
+      WorkloadParams params;
+      params.distribution = dist;
+      params.cardinality = n;
+      params.dims = dims;
+      params.sigma = sigma;
+      params.seed = args.seed;
+      Workload workload = MustMakeWorkload(params);
+      std::printf("  %-8zu", n);
+      for (Algo algo : algos) {
+        auto run = RunAlgorithm(algo, workload);
+        if (!run.ok()) {
+          std::fprintf(stderr, "error: %s\n",
+                       run.status().ToString().c_str());
+          return 1;
+        }
+        std::printf(" %14.4f %17.4f", run->metrics.total_time,
+                    run->metrics.time_to_first);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: the smallest complete ProgXe program.
+//
+// Builds two tiny relations, declares a SkyMapJoin query (join + mapping
+// functions + Pareto preference) and runs the progressive executor. Results
+// stream through the callback as they are proven final — note the emission
+// timestamps arriving before the run completes.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "data/generator.h"
+#include "progxe/executor.h"
+
+using namespace progxe;
+
+int main() {
+  // 1. Two synthetic sources R and T: 4 skyline attributes in [1, 100],
+  //    join keys drawn from ~1/sigma distinct values.
+  GeneratorOptions gen;
+  gen.distribution = Distribution::kAntiCorrelated;
+  gen.cardinality = 5000;
+  gen.num_attributes = 4;
+  gen.join_selectivity = 0.005;
+  gen.seed = 1;
+  Relation r = GenerateRelation(gen).MoveValue();
+  gen.seed = 2;
+  Relation t = GenerateRelation(gen).MoveValue();
+
+  // 2. The query: minimize every x_j = R.a_j + T.a_j over the join.
+  SkyMapJoinQuery query;
+  query.r = &r;
+  query.t = &t;
+  query.map = MapSpec::PairwiseSum(4);
+  query.pref = Preference::AllLowest(4);
+
+  // 3. Run progressively. Every emitted tuple is guaranteed final: no
+  //    retraction will ever follow.
+  ProgXeExecutor executor(query, ProgXeOptions());
+  Stopwatch watch;
+  size_t count = 0;
+  Status status = executor.Run([&](const ResultTuple& result) {
+    ++count;
+    if (count <= 5 || count % 500 == 0) {
+      std::printf("[%8.4fs] result #%zu: R#%u join T#%u -> (%.1f, %.1f, "
+                  "%.1f, %.1f)\n",
+                  watch.ElapsedSeconds(), count, result.r_id, result.t_id,
+                  result.values[0], result.values[1], result.values[2],
+                  result.values[3]);
+    }
+  });
+  if (!status.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("[%8.4fs] done: %zu Pareto-optimal results\n",
+              watch.ElapsedSeconds(), count);
+  std::printf("stats: %s\n", executor.stats().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Declarative interface: run the paper's query Q1 verbatim from its SQL +
+// PREFERRING text against CSV data on disk.
+//
+// This example (1) generates supplier/transporter CSV files (standing in
+// for real exports), (2) loads them with the CSV loader, (3) compiles the
+// paper's Q1 text with the query parser, and (4) executes it progressively
+// with ProgXe — the full path a downstream user would take.
+//
+//   $ ./examples/sql_interface
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "data/csv_loader.h"
+#include "progxe/executor.h"
+#include "query/parser.h"
+
+using namespace progxe;
+
+namespace {
+
+constexpr const char* kSuppliersCsv = "/tmp/progxe_suppliers.csv";
+constexpr const char* kTransportersCsv = "/tmp/progxe_transporters.csv";
+
+Status WriteDemoData() {
+  Rng rng(41);
+  {
+    Relation suppliers(Schema({"uPrice", "manTime"}, "country"));
+    for (int i = 0; i < 8000; ++i) {
+      const double attrs[] = {rng.Uniform(10, 90), rng.Uniform(1, 30)};
+      suppliers.Append(attrs, static_cast<JoinKey>(rng.NextBelow(25)));
+    }
+    PROGXE_RETURN_NOT_OK(WriteRelationCsv(suppliers, kSuppliersCsv));
+  }
+  {
+    Relation transporters(Schema({"uShipCost", "shipTime"}, "country"));
+    for (int i = 0; i < 8000; ++i) {
+      const double attrs[] = {rng.Uniform(1, 40), rng.Uniform(0.5, 20)};
+      transporters.Append(attrs, static_cast<JoinKey>(rng.NextBelow(25)));
+    }
+    PROGXE_RETURN_NOT_OK(WriteRelationCsv(transporters, kTransportersCsv));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  if (Status st = WriteDemoData(); !st.ok()) {
+    std::fprintf(stderr, "demo data: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  auto suppliers = LoadRelationCsv(kSuppliersCsv, "country");
+  auto transporters = LoadRelationCsv(kTransportersCsv, "country");
+  if (!suppliers.ok() || !transporters.ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+  std::printf("loaded %zu suppliers, %zu transporters from CSV\n\n",
+              suppliers->relation.size(), transporters->relation.size());
+
+  const char* q1 =
+      "SELECT R.id, T.id, "
+      "       (R.uPrice + T.uShipCost)     AS tCost, "
+      "       (2 * R.manTime + T.shipTime) AS delay "
+      "FROM   Suppliers R, Transporters T "
+      "WHERE  R.country = T.country "
+      "PREFERRING LOWEST(tCost) AND LOWEST(delay)";
+  std::printf("query:\n%s\n\n", q1);
+
+  auto query = CompileSmjQuery(
+      q1, {{"Suppliers", &suppliers->relation},
+           {"Transporters", &transporters->relation}});
+  if (!query.ok()) {
+    std::fprintf(stderr, "compile: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+
+  ProgXeExecutor executor(*query, ProgXeOptions());
+  Stopwatch watch;
+  size_t count = 0;
+  Status st = executor.Run([&](const ResultTuple& plan) {
+    ++count;
+    std::printf("[%8.4fs] supplier %-5u transporter %-5u tCost=%6.2f "
+                "delay=%5.2f\n",
+                watch.ElapsedSeconds(), plan.r_id, plan.t_id,
+                plan.values[0], plan.values[1]);
+  });
+  if (!st.ok()) {
+    std::fprintf(stderr, "run: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%zu Pareto-optimal plans in %.4fs\n", count,
+              watch.ElapsedSeconds());
+  std::remove(kSuppliersCsv);
+  std::remove(kTransportersCsv);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Supply-chain management: the paper's running example, query Q1.
+//
+//   Q1: SELECT R.id, T.id,
+//              (R.uPrice + T.uShipCost)        AS tCost,
+//              (2 * R.manTime + T.shipTime)    AS delay
+//       FROM   Suppliers R, Transporters T
+//       WHERE  R.country = T.country
+//              AND 'P1' IN R.suppliedParts AND R.manCap >= 100K
+//       PREFERRING LOWEST(tCost) AND LOWEST(delay)
+//
+// A manufacturer couples suppliers that can produce 100K units of part P1
+// with transporters from the same country, minimizing total cost and delay.
+// The WHERE filters are applied while loading Suppliers (ProgXe consumes
+// filtered sources); the join, mapping and skyline run progressively.
+//
+//   $ ./examples/supply_chain
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "data/relation.h"
+#include "progxe/executor.h"
+
+using namespace progxe;
+
+namespace {
+
+constexpr int kCountries = 40;
+
+// Suppliers: uPrice, manTime (+ filter columns manCap, makesP1 applied at
+// load). Join key = country.
+Relation MakeSuppliers(size_t n, Rng* rng, size_t* filtered_out) {
+  Relation rel(Schema({"uPrice", "manTime"}, "country"));
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool makes_p1 = rng->Bernoulli(0.6);
+    const double man_cap = rng->Uniform(10e3, 500e3);
+    if (!makes_p1 || man_cap < 100e3) continue;  // WHERE clause
+    const double attrs[] = {rng->Uniform(10.0, 90.0),   // uPrice
+                            rng->Uniform(1.0, 30.0)};   // manTime (days)
+    rel.Append(attrs, static_cast<JoinKey>(rng->NextBelow(kCountries)));
+    ++kept;
+  }
+  *filtered_out = n - kept;
+  return rel;
+}
+
+// Transporters: uShipCost, shipTime. Join key = country.
+Relation MakeTransporters(size_t n, Rng* rng) {
+  Relation rel(Schema({"uShipCost", "shipTime"}, "country"));
+  for (size_t i = 0; i < n; ++i) {
+    const double attrs[] = {rng->Uniform(1.0, 40.0),    // uShipCost
+                            rng->Uniform(0.5, 20.0)};   // shipTime (days)
+    rel.Append(attrs, static_cast<JoinKey>(rng->NextBelow(kCountries)));
+  }
+  return rel;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(2009);
+  size_t filtered = 0;
+  Relation suppliers = MakeSuppliers(20000, &rng, &filtered);
+  Relation transporters = MakeTransporters(20000, &rng);
+  std::printf("suppliers: %zu qualify (%zu filtered by part/capacity); "
+              "transporters: %zu; %d countries\n",
+              suppliers.size(), filtered, transporters.size(), kCountries);
+
+  // Q1's mapping functions over the joined pair.
+  const int kUPrice = 0, kManTime = 1;     // supplier attrs
+  const int kUShipCost = 0, kShipTime = 1; // transporter attrs
+  SkyMapJoinQuery q1;
+  q1.r = &suppliers;
+  q1.t = &transporters;
+  q1.map = MapSpec({
+      MapFunc::WeightedSum(1.0, kUPrice, 1.0, kUShipCost, 0.0, "tCost"),
+      MapFunc::WeightedSum(2.0, kManTime, 1.0, kShipTime, 0.0, "delay"),
+  });
+  q1.pref = Preference::AllLowest(2);
+
+  std::printf("\nQ1 plan: skyline{%s ; %s} over Suppliers |x| Transporters\n\n",
+              q1.map.func(0).ToString().c_str(),
+              q1.map.func(1).ToString().c_str());
+
+  ProgXeOptions options;
+  options.push_through = true;  // ProgXe+ — best for low dimensions
+  ProgXeExecutor executor(q1, options);
+  Stopwatch watch;
+  size_t count = 0;
+  Status status = executor.Run([&](const ResultTuple& result) {
+    ++count;
+    std::printf("[%8.4fs] plan #%zu: supplier %-6u + transporter %-6u "
+                "tCost=%6.2f delay=%5.2f days\n",
+                watch.ElapsedSeconds(), count, result.r_id, result.t_id,
+                result.values[0], result.values[1]);
+  });
+  if (!status.ok()) {
+    std::fprintf(stderr, "Q1 failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%zu Pareto-optimal production plans (of %llu candidate "
+              "pairings) in %.4fs\n",
+              count,
+              static_cast<unsigned long long>(
+                  executor.stats().join_pairs_generated),
+              watch.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Shared statistics for the state-of-the-art baselines (Section VI-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace progxe {
+
+struct BaselineStats {
+  /// Join pairs materialized.
+  uint64_t join_pairs = 0;
+  /// Pairwise dominance comparisons performed.
+  uint64_t dominance_comparisons = 0;
+  /// Source rows surviving any source-side pruning.
+  size_t r_rows_used = 0;
+  size_t t_rows_used = 0;
+  /// Results reported.
+  size_t results = 0;
+  /// Distinct emission moments (JF-SL: 1; SSMJ: 2).
+  size_t batches = 0;
+  /// SSMJ only: results emitted in batch 1 that are *not* in the final
+  /// skyline (the false positives the paper's Section VII criticism
+  /// predicts once mapping functions are involved).
+  size_t early_false_positives = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace progxe

@@ -1,0 +1,26 @@
+// JF-SL: the traditional "join first, skyline later" execution strategy
+// (Figure 1.b; Koudas et al.). Fully blocking: every join result is
+// materialized and mapped before a single skyline comparison is made, and
+// all results are reported in one batch at the very end.
+//
+// JF-SL+ additionally applies skyline partial push-through to each source
+// before the join (group-level skyline pruning on contribution vectors),
+// which shrinks the join input but is itself a blocking pre-pass.
+#pragma once
+
+#include "baselines/baseline_stats.h"
+#include "common/status.h"
+#include "progxe/executor.h"
+
+namespace progxe {
+
+/// Runs JF-SL. Results are emitted (all at once) only after the full join +
+/// skyline evaluation completes.
+Status RunJfSl(const SkyMapJoinQuery& query, const EmitFn& emit,
+               BaselineStats* stats = nullptr);
+
+/// Runs JF-SL+ (push-through variant).
+Status RunJfSlPlus(const SkyMapJoinQuery& query, const EmitFn& emit,
+                   BaselineStats* stats = nullptr);
+
+}  // namespace progxe

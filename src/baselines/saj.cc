@@ -1,0 +1,205 @@
+#include "baselines/saj.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "skyline/group_skyline.h"
+#include "skyline/skyline.h"
+
+namespace progxe {
+
+namespace {
+
+/// One source's sorted-access stream state.
+struct Stream {
+  const Relation* rel = nullptr;
+  const ContributionTable* contribs = nullptr;
+  /// Row ids in ascending contribution-sum order.
+  std::vector<RowId> order;
+  /// suffix_min[p * k + j] = min contribution j over order[p..n).
+  /// Row n holds +infinity sentinels.
+  std::vector<double> suffix_min;
+  /// Component-wise minimum over the whole source (== suffix_min at 0).
+  std::vector<double> global_min;
+  /// Next sorted position to access.
+  size_t pos = 0;
+  /// Join key -> seen row ids.
+  std::unordered_map<JoinKey, std::vector<RowId>> seen;
+
+  bool exhausted() const { return pos >= order.size(); }
+
+  double next_score(int k) const {
+    if (exhausted()) return std::numeric_limits<double>::infinity();
+    const double* v = contribs->vector(order[pos]);
+    double s = 0.0;
+    for (int j = 0; j < k; ++j) s += v[j];
+    return s;
+  }
+};
+
+Stream MakeStream(const Relation& rel, const ContributionTable& contribs) {
+  Stream stream;
+  stream.rel = &rel;
+  stream.contribs = &contribs;
+  const int k = contribs.dimensions();
+  const size_t n = rel.size();
+
+  stream.order.resize(n);
+  std::iota(stream.order.begin(), stream.order.end(), 0u);
+  std::vector<double> sums(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* v = contribs.vector(static_cast<RowId>(i));
+    for (int j = 0; j < k; ++j) sums[i] += v[j];
+  }
+  std::sort(stream.order.begin(), stream.order.end(),
+            [&](RowId a, RowId b) {
+              if (sums[a] != sums[b]) return sums[a] < sums[b];
+              return a < b;
+            });
+
+  stream.suffix_min.assign((n + 1) * static_cast<size_t>(k),
+                           std::numeric_limits<double>::infinity());
+  for (size_t p = n; p-- > 0;) {
+    const double* v = contribs.vector(stream.order[p]);
+    for (int j = 0; j < k; ++j) {
+      const size_t here = p * static_cast<size_t>(k) + static_cast<size_t>(j);
+      const size_t next =
+          (p + 1) * static_cast<size_t>(k) + static_cast<size_t>(j);
+      stream.suffix_min[here] = std::min(v[j], stream.suffix_min[next]);
+    }
+  }
+  stream.global_min.assign(stream.suffix_min.begin(),
+                           stream.suffix_min.begin() + k);
+  return stream;
+}
+
+/// True iff some window tuple is strictly below `bound` in every dimension
+/// (so any output >= bound component-wise is strictly dominated).
+bool WindowCovers(const SkylineWindow& window, const double* bound, int k) {
+  for (size_t i = 0; i < window.size(); ++i) {
+    const double* w = window.point(i);
+    bool all_strict = true;
+    for (int j = 0; j < k; ++j) {
+      if (!(w[j] < bound[j])) {
+        all_strict = false;
+        break;
+      }
+    }
+    if (all_strict) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status RunSaj(const SkyMapJoinQuery& query, const EmitFn& emit,
+              SajStats* stats) {
+  SajStats local;
+  SajStats& s = stats != nullptr ? *stats : local;
+  s = SajStats();
+
+  if (query.r == nullptr || query.t == nullptr) {
+    return Status::InvalidArgument("query sources must be non-null");
+  }
+  if (query.pref.dimensions() != query.map.output_dimensions()) {
+    return Status::InvalidArgument(
+        "preference dimensionality must match the map output");
+  }
+  PROGXE_RETURN_NOT_OK(query.map.Validate(query.r->num_attributes(),
+                                          query.t->num_attributes()));
+
+  CanonicalMapper mapper(query.map, query.pref);
+  const int k = mapper.output_dimensions();
+  ContributionTable r_contrib(*query.r, mapper, Side::kR);
+  ContributionTable t_contrib(*query.t, mapper, Side::kT);
+  Stream r_stream = MakeStream(*query.r, r_contrib);
+  Stream t_stream = MakeStream(*query.t, t_contrib);
+  s.base.r_rows_used = query.r->size();
+  s.base.t_rows_used = query.t->size();
+
+  DomCounter counter;
+  SkylineWindow window(k);
+  std::vector<double> out(static_cast<size_t>(k));
+  std::vector<double> bound_r(static_cast<size_t>(k));
+  std::vector<double> bound_t(static_cast<size_t>(k));
+
+  // One sorted access per round on the stream with the smaller next score;
+  // the threshold test runs periodically (it scans the window).
+  constexpr size_t kCheckEvery = 32;
+  size_t rounds = 0;
+  while (!r_stream.exhausted() || !t_stream.exhausted()) {
+    const bool take_r = !r_stream.exhausted() &&
+                        (t_stream.exhausted() ||
+                         r_stream.next_score(k) <= t_stream.next_score(k));
+    Stream& mine = take_r ? r_stream : t_stream;
+    Stream& other = take_r ? t_stream : r_stream;
+    const RowId row = mine.order[mine.pos++];
+    (take_r ? s.rows_accessed_r : s.rows_accessed_t) += 1;
+
+    // Ripple join against matching rows already seen on the other side.
+    const JoinKey key = mine.rel->join_key(row);
+    auto it = other.seen.find(key);
+    if (it != other.seen.end()) {
+      for (RowId partner : it->second) {
+        const RowId r_id = take_r ? row : partner;
+        const RowId t_id = take_r ? partner : row;
+        mapper.Combine(r_contrib.vector(r_id), t_contrib.vector(t_id),
+                       out.data());
+        window.Insert(out.data(),
+                      (static_cast<uint64_t>(r_id) << 32) | t_id, &counter);
+        ++s.base.join_pairs;
+      }
+    }
+    mine.seen[key].push_back(row);
+
+    // Threshold termination (Fagin-style): any pair involving an unseen R
+    // row maps at or above Combine(suffix_min_R, global_min_T)
+    // component-wise, and symmetrically for unseen T rows. If existing
+    // results strictly dominate both bounds, no future pair can survive.
+    if (++rounds % kCheckEvery != 0 || window.size() == 0) continue;
+    bool r_covered = r_stream.exhausted();
+    if (!r_covered) {
+      mapper.Combine(
+          r_stream.suffix_min.data() +
+              r_stream.pos * static_cast<size_t>(k),
+          t_stream.global_min.data(), bound_r.data());
+      r_covered = WindowCovers(window, bound_r.data(), k);
+    }
+    bool t_covered = t_stream.exhausted();
+    if (r_covered && !t_covered) {
+      mapper.Combine(r_stream.global_min.data(),
+                     t_stream.suffix_min.data() +
+                         t_stream.pos * static_cast<size_t>(k),
+                     bound_t.data());
+      t_covered = WindowCovers(window, bound_t.data(), k);
+    }
+    if (r_covered && t_covered) {
+      s.stopped_early = true;
+      break;
+    }
+  }
+
+  // Single batch at termination (JF-SL paradigm).
+  s.base.batches = 1;
+  s.base.dominance_comparisons = counter.comparisons;
+  ResultTuple result;
+  result.values.resize(static_cast<size_t>(k));
+  for (size_t i = 0; i < window.size(); ++i) {
+    const uint64_t payload = window.payload(i);
+    result.r_id = static_cast<RowId>(payload >> 32);
+    result.t_id = static_cast<RowId>(payload & 0xffffffffu);
+    const double* v = window.point(i);
+    for (int j = 0; j < k; ++j) {
+      result.values[static_cast<size_t>(j)] = mapper.Decanonicalize(j, v[j]);
+    }
+    emit(result);
+    ++s.base.results;
+  }
+  return Status::OK();
+}
+
+}  // namespace progxe

@@ -1,0 +1,40 @@
+// SAJ: the Fagin-style skyline-over-join baseline (Section VI-A of the
+// paper: "SAJ [Koudas et al.] extended the popular Fagin technique
+// following the JF-SL paradigm").
+//
+// Both sources are accessed in ascending order of a monotone score of their
+// canonical contribution vectors (the coordinate sum, as in Fagin's sorted
+// access). A ripple join incrementally pairs each newly accessed row with
+// all matching rows seen so far on the other source, feeding a skyline
+// window. After every round the algorithm computes a *threshold vector* —
+// a component-wise lower bound on the mapped output of any pair involving a
+// still-unseen row — and terminates early once some window tuple is
+// strictly below the threshold in every dimension (no future pair can be
+// undominated).
+//
+// Like JF-SL, SAJ is blocking: it emits a single batch when it terminates.
+// Its value is the Fagin-style early termination, which can stop long
+// before exhausting the sources on skyline-friendly data; the
+// `rows_accessed_*` stats expose how much sorted access it needed.
+#pragma once
+
+#include "baselines/baseline_stats.h"
+#include "common/status.h"
+#include "progxe/executor.h"
+
+namespace progxe {
+
+struct SajStats {
+  BaselineStats base;
+  /// Rows consumed from each sorted stream before termination.
+  size_t rows_accessed_r = 0;
+  size_t rows_accessed_t = 0;
+  /// True iff the threshold test stopped the scan before exhausting input.
+  bool stopped_early = false;
+};
+
+/// Runs SAJ. Results are emitted in one batch at termination.
+Status RunSaj(const SkyMapJoinQuery& query, const EmitFn& emit,
+              SajStats* stats = nullptr);
+
+}  // namespace progxe

@@ -1,0 +1,52 @@
+// SSMJ: Skyline-Sort-Merge-Join (Jin et al., "The multi-relational skyline
+// operator", ICDE 2007), as characterized in Sections VI-A and VII of the
+// ProgXe paper.
+//
+// SSMJ maintains two lists per source: LS(S), the source-level skyline that
+// ignores the join attribute, and LS(N), the per-join-value group-level
+// skylines. Evaluation is phased:
+//
+//   Phase 1: LS(S) join LS(S) — all pairs generated, mapped, skylined;
+//            the surviving results are reported as the FIRST batch.
+//   Phase 2: the remaining combinations (LS(S) x LS(N)', LS(N)' x LS(S),
+//            LS(N)' x LS(N)' with LS(N)' = LS(N) \ LS(S)) are evaluated and
+//            the final results are reported at the very end.
+//
+// So SSMJ "produces results at two distinct moments of time in batches".
+// In the original (map-free) setting batch-1 results are provably final;
+// with mapping functions that guarantee breaks (the paper's third criticism
+// in Section VII). This implementation reproduces that behaviour faithfully
+// and *counts* any batch-1 false positives in
+// BaselineStats::early_false_positives; `final_results` always holds the
+// correct complete skyline.
+#pragma once
+
+#include <vector>
+
+#include "baselines/baseline_stats.h"
+#include "common/status.h"
+#include "progxe/executor.h"
+
+namespace progxe {
+
+/// Batch boundary notification: invoked once after batch 1 is emitted (so
+/// progressiveness recorders can timestamp the two SSMJ output moments).
+using BatchFn = std::function<void(int batch_number)>;
+
+struct SsmjResult {
+  /// Everything emitted in batch 1 (may contain false positives when the
+  /// query has cross-source mapping functions).
+  std::vector<ResultTuple> batch1;
+  /// The correct, complete final skyline.
+  std::vector<ResultTuple> final_results;
+};
+
+/// Runs SSMJ. `emit` receives batch-1 results as soon as phase 1 completes
+/// and the remaining final results at the end; `on_batch` (optional) fires
+/// after each batch. Batch-1 false positives are emitted (as the real SSMJ
+/// would) but excluded from `result.final_results`.
+Status RunSsmj(const SkyMapJoinQuery& query, const EmitFn& emit,
+               BaselineStats* stats = nullptr, SsmjResult* result = nullptr,
+               const BatchFn& on_batch = nullptr);
+
+}  // namespace progxe

@@ -1,0 +1,42 @@
+#include "common/csv_writer.h"
+
+namespace progxe {
+
+Result<CsvWriter> CsvWriter::Open(const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open CSV file for writing: " + path);
+  }
+  return CsvWriter(std::move(out));
+}
+
+std::string CsvWriter::Escape(const std::string& value) {
+  bool needs_quotes = value.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& values) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << Escape(values[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(std::initializer_list<std::string> values) {
+  WriteRow(std::vector<std::string>(values));
+}
+
+void CsvWriter::Close() {
+  out_.flush();
+  out_.close();
+}
+
+}  // namespace progxe

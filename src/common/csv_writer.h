@@ -1,0 +1,55 @@
+// Tiny CSV emitter used by the benchmark harness to dump figure series in a
+// gnuplot/pandas-friendly format.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace progxe {
+
+/// Writes rows of comma-separated values to a file (or any ostream).
+///
+/// Values containing commas, quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, truncating any existing file.
+  static Result<CsvWriter> Open(const std::string& path);
+
+  /// Writes one row; each value is escaped as needed.
+  void WriteRow(const std::vector<std::string>& values);
+  void WriteRow(std::initializer_list<std::string> values);
+
+  /// Convenience: formats arithmetic values with full precision.
+  template <typename... Ts>
+  void WriteValues(const Ts&... vals) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(vals));
+    (row.push_back(FormatValue(vals)), ...);
+    WriteRow(row);
+  }
+
+  /// Flushes and closes the underlying stream.
+  void Close();
+
+  static std::string Escape(const std::string& value);
+
+ private:
+  explicit CsvWriter(std::ofstream out) : out_(std::move(out)) {}
+
+  template <typename T>
+  static std::string FormatValue(const T& v) {
+    if constexpr (std::is_arithmetic_v<T>) {
+      return std::to_string(v);
+    } else {
+      return std::string(v);
+    }
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace progxe

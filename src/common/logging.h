@@ -1,0 +1,42 @@
+// Minimal leveled logging. Benchmarks and examples log at INFO; the library
+// itself only logs at DEBUG (off by default) so query paths stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace progxe {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction if the
+/// level passes the global filter.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace progxe
+
+#define PROGXE_LOG(level)                                        \
+  ::progxe::internal::LogMessage(::progxe::LogLevel::k##level, \
+                                 __FILE__, __LINE__)

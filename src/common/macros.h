@@ -1,0 +1,23 @@
+// Common preprocessor macros used across the ProgXe codebase.
+#pragma once
+
+// Marks a branch as unlikely; used on error paths so the hot path stays
+// straight-line code.
+#if defined(__GNUC__) || defined(__clang__)
+#define PROGXE_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#define PROGXE_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#else
+#define PROGXE_PREDICT_FALSE(x) (x)
+#define PROGXE_PREDICT_TRUE(x) (x)
+#endif
+
+// Propagates a non-OK Status out of the current function.
+#define PROGXE_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::progxe::Status _st = (expr);                  \
+    if (PROGXE_PREDICT_FALSE(!_st.ok())) return _st; \
+  } while (false)
+
+#define PROGXE_DISALLOW_COPY_AND_ASSIGN(T) \
+  T(const T&) = delete;                    \
+  T& operator=(const T&) = delete

@@ -1,0 +1,193 @@
+// Status / Result error handling in the style of Arrow and RocksDB: functions
+// that can fail return a Status (or a Result<T> carrying either a value or a
+// Status) instead of throwing. Exceptions are not used on query paths.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace progxe {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kInternal = 5,
+  kNotImplemented = 6,
+  kIOError = 7,
+};
+
+/// Returns a short human-readable name for a StatusCode ("OK",
+/// "Invalid argument", ...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kIOError:
+      return "IO error";
+  }
+  return "Unknown";
+}
+
+/// Outcome of an operation: either OK, or an error code plus message.
+///
+/// The OK state is represented by a null internal pointer so that returning
+/// Status::OK() is free (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    assert(code != StatusCode::kOk);
+    state_ = std::make_shared<State>(State{code, std::move(msg)});
+  }
+
+  /// Returns the singleton-like OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// The error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->msg;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(state_->code)) + ": " + state_->msg;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Shared so Status is cheap to copy; Status objects are immutable.
+  std::shared_ptr<const State> state_;
+};
+
+/// Either a value of type T or a non-OK Status explaining why the value could
+/// not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be built from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure Status, or OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The held value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Moves the value out; must only be called when ok().
+  T MoveValue() {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace progxe
+
+/// Assigns the value of a Result expression to `lhs`, or returns its Status.
+#define PROGXE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (PROGXE_PREDICT_FALSE(!tmp.ok())) return tmp.status(); \
+  lhs = std::move(tmp).MoveValue()
+
+#define PROGXE_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define PROGXE_ASSIGN_OR_RETURN_NAME(x, y) PROGXE_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define PROGXE_ASSIGN_OR_RETURN(lhs, rexpr) \
+  PROGXE_ASSIGN_OR_RETURN_IMPL(             \
+      PROGXE_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, rexpr)

@@ -1,0 +1,34 @@
+// Wall-clock timing for the progressiveness harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace progxe {
+
+/// Monotonic stopwatch; Start() resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() { Start(); }
+
+  /// Resets the origin to now.
+  void Start() { start_ = Clock::now(); }
+
+  /// Microseconds elapsed since the last Start().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Seconds elapsed since the last Start().
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace progxe

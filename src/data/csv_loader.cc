@@ -1,0 +1,159 @@
+#include "data/csv_loader.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace progxe {
+
+namespace internal {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace internal
+
+namespace {
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParseJoinKey(const std::string& s, JoinKey* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<JoinKey>(v);
+  return true;
+}
+
+}  // namespace
+
+Result<CsvLoadResult> LoadRelationCsv(const std::string& path,
+                                      const std::string& join_column) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open CSV file: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("CSV file is empty: " + path);
+  }
+  const std::vector<std::string> header = internal::SplitCsvLine(line);
+  int join_index = -1;
+  std::vector<std::string> attr_names;
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == join_column) {
+      if (join_index >= 0) {
+        return Status::InvalidArgument("duplicate join column '" +
+                                       join_column + "'");
+      }
+      join_index = static_cast<int>(i);
+    } else {
+      attr_names.push_back(header[i]);
+    }
+  }
+  if (join_index < 0) {
+    return Status::InvalidArgument("join column '" + join_column +
+                                   "' not found in header");
+  }
+  if (attr_names.empty()) {
+    return Status::InvalidArgument("CSV needs at least one value column");
+  }
+
+  CsvLoadResult result;
+  result.relation = Relation(Schema(attr_names, join_column));
+  std::unordered_map<std::string, JoinKey> dictionary;
+
+  std::vector<double> attrs(attr_names.size());
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = internal::SplitCsvLine(line);
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": expected " +
+          std::to_string(header.size()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    size_t attr_pos = 0;
+    JoinKey key = 0;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (static_cast<int>(i) == join_index) {
+        if (!ParseJoinKey(fields[i], &key)) {
+          // Dictionary-encode string keys.
+          auto [it, inserted] = dictionary.try_emplace(
+              fields[i], static_cast<JoinKey>(dictionary.size()));
+          if (inserted) result.join_dictionary.push_back(fields[i]);
+          key = it->second;
+        }
+        continue;
+      }
+      if (!ParseDouble(fields[i], &attrs[attr_pos])) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) + ": column '" +
+            header[i] + "' is not numeric: '" + fields[i] + "'");
+      }
+      ++attr_pos;
+    }
+    result.relation.Append(attrs, key);
+  }
+  return result;
+}
+
+Status WriteRelationCsv(const Relation& rel, const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open CSV file for writing: " + path);
+  }
+  const Schema& schema = rel.schema();
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    out << schema.attribute_names()[static_cast<size_t>(i)] << ',';
+  }
+  out << schema.join_name() << '\n';
+  std::ostringstream row;
+  for (RowId id = 0; id < rel.size(); ++id) {
+    row.str("");
+    for (int i = 0; i < schema.num_attributes(); ++i) {
+      row << rel.attr(id, i) << ',';
+    }
+    row << rel.join_key(id) << '\n';
+    out << row.str();
+  }
+  out.flush();
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace progxe

@@ -1,0 +1,38 @@
+// CSV import/export for relations, so the library runs on real data as
+// well as the synthetic benchmark generator.
+//
+// Expected layout: a header row naming every column; one designated join
+// column (integer keys, or arbitrary strings which are dictionary-encoded
+// in order of first appearance); every other column numeric.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/relation.h"
+
+namespace progxe {
+
+struct CsvLoadResult {
+  Relation relation{Schema::Anonymous(0)};
+  /// Populated when the join column held non-numeric values:
+  /// dictionary-encoded key -> original string.
+  std::vector<std::string> join_dictionary;
+};
+
+/// Loads `path` into a relation, treating `join_column` as the join key and
+/// all remaining columns as real-valued skyline attributes.
+Result<CsvLoadResult> LoadRelationCsv(const std::string& path,
+                                      const std::string& join_column);
+
+/// Writes a relation (header + rows) to `path`.
+Status WriteRelationCsv(const Relation& rel, const std::string& path);
+
+namespace internal {
+/// Splits one CSV line on commas, honouring RFC-4180 double quotes.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+}  // namespace internal
+
+}  // namespace progxe

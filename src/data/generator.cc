@@ -1,0 +1,160 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace progxe {
+
+Result<Distribution> ParseDistribution(const std::string& name) {
+  if (name == "independent" || name == "indep" || name == "ind") {
+    return Distribution::kIndependent;
+  }
+  if (name == "correlated" || name == "corr") {
+    return Distribution::kCorrelated;
+  }
+  if (name == "anticorrelated" || name == "anti-correlated" ||
+      name == "anti") {
+    return Distribution::kAntiCorrelated;
+  }
+  return Status::InvalidArgument("unknown distribution: " + name);
+}
+
+const char* DistributionName(Distribution dist) {
+  switch (dist) {
+    case Distribution::kIndependent:
+      return "independent";
+    case Distribution::kCorrelated:
+      return "correlated";
+    case Distribution::kAntiCorrelated:
+      return "anticorrelated";
+  }
+  return "unknown";
+}
+
+size_t JoinDomainSize(double join_selectivity) {
+  double j = std::round(1.0 / join_selectivity);
+  return static_cast<size_t>(std::max(1.0, j));
+}
+
+namespace internal {
+namespace {
+
+constexpr int kMaxRejectionRounds = 10000;
+
+// "random_peak" of the original randdataset tool: mean of `n` uniforms,
+// peaked around 0.5 with variance shrinking in n.
+double RandomPeak(Rng* rng, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng->NextDouble();
+  return sum / static_cast<double>(n);
+}
+
+bool InUnitCube(const double* x, int d) {
+  for (int i = 0; i < d; ++i) {
+    if (x[i] < 0.0 || x[i] > 1.0) return false;
+  }
+  return true;
+}
+
+// Correlated: pick a diagonal position `v` (peaked around 0.5 with variance
+// shrinking in d, like randdataset's random_peak), then jitter each
+// dimension with *small* sum-preserving normal offsets so the point stays
+// close to the main diagonal. Attributes end up strongly positively
+// correlated; skylines are tiny.
+void GenerateCorrelated(int d, Rng* rng, double* x) {
+  for (int round = 0; round < kMaxRejectionRounds; ++round) {
+    double v = RandomPeak(rng, d);
+    double l = v <= 0.5 ? v : 1.0 - v;
+    for (int i = 0; i < d; ++i) x[i] = v;
+    for (int i = 0; i < d; ++i) {
+      // Small spread relative to the diagonal variance => strong positive
+      // pairwise correlation at every d.
+      double h = rng->Gaussian(0.0, l / 8.0);
+      x[i] += h;
+      x[(i + 1) % d] -= h;
+    }
+    if (InUnitCube(x, d)) return;
+  }
+  // Fall back to the diagonal point itself; always valid.
+  double v = RandomPeak(rng, d);
+  for (int i = 0; i < d; ++i) x[i] = v;
+}
+
+// Anti-correlated: pin the point to a hyperplane sum(x) ~ d/2 (tight normal
+// around 0.5) and spread attribute mass with *large* uniform sum-preserving
+// offsets, so a tuple that is good in one dimension is bad in another.
+// Plane variance << spread variance => strong negative pairwise
+// correlation; skylines are huge.
+void GenerateAntiCorrelated(int d, Rng* rng, double* x) {
+  for (int round = 0; round < kMaxRejectionRounds; ++round) {
+    double v = rng->Gaussian(0.5, 0.05);
+    if (v < 0.0 || v > 1.0) continue;
+    double l = v <= 0.5 ? v : 1.0 - v;
+    for (int i = 0; i < d; ++i) x[i] = v;
+    for (int i = 0; i < d; ++i) {
+      double h = rng->Uniform(-l, l);
+      x[i] += h;
+      x[(i + 1) % d] -= h;
+    }
+    if (InUnitCube(x, d)) return;
+  }
+  for (int i = 0; i < d; ++i) x[i] = 0.5;
+}
+
+void GenerateIndependent(int d, Rng* rng, double* x) {
+  for (int i = 0; i < d; ++i) x[i] = rng->NextDouble();
+}
+
+}  // namespace
+
+void GenerateUnitVector(Distribution dist, int d, Rng* rng, double* out) {
+  switch (dist) {
+    case Distribution::kIndependent:
+      GenerateIndependent(d, rng, out);
+      return;
+    case Distribution::kCorrelated:
+      GenerateCorrelated(d, rng, out);
+      return;
+    case Distribution::kAntiCorrelated:
+      GenerateAntiCorrelated(d, rng, out);
+      return;
+  }
+}
+
+}  // namespace internal
+
+Result<Relation> GenerateRelation(const GeneratorOptions& options) {
+  if (options.num_attributes < 1) {
+    return Status::InvalidArgument("num_attributes must be >= 1");
+  }
+  if (options.attr_lo >= options.attr_hi) {
+    return Status::InvalidArgument("attr_lo must be < attr_hi");
+  }
+  if (options.join_selectivity <= 0.0 || options.join_selectivity > 1.0) {
+    return Status::InvalidArgument("join_selectivity must be in (0, 1]");
+  }
+
+  const int d = options.num_attributes;
+  const size_t join_domain = JoinDomainSize(options.join_selectivity);
+  Rng rng(options.seed);
+
+  Relation rel(Schema::Anonymous(d));
+  rel.Reserve(options.cardinality);
+
+  std::vector<double> unit(static_cast<size_t>(d));
+  std::vector<double> scaled(static_cast<size_t>(d));
+  const double span = options.attr_hi - options.attr_lo;
+  for (size_t i = 0; i < options.cardinality; ++i) {
+    internal::GenerateUnitVector(options.distribution, d, &rng, unit.data());
+    for (int k = 0; k < d; ++k) {
+      scaled[static_cast<size_t>(k)] =
+          options.attr_lo + span * unit[static_cast<size_t>(k)];
+    }
+    JoinKey key = static_cast<JoinKey>(rng.NextBelow(join_domain));
+    rel.Append(scaled, key);
+  }
+  return rel;
+}
+
+}  // namespace progxe

@@ -1,0 +1,20 @@
+#include "data/relation.h"
+
+namespace progxe {
+
+Relation Relation::Select(const std::vector<RowId>& rows,
+                          std::vector<RowId>* original_ids) const {
+  Relation out(schema_);
+  out.Reserve(rows.size());
+  if (original_ids != nullptr) {
+    original_ids->clear();
+    original_ids->reserve(rows.size());
+  }
+  for (RowId id : rows) {
+    out.Append(attrs(id), join_key(id));
+    if (original_ids != nullptr) original_ids->push_back(id);
+  }
+  return out;
+}
+
+}  // namespace progxe

@@ -1,0 +1,85 @@
+// In-memory source relation: row-major value storage plus a join-key column.
+//
+// Tuples are identified by their dense 0-based row id; all downstream
+// machinery (grids, joins, skylines) refers to tuples by id and reads
+// attribute vectors through spans into the relation's arena, so no per-tuple
+// allocation happens on query paths.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace progxe {
+
+/// Integer join key type (dictionary-encoded join domain).
+using JoinKey = int64_t;
+
+/// Dense row id within one relation.
+using RowId = uint32_t;
+
+/// A mutable in-memory relation with fixed schema.
+class Relation {
+ public:
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Appends a tuple; `attrs.size()` must equal the schema width.
+  /// Returns the new row id.
+  RowId Append(std::span<const double> attrs, JoinKey key) {
+    assert(static_cast<int>(attrs.size()) == schema_.num_attributes());
+    values_.insert(values_.end(), attrs.begin(), attrs.end());
+    join_keys_.push_back(key);
+    return static_cast<RowId>(join_keys_.size() - 1);
+  }
+
+  /// Number of tuples.
+  size_t size() const { return join_keys_.size(); }
+  bool empty() const { return join_keys_.empty(); }
+
+  int num_attributes() const { return schema_.num_attributes(); }
+  const Schema& schema() const { return schema_; }
+
+  /// Attribute vector of row `id` (valid until the relation is mutated).
+  std::span<const double> attrs(RowId id) const {
+    const size_t w = static_cast<size_t>(schema_.num_attributes());
+    assert(static_cast<size_t>(id) < join_keys_.size());
+    return {values_.data() + static_cast<size_t>(id) * w, w};
+  }
+
+  /// One attribute value.
+  double attr(RowId id, int k) const {
+    assert(k >= 0 && k < schema_.num_attributes());
+    return values_[static_cast<size_t>(id) *
+                       static_cast<size_t>(schema_.num_attributes()) +
+                   static_cast<size_t>(k)];
+  }
+
+  JoinKey join_key(RowId id) const {
+    assert(static_cast<size_t>(id) < join_keys_.size());
+    return join_keys_[id];
+  }
+
+  const std::vector<JoinKey>& join_keys() const { return join_keys_; }
+
+  void Reserve(size_t n) {
+    values_.reserve(n * static_cast<size_t>(schema_.num_attributes()));
+    join_keys_.reserve(n);
+  }
+
+  /// Returns a new relation containing only the given rows (in order).
+  /// Row ids in the result are renumbered; `original_ids` (optional out)
+  /// receives the mapping new-id -> old-id.
+  Relation Select(const std::vector<RowId>& rows,
+                  std::vector<RowId>* original_ids = nullptr) const;
+
+ private:
+  Schema schema_;
+  std::vector<double> values_;  // row-major, width = num_attributes()
+  std::vector<JoinKey> join_keys_;
+};
+
+}  // namespace progxe

@@ -1,0 +1,34 @@
+#include "data/schema.h"
+
+#include <sstream>
+
+namespace progxe {
+
+Schema Schema::Anonymous(int num_attributes) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(num_attributes));
+  for (int i = 0; i < num_attributes; ++i) {
+    names.push_back("a" + std::to_string(i));
+  }
+  return Schema(std::move(names), "jk");
+}
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attribute_names_.size(); ++i) {
+    if (attribute_names_[i] == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "Schema(";
+  for (size_t i = 0; i < attribute_names_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << attribute_names_[i];
+  }
+  os << " | " << join_name_ << ")";
+  return os.str();
+}
+
+}  // namespace progxe

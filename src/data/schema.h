@@ -1,0 +1,53 @@
+// Relational schema for the in-memory sources consumed by SkyMapJoin queries.
+//
+// A source (Section II of the paper) is a set of d-dimensional tuples plus a
+// join attribute. Skyline-relevant attributes are real-valued; the join
+// attribute is an integer key (e.g. `country` dictionary-encoded).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace progxe {
+
+/// Describes the attributes of one source relation.
+///
+/// Attribute positions are stable: `attribute_names()[i]` names the value
+/// found at index `i` of every tuple's attribute vector.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema with the given value attributes and a named join key.
+  Schema(std::vector<std::string> attribute_names, std::string join_name)
+      : attribute_names_(std::move(attribute_names)),
+        join_name_(std::move(join_name)) {}
+
+  /// Convenience: d anonymous attributes "a0".."a{d-1}" plus join key "jk".
+  static Schema Anonymous(int num_attributes);
+
+  /// Number of real-valued attributes (excludes the join key).
+  int num_attributes() const {
+    return static_cast<int>(attribute_names_.size());
+  }
+
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+  const std::string& join_name() const { return join_name_; }
+
+  /// Index of the named attribute, or NotFound.
+  Result<int> IndexOf(const std::string& name) const;
+
+  /// "Schema(a0, a1, ... | jk)"
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> attribute_names_;
+  std::string join_name_ = "jk";
+};
+
+}  // namespace progxe

@@ -1,0 +1,77 @@
+#include "elgraph/el_graph.h"
+
+#include <cassert>
+
+namespace progxe {
+
+ElGraph::ElGraph(const std::vector<Region>& regions, size_t max_regions) {
+  indegree_.assign(regions.size(), 0);
+  removed_.assign(regions.size(), 0);
+
+  size_t active = 0;
+  for (const Region& region : regions) {
+    if (region.Active()) {
+      ++active;
+    } else {
+      removed_[static_cast<size_t>(region.id)] = 1;
+    }
+  }
+  if (active > max_regions) {
+    disabled_ = true;
+    return;
+  }
+
+  for (const Region& u : regions) {
+    if (!u.Active()) continue;
+    for (const Region& v : regions) {
+      if (!v.Active() || u.id == v.id) continue;
+      if (CanEliminate(u, v)) {
+        ++indegree_[static_cast<size_t>(v.id)];
+      }
+    }
+  }
+}
+
+std::vector<int32_t> ElGraph::InitialRoots(
+    const std::vector<Region>& regions) const {
+  std::vector<int32_t> roots;
+  for (const Region& region : regions) {
+    if (!region.Active()) continue;
+    if (disabled_ || indegree_[static_cast<size_t>(region.id)] == 0) {
+      roots.push_back(region.id);
+    }
+  }
+  return roots;
+}
+
+std::vector<int32_t> ElGraph::OnRegionRemoved(
+    int32_t removed_id, const std::vector<Region>& regions) {
+  std::vector<int32_t> new_roots;
+  assert(static_cast<size_t>(removed_id) < removed_.size());
+  if (removed_[static_cast<size_t>(removed_id)]) return new_roots;
+  removed_[static_cast<size_t>(removed_id)] = 1;
+  if (disabled_) return new_roots;
+
+  const Region& u = regions[static_cast<size_t>(removed_id)];
+  for (const Region& v : regions) {
+    if (v.id == removed_id || removed_[static_cast<size_t>(v.id)]) continue;
+    if (CanEliminate(u, v)) {
+      int64_t& deg = indegree_[static_cast<size_t>(v.id)];
+      assert(deg > 0);
+      if (--deg == 0) new_roots.push_back(v.id);
+    }
+  }
+  return new_roots;
+}
+
+size_t ElGraph::NonRootCount(const std::vector<Region>& regions) const {
+  if (disabled_) return 0;
+  size_t count = 0;
+  for (const Region& region : regions) {
+    if (removed_[static_cast<size_t>(region.id)]) continue;
+    if (indegree_[static_cast<size_t>(region.id)] > 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace progxe

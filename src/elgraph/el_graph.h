@@ -1,0 +1,59 @@
+// Elimination graph (EL-Graph, Section IV-B).
+//
+// Vertices are the active output regions; a directed edge u -> v exists iff
+// some output partition of u, once populated, could partially or completely
+// dominate v (cell-level predicate CanEliminate in outputspace/region.h).
+// Roots — regions no other region can eliminate — are the candidates
+// ProgOrder considers for tuple-level processing.
+//
+// Edges are not materialized: for the dense-overlap workloads the paper
+// targets (anti-correlated data) the edge set is Theta(m^2). Instead the
+// graph keeps per-vertex in-degrees and recomputes the O(d) edge predicate
+// during removal, which preserves Algorithm 1's asymptotics (O(n^2) worst
+// case, Section IV-D) without the memory blow-up.
+//
+// The paper's model assumes elimination is irreflexive between distinct
+// regions; mutual partial elimination (cycles) is possible in practice, so
+// ExtractCycleFallback lets the executor break a rootless deadlock.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "outputspace/region.h"
+
+namespace progxe {
+
+class ElGraph {
+ public:
+  /// Builds in-degrees over all regions with Active() == true.
+  /// If the active count exceeds `max_regions`, the graph disables itself
+  /// (every region reports as a root) to bound setup cost; disabled() tells
+  /// callers ordering quality is degraded.
+  ElGraph(const std::vector<Region>& regions, size_t max_regions = 8000);
+
+  bool disabled() const { return disabled_; }
+
+  /// Current roots: active regions with in-degree zero (all active regions
+  /// when disabled).
+  std::vector<int32_t> InitialRoots(const std::vector<Region>& regions) const;
+
+  /// Removes `removed_id` from the graph (it was processed or discarded) and
+  /// returns the ids of regions that *newly* became roots.
+  std::vector<int32_t> OnRegionRemoved(int32_t removed_id,
+                                       const std::vector<Region>& regions);
+
+  /// Number of active non-root regions left (diagnostic).
+  size_t NonRootCount(const std::vector<Region>& regions) const;
+
+  int64_t indegree(int32_t id) const {
+    return indegree_[static_cast<size_t>(id)];
+  }
+
+ private:
+  bool disabled_ = false;
+  std::vector<int64_t> indegree_;
+  std::vector<uint8_t> removed_;
+};
+
+}  // namespace progxe

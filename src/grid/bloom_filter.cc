@@ -1,0 +1,67 @@
+#include "grid/bloom_filter.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace progxe {
+
+BloomFilter::BloomFilter(size_t bits, int num_hashes)
+    : words_((bits + 63) / 64, 0), num_hashes_(num_hashes) {
+  assert(num_hashes >= 1);
+  if (words_.empty()) words_.resize(1, 0);
+}
+
+uint64_t BloomFilter::Mix(uint64_t key, uint64_t salt) {
+  // splitmix64-style finalizer with a salt per probe.
+  uint64_t z = key + salt * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void BloomFilter::Add(uint64_t key) {
+  const size_t bits = words_.size() * 64;
+  for (int h = 0; h < num_hashes_; ++h) {
+    const size_t bit = static_cast<size_t>(
+        Mix(key, static_cast<uint64_t>(h) + 1) % bits);
+    words_[bit / 64] |= (1ULL << (bit % 64));
+  }
+}
+
+bool BloomFilter::MightContain(uint64_t key) const {
+  const size_t bits = words_.size() * 64;
+  for (int h = 0; h < num_hashes_; ++h) {
+    const size_t bit = static_cast<size_t>(
+        Mix(key, static_cast<uint64_t>(h) + 1) % bits);
+    if ((words_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+bool BloomFilter::MightIntersect(const BloomFilter& other) const {
+  assert(words_.size() == other.words_.size() &&
+         num_hashes_ == other.num_hashes_);
+  // If some key k is in both filters, all of its probe bits are set in both
+  // filters, so the AND of the two bit arrays is non-zero. A zero AND is
+  // therefore a proof of disjointness.
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+size_t BloomFilter::popcount() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+double BloomFilter::EstimatedFpRate(size_t n) const {
+  const double m = static_cast<double>(bit_count());
+  const double k = static_cast<double>(num_hashes_);
+  const double exponent = -k * static_cast<double>(n) / m;
+  return std::pow(1.0 - std::exp(exponent), k);
+}
+
+}  // namespace progxe

@@ -1,0 +1,79 @@
+#include "grid/grid_geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace progxe {
+
+namespace {
+constexpr double kMinWidth = 1e-9;
+}
+
+GridGeometry::GridGeometry(std::vector<Interval> bounds, int cells_per_dim)
+    : bounds_(std::move(bounds)), cells_per_dim_(cells_per_dim) {
+  assert(cells_per_dim_ >= 1);
+  inv_width_.reserve(bounds_.size());
+  total_cells_ = 1;
+  for (auto& b : bounds_) {
+    if (b.width() < kMinWidth) {
+      b = Interval(b.lo, b.lo + kMinWidth);
+    }
+    inv_width_.push_back(static_cast<double>(cells_per_dim_) / b.width());
+    total_cells_ *= cells_per_dim_;
+  }
+}
+
+CellCoord GridGeometry::CoordOf(int dim, double value) const {
+  const Interval& b = bounds_[static_cast<size_t>(dim)];
+  double rel = (value - b.lo) * inv_width_[static_cast<size_t>(dim)];
+  CellCoord c = static_cast<CellCoord>(std::floor(rel));
+  // Clamp: points at (or numerically beyond) the top land in the last cell.
+  return std::clamp<CellCoord>(c, 0, cells_per_dim_ - 1);
+}
+
+void GridGeometry::CoordsOf(const double* point, CellCoord* coords) const {
+  for (int i = 0; i < dimensions(); ++i) coords[i] = CoordOf(i, point[i]);
+}
+
+CellIndex GridGeometry::IndexOf(const CellCoord* coords) const {
+  CellIndex idx = 0;
+  for (int i = 0; i < dimensions(); ++i) {
+    assert(coords[i] >= 0 && coords[i] < cells_per_dim_);
+    idx = idx * cells_per_dim_ + coords[i];
+  }
+  return idx;
+}
+
+void GridGeometry::CoordsOfIndex(CellIndex index, CellCoord* coords) const {
+  for (int i = dimensions() - 1; i >= 0; --i) {
+    coords[i] = static_cast<CellCoord>(index % cells_per_dim_);
+    index /= cells_per_dim_;
+  }
+}
+
+double GridGeometry::CellLower(int dim, CellCoord c) const {
+  const Interval& b = bounds_[static_cast<size_t>(dim)];
+  return b.lo + b.width() * static_cast<double>(c) /
+                    static_cast<double>(cells_per_dim_);
+}
+
+double GridGeometry::CellUpper(int dim, CellCoord c) const {
+  return CellLower(dim, c + 1);
+}
+
+void GridGeometry::CoordRange(int dim, const Interval& iv, CellCoord* lo_out,
+                              CellCoord* hi_out) const {
+  *lo_out = CoordOf(dim, iv.lo);
+  *hi_out = CoordOf(dim, iv.hi);
+}
+
+std::string GridGeometry::ToString() const {
+  std::ostringstream os;
+  os << "Grid(" << dimensions() << "d x " << cells_per_dim_ << " cells:";
+  for (const auto& b : bounds_) os << " " << b.ToString();
+  os << ")";
+  return os.str();
+}
+
+}  // namespace progxe

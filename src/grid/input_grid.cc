@@ -1,0 +1,82 @@
+#include "grid/input_grid.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace progxe {
+
+InputGrid::InputGrid(const Relation& rel, const ContributionTable& contribs,
+                     const InputGridOptions& options) {
+  const int k = contribs.dimensions();
+  const size_t n = rel.size();
+
+  // Global contribution bounds.
+  global_bounds_.assign(static_cast<size_t>(k),
+                        Interval(std::numeric_limits<double>::max(),
+                                 std::numeric_limits<double>::max()));
+  if (n > 0) {
+    const double* first = contribs.vector(0);
+    for (int j = 0; j < k; ++j) {
+      global_bounds_[static_cast<size_t>(j)] = Interval::Point(first[j]);
+    }
+    for (size_t i = 1; i < n; ++i) {
+      const double* v = contribs.vector(static_cast<RowId>(i));
+      for (int j = 0; j < k; ++j) {
+        auto& b = global_bounds_[static_cast<size_t>(j)];
+        b = Interval(std::min(b.lo, v[j]), std::max(b.hi, v[j]));
+      }
+    }
+  } else {
+    global_bounds_.assign(static_cast<size_t>(k), Interval(0.0, 0.0));
+  }
+
+  geometry_ = GridGeometry(global_bounds_, options.cells_per_dim);
+
+  // Bucket rows by cell.
+  std::unordered_map<CellIndex, std::vector<RowId>> cells;
+  std::vector<CellCoord> coords(static_cast<size_t>(k));
+  for (size_t i = 0; i < n; ++i) {
+    geometry_.CoordsOf(contribs.vector(static_cast<RowId>(i)), coords.data());
+    cells[geometry_.IndexOf(coords.data())].push_back(static_cast<RowId>(i));
+  }
+
+  // Materialize partitions in deterministic (cell index) order.
+  std::vector<CellIndex> order;
+  order.reserve(cells.size());
+  for (const auto& [idx, rows] : cells) {
+    (void)rows;
+    order.push_back(idx);
+  }
+  std::sort(order.begin(), order.end());
+
+  partitions_.reserve(order.size());
+  for (CellIndex idx : order) {
+    InputPartition part;
+    part.rows = std::move(cells[idx]);
+    part.coords.resize(static_cast<size_t>(k));
+    geometry_.CoordsOfIndex(idx, part.coords.data());
+
+    // Tight observed bounds.
+    part.bounds.assign(static_cast<size_t>(k), Interval());
+    const double* v0 = contribs.vector(part.rows.front());
+    for (int j = 0; j < k; ++j) {
+      part.bounds[static_cast<size_t>(j)] = Interval::Point(v0[j]);
+    }
+    for (RowId id : part.rows) {
+      const double* v = contribs.vector(id);
+      for (int j = 0; j < k; ++j) {
+        auto& b = part.bounds[static_cast<size_t>(j)];
+        b = Interval(std::min(b.lo, v[j]), std::max(b.hi, v[j]));
+      }
+    }
+
+    part.key_index = KeyIndex(rel, part.rows);
+    part.signature =
+        Signature::Build(rel, part.rows, options.signature_mode,
+                         options.bloom_bits, options.bloom_hashes);
+    partitions_.push_back(std::move(part));
+  }
+}
+
+}  // namespace progxe

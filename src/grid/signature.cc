@@ -1,0 +1,50 @@
+#include "grid/signature.h"
+
+namespace progxe {
+
+Signature Signature::Build(const Relation& rel, const std::vector<RowId>& rows,
+                           SignatureMode mode, size_t bloom_bits,
+                           int bloom_hashes) {
+  Signature sig;
+  sig.mode_ = mode;
+  if (mode == SignatureMode::kExact) {
+    sig.keys_.reserve(rows.size());
+    for (RowId id : rows) sig.keys_.push_back(rel.join_key(id));
+    std::sort(sig.keys_.begin(), sig.keys_.end());
+    sig.keys_.erase(std::unique(sig.keys_.begin(), sig.keys_.end()),
+                    sig.keys_.end());
+  } else {
+    sig.bloom_ = BloomFilter(bloom_bits, bloom_hashes);
+    for (RowId id : rows) {
+      sig.bloom_.Add(static_cast<uint64_t>(rel.join_key(id)));
+    }
+  }
+  return sig;
+}
+
+bool Signature::MightIntersect(const Signature& other) const {
+  if (mode_ == SignatureMode::kExact &&
+      other.mode_ == SignatureMode::kExact) {
+    // Sorted-merge intersection test.
+    size_t i = 0;
+    size_t j = 0;
+    while (i < keys_.size() && j < other.keys_.size()) {
+      if (keys_[i] < other.keys_[j]) {
+        ++i;
+      } else if (other.keys_[j] < keys_[i]) {
+        ++j;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (mode_ == SignatureMode::kBloom &&
+      other.mode_ == SignatureMode::kBloom) {
+    return bloom_.MightIntersect(other.bloom_);
+  }
+  // Mixed modes cannot prove anything; be conservative.
+  return true;
+}
+
+}  // namespace progxe

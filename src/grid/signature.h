@@ -1,0 +1,49 @@
+// Join-domain signatures for input partitions (Section III-A).
+//
+// Partition pairs whose signatures are provably disjoint cannot produce any
+// join result and are skipped wholesale. With the exact signature, a
+// non-empty intersection additionally *guarantees* at least one join result
+// (the partitions both contain a tuple with the shared value), which is the
+// "guaranteed to be populated" property that region/partition-level
+// domination pruning relies on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "data/relation.h"
+#include "grid/bloom_filter.h"
+
+namespace progxe {
+
+/// Which signature realization partitions carry.
+enum class SignatureMode : uint8_t { kExact, kBloom };
+
+/// A partition's join-value signature.
+class Signature {
+ public:
+  Signature() = default;
+
+  /// Builds a signature over the join keys of `rows`.
+  static Signature Build(const Relation& rel, const std::vector<RowId>& rows,
+                         SignatureMode mode, size_t bloom_bits = 1024,
+                         int bloom_hashes = 4);
+
+  /// Exact mode: true iff the partitions share >= 1 join value.
+  /// Bloom mode: false means provably disjoint; true means "maybe".
+  bool MightIntersect(const Signature& other) const;
+
+  /// True iff a positive MightIntersect is a guarantee (exact mode).
+  bool exact() const { return mode_ == SignatureMode::kExact; }
+
+  SignatureMode mode() const { return mode_; }
+  size_t distinct_keys() const { return keys_.size(); }
+
+ private:
+  SignatureMode mode_ = SignatureMode::kExact;
+  std::vector<JoinKey> keys_;  // sorted distinct keys (exact mode)
+  BloomFilter bloom_{64, 1};   // bloom mode
+};
+
+}  // namespace progxe

@@ -1,0 +1,142 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "baselines/jf_sl.h"
+#include "baselines/saj.h"
+#include "baselines/ssmj.h"
+#include "progxe/executor.h"
+
+namespace progxe {
+
+const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kProgXe:
+      return "ProgXe";
+    case Algo::kProgXePlus:
+      return "ProgXe+";
+    case Algo::kProgXeNoOrder:
+      return "ProgXe (No-Order)";
+    case Algo::kProgXePlusNoOrder:
+      return "ProgXe+ (No-Order)";
+    case Algo::kJfSl:
+      return "JF-SL";
+    case Algo::kJfSlPlus:
+      return "JF-SL+";
+    case Algo::kSsmj:
+      return "SSMJ";
+    case Algo::kSaj:
+      return "SAJ";
+  }
+  return "?";
+}
+
+std::vector<Algo> AllAlgos() {
+  return {Algo::kProgXe,     Algo::kProgXePlus,        Algo::kProgXeNoOrder,
+          Algo::kProgXePlusNoOrder, Algo::kJfSl,       Algo::kJfSlPlus,
+          Algo::kSsmj,       Algo::kSaj};
+}
+
+ProgXeOptions OptionsForAlgo(Algo algo, ProgXeOptions tuning) {
+  switch (algo) {
+    case Algo::kProgXe:
+      tuning.ordering = OrderingMode::kProgOrder;
+      tuning.push_through = false;
+      break;
+    case Algo::kProgXePlus:
+      tuning.ordering = OrderingMode::kProgOrder;
+      tuning.push_through = true;
+      break;
+    case Algo::kProgXeNoOrder:
+      tuning.ordering = OrderingMode::kRandom;
+      tuning.push_through = false;
+      break;
+    case Algo::kProgXePlusNoOrder:
+      tuning.ordering = OrderingMode::kRandom;
+      tuning.push_through = true;
+      break;
+    default:
+      break;
+  }
+  return tuning;
+}
+
+std::vector<std::pair<RowId, RowId>> CanonicalIdPairs(
+    const std::vector<ResultTuple>& results) {
+  std::vector<std::pair<RowId, RowId>> pairs;
+  pairs.reserve(results.size());
+  for (const ResultTuple& r : results) pairs.emplace_back(r.r_id, r.t_id);
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+Result<ExperimentRun> RunAlgorithm(Algo algo, const Workload& workload,
+                                   ProgXeOptions tuning) {
+  ExperimentRun run;
+  run.algo = algo;
+  ProgressiveRecorder recorder;
+  SkyMapJoinQuery query = workload.query();
+
+  auto emit = [&](const ResultTuple& r) {
+    recorder.OnResult();
+    run.results.push_back(r);
+  };
+
+  switch (algo) {
+    case Algo::kProgXe:
+    case Algo::kProgXePlus:
+    case Algo::kProgXeNoOrder:
+    case Algo::kProgXePlusNoOrder: {
+      ProgXeExecutor executor(query, OptionsForAlgo(algo, tuning));
+      recorder.Reset();
+      PROGXE_RETURN_NOT_OK(executor.Run(emit));
+      recorder.OnFinish();
+      run.dominance_comparisons = executor.stats().dominance_comparisons;
+      run.join_pairs = executor.stats().join_pairs_generated;
+      break;
+    }
+    case Algo::kJfSl:
+    case Algo::kJfSlPlus: {
+      BaselineStats stats;
+      recorder.Reset();
+      if (algo == Algo::kJfSl) {
+        PROGXE_RETURN_NOT_OK(RunJfSl(query, emit, &stats));
+      } else {
+        PROGXE_RETURN_NOT_OK(RunJfSlPlus(query, emit, &stats));
+      }
+      recorder.OnFinish();
+      run.dominance_comparisons = stats.dominance_comparisons;
+      run.join_pairs = stats.join_pairs;
+      break;
+    }
+    case Algo::kSsmj: {
+      BaselineStats stats;
+      SsmjResult ssmj;
+      recorder.Reset();
+      PROGXE_RETURN_NOT_OK(RunSsmj(query, emit, &stats, &ssmj));
+      recorder.OnFinish();
+      run.dominance_comparisons = stats.dominance_comparisons;
+      run.join_pairs = stats.join_pairs;
+      run.early_false_positives = stats.early_false_positives;
+      // Replace the raw emission log with the correct final set so callers
+      // comparing answers are not tripped by SSMJ's early false positives.
+      run.results = ssmj.final_results;
+      break;
+    }
+    case Algo::kSaj: {
+      SajStats stats;
+      recorder.Reset();
+      PROGXE_RETURN_NOT_OK(RunSaj(query, emit, &stats));
+      recorder.OnFinish();
+      run.dominance_comparisons = stats.base.dominance_comparisons;
+      run.join_pairs = stats.base.join_pairs;
+      break;
+    }
+  }
+
+  run.metrics = SummarizeRecorder(recorder);
+  run.series = recorder.points();
+  return run;
+}
+
+}  // namespace progxe

@@ -1,0 +1,69 @@
+#include "harness/series.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace progxe {
+
+double ProgressiveRecorder::TimeToFraction(double fraction) const {
+  if (count_ == 0) return -1.0;
+  const size_t target = static_cast<size_t>(
+      std::max(1.0, fraction * static_cast<double>(count_)));
+  for (const SeriesPoint& p : points_) {
+    if (p.count >= target) return p.t_sec;
+  }
+  return -1.0;
+}
+
+double ProgressiveRecorder::TimeToFirst() const {
+  return points_.empty() ? -1.0 : points_.front().t_sec;
+}
+
+std::vector<SeriesPoint> ProgressiveRecorder::Downsample(
+    size_t max_points) const {
+  if (points_.size() <= max_points || max_points < 2) return points_;
+  std::vector<SeriesPoint> out;
+  out.reserve(max_points);
+  const double step = static_cast<double>(points_.size() - 1) /
+                      static_cast<double>(max_points - 1);
+  for (size_t i = 0; i < max_points; ++i) {
+    const size_t idx = static_cast<size_t>(step * static_cast<double>(i));
+    out.push_back(points_[std::min(idx, points_.size() - 1)]);
+  }
+  out.back() = points_.back();
+  return out;
+}
+
+ProgressivenessMetrics SummarizeRecorder(const ProgressiveRecorder& recorder) {
+  ProgressivenessMetrics m;
+  m.time_to_first = recorder.TimeToFirst();
+  m.time_to_25pct = recorder.TimeToFraction(0.25);
+  m.time_to_50pct = recorder.TimeToFraction(0.50);
+  m.time_to_75pct = recorder.TimeToFraction(0.75);
+  m.total_time = recorder.total_seconds();
+  m.total_results = recorder.total_results();
+  return m;
+}
+
+std::string FormatSeries(const std::vector<SeriesPoint>& points,
+                         const std::string& label, size_t max_points) {
+  std::ostringstream os;
+  std::vector<SeriesPoint> shown = points;
+  if (shown.size() > max_points && max_points >= 2) {
+    std::vector<SeriesPoint> sampled;
+    const double step = static_cast<double>(shown.size() - 1) /
+                        static_cast<double>(max_points - 1);
+    for (size_t i = 0; i < max_points; ++i) {
+      const size_t idx = static_cast<size_t>(step * static_cast<double>(i));
+      sampled.push_back(shown[std::min(idx, shown.size() - 1)]);
+    }
+    sampled.back() = shown.back();
+    shown = std::move(sampled);
+  }
+  for (const SeriesPoint& p : shown) {
+    os << label << " t=" << p.t_sec << "s n=" << p.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace progxe

@@ -1,0 +1,85 @@
+// Progressiveness series: (elapsed time, cumulative results) samples, the
+// quantity plotted on the y-axis of Figures 10-12 of the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace progxe {
+
+/// One emission event.
+struct SeriesPoint {
+  double t_sec = 0.0;
+  size_t count = 0;
+};
+
+/// Records cumulative result counts against a stopwatch.
+class ProgressiveRecorder {
+ public:
+  ProgressiveRecorder() { Reset(); }
+
+  /// Restarts the clock and clears all samples.
+  void Reset() {
+    points_.clear();
+    count_ = 0;
+    finished_ = false;
+    total_sec_ = 0.0;
+    watch_.Start();
+  }
+
+  /// Call once per emitted result.
+  void OnResult() {
+    ++count_;
+    points_.push_back(SeriesPoint{watch_.ElapsedSeconds(), count_});
+  }
+
+  /// Call when the algorithm finishes.
+  void OnFinish() {
+    finished_ = true;
+    total_sec_ = watch_.ElapsedSeconds();
+  }
+
+  size_t total_results() const { return count_; }
+  double total_seconds() const { return total_sec_; }
+  bool finished() const { return finished_; }
+  const std::vector<SeriesPoint>& points() const { return points_; }
+
+  /// Time at which the cumulative count first reached `fraction` of the
+  /// final total (0 < fraction <= 1); -1 if never.
+  double TimeToFraction(double fraction) const;
+
+  /// Time of the first emission; -1 if none.
+  double TimeToFirst() const;
+
+  /// Downsamples to at most `max_points` evenly spaced emission events
+  /// (always keeping the first and last).
+  std::vector<SeriesPoint> Downsample(size_t max_points) const;
+
+ private:
+  Stopwatch watch_;
+  std::vector<SeriesPoint> points_;
+  size_t count_ = 0;
+  bool finished_ = false;
+  double total_sec_ = 0.0;
+};
+
+/// Summary metrics used in EXPERIMENTS.md tables.
+struct ProgressivenessMetrics {
+  double time_to_first = -1.0;
+  double time_to_25pct = -1.0;
+  double time_to_50pct = -1.0;
+  double time_to_75pct = -1.0;
+  double total_time = 0.0;
+  size_t total_results = 0;
+};
+
+ProgressivenessMetrics SummarizeRecorder(const ProgressiveRecorder& recorder);
+
+/// "t=0.0123s n=45" rows, gnuplot-style, with an optional label prefix.
+std::string FormatSeries(const std::vector<SeriesPoint>& points,
+                         const std::string& label, size_t max_points = 20);
+
+}  // namespace progxe

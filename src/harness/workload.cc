@@ -1,0 +1,37 @@
+#include "harness/workload.h"
+
+#include <sstream>
+
+namespace progxe {
+
+std::string WorkloadParams::ToString() const {
+  std::ostringstream os;
+  os << DistributionName(distribution) << " N=" << cardinality
+     << " d=" << dims << " sigma=" << sigma << " seed=" << seed;
+  return os.str();
+}
+
+Result<Workload> Workload::Make(const WorkloadParams& params) {
+  GeneratorOptions options;
+  options.distribution = params.distribution;
+  options.cardinality = params.cardinality;
+  options.num_attributes = params.dims;
+  options.join_selectivity = params.sigma;
+
+  options.seed = params.seed;
+  PROGXE_ASSIGN_OR_RETURN(Relation r, GenerateRelation(options));
+  options.seed = params.seed ^ 0x9e3779b97f4a7c15ULL;
+  PROGXE_ASSIGN_OR_RETURN(Relation t, GenerateRelation(options));
+  return Workload(params, std::move(r), std::move(t));
+}
+
+SkyMapJoinQuery Workload::query() const {
+  SkyMapJoinQuery q;
+  q.r = &r_;
+  q.t = &t_;
+  q.map = MapSpec::PairwiseSum(params_.dims);
+  q.pref = Preference::AllLowest(params_.dims);
+  return q;
+}
+
+}  // namespace progxe

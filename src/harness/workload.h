@@ -1,0 +1,51 @@
+// Benchmark workload construction matching the paper's experimental setup
+// (Section VI-A): two synthetic sources R and T of the same distribution and
+// cardinality, pairwise-sum mapping functions, all-LOWEST preferences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "data/generator.h"
+#include "data/relation.h"
+#include "progxe/executor.h"
+
+namespace progxe {
+
+/// Parameters of one experiment workload.
+struct WorkloadParams {
+  Distribution distribution = Distribution::kIndependent;
+  /// |R| = |T| = cardinality.
+  size_t cardinality = 10000;
+  /// Number of skyline dimensions d (source attributes and output dims).
+  int dims = 4;
+  /// Join selectivity sigma.
+  double sigma = 0.001;
+  uint64_t seed = 42;
+
+  std::string ToString() const;
+};
+
+/// A generated workload: owns both sources and exposes the SMJ query.
+class Workload {
+ public:
+  static Result<Workload> Make(const WorkloadParams& params);
+
+  const WorkloadParams& params() const { return params_; }
+  const Relation& r() const { return r_; }
+  const Relation& t() const { return t_; }
+
+  /// The SkyMapJoin query over this workload (sources point into *this).
+  SkyMapJoinQuery query() const;
+
+ private:
+  Workload(WorkloadParams params, Relation r, Relation t)
+      : params_(params), r_(std::move(r)), t_(std::move(t)) {}
+
+  WorkloadParams params_;
+  Relation r_;
+  Relation t_;
+};
+
+}  // namespace progxe

@@ -1,0 +1,18 @@
+#include "join/hash_join.h"
+
+namespace progxe {
+
+size_t HashJoinCount(const Relation& r, const Relation& t) {
+  size_t count = 0;
+  HashJoin(r, t, [&count](RowId, RowId) { ++count; });
+  return count;
+}
+
+double MeasuredJoinSelectivity(const Relation& r, const Relation& t) {
+  if (r.empty() || t.empty()) return 0.0;
+  const double pairs = static_cast<double>(HashJoinCount(r, t));
+  return pairs /
+         (static_cast<double>(r.size()) * static_cast<double>(t.size()));
+}
+
+}  // namespace progxe

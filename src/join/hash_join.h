@@ -1,0 +1,63 @@
+// Hash equi-join over whole relations; the join used by the blocking
+// JF-SL / JF-SL+ baselines (Figure 1.b of the paper).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/relation.h"
+#include "join/key_index.h"
+
+namespace progxe {
+
+/// Statistics of one join execution.
+struct JoinStats {
+  size_t build_rows = 0;
+  size_t probe_rows = 0;
+  size_t output_pairs = 0;
+};
+
+/// Streams every matching (r, t) pair to `emit`. Builds on the smaller side.
+template <typename Fn>
+JoinStats HashJoin(const Relation& r, const Relation& t, Fn&& emit) {
+  JoinStats stats;
+  // Build on the smaller input, probe with the larger, but always emit in
+  // (r, t) order.
+  if (r.size() <= t.size()) {
+    stats.build_rows = r.size();
+    stats.probe_rows = t.size();
+    KeyIndex index(r);
+    for (size_t i = 0; i < t.size(); ++i) {
+      const RowId t_id = static_cast<RowId>(i);
+      const std::vector<RowId>* matches = index.Find(t.join_key(t_id));
+      if (matches == nullptr) continue;
+      for (RowId r_id : *matches) {
+        emit(r_id, t_id);
+        ++stats.output_pairs;
+      }
+    }
+  } else {
+    stats.build_rows = t.size();
+    stats.probe_rows = r.size();
+    KeyIndex index(t);
+    for (size_t i = 0; i < r.size(); ++i) {
+      const RowId r_id = static_cast<RowId>(i);
+      const std::vector<RowId>* matches = index.Find(r.join_key(r_id));
+      if (matches == nullptr) continue;
+      for (RowId t_id : *matches) {
+        emit(r_id, t_id);
+        ++stats.output_pairs;
+      }
+    }
+  }
+  return stats;
+}
+
+/// Counts matching pairs without materializing them.
+size_t HashJoinCount(const Relation& r, const Relation& t);
+
+/// Measured join selectivity |R join T| / (|R| * |T|).
+double MeasuredJoinSelectivity(const Relation& r, const Relation& t);
+
+}  // namespace progxe

@@ -1,0 +1,89 @@
+// Join-key hash index over a subset of a relation's rows.
+//
+// Input partitions keep one of these so that tuple-level processing of a
+// region (Section III-B) joins two partitions in time proportional to the
+// matching groups rather than |I_a| * |I_b|.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace progxe {
+
+/// Maps each distinct join key to the row ids bearing it.
+class KeyIndex {
+ public:
+  KeyIndex() = default;
+
+  /// Indexes the given rows of `rel`.
+  KeyIndex(const Relation& rel, const std::vector<RowId>& rows) {
+    buckets_.reserve(rows.size());
+    for (RowId id : rows) {
+      buckets_[rel.join_key(id)].push_back(id);
+    }
+  }
+
+  /// Indexes every row of `rel`.
+  explicit KeyIndex(const Relation& rel) {
+    buckets_.reserve(rel.size());
+    for (size_t i = 0; i < rel.size(); ++i) {
+      buckets_[rel.join_key(static_cast<RowId>(i))].push_back(
+          static_cast<RowId>(i));
+    }
+  }
+
+  /// Rows with the given key, or nullptr if none.
+  const std::vector<RowId>* Find(JoinKey key) const {
+    auto it = buckets_.find(key);
+    return it == buckets_.end() ? nullptr : &it->second;
+  }
+
+  size_t distinct_keys() const { return buckets_.size(); }
+
+  /// Iterates (key, rows) pairs.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, rows] : buckets_) fn(key, rows);
+  }
+
+  /// True iff this index and `other` share at least one key. Iterates the
+  /// smaller index.
+  bool SharesKeyWith(const KeyIndex& other) const {
+    const KeyIndex* small = this;
+    const KeyIndex* large = &other;
+    if (small->buckets_.size() > large->buckets_.size()) {
+      std::swap(small, large);
+    }
+    for (const auto& [key, rows] : small->buckets_) {
+      (void)rows;
+      if (large->buckets_.count(key) != 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::unordered_map<JoinKey, std::vector<RowId>> buckets_;
+};
+
+/// Joins two key indexes, invoking `emit(r_id, t_id)` for every matching
+/// pair. Returns the number of pairs emitted.
+template <typename Fn>
+size_t JoinIndexes(const KeyIndex& r_index, const KeyIndex& t_index,
+                   Fn&& emit) {
+  size_t count = 0;
+  r_index.ForEach([&](JoinKey key, const std::vector<RowId>& r_rows) {
+    const std::vector<RowId>* t_rows = t_index.Find(key);
+    if (t_rows == nullptr) return;
+    for (RowId r : r_rows) {
+      for (RowId t : *t_rows) {
+        emit(r, t);
+        ++count;
+      }
+    }
+  });
+  return count;
+}
+
+}  // namespace progxe

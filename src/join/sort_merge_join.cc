@@ -1,0 +1,19 @@
+#include "join/sort_merge_join.h"
+
+namespace progxe {
+
+std::vector<KeyedRow> SortByKey(const Relation& rel,
+                                const std::vector<RowId>& rows) {
+  std::vector<KeyedRow> out;
+  out.reserve(rows.size());
+  for (RowId id : rows) {
+    out.push_back(KeyedRow{rel.join_key(id), id});
+  }
+  std::sort(out.begin(), out.end(), [](const KeyedRow& a, const KeyedRow& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+}  // namespace progxe

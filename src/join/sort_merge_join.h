@@ -1,0 +1,56 @@
+// Sort-merge equi-join used by the SSMJ baseline's phased evaluation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace progxe {
+
+/// A (row id, join key) pair sorted by key.
+struct KeyedRow {
+  JoinKey key;
+  RowId id;
+};
+
+/// Extracts and sorts the given rows by join key.
+std::vector<KeyedRow> SortByKey(const Relation& rel,
+                                const std::vector<RowId>& rows);
+
+/// Merge-joins two key-sorted row lists, streaming every matching (r, t)
+/// pair. Returns the number of pairs emitted.
+template <typename Fn>
+size_t MergeJoin(const std::vector<KeyedRow>& r_sorted,
+                 const std::vector<KeyedRow>& t_sorted, Fn&& emit) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < r_sorted.size() && j < t_sorted.size()) {
+    const JoinKey rk = r_sorted[i].key;
+    const JoinKey tk = t_sorted[j].key;
+    if (rk < tk) {
+      ++i;
+    } else if (tk < rk) {
+      ++j;
+    } else {
+      // Find both runs of the equal key and emit the cross product.
+      size_t i_end = i;
+      while (i_end < r_sorted.size() && r_sorted[i_end].key == rk) ++i_end;
+      size_t j_end = j;
+      while (j_end < t_sorted.size() && t_sorted[j_end].key == rk) ++j_end;
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = j; b < j_end; ++b) {
+          emit(r_sorted[a].id, t_sorted[b].id);
+          ++count;
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return count;
+}
+
+}  // namespace progxe

@@ -1,0 +1,58 @@
+#include "mapping/canonical.h"
+
+#include <cassert>
+
+namespace progxe {
+
+CanonicalMapper::CanonicalMapper(MapSpec spec, Preference pref)
+    : spec_(std::move(spec)), pref_(std::move(pref)) {
+  assert(pref_.dimensions() == spec_.output_dimensions());
+  sign_.reserve(static_cast<size_t>(pref_.dimensions()));
+  for (int j = 0; j < pref_.dimensions(); ++j) {
+    sign_.push_back(pref_.direction(j) == Direction::kLowest ? 1.0 : -1.0);
+  }
+}
+
+void CanonicalMapper::ContributionVector(Side side,
+                                         std::span<const double> attrs,
+                                         double* out) const {
+  for (int j = 0; j < spec_.output_dimensions(); ++j) {
+    out[j] = sign_[static_cast<size_t>(j)] *
+             spec_.func(j).Contribution(side, attrs);
+  }
+}
+
+void CanonicalMapper::ContributionBounds(Side side,
+                                         std::span<const Interval> attr_bounds,
+                                         Interval* out) const {
+  for (int j = 0; j < spec_.output_dimensions(); ++j) {
+    out[j] = spec_.func(j).ContributionBounds(side, attr_bounds) *
+             sign_[static_cast<size_t>(j)];
+  }
+}
+
+void CanonicalMapper::Combine(const double* r_contrib, const double* t_contrib,
+                              double* out) const {
+  for (int j = 0; j < spec_.output_dimensions(); ++j) {
+    const double s = sign_[static_cast<size_t>(j)];
+    // Undo the sign folding to evaluate the transform on the raw linear
+    // value, then refold. Monotone increasing in each contribution for
+    // either sign.
+    const double raw = s * (r_contrib[j] + t_contrib[j]);
+    out[j] = s * ApplyTransform(spec_.func(j).transform(), raw);
+  }
+}
+
+void CanonicalMapper::CombineBounds(const Interval* r_contrib,
+                                    const Interval* t_contrib,
+                                    Interval* out) const {
+  for (int j = 0; j < spec_.output_dimensions(); ++j) {
+    const double s = sign_[static_cast<size_t>(j)];
+    const Interval sum = r_contrib[j] + t_contrib[j];
+    const Interval raw = sum * s;  // un-fold (flips bounds when s = -1)
+    const Interval mapped = ApplyTransform(spec_.func(j).transform(), raw);
+    out[j] = mapped * s;  // re-fold
+  }
+}
+
+}  // namespace progxe

@@ -1,0 +1,62 @@
+// Canonical (minimize-all) view of a MapSpec + Preference pair.
+//
+// The ProgXe engine, the push-through rewrite and SSMJ all reason about a
+// totally uniform "smaller is better" output space: grid coordinates,
+// dominance cones and region bounds assume every dimension is minimized.
+// CanonicalMapper folds the preference directions into the mapping so that
+//
+//   canonical_output[j] = s_j * f_j(r, t),   s_j = +1 (LOWEST) / -1 (HIGHEST)
+//
+// and source contributions are likewise sign-folded, keeping the canonical
+// output monotone increasing in each canonical contribution. True output
+// values are recovered with Decanonicalize when a result is emitted.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mapping/interval.h"
+#include "mapping/map_expr.h"
+#include "prefs/preference.h"
+
+namespace progxe {
+
+class CanonicalMapper {
+ public:
+  CanonicalMapper() = default;
+
+  /// `pref.dimensions()` must equal `spec.output_dimensions()`.
+  CanonicalMapper(MapSpec spec, Preference pref);
+
+  int output_dimensions() const { return spec_.output_dimensions(); }
+  const MapSpec& spec() const { return spec_; }
+  const Preference& preference() const { return pref_; }
+
+  /// Canonical contribution vector of a source tuple into `out[0..k)`.
+  void ContributionVector(Side side, std::span<const double> attrs,
+                          double* out) const;
+
+  /// Canonical contribution bounds over an attribute box.
+  void ContributionBounds(Side side, std::span<const Interval> attr_bounds,
+                          Interval* out) const;
+
+  /// Combines canonical contributions into the canonical output vector.
+  void Combine(const double* r_contrib, const double* t_contrib,
+               double* out) const;
+
+  /// Combines canonical contribution intervals into canonical output bounds.
+  void CombineBounds(const Interval* r_contrib, const Interval* t_contrib,
+                     Interval* out) const;
+
+  /// Recovers the true (user-facing) output value for dimension j.
+  double Decanonicalize(int j, double canonical) const {
+    return sign_[static_cast<size_t>(j)] * canonical;
+  }
+
+ private:
+  MapSpec spec_;
+  Preference pref_;
+  std::vector<double> sign_;  // +1 / -1 per output dimension
+};
+
+}  // namespace progxe

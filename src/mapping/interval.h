@@ -1,0 +1,52 @@
+// Closed real intervals used to propagate input-partition bounds through
+// mapping functions into output-space regions (Section III-A, Example 1).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace progxe {
+
+/// Closed interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  Interval() = default;
+  Interval(double lo_in, double hi_in) : lo(lo_in), hi(hi_in) {
+    assert(lo_in <= hi_in);
+  }
+
+  /// Degenerate point interval.
+  static Interval Point(double v) { return Interval(v, v); }
+
+  double width() const { return hi - lo; }
+  bool Contains(double v) const { return lo <= v && v <= hi; }
+  bool Intersects(const Interval& o) const { return lo <= o.hi && o.lo <= hi; }
+
+  /// Smallest interval covering both.
+  Interval Hull(const Interval& o) const {
+    return Interval(std::min(lo, o.lo), std::max(hi, o.hi));
+  }
+
+  Interval operator+(const Interval& o) const {
+    return Interval(lo + o.lo, hi + o.hi);
+  }
+
+  /// Scaling; a negative factor flips the bounds.
+  Interval operator*(double w) const {
+    if (w >= 0) return Interval(lo * w, hi * w);
+    return Interval(hi * w, lo * w);
+  }
+
+  Interval operator+(double c) const { return Interval(lo + c, hi + c); }
+
+  bool operator==(const Interval& o) const { return lo == o.lo && hi == o.hi; }
+
+  std::string ToString() const {
+    return "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+  }
+};
+
+}  // namespace progxe

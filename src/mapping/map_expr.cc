@@ -1,0 +1,161 @@
+#include "mapping/map_expr.h"
+
+#include "common/macros.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace progxe {
+
+double ApplyTransform(Transform t, double v) {
+  switch (t) {
+    case Transform::kIdentity:
+      return v;
+    case Transform::kLog1p:
+      // Strictly increasing on (-1, inf); inputs in this codebase are
+      // non-negative attribute combinations.
+      return std::log1p(std::max(v, 0.0));
+    case Transform::kSqrt:
+      return std::sqrt(std::max(v, 0.0));
+    case Transform::kSaturating: {
+      // v / (1 + v): strictly increasing, saturating utility curve that
+      // stays strictly increasing in floating point (unlike 1 - e^-v,
+      // which rounds to exactly 1.0 for v > ~37).
+      const double nn = std::max(v, 0.0);
+      return nn / (1.0 + nn);
+    }
+  }
+  return v;
+}
+
+Interval ApplyTransform(Transform t, const Interval& iv) {
+  // All supported transforms are non-decreasing, so the image of [lo, hi]
+  // is [T(lo), T(hi)].
+  return Interval(ApplyTransform(t, iv.lo), ApplyTransform(t, iv.hi));
+}
+
+double MapFunc::Eval(std::span<const double> r_attrs,
+                     std::span<const double> t_attrs) const {
+  double acc = constant_;
+  for (const MapTerm& term : terms_) {
+    const std::span<const double>& attrs =
+        term.side == Side::kR ? r_attrs : t_attrs;
+    acc += term.weight * attrs[static_cast<size_t>(term.attr_index)];
+  }
+  return ApplyTransform(transform_, acc);
+}
+
+double MapFunc::Contribution(Side side, std::span<const double> attrs) const {
+  double acc = side == Side::kR ? constant_ : 0.0;
+  for (const MapTerm& term : terms_) {
+    if (term.side != side) continue;
+    acc += term.weight * attrs[static_cast<size_t>(term.attr_index)];
+  }
+  return acc;
+}
+
+Interval MapFunc::ContributionBounds(
+    Side side, std::span<const Interval> attr_bounds) const {
+  Interval acc = Interval::Point(side == Side::kR ? constant_ : 0.0);
+  for (const MapTerm& term : terms_) {
+    if (term.side != side) continue;
+    acc = acc + attr_bounds[static_cast<size_t>(term.attr_index)] * term.weight;
+  }
+  return acc;
+}
+
+Status MapFunc::Validate(int r_width, int t_width) const {
+  for (const MapTerm& term : terms_) {
+    const int width = term.side == Side::kR ? r_width : t_width;
+    if (term.attr_index < 0 || term.attr_index >= width) {
+      return Status::InvalidArgument(
+          "map term attribute index " + std::to_string(term.attr_index) +
+          " out of range for source of width " + std::to_string(width));
+    }
+  }
+  return Status::OK();
+}
+
+std::string MapFunc::ToString() const {
+  std::ostringstream os;
+  if (!name_.empty()) os << name_ << " = ";
+  bool first = true;
+  for (const MapTerm& term : terms_) {
+    if (!first) os << " + ";
+    first = false;
+    if (term.weight != 1.0) os << term.weight << "*";
+    os << (term.side == Side::kR ? "R" : "T") << ".a" << term.attr_index;
+  }
+  if (constant_ != 0.0) os << " + " << constant_;
+  if (first) os << constant_;
+  switch (transform_) {
+    case Transform::kIdentity:
+      break;
+    case Transform::kLog1p:
+      return "log1p(" + os.str() + ")";
+    case Transform::kSqrt:
+      return "sqrt(" + os.str() + ")";
+    case Transform::kSaturating:
+      return "sat(" + os.str() + ")";
+  }
+  return os.str();
+}
+
+MapFunc MapFunc::Sum(int r_attr, int t_attr, std::string name) {
+  return MapFunc({{Side::kR, r_attr, 1.0}, {Side::kT, t_attr, 1.0}}, 0.0,
+                 Transform::kIdentity, std::move(name));
+}
+
+MapFunc MapFunc::WeightedSum(double wr, int r_attr, double wt, int t_attr,
+                             double c, std::string name) {
+  return MapFunc({{Side::kR, r_attr, wr}, {Side::kT, t_attr, wt}}, c,
+                 Transform::kIdentity, std::move(name));
+}
+
+MapFunc MapFunc::Passthrough(Side side, int attr, std::string name) {
+  return MapFunc({{side, attr, 1.0}}, 0.0, Transform::kIdentity,
+                 std::move(name));
+}
+
+MapSpec MapSpec::PairwiseSum(int dims) {
+  std::vector<MapFunc> funcs;
+  funcs.reserve(static_cast<size_t>(dims));
+  for (int j = 0; j < dims; ++j) {
+    funcs.push_back(MapFunc::Sum(j, j, "x" + std::to_string(j)));
+  }
+  return MapSpec(std::move(funcs));
+}
+
+void MapSpec::Eval(std::span<const double> r_attrs,
+                   std::span<const double> t_attrs, double* out) const {
+  for (size_t j = 0; j < funcs_.size(); ++j) {
+    out[j] = funcs_[j].Eval(r_attrs, t_attrs);
+  }
+}
+
+void MapSpec::ContributionVector(Side side, std::span<const double> attrs,
+                                 double* out) const {
+  for (size_t j = 0; j < funcs_.size(); ++j) {
+    out[j] = funcs_[j].Contribution(side, attrs);
+  }
+}
+
+void MapSpec::Combine(const double* r_contrib, const double* t_contrib,
+                      double* out) const {
+  for (size_t j = 0; j < funcs_.size(); ++j) {
+    out[j] = funcs_[j].Combine(r_contrib[j], t_contrib[j]);
+  }
+}
+
+Status MapSpec::Validate(int r_width, int t_width) const {
+  if (funcs_.empty()) {
+    return Status::InvalidArgument("MapSpec must have at least one function");
+  }
+  for (const MapFunc& f : funcs_) {
+    PROGXE_RETURN_NOT_OK(f.Validate(r_width, t_width));
+  }
+  return Status::OK();
+}
+
+}  // namespace progxe

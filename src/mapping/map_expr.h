@@ -1,0 +1,151 @@
+// Mapping-function framework (Section II-B).
+//
+// The Map operator mu[F, X] applies k mapping functions to each join result,
+// producing a k-dimensional output object. The paper's mapping functions
+// combine attributes *across* the two sources (e.g. Q1's
+// tCost = R.uPrice + T.uShipCost, delay = 2*R.manTime + T.shipTime), so each
+// function here is a *separable* expression
+//
+//     f_j(r, t) = transform( g_j(r) + h_j(t) + c_j )
+//
+// where g_j and h_j are linear combinations of the R-side and T-side
+// attributes and `transform` is a strictly increasing unary function.
+// Separability gives each source tuple a well-defined per-function
+// *contribution* value, which is what makes output-space look-ahead,
+// push-through pruning and SSMJ's source-level reasoning sound in the
+// presence of mapping functions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mapping/interval.h"
+
+namespace progxe {
+
+/// Which source a term reads from.
+enum class Side : uint8_t { kR, kT };
+
+/// One weighted attribute reference: weight * side.attrs[attr_index].
+struct MapTerm {
+  Side side = Side::kR;
+  int attr_index = 0;
+  double weight = 1.0;
+};
+
+/// Strictly increasing unary transform applied after the linear combination.
+/// Strict monotonicity preserves dominance relationships, which the engine
+/// relies on for all bound propagation — and it must hold *in floating
+/// point* over the attribute range, not just mathematically: a transform
+/// that saturates to a constant (e.g. 1 - e^-v for large v) would collapse
+/// distinct inputs to equal outputs and make source-side pruning unsound.
+/// kSaturating therefore uses the rational curve v / (1 + v), whose doubles
+/// remain distinguishable across realistic value spreads.
+enum class Transform : uint8_t { kIdentity, kLog1p, kSqrt, kSaturating };
+
+/// Applies a transform to a scalar.
+double ApplyTransform(Transform t, double v);
+
+/// Applies a transform to an interval (monotone image).
+Interval ApplyTransform(Transform t, const Interval& iv);
+
+/// One mapping function f_j.
+class MapFunc {
+ public:
+  MapFunc() = default;
+  MapFunc(std::vector<MapTerm> terms, double constant = 0.0,
+          Transform transform = Transform::kIdentity, std::string name = "")
+      : terms_(std::move(terms)),
+        constant_(constant),
+        transform_(transform),
+        name_(std::move(name)) {}
+
+  /// f(r, t) for concrete attribute vectors.
+  double Eval(std::span<const double> r_attrs,
+              std::span<const double> t_attrs) const;
+
+  /// The source-side partial contribution g(r) (or h(t)): the linear part
+  /// restricted to `side`'s terms. The R side also absorbs the constant so
+  /// that Eval == transform(RContribution + TContribution).
+  double Contribution(Side side, std::span<const double> attrs) const;
+
+  /// Interval image of the side contribution over an attribute box.
+  Interval ContributionBounds(Side side,
+                              std::span<const Interval> attr_bounds) const;
+
+  /// Combines two side-contribution values into the final output value.
+  double Combine(double r_contrib, double t_contrib) const {
+    return ApplyTransform(transform_, r_contrib + t_contrib);
+  }
+
+  /// Combines contribution intervals into an output-value interval.
+  Interval CombineBounds(const Interval& r_contrib,
+                         const Interval& t_contrib) const {
+    return ApplyTransform(transform_, r_contrib + t_contrib);
+  }
+
+  const std::vector<MapTerm>& terms() const { return terms_; }
+  double constant() const { return constant_; }
+  Transform transform() const { return transform_; }
+  const std::string& name() const { return name_; }
+
+  /// Validates attribute indices against the source widths.
+  Status Validate(int r_width, int t_width) const;
+
+  std::string ToString() const;
+
+  // --- Convenience builders -------------------------------------------------
+
+  /// side.attrs[i] + other_side.attrs[j] (the paper's canonical map).
+  static MapFunc Sum(int r_attr, int t_attr, std::string name = "");
+
+  /// wr * R[i] + wt * T[j] + c.
+  static MapFunc WeightedSum(double wr, int r_attr, double wt, int t_attr,
+                             double c = 0.0, std::string name = "");
+
+  /// Pass-through of a single source attribute.
+  static MapFunc Passthrough(Side side, int attr, std::string name = "");
+
+ private:
+  std::vector<MapTerm> terms_;
+  double constant_ = 0.0;
+  Transform transform_ = Transform::kIdentity;
+  std::string name_;
+};
+
+/// The full map specification F = {f_1 ... f_k}.
+class MapSpec {
+ public:
+  MapSpec() = default;
+  explicit MapSpec(std::vector<MapFunc> funcs) : funcs_(std::move(funcs)) {}
+
+  int output_dimensions() const { return static_cast<int>(funcs_.size()); }
+  const MapFunc& func(int j) const { return funcs_[static_cast<size_t>(j)]; }
+  const std::vector<MapFunc>& funcs() const { return funcs_; }
+
+  /// d-dimensional identity-style spec: output j = R[j] + T[j]
+  /// (the paper's experimental mapping, Section VI-A).
+  static MapSpec PairwiseSum(int dims);
+
+  /// Evaluates all functions into `out[0..k)`.
+  void Eval(std::span<const double> r_attrs, std::span<const double> t_attrs,
+            double* out) const;
+
+  /// Computes a source tuple's k-dimensional contribution vector.
+  void ContributionVector(Side side, std::span<const double> attrs,
+                          double* out) const;
+
+  /// Combines two contribution vectors into the mapped output vector.
+  void Combine(const double* r_contrib, const double* t_contrib,
+               double* out) const;
+
+  Status Validate(int r_width, int t_width) const;
+
+ private:
+  std::vector<MapFunc> funcs_;
+};
+
+}  // namespace progxe

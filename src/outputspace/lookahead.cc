@@ -1,0 +1,159 @@
+#include "outputspace/lookahead.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "skyline/skyline.h"
+
+namespace progxe {
+
+namespace {
+
+/// True iff point u Pareto-dominates point v (minimize-all, strict).
+bool PointDominates(const double* u, const double* v, int k) {
+  bool strict = false;
+  for (int i = 0; i < k; ++i) {
+    if (u[i] > v[i]) return false;
+    if (u[i] < v[i]) strict = true;
+  }
+  return strict;
+}
+
+}  // namespace
+
+Result<LookaheadResult> OutputSpaceLookahead(const InputPartitioning& r_grid,
+                                             const InputPartitioning& t_grid,
+                                             const CanonicalMapper& mapper,
+                                             const LookaheadOptions& options) {
+  LookaheadResult out;
+  const int k = mapper.output_dimensions();
+
+  // --- Step 1: viable partition pairs -> regions ---------------------------
+  const auto& r_parts = r_grid.partitions();
+  const auto& t_parts = t_grid.partitions();
+  out.stats.pairs_total = r_parts.size() * t_parts.size();
+
+  std::vector<Interval> bounds(static_cast<size_t>(k));
+  for (size_t a = 0; a < r_parts.size(); ++a) {
+    for (size_t b = 0; b < t_parts.size(); ++b) {
+      const InputPartition& pa = r_parts[a];
+      const InputPartition& pb = t_parts[b];
+      if (!pa.signature.MightIntersect(pb.signature)) {
+        ++out.stats.pairs_skipped_signature;
+        continue;
+      }
+      Region region;
+      region.id = static_cast<int32_t>(out.regions.size());
+      region.a = static_cast<int32_t>(a);
+      region.b = static_cast<int32_t>(b);
+      mapper.CombineBounds(pa.bounds.data(), pb.bounds.data(), bounds.data());
+      region.bounds = bounds;
+      // A positive exact-signature intersection guarantees >= 1 join result.
+      region.guaranteed =
+          pa.signature.exact() && pb.signature.exact();
+      out.regions.push_back(std::move(region));
+    }
+  }
+  out.stats.regions_created = out.regions.size();
+
+  // --- Step 2: output grid over the hull of all region bounds --------------
+  std::vector<Interval> hull(static_cast<size_t>(k), Interval(0.0, 0.0));
+  if (!out.regions.empty()) {
+    hull = out.regions.front().bounds;
+    for (const Region& region : out.regions) {
+      for (int j = 0; j < k; ++j) {
+        hull[static_cast<size_t>(j)] =
+            hull[static_cast<size_t>(j)].Hull(region.bounds[static_cast<size_t>(j)]);
+      }
+    }
+  }
+  out.output_grid = GridGeometry(hull, options.output_cells_per_dim);
+  if (out.output_grid.total_cells() > options.max_output_cells) {
+    return Status::InvalidArgument(
+        "output grid would have " +
+        std::to_string(out.output_grid.total_cells()) +
+        " cells; lower output_cells_per_dim or the output dimensionality");
+  }
+
+  // Cell boxes per region.
+  for (Region& region : out.regions) {
+    region.lo_cell.resize(static_cast<size_t>(k));
+    region.hi_cell.resize(static_cast<size_t>(k));
+    for (int j = 0; j < k; ++j) {
+      out.output_grid.CoordRange(j, region.bounds[static_cast<size_t>(j)],
+                                 &region.lo_cell[static_cast<size_t>(j)],
+                                 &region.hi_cell[static_cast<size_t>(j)]);
+    }
+  }
+
+  // --- Step 3: region-level domination pruning (Example 2) -----------------
+  // Pareto frontier (minimize) of guaranteed regions' upper corners; any
+  // region whose lower corner is dominated by a frontier point can never
+  // contribute and is pruned before any join work.
+  std::vector<double> uppers;
+  for (const Region& region : out.regions) {
+    if (!region.guaranteed) continue;
+    for (int j = 0; j < k; ++j) {
+      uppers.push_back(region.bounds[static_cast<size_t>(j)].hi);
+    }
+  }
+  if (!uppers.empty()) {
+    PointView upper_view{uppers.data(), uppers.size() / static_cast<size_t>(k),
+                         k};
+    std::vector<uint32_t> frontier_idx = SkylineSFS(upper_view);
+    for (uint32_t fi : frontier_idx) {
+      const double* p = upper_view.point(fi);
+      out.guaranteed_upper_frontier.insert(out.guaranteed_upper_frontier.end(),
+                                           p, p + k);
+    }
+  }
+  const size_t frontier_n =
+      out.guaranteed_upper_frontier.size() / static_cast<size_t>(k);
+
+  std::vector<double> lower(static_cast<size_t>(k));
+  for (Region& region : out.regions) {
+    for (int j = 0; j < k; ++j) {
+      lower[static_cast<size_t>(j)] = region.bounds[static_cast<size_t>(j)].lo;
+    }
+    for (size_t f = 0; f < frontier_n; ++f) {
+      const double* u =
+          out.guaranteed_upper_frontier.data() + f * static_cast<size_t>(k);
+      if (PointDominates(u, lower.data(), k)) {
+        region.pruned = true;
+        ++out.stats.regions_pruned;
+        break;
+      }
+    }
+  }
+
+  // --- Step 4: partition-level marking (Example 3) -------------------------
+  // A cell is non-contributing when some guaranteed region's upper corner
+  // dominates the cell's lower corner: the guaranteed tuple (<= upper in
+  // every dimension) then dominates every tuple that could map there.
+  out.marked.assign(static_cast<size_t>(out.output_grid.total_cells()), 0);
+  if (frontier_n > 0) {
+    std::vector<CellCoord> coords(static_cast<size_t>(k));
+    std::vector<double> cell_lo(static_cast<size_t>(k));
+    const CellIndex total = out.output_grid.total_cells();
+    for (CellIndex c = 0; c < total; ++c) {
+      out.output_grid.CoordsOfIndex(c, coords.data());
+      for (int j = 0; j < k; ++j) {
+        cell_lo[static_cast<size_t>(j)] =
+            out.output_grid.CellLower(j, coords[static_cast<size_t>(j)]);
+      }
+      for (size_t f = 0; f < frontier_n; ++f) {
+        const double* u =
+            out.guaranteed_upper_frontier.data() + f * static_cast<size_t>(k);
+        if (PointDominates(u, cell_lo.data(), k)) {
+          out.marked[static_cast<size_t>(c)] = 1;
+          ++out.stats.cells_marked;
+          break;
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace progxe

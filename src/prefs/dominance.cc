@@ -1,0 +1,93 @@
+#include "prefs/dominance.h"
+
+#include <cassert>
+
+namespace progxe {
+
+namespace {
+
+// Per-dimension outcome folded into two bits: better-anywhere /
+// worse-anywhere.
+struct Fold {
+  bool a_better = false;
+  bool a_worse = false;
+};
+
+inline Fold FoldCompare(std::span<const double> a, std::span<const double> b,
+                        const Preference& pref) {
+  assert(a.size() == b.size());
+  assert(static_cast<int>(a.size()) == pref.dimensions());
+  Fold f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double av = pref.Canonicalize(static_cast<int>(i), a[i]);
+    const double bv = pref.Canonicalize(static_cast<int>(i), b[i]);
+    if (av < bv) {
+      f.a_better = true;
+    } else if (av > bv) {
+      f.a_worse = true;
+    }
+    if (f.a_better && f.a_worse) break;  // incomparable; stop early
+  }
+  return f;
+}
+
+}  // namespace
+
+DomResult Compare(std::span<const double> a, std::span<const double> b,
+                  const Preference& pref, DomCounter* counter) {
+  if (counter != nullptr) ++counter->comparisons;
+  Fold f = FoldCompare(a, b, pref);
+  if (f.a_better && !f.a_worse) return DomResult::kLeftDominates;
+  if (!f.a_better && f.a_worse) return DomResult::kRightDominates;
+  if (!f.a_better && !f.a_worse) return DomResult::kEqual;
+  return DomResult::kIncomparable;
+}
+
+bool Dominates(std::span<const double> a, std::span<const double> b,
+               const Preference& pref, DomCounter* counter) {
+  if (counter != nullptr) ++counter->comparisons;
+  Fold f = FoldCompare(a, b, pref);
+  return f.a_better && !f.a_worse;
+}
+
+bool WeaklyDominates(std::span<const double> a, std::span<const double> b,
+                     const Preference& pref, DomCounter* counter) {
+  if (counter != nullptr) ++counter->comparisons;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double av = pref.Canonicalize(static_cast<int>(i), a[i]);
+    const double bv = pref.Canonicalize(static_cast<int>(i), b[i]);
+    if (av > bv) return false;
+  }
+  return true;
+}
+
+bool DominatesMin(const double* a, const double* b, int k,
+                  DomCounter* counter) {
+  if (counter != nullptr) ++counter->comparisons;
+  bool strict = false;
+  for (int i = 0; i < k; ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+DomResult CompareMin(const double* a, const double* b, int k,
+                     DomCounter* counter) {
+  if (counter != nullptr) ++counter->comparisons;
+  bool a_better = false;
+  bool a_worse = false;
+  for (int i = 0; i < k; ++i) {
+    if (a[i] < b[i]) {
+      a_better = true;
+    } else if (a[i] > b[i]) {
+      a_worse = true;
+    }
+    if (a_better && a_worse) return DomResult::kIncomparable;
+  }
+  if (a_better) return DomResult::kLeftDominates;
+  if (a_worse) return DomResult::kRightDominates;
+  return DomResult::kEqual;
+}
+
+}  // namespace progxe

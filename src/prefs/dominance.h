@@ -1,0 +1,46 @@
+// Pairwise Pareto dominance tests with optional comparison-count
+// instrumentation.
+//
+// Dominance comparisons are the unit of work the paper's optimizations try
+// to minimize (Sections III-B, IV-C), so every algorithm in this repo routes
+// its comparisons through a DomCounter to make savings measurable
+// independently of wall-clock noise.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "prefs/preference.h"
+
+namespace progxe {
+
+/// Counts dominance comparisons performed by an algorithm run.
+struct DomCounter {
+  uint64_t comparisons = 0;
+
+  void Reset() { comparisons = 0; }
+};
+
+/// Full four-way comparison of two k-vectors under a preference.
+DomResult Compare(std::span<const double> a, std::span<const double> b,
+                  const Preference& pref, DomCounter* counter = nullptr);
+
+/// True iff `a` strictly dominates `b` under `pref` (Definition 1).
+bool Dominates(std::span<const double> a, std::span<const double> b,
+               const Preference& pref, DomCounter* counter = nullptr);
+
+/// True iff `a` is at least as good as `b` on every dimension
+/// (dominates-or-equal; no strictness requirement).
+bool WeaklyDominates(std::span<const double> a, std::span<const double> b,
+                     const Preference& pref, DomCounter* counter = nullptr);
+
+/// Minimize-all fast path used by the ProgXe engine on canonicalized
+/// vectors: `a` dominates `b` iff a[i] <= b[i] for all i and < for some i.
+bool DominatesMin(const double* a, const double* b, int k,
+                  DomCounter* counter = nullptr);
+
+/// Minimize-all four-way comparison on canonicalized vectors.
+DomResult CompareMin(const double* a, const double* b, int k,
+                     DomCounter* counter = nullptr);
+
+}  // namespace progxe

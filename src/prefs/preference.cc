@@ -1,0 +1,14 @@
+#include "prefs/preference.h"
+
+namespace progxe {
+
+std::string Preference::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < dirs_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += dirs_[i] == Direction::kLowest ? "LOWEST" : "HIGHEST";
+  }
+  return out;
+}
+
+}  // namespace progxe

@@ -1,0 +1,77 @@
+// Pareto preference model (Section II-A of the paper).
+//
+// A preference is a set of equally important per-dimension orders; each
+// dimension is minimized (LOWEST) or maximized (HIGHEST). Definition 1:
+// tuple r dominates tuple s iff r is at least as good on every preferred
+// dimension and strictly better on at least one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace progxe {
+
+/// Per-dimension preference direction.
+enum class Direction : uint8_t { kLowest, kHighest };
+
+/// A combined Pareto preference over k output dimensions.
+class Preference {
+ public:
+  Preference() = default;
+  explicit Preference(std::vector<Direction> dirs) : dirs_(std::move(dirs)) {}
+
+  /// All-LOWEST preference over k dimensions (the common MCDS case).
+  static Preference AllLowest(int k) {
+    return Preference(std::vector<Direction>(static_cast<size_t>(k),
+                                             Direction::kLowest));
+  }
+
+  /// All-HIGHEST preference over k dimensions.
+  static Preference AllHighest(int k) {
+    return Preference(std::vector<Direction>(static_cast<size_t>(k),
+                                             Direction::kHighest));
+  }
+
+  int dimensions() const { return static_cast<int>(dirs_.size()); }
+  Direction direction(int i) const { return dirs_[static_cast<size_t>(i)]; }
+  const std::vector<Direction>& directions() const { return dirs_; }
+
+  /// True iff every dimension is minimized (the canonical internal form).
+  bool IsAllLowest() const {
+    for (Direction d : dirs_) {
+      if (d != Direction::kLowest) return false;
+    }
+    return true;
+  }
+
+  /// Canonicalizes a value for internal minimize-all processing:
+  /// LOWEST dims pass through, HIGHEST dims are negated.
+  double Canonicalize(int dim, double v) const {
+    return dirs_[static_cast<size_t>(dim)] == Direction::kLowest ? v : -v;
+  }
+
+  /// Inverse of Canonicalize.
+  double Decanonicalize(int dim, double v) const {
+    return Canonicalize(dim, v);  // negation is an involution
+  }
+
+  /// "LOWEST,HIGHEST,..." for logging.
+  std::string ToString() const;
+
+ private:
+  std::vector<Direction> dirs_;
+};
+
+/// Outcome of a pairwise dominance comparison.
+enum class DomResult : uint8_t {
+  kLeftDominates,
+  kRightDominates,
+  kEqual,
+  kIncomparable,
+};
+
+}  // namespace progxe

@@ -1,0 +1,29 @@
+#include "progxe/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace progxe {
+
+double FactorialD(int d_minus_1) {
+  double f = 1.0;
+  for (int i = 2; i <= d_minus_1; ++i) f *= static_cast<double>(i);
+  return f;
+}
+
+double ExpectedSkylineSize(double n, int d) {
+  if (n <= 0.0) return 0.0;
+  if (d <= 1) return 1.0;
+  const double logn = std::log(std::max(n, 1.0));
+  const double est = std::pow(logn, static_cast<double>(d - 1)) /
+                     FactorialD(d - 1);
+  return std::max(est, 1.0);
+}
+
+double RegionCardinalityEstimate(double sigma, double n_a, double n_b, int d) {
+  const double join_card = sigma * n_a * n_b;
+  if (join_card <= 0.0) return 0.0;
+  return ExpectedSkylineSize(join_card, d);
+}
+
+}  // namespace progxe

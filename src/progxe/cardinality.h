@@ -1,0 +1,25 @@
+// Skyline cardinality estimation (Equation 1).
+//
+// Bentley et al. and Buchta showed the expected number of maxima of n
+// independently distributed d-dimensional vectors is
+// Theta(ln(n)^{d-1} / (d-1)!). ProgOrder estimates the number of results a
+// region can produce by applying that formula to the region's expected join
+// cardinality sigma * n_a * n_b.
+#pragma once
+
+#include <cstdint>
+
+namespace progxe {
+
+/// (d-1)! as a double; d >= 1.
+double FactorialD(int d_minus_1);
+
+/// Expected skyline size of `n` independent d-dimensional points:
+/// ln(n)^{d-1} / (d-1)!, floored at 1 for any non-empty input.
+double ExpectedSkylineSize(double n, int d);
+
+/// Equation 1: estimated result capacity of a region whose input partitions
+/// hold n_a and n_b tuples under join selectivity sigma.
+double RegionCardinalityEstimate(double sigma, double n_a, double n_b, int d);
+
+}  // namespace progxe

@@ -1,0 +1,128 @@
+// Public configuration, result and statistics types of the ProgXe engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+#include "grid/signature.h"
+
+namespace progxe {
+
+/// Input-space partitioning scheme (Section III: grid by default; the
+/// paper notes other space partitionings apply "with some modifications").
+enum class PartitioningScheme : uint8_t {
+  /// Uniform grid over contribution space.
+  kUniformGrid,
+  /// Adaptive kd-style median splits: balanced partition cardinalities,
+  /// tight bounds on skewed data.
+  kKdTree,
+};
+
+/// How ProgOrder sequences regions for tuple-level processing.
+enum class OrderingMode : uint8_t {
+  /// Benefit/cost ranking over EL-Graph roots (Algorithm 1).
+  kProgOrder,
+  /// Uniform random order: the paper's ProgXe (No-Order) variant.
+  kRandom,
+  /// Region-id order (deterministic baseline for tests).
+  kSequential,
+};
+
+/// The four ProgXe variants evaluated in Section VI-B.
+struct ProgXeOptions {
+  OrderingMode ordering = OrderingMode::kProgOrder;
+  /// Apply skyline partial push-through to each source first (the "+"
+  /// variants: ProgXe+ and ProgXe+ (No-Order)).
+  bool push_through = false;
+
+  /// Input-space partitioning realization.
+  PartitioningScheme partitioning = PartitioningScheme::kUniformGrid;
+  /// Input grid cells per (output) dimension for each source; 0 = choose
+  /// automatically from the dimensionality (bounded partition count).
+  /// For kKdTree this bounds leaves at input_cells_per_dim ^ dims.
+  int input_cells_per_dim = 0;
+  /// Output grid cells per dimension (the paper's partition size delta);
+  /// 0 = choose automatically (bounded total cell count).
+  int output_cells_per_dim = 0;
+  /// Join-signature realization for input partitions.
+  SignatureMode signature_mode = SignatureMode::kExact;
+  size_t bloom_bits = 2048;
+  int bloom_hashes = 4;
+
+  /// Join selectivity hint for the benefit/cost models; <= 0 means measure
+  /// it exactly from the key histograms (O(N)).
+  double sigma_hint = 0.0;
+
+  /// Seed for the kRandom ordering shuffle.
+  uint64_t seed = 0x5eed;
+
+  /// EL-Graph is bypassed above this many active regions (see ElGraph).
+  size_t max_regions_for_elgraph = 8000;
+
+  /// Hard cap on dense output-cell state.
+  int64_t max_output_cells = 8 * 1000 * 1000;
+
+  /// Stop after emitting this many results (0 = run to completion). The
+  /// progressive pipeline makes this an *early-termination* feature: the
+  /// emitted prefix is a set of guaranteed final-skyline members and the
+  /// remaining join/skyline work is skipped — the "first page now" mode of
+  /// the paper's aggregator and query-refinement applications.
+  size_t max_results = 0;
+};
+
+/// One emitted SkyMapJoin result: original row ids plus the user-space
+/// mapped output values x_1..x_k.
+struct ResultTuple {
+  RowId r_id = 0;
+  RowId t_id = 0;
+  std::vector<double> values;
+};
+
+/// Progressive emission callback. Invoked zero or more times *during*
+/// execution; every emitted tuple is guaranteed to belong to the final
+/// skyline (no retractions).
+using EmitFn = std::function<void(const ResultTuple&)>;
+
+/// Counters describing one ProgXe run.
+struct ProgXeStats {
+  // Input / pruning.
+  size_t r_rows = 0;
+  size_t t_rows = 0;
+  size_t r_rows_after_push_through = 0;
+  size_t t_rows_after_push_through = 0;
+  double sigma_used = 0.0;
+
+  // Look-ahead.
+  size_t partition_pairs_total = 0;
+  size_t partition_pairs_skipped = 0;
+  size_t regions_created = 0;
+  size_t regions_pruned_lookahead = 0;
+  size_t cells_marked_lookahead = 0;
+
+  // Ordering.
+  bool elgraph_disabled = false;
+  size_t regions_processed = 0;
+  size_t regions_discarded_runtime = 0;
+  size_t pq_reorderings = 0;
+
+  // Tuple-level processing.
+  uint64_t join_pairs_generated = 0;
+  uint64_t tuples_discarded_marked = 0;
+  uint64_t tuples_discarded_frontier = 0;
+  uint64_t tuples_dominated_on_insert = 0;
+  uint64_t tuples_evicted = 0;
+  uint64_t dominance_comparisons = 0;
+
+  // Progressive output.
+  size_t results_emitted = 0;
+  size_t cells_flushed = 0;
+  /// Results emitted strictly before the last region finished processing.
+  size_t results_emitted_early = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace progxe

@@ -1,0 +1,35 @@
+#include "progxe/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace progxe {
+
+double KungAlpha(int d) {
+  if (d <= 3) return 1.0;
+  return static_cast<double>(d - 2);
+}
+
+double ComparablePartitionsAvg(const CostModelParams& params) {
+  return static_cast<double>(params.cells_per_dim) *
+         static_cast<double>(params.dims);
+}
+
+double RegionCost(const CostModelParams& params, double n_a, double n_b,
+                  double box_volume) {
+  const double c_join = n_a * n_b;
+  const double join_card = params.sigma * n_a * n_b;
+  const double c_map = join_card;
+
+  // Average tuples per populated partition if join results spread over the
+  // region's cell box.
+  const double s_avg = join_card / std::max(box_volume, 1.0);
+  const double cp_s = std::max(ComparablePartitionsAvg(params) * s_avg, 1.0);
+  const double alpha = KungAlpha(params.dims);
+  const double log_term = std::pow(std::max(std::log2(cp_s), 1.0), alpha);
+  const double c_sky = join_card * cp_s * log_term;
+
+  return std::max(c_join + c_map + c_sky, 1.0);
+}
+
+}  // namespace progxe

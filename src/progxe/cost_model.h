@@ -1,0 +1,34 @@
+// Tuple-level processing cost model (Section IV-C, Equations 3-7).
+//
+// Cost(R_{a,b}) = C_join + C_map + C_sky with
+//   C_join = n_a * n_b                                   (Eq. 4)
+//   C_map  = sigma * n_a * n_b                           (Eq. 5)
+//   C_sky  = sigma * n_a * n_b * (CP*s) * log^alpha(CP*s) (Eq. 6)
+// where CP is the average number of comparable output partitions per tuple
+// (bounded by k*d, Section III-B), s the average tuples per populated
+// partition, and alpha follows Kung et al.: 1 for d in {2,3}, d-2 for d>=4.
+#pragma once
+
+namespace progxe {
+
+struct CostModelParams {
+  /// Join selectivity between the sources.
+  double sigma = 0.001;
+  /// Output grid cells per dimension (k in the paper's k*d bound).
+  int cells_per_dim = 10;
+  /// Output dimensionality d.
+  int dims = 4;
+};
+
+/// Kung et al. exponent: 1 for d = 2 or 3, d-2 for d >= 4.
+double KungAlpha(int d);
+
+/// Average comparable partitions CP_avg = k * d (Section IV-C).
+double ComparablePartitionsAvg(const CostModelParams& params);
+
+/// Equation 7: amortized cost of tuple-level processing of a region with
+/// input partition sizes n_a, n_b whose output box spans `box_volume` cells.
+double RegionCost(const CostModelParams& params, double n_a, double n_b,
+                  double box_volume);
+
+}  // namespace progxe

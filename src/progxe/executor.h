@@ -1,0 +1,60 @@
+// The ProgXe progressive SkyMapJoin executor (Figure 2 of the paper).
+//
+// Pipeline per query:
+//   1. (optional, "+" variants) skyline partial push-through on each source
+//   2. contribution tables + input grids with join signatures
+//   3. output-space look-ahead: regions, region pruning, cell marking
+//   4. iterated tuple-level processing, region order chosen by ProgOrder,
+//      with ProgDetermine flushing safe partitions after every region
+//
+// Every tuple handed to the emit callback is guaranteed to be in the final
+// skyline (no retractions), and the union of all emissions is exactly the
+// skyline of the mapped join (completeness).
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "data/relation.h"
+#include "mapping/canonical.h"
+#include "mapping/map_expr.h"
+#include "prefs/preference.h"
+#include "progxe/config.h"
+
+namespace progxe {
+
+/// A SkyMapJoin query: skyline of `pref` over `map` applied to R join T.
+struct SkyMapJoinQuery {
+  const Relation* r = nullptr;
+  const Relation* t = nullptr;
+  MapSpec map;
+  Preference pref;
+};
+
+class ProgXeExecutor {
+ public:
+  ProgXeExecutor(SkyMapJoinQuery query, ProgXeOptions options);
+  ~ProgXeExecutor();
+
+  ProgXeExecutor(const ProgXeExecutor&) = delete;
+  ProgXeExecutor& operator=(const ProgXeExecutor&) = delete;
+
+  /// Runs the query to completion, invoking `emit` progressively.
+  /// Single-shot: a second call returns an error.
+  Status Run(const EmitFn& emit);
+
+  const ProgXeStats& stats() const { return stats_; }
+
+ private:
+  SkyMapJoinQuery query_;
+  ProgXeOptions options_;
+  ProgXeStats stats_;
+  bool ran_ = false;
+};
+
+/// Convenience wrapper: runs a ProgXe query and returns all results.
+Result<std::vector<ResultTuple>> RunProgXe(const SkyMapJoinQuery& query,
+                                           const ProgXeOptions& options,
+                                           ProgXeStats* stats_out = nullptr);
+
+}  // namespace progxe

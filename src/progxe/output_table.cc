@@ -1,0 +1,325 @@
+#include "progxe/output_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace progxe {
+
+namespace {
+
+/// coords a <= b in every dimension.
+inline bool CoordsLeq(const CellCoord* a, const CellCoord* b, int k) {
+  for (int i = 0; i < k; ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+/// coords a < b in every dimension.
+inline bool CoordsStrictlyBelow(const CellCoord* a, const CellCoord* b,
+                                int k) {
+  for (int i = 0; i < k; ++i) {
+    if (a[i] >= b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void OutputTable::CellData::Compact(int k) {
+  if (dead_count == 0) return;
+  size_t w = 0;
+  const size_t kk = static_cast<size_t>(k);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (!alive[i]) continue;
+    if (w != i) {
+      std::copy(values.begin() + static_cast<ptrdiff_t>(i * kk),
+                values.begin() + static_cast<ptrdiff_t>((i + 1) * kk),
+                values.begin() + static_cast<ptrdiff_t>(w * kk));
+      ids[w] = ids[i];
+    }
+    alive[w] = 1;
+    ++w;
+  }
+  values.resize(w * kk);
+  ids.resize(w);
+  alive.resize(w);
+  dead_count = 0;
+  assert(alive_count == w);
+}
+
+OutputTable::OutputTable(GridGeometry geometry, std::vector<uint8_t> marked,
+                         ProgXeStats* stats)
+    : geometry_(std::move(geometry)),
+      k_(geometry_.dimensions()),
+      stats_(stats),
+      marked_(std::move(marked)) {
+  const size_t total = static_cast<size_t>(geometry_.total_cells());
+  assert(marked_.size() == total);
+  reg_count_.assign(total, 0);
+  emitted_.assign(total, 0);
+  cell_slot_.assign(total, -1);
+  visit_stamp_.assign(total, 0);
+  slabs_.resize(static_cast<size_t>(k_));
+  for (auto& dim_slabs : slabs_) {
+    dim_slabs.resize(static_cast<size_t>(geometry_.cells_per_dim()));
+  }
+}
+
+void OutputTable::InitCoverage(const std::vector<Region>& regions) {
+  for (const Region& region : regions) {
+    if (!region.Active()) continue;
+    geometry_.ForEachCellInBox(
+        region.lo_cell.data(), region.hi_cell.data(),
+        [this](CellIndex c) { ++reg_count_[static_cast<size_t>(c)]; });
+  }
+}
+
+std::vector<CellIndex> OutputTable::ReleaseRegionCoverage(
+    const Region& region) {
+  std::vector<CellIndex> settled;
+  geometry_.ForEachCellInBox(region.lo_cell.data(), region.hi_cell.data(),
+                             [this, &settled](CellIndex c) {
+                               int32_t& rc = reg_count_[static_cast<size_t>(c)];
+                               assert(rc > 0);
+                               if (--rc == 0) settled.push_back(c);
+                             });
+  return settled;
+}
+
+bool OutputTable::populated(CellIndex c) const {
+  const int32_t s = slot(c);
+  return s >= 0 && cells_[static_cast<size_t>(s)].alive_count > 0;
+}
+
+size_t OutputTable::AliveCount(CellIndex c) const {
+  const int32_t s = slot(c);
+  return s < 0 ? 0 : cells_[static_cast<size_t>(s)].alive_count;
+}
+
+bool OutputTable::FrontierStrictlyDominates(const CellCoord* coords) const {
+  const size_t kk = static_cast<size_t>(k_);
+  for (size_t f = 0; f + kk <= frontier_.size(); f += kk) {
+    if (CoordsStrictlyBelow(frontier_.data() + f, coords, k_)) return true;
+  }
+  return false;
+}
+
+bool OutputTable::RegionDominatedByFrontier(const Region& region) const {
+  return FrontierStrictlyDominates(region.lo_cell.data());
+}
+
+void OutputTable::UpdateFrontier(const CellCoord* coords) {
+  const size_t kk = static_cast<size_t>(k_);
+  // Redundant if an existing frontier cell is <= coords everywhere.
+  for (size_t f = 0; f + kk <= frontier_.size(); f += kk) {
+    if (CoordsLeq(frontier_.data() + f, coords, k_)) return;
+  }
+  // Remove frontier entries that the new cell covers.
+  size_t w = 0;
+  for (size_t f = 0; f + kk <= frontier_.size(); f += kk) {
+    if (!CoordsLeq(coords, frontier_.data() + f, k_)) {
+      if (w != f) {
+        std::copy(frontier_.begin() + static_cast<ptrdiff_t>(f),
+                  frontier_.begin() + static_cast<ptrdiff_t>(f + kk),
+                  frontier_.begin() + static_cast<ptrdiff_t>(w));
+      }
+      w += kk;
+    }
+  }
+  frontier_.resize(w);
+  frontier_.insert(frontier_.end(), coords, coords + k_);
+}
+
+OutputTable::CellData* OutputTable::EnsureCell(CellIndex c,
+                                               const CellCoord* coords) {
+  int32_t s = slot(c);
+  if (s >= 0) return &cells_[static_cast<size_t>(s)];
+  s = static_cast<int32_t>(cells_.size());
+  cells_.emplace_back();
+  cells_.back().coords.assign(coords, coords + k_);
+  cell_slot_[static_cast<size_t>(c)] = s;
+  return &cells_.back();
+}
+
+void OutputTable::KillCell(CellIndex c) {
+  if (marked_[static_cast<size_t>(c)]) return;
+  marked_[static_cast<size_t>(c)] = 1;
+  marked_events_.push_back(c);
+  const int32_t s = slot(c);
+  if (s >= 0) {
+    CellData& cell = cells_[static_cast<size_t>(s)];
+    stats_->tuples_evicted += cell.alive_count;
+    cell.values.clear();
+    cell.ids.clear();
+    cell.alive.clear();
+    cell.alive_count = 0;
+    cell.dead_count = 0;
+  }
+}
+
+void OutputTable::OnCellPopulated(CellIndex c, const CellCoord* coords) {
+  for (int dim = 0; dim < k_; ++dim) {
+    slabs_[static_cast<size_t>(dim)][static_cast<size_t>(coords[dim])]
+        .push_back(c);
+  }
+  UpdateFrontier(coords);
+  // Eager kill: every populated cell strictly above `coords` is now wholly
+  // dominated (any tuple here dominates all of its tuples, half-open cells).
+  for (size_t s = 0; s < cells_.size(); ++s) {
+    CellData& other = cells_[s];
+    if (other.alive_count == 0) continue;
+    const CellIndex oc = geometry_.IndexOf(other.coords.data());
+    if (oc == c) continue;
+    if (emitted_[static_cast<size_t>(oc)]) continue;  // final; see header
+    if (CoordsStrictlyBelow(coords, other.coords.data(), k_)) {
+      KillCell(oc);
+    }
+  }
+}
+
+InsertOutcome OutputTable::Insert(const double* values, RowId r_id,
+                                  RowId t_id) {
+  std::vector<CellCoord> coords(static_cast<size_t>(k_));
+  geometry_.CoordsOf(values, coords.data());
+  const CellIndex c = geometry_.IndexOf(coords.data());
+
+  assert(!emitted_[static_cast<size_t>(c)] &&
+         "tuple arrived in an already-flushed cell");
+
+  if (marked_[static_cast<size_t>(c)]) {
+    ++stats_->tuples_discarded_marked;
+    return InsertOutcome::kDiscardedMarked;
+  }
+  if (FrontierStrictlyDominates(coords.data())) {
+    KillCell(c);
+    ++stats_->tuples_discarded_frontier;
+    return InsertOutcome::kDiscardedFrontier;
+  }
+
+  // Dominance check against live tuples in the comparable dominator slice:
+  // populated cells p with p <= coords in every dimension (cells strictly
+  // below in all dimensions were handled by the frontier test above, so any
+  // survivor here shares at least one coordinate — the paper's slice).
+  //
+  // Tie fast-path: if an *alive* tuple exactly equals the newcomer, nothing
+  // generated so far dominates either (or the incumbent would be dead), and
+  // anything the newcomer would evict is already evicted — so both scans can
+  // stop. This keeps heavily-tied workloads (e.g. all-zero penalty
+  // dimensions in query relaxation) linear instead of quadratic.
+  bool found_equal_alive = false;
+  ++current_stamp_;
+  for (int dim = 0; dim < k_ && !found_equal_alive; ++dim) {
+    const auto& slab =
+        slabs_[static_cast<size_t>(dim)][static_cast<size_t>(coords[dim])];
+    for (CellIndex pc : slab) {
+      if (visit_stamp_[static_cast<size_t>(pc)] == current_stamp_) continue;
+      visit_stamp_[static_cast<size_t>(pc)] = current_stamp_;
+      const int32_t s = slot(pc);
+      if (s < 0) continue;
+      const CellData& cell = cells_[static_cast<size_t>(s)];
+      if (cell.alive_count == 0) continue;
+      if (!CoordsLeq(cell.coords.data(), coords.data(), k_)) continue;
+      const bool own_cell = pc == c;
+      const size_t kk = static_cast<size_t>(k_);
+      for (size_t i = 0; i < cell.ids.size(); ++i) {
+        if (!cell.alive[i]) continue;
+        if (own_cell) {
+          DomResult r = CompareMin(cell.values.data() + i * kk, values, k_,
+                                   &dom_counter_);
+          if (r == DomResult::kLeftDominates) {
+            ++stats_->tuples_dominated_on_insert;
+            return InsertOutcome::kDominated;
+          }
+          if (r == DomResult::kEqual) {
+            found_equal_alive = true;
+            break;
+          }
+        } else if (DominatesMin(cell.values.data() + i * kk, values, k_,
+                                &dom_counter_)) {
+          ++stats_->tuples_dominated_on_insert;
+          return InsertOutcome::kDominated;
+        }
+      }
+      if (found_equal_alive) break;
+    }
+  }
+
+  // Evict live tuples the new one dominates: populated cells p with
+  // p >= coords in every dimension (again, sharing a coordinate; strictly
+  // greater cells are killed wholesale when this cell first populates).
+  if (!found_equal_alive) {
+    ++current_stamp_;
+    for (int dim = 0; dim < k_; ++dim) {
+      const auto& slab =
+          slabs_[static_cast<size_t>(dim)][static_cast<size_t>(coords[dim])];
+      for (CellIndex pc : slab) {
+        if (visit_stamp_[static_cast<size_t>(pc)] == current_stamp_) continue;
+        visit_stamp_[static_cast<size_t>(pc)] = current_stamp_;
+        const int32_t s = slot(pc);
+        if (s < 0) continue;
+        CellData& cell = cells_[static_cast<size_t>(s)];
+        if (cell.alive_count == 0) continue;
+        if (emitted_[static_cast<size_t>(pc)]) continue;
+        if (!CoordsLeq(coords.data(), cell.coords.data(), k_)) continue;
+        const size_t kk = static_cast<size_t>(k_);
+        for (size_t i = 0; i < cell.ids.size(); ++i) {
+          if (!cell.alive[i]) continue;
+          if (DominatesMin(values, cell.values.data() + i * kk, k_,
+                           &dom_counter_)) {
+            cell.alive[i] = 0;
+            --cell.alive_count;
+            ++cell.dead_count;
+            ++stats_->tuples_evicted;
+          }
+        }
+        if (cell.dead_count > cell.ids.size() / 2) cell.Compact(k_);
+      }
+    }
+  }
+
+  // Insert.
+  CellData* cell = EnsureCell(c, coords.data());
+  const bool newly_populated = cell->alive_count == 0 && cell->ids.empty();
+  cell->values.insert(cell->values.end(), values, values + k_);
+  cell->ids.push_back(CellTupleIds{r_id, t_id});
+  cell->alive.push_back(1);
+  ++cell->alive_count;
+  if (newly_populated) OnCellPopulated(c, coords.data());
+  return InsertOutcome::kInserted;
+}
+
+void OutputTable::FlushCell(CellIndex c, std::vector<double>* values_out,
+                            std::vector<CellTupleIds>* ids_out) {
+  assert(!emitted_[static_cast<size_t>(c)]);
+  assert(!marked_[static_cast<size_t>(c)]);
+  emitted_[static_cast<size_t>(c)] = 1;
+  const int32_t s = slot(c);
+  if (s < 0) return;
+  CellData& cell = cells_[static_cast<size_t>(s)];
+  const size_t kk = static_cast<size_t>(k_);
+  for (size_t i = 0; i < cell.ids.size(); ++i) {
+    if (!cell.alive[i]) continue;
+    values_out->insert(values_out->end(),
+                       cell.values.begin() + static_cast<ptrdiff_t>(i * kk),
+                       cell.values.begin() + static_cast<ptrdiff_t>((i + 1) * kk));
+    ids_out->push_back(cell.ids[i]);
+  }
+}
+
+std::vector<CellIndex> OutputTable::DrainMarkedEvents() {
+  std::vector<CellIndex> out;
+  out.swap(marked_events_);
+  return out;
+}
+
+std::vector<CellIndex> OutputTable::PopulatedCells() const {
+  std::vector<CellIndex> out;
+  for (const CellData& cell : cells_) {
+    if (cell.alive_count == 0) continue;
+    out.push_back(geometry_.IndexOf(cell.coords.data()));
+  }
+  return out;
+}
+
+}  // namespace progxe

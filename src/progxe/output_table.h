@@ -1,0 +1,157 @@
+// Runtime state of the output partition grid: per-cell region coverage,
+// non-contributing marks, live intermediate tuples, and the populated-cell
+// frontier. Implements tuple-level processing (Section III-B): join results
+// fight only tuples mapped to their *comparable slice* of partitions, and
+// whole partitions are discarded by cell-level domination.
+//
+// Cell-level soundness relies on half-open grid cells (see
+// grid/grid_geometry.h): a populated cell strictly below another cell in
+// every coordinate dominates *all* of that cell's present and future tuples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid_geometry.h"
+#include "outputspace/region.h"
+#include "prefs/dominance.h"
+#include "progxe/config.h"
+
+namespace progxe {
+
+/// Outcome of inserting one join result.
+enum class InsertOutcome : uint8_t {
+  /// Discarded: mapped to a cell marked non-contributing at look-ahead or
+  /// killed at runtime.
+  kDiscardedMarked,
+  /// Discarded: cell strictly dominated by a populated cell (frontier).
+  kDiscardedFrontier,
+  /// Discarded: dominated by a live tuple in the comparable slice.
+  kDominated,
+  /// Inserted and currently alive.
+  kInserted,
+};
+
+/// A live intermediate result within a cell.
+struct CellTupleIds {
+  RowId r;
+  RowId t;
+};
+
+class OutputTable {
+ public:
+  /// `marked` is the look-ahead marking (moved in); `k` output dims.
+  OutputTable(GridGeometry geometry, std::vector<uint8_t> marked,
+              ProgXeStats* stats);
+
+  const GridGeometry& geometry() const { return geometry_; }
+  int dims() const { return geometry_.dimensions(); }
+
+  // --- Region coverage (RegCount of Algorithm 2) ---------------------------
+
+  /// Adds every active region's box to the coverage counts.
+  void InitCoverage(const std::vector<Region>& regions);
+
+  /// Removes a region's box from coverage (it completed or was discarded).
+  /// Returns the cells whose count reached zero ("settled" cells).
+  std::vector<CellIndex> ReleaseRegionCoverage(const Region& region);
+
+  int32_t reg_count(CellIndex c) const {
+    return reg_count_[static_cast<size_t>(c)];
+  }
+
+  // --- Tuple-level processing ----------------------------------------------
+
+  /// Inserts one join result with canonical output vector `values[0..k)`.
+  InsertOutcome Insert(const double* values, RowId r_id, RowId t_id);
+
+  // --- Cell predicates -----------------------------------------------------
+
+  bool marked(CellIndex c) const { return marked_[static_cast<size_t>(c)] != 0; }
+  bool emitted(CellIndex c) const {
+    return emitted_[static_cast<size_t>(c)] != 0;
+  }
+  /// True iff the cell holds at least one live tuple.
+  bool populated(CellIndex c) const;
+  /// Number of live tuples in the cell.
+  size_t AliveCount(CellIndex c) const;
+
+  /// True iff some populated cell is strictly below `coords` in every
+  /// dimension (i.e. every tuple of this cell is dominated).
+  bool FrontierStrictlyDominates(const CellCoord* coords) const;
+
+  /// True iff some populated cell is strictly below the given region's
+  /// lower cell in every dimension — the runtime region-discard test
+  /// (Algorithm 1, line 9).
+  bool RegionDominatedByFrontier(const Region& region) const;
+
+  // --- Flushing ------------------------------------------------------------
+
+  /// Marks the cell emitted and appends its live tuples (canonical values +
+  /// ids) to the output vectors. Tuples stay resident afterwards: emitted
+  /// tuples are final skyline members and still serve as dominators for
+  /// later arrivals.
+  void FlushCell(CellIndex c, std::vector<double>* values_out,
+                 std::vector<CellTupleIds>* ids_out);
+
+  /// Cells killed (marked) at runtime since the last drain; the caller
+  /// (ProgDetermine) must drop them from its pending set.
+  std::vector<CellIndex> DrainMarkedEvents();
+
+  /// All cells currently holding live tuples (diagnostic / final sweep).
+  std::vector<CellIndex> PopulatedCells() const;
+
+  DomCounter* dom_counter() { return &dom_counter_; }
+
+ private:
+  struct CellData {
+    std::vector<double> values;     // flat, k per tuple
+    std::vector<CellTupleIds> ids;  // parallel to values
+    std::vector<uint8_t> alive;     // parallel
+    std::vector<CellCoord> coords;  // this cell's grid coordinates
+    size_t alive_count = 0;
+    size_t dead_count = 0;
+
+    void Compact(int k);
+  };
+
+  /// Slot of a cell in cells_, or -1.
+  int32_t slot(CellIndex c) const { return cell_slot_[static_cast<size_t>(c)]; }
+
+  /// Ensures a CellData exists for the (about-to-be-populated) cell.
+  CellData* EnsureCell(CellIndex c, const CellCoord* coords);
+
+  /// Registers a newly populated cell: slab lists, frontier update, and
+  /// eager kill of populated cells strictly above it.
+  void OnCellPopulated(CellIndex c, const CellCoord* coords);
+
+  /// Kills a cell: drops its live tuples and marks it non-contributing.
+  void KillCell(CellIndex c);
+
+  void UpdateFrontier(const CellCoord* coords);
+
+  GridGeometry geometry_;
+  int k_;
+  ProgXeStats* stats_;
+  DomCounter dom_counter_;
+
+  std::vector<int32_t> reg_count_;
+  std::vector<uint8_t> marked_;
+  std::vector<uint8_t> emitted_;
+  std::vector<int32_t> cell_slot_;
+  std::vector<CellData> cells_;
+
+  // slabs_[dim][coord]: indices of populated cells with coords[dim]==coord.
+  std::vector<std::vector<std::vector<CellIndex>>> slabs_;
+
+  // Pareto-minimal coordinates of populated cells (flat, k_ per entry).
+  std::vector<CellCoord> frontier_;
+
+  // Per-scan visit de-duplication stamps.
+  std::vector<uint32_t> visit_stamp_;
+  uint32_t current_stamp_ = 0;
+
+  std::vector<CellIndex> marked_events_;
+};
+
+}  // namespace progxe

@@ -1,0 +1,593 @@
+#include "query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/macros.h"
+
+namespace progxe {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kComma,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kEquals,
+  kLParen,
+  kRParen,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // identifier (upper-cased copy in `upper`)
+  std::string upper;  // for keyword checks
+  double number = 0.0;
+  size_t offset = 0;  // for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " (near offset " +
+                                   std::to_string(current_.offset) + ")");
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token();
+    current_.offset = pos_;
+    if (pos_ >= text_.size()) {
+      current_.kind = TokKind::kEnd;
+      return;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case ',':
+        current_.kind = TokKind::kComma;
+        ++pos_;
+        return;
+      case '.':
+        current_.kind = TokKind::kDot;
+        ++pos_;
+        return;
+      case '*':
+        current_.kind = TokKind::kStar;
+        ++pos_;
+        return;
+      case '+':
+        current_.kind = TokKind::kPlus;
+        ++pos_;
+        return;
+      case '-':
+        current_.kind = TokKind::kMinus;
+        ++pos_;
+        return;
+      case '=':
+        current_.kind = TokKind::kEquals;
+        ++pos_;
+        return;
+      case '(':
+        current_.kind = TokKind::kLParen;
+        ++pos_;
+        return;
+      case ')':
+        current_.kind = TokKind::kRParen;
+        ++pos_;
+        return;
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E' ||
+              ((text_[end] == '+' || text_[end] == '-') && end > pos_ &&
+               (text_[end - 1] == 'e' || text_[end - 1] == 'E')))) {
+        ++end;
+      }
+      current_.kind = TokKind::kNumber;
+      current_.number = std::atof(text_.substr(pos_, end - pos_).c_str());
+      pos_ = end;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '_')) {
+        ++end;
+      }
+      current_.kind = TokKind::kIdent;
+      current_.text = text_.substr(pos_, end - pos_);
+      current_.upper = current_.text;
+      std::transform(current_.upper.begin(), current_.upper.end(),
+                     current_.upper.begin(),
+                     [](unsigned char ch) { return std::toupper(ch); });
+      pos_ = end;
+      return;
+    }
+    // Unknown character; represent as end so the parser reports an error.
+    current_.kind = TokKind::kEnd;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(const std::string& text,
+         const std::map<std::string, const Schema*>& catalog)
+      : lexer_(text), catalog_(catalog) {}
+
+  Result<ParsedQuery> Parse() {
+    PROGXE_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    // FROM must be parsed before select expressions can resolve aliases, so
+    // scan ahead is avoided by parsing select items into an untyped form?
+    // Simpler: the grammar is LL(1) if we parse select items lazily — but
+    // alias resolution needs FROM. We instead parse the select list
+    // *syntactically* first, then FROM, then resolve.
+    PROGXE_RETURN_NOT_OK(ParseSelectListSyntax());
+    PROGXE_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    PROGXE_RETURN_NOT_OK(ParseFromList());
+    PROGXE_RETURN_NOT_OK(ExpectKeyword("WHERE"));
+    PROGXE_RETURN_NOT_OK(ParseJoinCondition());
+    PROGXE_RETURN_NOT_OK(ExpectKeyword("PREFERRING"));
+    PROGXE_RETURN_NOT_OK(ParsePreferences());
+    if (lexer_.Peek().kind != TokKind::kEnd) {
+      return lexer_.Error("unexpected trailing input");
+    }
+    PROGXE_RETURN_NOT_OK(ResolveSelectList());
+    PROGXE_RETURN_NOT_OK(ResolvePreferences());
+    return std::move(query_);
+  }
+
+ private:
+  // --- Syntactic select-list capture ---------------------------------------
+
+  struct RawTerm {
+    double weight = 1.0;
+    std::string alias;  // empty => constant
+    std::string attr;
+  };
+  struct RawExpr {
+    std::vector<RawTerm> terms;
+    double constant = 0.0;
+    Transform transform = Transform::kIdentity;
+  };
+  struct RawSelectItem {
+    bool is_id = false;
+    std::string alias;  // for is_id items
+    RawExpr expr;
+    std::string name;  // AS name
+  };
+
+  Status ExpectKeyword(const std::string& kw) {
+    const Token& t = lexer_.Peek();
+    if (t.kind != TokKind::kIdent || t.upper != kw) {
+      return lexer_.Error("expected keyword " + kw);
+    }
+    lexer_.Take();
+    return Status::OK();
+  }
+
+  bool PeekKeyword(const std::string& kw) const {
+    const Token& t = lexer_.Peek();
+    return t.kind == TokKind::kIdent && t.upper == kw;
+  }
+
+  Status ParseSelectListSyntax() {
+    for (;;) {
+      RawSelectItem item;
+      PROGXE_RETURN_NOT_OK(ParseSelectItem(&item));
+      select_items_.push_back(std::move(item));
+      if (lexer_.Peek().kind == TokKind::kComma) {
+        lexer_.Take();
+        continue;
+      }
+      break;
+    }
+    if (select_items_.empty()) {
+      return Status::InvalidArgument("empty select list");
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectItem(RawSelectItem* item) {
+    // alias '.' id  — peek two tokens ahead is awkward; parse an expr and
+    // detect the id special case: a bare `alias . id` with no AS clause.
+    const Token& t = lexer_.Peek();
+    if (t.kind == TokKind::kIdent && !IsTransformName(t.upper) &&
+        t.upper != "AS") {
+      // Could be `alias.id` or the first term of an expression.
+      Token ident = lexer_.Take();
+      if (lexer_.Peek().kind == TokKind::kDot) {
+        lexer_.Take();
+        const Token attr = lexer_.Take();
+        if (attr.kind != TokKind::kIdent) {
+          return lexer_.Error("expected attribute after '.'");
+        }
+        if (attr.upper == "ID" && !PeekKeyword("AS") &&
+            lexer_.Peek().kind != TokKind::kPlus &&
+            lexer_.Peek().kind != TokKind::kMinus) {
+          item->is_id = true;
+          item->alias = ident.text;
+          return Status::OK();
+        }
+        // Not an id passthrough: it is the first term `alias.attr ...`.
+        RawExpr expr;
+        expr.terms.push_back(RawTerm{1.0, ident.text, attr.text});
+        PROGXE_RETURN_NOT_OK(ParseExprTail(&expr));
+        return FinishSelectExpr(std::move(expr), item);
+      }
+      return lexer_.Error("expected '.' after identifier in select list");
+    }
+    RawExpr expr;
+    PROGXE_RETURN_NOT_OK(ParseExpr(&expr));
+    return FinishSelectExpr(std::move(expr), item);
+  }
+
+  Status FinishSelectExpr(RawExpr expr, RawSelectItem* item) {
+    PROGXE_RETURN_NOT_OK(ExpectKeyword("AS"));
+    const Token name = lexer_.Take();
+    if (name.kind != TokKind::kIdent) {
+      return lexer_.Error("expected output name after AS");
+    }
+    item->is_id = false;
+    item->expr = std::move(expr);
+    item->name = name.text;
+    return Status::OK();
+  }
+
+  static bool IsTransformName(const std::string& upper) {
+    return upper == "LOG1P" || upper == "SQRT" || upper == "SAT";
+  }
+
+  Status ParseExpr(RawExpr* expr) {
+    const Token& t = lexer_.Peek();
+    if (t.kind == TokKind::kIdent && IsTransformName(t.upper)) {
+      const Token fn = lexer_.Take();
+      if (lexer_.Take().kind != TokKind::kLParen) {
+        return lexer_.Error("expected '(' after " + fn.text);
+      }
+      PROGXE_RETURN_NOT_OK(ParseExpr(expr));
+      if (lexer_.Take().kind != TokKind::kRParen) {
+        return lexer_.Error("expected ')' closing " + fn.text);
+      }
+      if (fn.upper == "LOG1P") expr->transform = Transform::kLog1p;
+      if (fn.upper == "SQRT") expr->transform = Transform::kSqrt;
+      if (fn.upper == "SAT") expr->transform = Transform::kSaturating;
+      return Status::OK();
+    }
+    const bool parenthesized = t.kind == TokKind::kLParen;
+    if (parenthesized) lexer_.Take();
+    PROGXE_RETURN_NOT_OK(ParseTerm(expr, /*negate=*/false));
+    PROGXE_RETURN_NOT_OK(ParseExprTail(expr));
+    if (parenthesized) {
+      if (lexer_.Take().kind != TokKind::kRParen) {
+        return lexer_.Error("expected ')'");
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseExprTail(RawExpr* expr) {
+    for (;;) {
+      const TokKind kind = lexer_.Peek().kind;
+      if (kind == TokKind::kPlus) {
+        lexer_.Take();
+        PROGXE_RETURN_NOT_OK(ParseTerm(expr, /*negate=*/false));
+      } else if (kind == TokKind::kMinus) {
+        lexer_.Take();
+        PROGXE_RETURN_NOT_OK(ParseTerm(expr, /*negate=*/true));
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status ParseTerm(RawExpr* expr, bool negate) {
+    const double sign = negate ? -1.0 : 1.0;
+    Token t = lexer_.Take();
+    if (t.kind == TokKind::kNumber) {
+      if (lexer_.Peek().kind == TokKind::kStar) {
+        lexer_.Take();
+        const Token alias = lexer_.Take();
+        if (alias.kind != TokKind::kIdent ||
+            lexer_.Take().kind != TokKind::kDot) {
+          return lexer_.Error("expected alias.attr after '*'");
+        }
+        const Token attr = lexer_.Take();
+        if (attr.kind != TokKind::kIdent) {
+          return lexer_.Error("expected attribute after '.'");
+        }
+        expr->terms.push_back(
+            RawTerm{sign * t.number, alias.text, attr.text});
+        return Status::OK();
+      }
+      expr->constant += sign * t.number;
+      return Status::OK();
+    }
+    if (t.kind == TokKind::kIdent) {
+      if (lexer_.Take().kind != TokKind::kDot) {
+        return lexer_.Error("expected '.' after alias " + t.text);
+      }
+      const Token attr = lexer_.Take();
+      if (attr.kind != TokKind::kIdent) {
+        return lexer_.Error("expected attribute after '.'");
+      }
+      expr->terms.push_back(RawTerm{sign, t.text, attr.text});
+      return Status::OK();
+    }
+    return lexer_.Error("expected term");
+  }
+
+  // --- FROM / WHERE / PREFERRING -------------------------------------------
+
+  Status ParseFromList() {
+    auto one = [&](std::string* table, std::string* alias) -> Status {
+      const Token t = lexer_.Take();
+      if (t.kind != TokKind::kIdent) return lexer_.Error("expected table");
+      *table = t.text;
+      const Token a = lexer_.Take();
+      if (a.kind != TokKind::kIdent) return lexer_.Error("expected alias");
+      *alias = a.text;
+      return Status::OK();
+    };
+    PROGXE_RETURN_NOT_OK(one(&query_.r_table, &query_.r_alias));
+    if (lexer_.Take().kind != TokKind::kComma) {
+      return lexer_.Error("SkyMapJoin queries take exactly two sources");
+    }
+    PROGXE_RETURN_NOT_OK(one(&query_.t_table, &query_.t_alias));
+    if (query_.r_alias == query_.t_alias) {
+      return Status::InvalidArgument("source aliases must differ");
+    }
+    return Status::OK();
+  }
+
+  Status ParseJoinCondition() {
+    auto side = [&](std::string* alias, std::string* attr) -> Status {
+      const Token a = lexer_.Take();
+      if (a.kind != TokKind::kIdent || lexer_.Take().kind != TokKind::kDot) {
+        return lexer_.Error("expected alias.attr in join condition");
+      }
+      const Token at = lexer_.Take();
+      if (at.kind != TokKind::kIdent) {
+        return lexer_.Error("expected attribute in join condition");
+      }
+      *alias = a.text;
+      *attr = at.text;
+      return Status::OK();
+    };
+    std::string la, lattr, ra, rattr;
+    PROGXE_RETURN_NOT_OK(side(&la, &lattr));
+    if (lexer_.Take().kind != TokKind::kEquals) {
+      return lexer_.Error("expected '=' in join condition");
+    }
+    PROGXE_RETURN_NOT_OK(side(&ra, &rattr));
+    if (la == query_.r_alias && ra == query_.t_alias) {
+      query_.r_join_attr = lattr;
+      query_.t_join_attr = rattr;
+    } else if (la == query_.t_alias && ra == query_.r_alias) {
+      query_.r_join_attr = rattr;
+      query_.t_join_attr = lattr;
+    } else {
+      return Status::InvalidArgument(
+          "join condition must reference both source aliases");
+    }
+    return Status::OK();
+  }
+
+  Status ParsePreferences() {
+    for (;;) {
+      const Token dir = lexer_.Take();
+      if (dir.kind != TokKind::kIdent ||
+          (dir.upper != "LOWEST" && dir.upper != "HIGHEST")) {
+        return lexer_.Error("expected LOWEST or HIGHEST");
+      }
+      if (lexer_.Take().kind != TokKind::kLParen) {
+        return lexer_.Error("expected '(' after preference direction");
+      }
+      const Token name = lexer_.Take();
+      if (name.kind != TokKind::kIdent) {
+        return lexer_.Error("expected output name in preference");
+      }
+      if (lexer_.Take().kind != TokKind::kRParen) {
+        return lexer_.Error("expected ')' in preference");
+      }
+      pref_names_.push_back(name.text);
+      pref_dirs_.push_back(dir.upper == "LOWEST" ? Direction::kLowest
+                                                 : Direction::kHighest);
+      if (PeekKeyword("AND")) {
+        lexer_.Take();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  // --- Resolution ------------------------------------------------------------
+
+  Result<const Schema*> SchemaFor(const std::string& table) const {
+    auto it = catalog_.find(table);
+    if (it == catalog_.end()) {
+      return Status::NotFound("table '" + table + "' not in catalog");
+    }
+    return it->second;
+  }
+
+  Status ResolveSelectList() {
+    PROGXE_ASSIGN_OR_RETURN(const Schema* r_schema,
+                            SchemaFor(query_.r_table));
+    PROGXE_ASSIGN_OR_RETURN(const Schema* t_schema,
+                            SchemaFor(query_.t_table));
+    std::vector<MapFunc> funcs;
+    for (const RawSelectItem& item : select_items_) {
+      if (item.is_id) {
+        if (item.alias == query_.r_alias) {
+          query_.select_r_id = true;
+        } else if (item.alias == query_.t_alias) {
+          query_.select_t_id = true;
+        } else {
+          return Status::InvalidArgument("unknown alias '" + item.alias +
+                                         "' in select list");
+        }
+        continue;
+      }
+      std::vector<MapTerm> terms;
+      for (const RawTerm& raw : item.expr.terms) {
+        Side side;
+        const Schema* schema;
+        if (raw.alias == query_.r_alias) {
+          side = Side::kR;
+          schema = r_schema;
+        } else if (raw.alias == query_.t_alias) {
+          side = Side::kT;
+          schema = t_schema;
+        } else {
+          return Status::InvalidArgument("unknown alias '" + raw.alias +
+                                         "' in expression");
+        }
+        PROGXE_ASSIGN_OR_RETURN(int index, schema->IndexOf(raw.attr));
+        terms.push_back(MapTerm{side, index, raw.weight});
+      }
+      funcs.push_back(MapFunc(std::move(terms), item.expr.constant,
+                              item.expr.transform, item.name));
+      query_.output_names.push_back(item.name);
+    }
+    if (funcs.empty()) {
+      return Status::InvalidArgument(
+          "select list has no mapped outputs (nothing to prefer over)");
+    }
+    query_.map = MapSpec(std::move(funcs));
+    return Status::OK();
+  }
+
+  Status ResolvePreferences() {
+    // PREFERRING must name exactly the mapped outputs; reorder directions
+    // into select-list order.
+    if (pref_names_.size() != query_.output_names.size()) {
+      return Status::InvalidArgument(
+          "PREFERRING must name every mapped output exactly once");
+    }
+    std::vector<Direction> dirs(query_.output_names.size());
+    std::vector<bool> used(pref_names_.size(), false);
+    for (size_t out = 0; out < query_.output_names.size(); ++out) {
+      bool found = false;
+      for (size_t p = 0; p < pref_names_.size(); ++p) {
+        if (!used[p] && pref_names_[p] == query_.output_names[out]) {
+          dirs[out] = pref_dirs_[p];
+          used[p] = true;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument("output '" +
+                                       query_.output_names[out] +
+                                       "' missing from PREFERRING");
+      }
+    }
+    query_.pref = Preference(std::move(dirs));
+    return Status::OK();
+  }
+
+  Lexer lexer_;
+  const std::map<std::string, const Schema*>& catalog_;
+  ParsedQuery query_;
+  std::vector<RawSelectItem> select_items_;
+  std::vector<std::string> pref_names_;
+  std::vector<Direction> pref_dirs_;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseSmjQuery(
+    const std::string& text,
+    const std::map<std::string, const Schema*>& catalog) {
+  Parser parser(text, catalog);
+  return parser.Parse();
+}
+
+Result<SkyMapJoinQuery> BindQuery(
+    const ParsedQuery& parsed,
+    const std::map<std::string, const Relation*>& tables) {
+  auto find = [&](const std::string& name) -> Result<const Relation*> {
+    auto it = tables.find(name);
+    if (it == tables.end()) {
+      return Status::NotFound("relation '" + name + "' not bound");
+    }
+    return it->second;
+  };
+  PROGXE_ASSIGN_OR_RETURN(const Relation* r, find(parsed.r_table));
+  PROGXE_ASSIGN_OR_RETURN(const Relation* t, find(parsed.t_table));
+
+  // The join condition must use each relation's join attribute: tuples only
+  // carry one join key column.
+  if (parsed.r_join_attr != r->schema().join_name()) {
+    return Status::InvalidArgument(
+        "join attribute '" + parsed.r_join_attr + "' is not " +
+        parsed.r_table + "'s join column ('" + r->schema().join_name() +
+        "')");
+  }
+  if (parsed.t_join_attr != t->schema().join_name()) {
+    return Status::InvalidArgument(
+        "join attribute '" + parsed.t_join_attr + "' is not " +
+        parsed.t_table + "'s join column ('" + t->schema().join_name() +
+        "')");
+  }
+
+  SkyMapJoinQuery query;
+  query.r = r;
+  query.t = t;
+  query.map = parsed.map;
+  query.pref = parsed.pref;
+  PROGXE_RETURN_NOT_OK(
+      query.map.Validate(r->num_attributes(), t->num_attributes()));
+  return query;
+}
+
+Result<SkyMapJoinQuery> CompileSmjQuery(
+    const std::string& text,
+    const std::map<std::string, const Relation*>& tables) {
+  std::map<std::string, const Schema*> catalog;
+  for (const auto& [name, rel] : tables) {
+    catalog[name] = &rel->schema();
+  }
+  PROGXE_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseSmjQuery(text, catalog));
+  return BindQuery(parsed, tables);
+}
+
+}  // namespace progxe

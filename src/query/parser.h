@@ -1,0 +1,81 @@
+// Textual interface for SkyMapJoin queries, in the paper's own syntax
+// (Figure 1.a / query Q1):
+//
+//   SELECT R.id, T.id,
+//          (R.uPrice + T.uShipCost)     AS tCost,
+//          (2 * R.manTime + T.shipTime) AS delay
+//   FROM   Suppliers R, Transporters T
+//   WHERE  R.country = T.country
+//   PREFERRING LOWEST(tCost) AND LOWEST(delay)
+//
+// Supported grammar (case-insensitive keywords):
+//
+//   query      := SELECT select_list FROM from_list WHERE join_cond
+//                 PREFERRING pref_list
+//   select_list:= select_item (',' select_item)*
+//   select_item:= alias '.' 'id'                    -- id passthrough
+//               | expr AS ident                     -- mapped output
+//   expr       := ['('] term (('+'|'-') term)* [')']
+//               | func '(' expr ')'                 -- LOG1P, SQRT, SAT
+//   term       := [number '*'] alias '.' ident | number
+//   from_list  := table alias ',' table alias
+//   join_cond  := alias '.' ident '=' alias '.' ident
+//   pref_list  := pref (AND pref)*
+//   pref       := (LOWEST | HIGHEST) '(' ident ')'
+//
+// Expressions must be *separable* (linear in the two sources' attributes,
+// optionally wrapped in one monotone function) — exactly the MapFunc class
+// of mapping/map_expr.h. Every output named in PREFERRING must be a
+// select-list alias and vice versa.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/relation.h"
+#include "mapping/map_expr.h"
+#include "prefs/preference.h"
+#include "progxe/executor.h"
+
+namespace progxe {
+
+/// A parsed (but not yet bound) SMJ query.
+struct ParsedQuery {
+  /// FROM entries, in order: (table name, alias).
+  std::string r_table;
+  std::string r_alias;
+  std::string t_table;
+  std::string t_alias;
+  /// Join condition attribute names, per side.
+  std::string r_join_attr;
+  std::string t_join_attr;
+  /// Mapped outputs in select-list order (names match `pref` order).
+  std::vector<std::string> output_names;
+  MapSpec map;
+  Preference pref;
+  /// True iff "alias.id" appeared in the select list for each side.
+  bool select_r_id = false;
+  bool select_t_id = false;
+};
+
+/// Parses query text. Attribute indices inside the MapSpec refer to the
+/// catalog schemas, which must therefore be supplied here.
+Result<ParsedQuery> ParseSmjQuery(
+    const std::string& text,
+    const std::map<std::string, const Schema*>& catalog);
+
+/// Binds a parsed query against concrete relations (keyed by *table name*)
+/// into an executable SkyMapJoinQuery. Validates that the join condition
+/// uses each relation's join attribute.
+Result<SkyMapJoinQuery> BindQuery(
+    const ParsedQuery& parsed,
+    const std::map<std::string, const Relation*>& tables);
+
+/// One-call convenience: parse + bind.
+Result<SkyMapJoinQuery> CompileSmjQuery(
+    const std::string& text,
+    const std::map<std::string, const Relation*>& tables);
+
+}  // namespace progxe

@@ -1,0 +1,25 @@
+// Divide-and-conquer skyline (Börzsönyi et al., ICDE 2001; after Kung,
+// Luccio & Preparata's maxima algorithm).
+//
+// Recursively splits the point set at a rotating median, computes both
+// halves' skylines, and cross-filters the survivors. This implementation
+// favours exactness (ties included) over the textbook's asymptotics — the
+// final cross-filter is quadratic in the skyline size — and serves as an
+// independently derived oracle alongside SkylineReference: two unrelated
+// algorithms agreeing on random inputs is strong evidence for both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prefs/dominance.h"
+#include "skyline/skyline.h"
+
+namespace progxe {
+
+/// Returns the indices of all non-dominated points (ascending order).
+/// Minimize-all canonical form, equal points all retained.
+std::vector<uint32_t> SkylineDivideConquer(const PointView& points,
+                                           DomCounter* counter = nullptr);
+
+}  // namespace progxe

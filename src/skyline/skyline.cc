@@ -1,0 +1,140 @@
+#include "skyline/skyline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace progxe {
+
+std::vector<uint32_t> SkylineReference(const PointView& points,
+                                       DomCounter* counter) {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < points.n; ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < points.n && !dominated; ++j) {
+      if (j == i) continue;
+      dominated = DominatesMin(points.point(j), points.point(i), points.k,
+                               counter);
+    }
+    if (!dominated) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+std::vector<uint32_t> SkylineBNL(const PointView& points, DomCounter* counter) {
+  // Window of candidate skyline indices; a new point fights the window.
+  std::vector<uint32_t> window;
+  for (size_t i = 0; i < points.n; ++i) {
+    const double* p = points.point(i);
+    bool dominated = false;
+    size_t w = 0;
+    for (size_t j = 0; j < window.size(); ++j) {
+      const double* q = points.point(window[j]);
+      DomResult r = CompareMin(q, p, points.k, counter);
+      if (r == DomResult::kLeftDominates) {
+        dominated = true;
+        // Keep the rest of the window intact.
+        for (size_t rest = j; rest < window.size(); ++rest) {
+          window[w++] = window[rest];
+        }
+        break;
+      }
+      if (r != DomResult::kRightDominates) {
+        window[w++] = window[j];  // q survives p
+      }
+      // else: q is dominated by p and is dropped.
+    }
+    window.resize(w);
+    if (!dominated) window.push_back(static_cast<uint32_t>(i));
+  }
+  return window;
+}
+
+std::vector<uint32_t> SkylineSFS(const PointView& points, DomCounter* counter) {
+  // Order by ascending coordinate sum: if p dominates q then sum(p) < sum(q),
+  // so dominators always precede their victims and window entries are never
+  // evicted.
+  std::vector<uint32_t> order(points.n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<double> sums(points.n, 0.0);
+  for (size_t i = 0; i < points.n; ++i) {
+    const double* p = points.point(i);
+    double s = 0.0;
+    for (int d = 0; d < points.k; ++d) s += p[d];
+    sums[i] = s;
+  }
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (sums[a] != sums[b]) return sums[a] < sums[b];
+    return a < b;
+  });
+
+  std::vector<uint32_t> window;
+  for (uint32_t idx : order) {
+    const double* p = points.point(idx);
+    bool dominated = false;
+    for (uint32_t w : window) {
+      if (DominatesMin(points.point(w), p, points.k, counter)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) window.push_back(idx);
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+std::vector<uint32_t> Skyline(const PointView& points, const Preference& pref,
+                              DomCounter* counter) {
+  assert(pref.dimensions() == points.k);
+  if (pref.IsAllLowest()) return SkylineSFS(points, counter);
+  // Canonicalize into a scratch buffer, then run the minimize-all algorithm.
+  std::vector<double> canon(points.n * static_cast<size_t>(points.k));
+  for (size_t i = 0; i < points.n; ++i) {
+    const double* p = points.point(i);
+    for (int d = 0; d < points.k; ++d) {
+      canon[i * static_cast<size_t>(points.k) + static_cast<size_t>(d)] =
+          pref.Canonicalize(d, p[d]);
+    }
+  }
+  PointView canon_view{canon.data(), points.n, points.k};
+  return SkylineSFS(canon_view, counter);
+}
+
+bool SkylineWindow::Insert(const double* p, uint64_t payload,
+                           DomCounter* counter) {
+  size_t w = 0;
+  const size_t k = static_cast<size_t>(k_);
+  for (size_t j = 0; j < payloads_.size(); ++j) {
+    const double* q = points_.data() + j * k;
+    DomResult r = CompareMin(q, p, k_, counter);
+    if (r == DomResult::kLeftDominates) {
+      // p loses; compact any holes created so far and bail.
+      if (w != j) {
+        for (size_t rest = j; rest < payloads_.size(); ++rest) {
+          std::copy(points_.data() + rest * k, points_.data() + (rest + 1) * k,
+                    points_.data() + w * k);
+          payloads_[w] = payloads_[rest];
+          ++w;
+        }
+        points_.resize(w * k);
+        payloads_.resize(w);
+      }
+      return false;
+    }
+    if (r != DomResult::kRightDominates) {
+      if (w != j) {
+        std::copy(q, q + k, points_.data() + w * k);
+        payloads_[w] = payloads_[j];
+      }
+      ++w;
+    }
+  }
+  points_.resize(w * k);
+  payloads_.resize(w);
+  points_.insert(points_.end(), p, p + k);
+  payloads_.push_back(payload);
+  return true;
+}
+
+}  // namespace progxe

@@ -1,0 +1,78 @@
+// Single-set skyline algorithms over flat point arrays.
+//
+// These are the substrate the blocking baselines (JF-SL, JF-SL+) are built
+// on, and the reference implementations our property tests validate every
+// progressive algorithm against. All functions operate on the canonical
+// minimize-all form; use the Preference overloads for raw values.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "prefs/dominance.h"
+#include "prefs/preference.h"
+
+namespace progxe {
+
+/// A flat set of n k-dimensional points: `data[i*k .. i*k+k)` is point i.
+struct PointView {
+  const double* data = nullptr;
+  size_t n = 0;
+  int k = 0;
+
+  const double* point(size_t i) const { return data + i * static_cast<size_t>(k); }
+};
+
+/// O(n^2) textbook skyline; the oracle for property tests. Returns the
+/// indices of all non-dominated points in input order. Points with exactly
+/// equal coordinates are all retained (neither dominates the other).
+std::vector<uint32_t> SkylineReference(const PointView& points,
+                                       DomCounter* counter = nullptr);
+
+/// Block-Nested-Loop skyline (Börzsönyi et al.) with an unbounded in-memory
+/// window. Returns indices of skyline points in window order.
+std::vector<uint32_t> SkylineBNL(const PointView& points,
+                                 DomCounter* counter = nullptr);
+
+/// Sort-Filter-Skyline (Chomicki et al.): points are scanned in a
+/// topological order of the dominance relation (ascending coordinate sum),
+/// so a point can only be dominated by points already in the window and the
+/// window is never purged. Typically far fewer comparisons than BNL on
+/// anti-correlated data.
+std::vector<uint32_t> SkylineSFS(const PointView& points,
+                                 DomCounter* counter = nullptr);
+
+/// Preference-aware convenience wrapper: canonicalizes `points` (given in
+/// user space) under `pref`, then runs SFS.
+std::vector<uint32_t> Skyline(const PointView& points, const Preference& pref,
+                              DomCounter* counter = nullptr);
+
+/// Incremental skyline window: maintains the skyline of all points inserted
+/// so far. Used by the blocking baselines' final phases.
+class SkylineWindow {
+ public:
+  explicit SkylineWindow(int k) : k_(k) {}
+
+  /// Inserts a point (canonical form). Returns true iff the point survives
+  /// (is not dominated by the current window); dominated incumbents are
+  /// evicted. `payload` is an opaque caller id carried with the point.
+  bool Insert(const double* p, uint64_t payload, DomCounter* counter = nullptr);
+
+  size_t size() const { return payloads_.size(); }
+  int dimensions() const { return k_; }
+
+  const double* point(size_t i) const {
+    return points_.data() + i * static_cast<size_t>(k_);
+  }
+  uint64_t payload(size_t i) const { return payloads_[i]; }
+
+  const std::vector<uint64_t>& payloads() const { return payloads_; }
+
+ private:
+  int k_;
+  std::vector<double> points_;     // flat, k_ per entry
+  std::vector<uint64_t> payloads_;
+};
+
+}  // namespace progxe

@@ -1,0 +1,160 @@
+// Tests for the state-of-the-art baselines: JF-SL, JF-SL+ and SSMJ.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/jf_sl.h"
+#include "baselines/ssmj.h"
+#include "harness/workload.h"
+#include "skyline/group_skyline.h"
+
+namespace progxe {
+namespace {
+
+Workload MakeWorkload(Distribution dist, size_t n, int d, double sigma,
+                      uint64_t seed = 77) {
+  WorkloadParams params;
+  params.distribution = dist;
+  params.cardinality = n;
+  params.dims = d;
+  params.sigma = sigma;
+  params.seed = seed;
+  return Workload::Make(params).MoveValue();
+}
+
+std::vector<std::pair<RowId, RowId>> Ids(
+    const std::vector<ResultTuple>& results) {
+  std::vector<std::pair<RowId, RowId>> ids;
+  for (const auto& r : results) ids.emplace_back(r.r_id, r.t_id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(JfSl, SingleBatchAtEnd) {
+  Workload w = MakeWorkload(Distribution::kIndependent, 500, 3, 0.02);
+  BaselineStats stats;
+  std::vector<ResultTuple> results;
+  ASSERT_TRUE(RunJfSl(w.query(), [&](const ResultTuple& r) {
+                results.push_back(r);
+              }, &stats)
+                  .ok());
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.results, results.size());
+  EXPECT_GT(stats.join_pairs, 0u);
+  EXPECT_EQ(stats.r_rows_used, 500u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(JfSlPlus, SameAnswerFewerJoinPairs) {
+  Workload w = MakeWorkload(Distribution::kCorrelated, 1000, 3, 0.02);
+  BaselineStats plain_stats;
+  BaselineStats plus_stats;
+  std::vector<ResultTuple> plain;
+  std::vector<ResultTuple> plus;
+  ASSERT_TRUE(RunJfSl(w.query(), [&](const ResultTuple& r) {
+                plain.push_back(r);
+              }, &plain_stats)
+                  .ok());
+  ASSERT_TRUE(RunJfSlPlus(w.query(), [&](const ResultTuple& r) {
+                plus.push_back(r);
+              }, &plus_stats)
+                  .ok());
+  EXPECT_EQ(Ids(plain), Ids(plus));
+  EXPECT_LT(plus_stats.join_pairs, plain_stats.join_pairs);
+  EXPECT_LT(plus_stats.r_rows_used, plain_stats.r_rows_used);
+}
+
+TEST(JfSl, RejectsInvalidQueries) {
+  SkyMapJoinQuery q;
+  EXPECT_TRUE(RunJfSl(q, [](const ResultTuple&) {}).IsInvalidArgument());
+  Workload w = MakeWorkload(Distribution::kIndependent, 50, 2, 0.1);
+  q = w.query();
+  q.pref = Preference::AllLowest(5);
+  EXPECT_TRUE(RunJfSl(q, [](const ResultTuple&) {}).IsInvalidArgument());
+}
+
+TEST(Ssmj, TwoBatchesAndCorrectFinalSet) {
+  Workload w = MakeWorkload(Distribution::kIndependent, 800, 3, 0.02);
+  BaselineStats jf_stats;
+  std::vector<ResultTuple> reference;
+  ASSERT_TRUE(RunJfSl(w.query(), [&](const ResultTuple& r) {
+                reference.push_back(r);
+              }, &jf_stats)
+                  .ok());
+
+  BaselineStats stats;
+  SsmjResult result;
+  std::vector<int> batch_marks;
+  size_t emitted_at_batch1 = 0;
+  std::vector<ResultTuple> emitted;
+  ASSERT_TRUE(RunSsmj(
+                  w.query(),
+                  [&](const ResultTuple& r) { emitted.push_back(r); }, &stats,
+                  &result,
+                  [&](int batch) {
+                    batch_marks.push_back(batch);
+                    if (batch == 1) emitted_at_batch1 = emitted.size();
+                  })
+                  .ok());
+  EXPECT_EQ(batch_marks, (std::vector<int>{1, 2}));
+  EXPECT_EQ(stats.batches, 2u);
+  // Final results are exactly the reference skyline.
+  EXPECT_EQ(Ids(result.final_results), Ids(reference));
+  // Batch 1 is whatever phase 1 produced.
+  EXPECT_EQ(result.batch1.size(), emitted_at_batch1);
+  // Accounting: emissions = final + early false positives.
+  EXPECT_EQ(emitted.size(),
+            result.final_results.size() + stats.early_false_positives);
+}
+
+TEST(Ssmj, SourcePruningBoundsJoinWork) {
+  Workload w = MakeWorkload(Distribution::kCorrelated, 1500, 4, 0.01);
+  BaselineStats ssmj_stats;
+  BaselineStats jf_stats;
+  ASSERT_TRUE(RunSsmj(w.query(), [](const ResultTuple&) {}, &ssmj_stats).ok());
+  ASSERT_TRUE(RunJfSl(w.query(), [](const ResultTuple&) {}, &jf_stats).ok());
+  EXPECT_LT(ssmj_stats.r_rows_used, 1500u);
+  EXPECT_LT(ssmj_stats.join_pairs, jf_stats.join_pairs);
+}
+
+TEST(Ssmj, BatchOneSubsetOfGroupListJoin) {
+  // Batch 1 must come from LS(S) x LS(S): every batch-1 result's rows are
+  // source-skyline members.
+  Workload w = MakeWorkload(Distribution::kAntiCorrelated, 400, 3, 0.05);
+  SsmjResult result;
+  ASSERT_TRUE(
+      RunSsmj(w.query(), [](const ResultTuple&) {}, nullptr, &result).ok());
+
+  CanonicalMapper mapper(w.query().map, w.query().pref);
+  ContributionTable rc(w.r(), mapper, Side::kR);
+  ContributionTable tc(w.t(), mapper, Side::kT);
+  SourceLists r_lists = ComputeSourceLists(w.r(), rc);
+  SourceLists t_lists = ComputeSourceLists(w.t(), tc);
+  for (const ResultTuple& r : result.batch1) {
+    EXPECT_TRUE(r_lists.in_source_skyline[r.r_id]);
+    EXPECT_TRUE(t_lists.in_source_skyline[r.t_id]);
+  }
+}
+
+TEST(Ssmj, EmptyJoinYieldsEmptyBatches) {
+  Relation r(Schema::Anonymous(2));
+  Relation t(Schema::Anonymous(2));
+  const double row[] = {1.0, 2.0};
+  r.Append(row, 1);
+  t.Append(row, 2);  // disjoint keys
+  SkyMapJoinQuery q;
+  q.r = &r;
+  q.t = &t;
+  q.map = MapSpec::PairwiseSum(2);
+  q.pref = Preference::AllLowest(2);
+  BaselineStats stats;
+  SsmjResult result;
+  ASSERT_TRUE(RunSsmj(q, [](const ResultTuple&) { FAIL(); }, &stats, &result)
+                  .ok());
+  EXPECT_TRUE(result.batch1.empty());
+  EXPECT_TRUE(result.final_results.empty());
+}
+
+}  // namespace
+}  // namespace progxe

@@ -1,0 +1,214 @@
+// Unit tests for schema, relation storage and the synthetic generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generator.h"
+#include "data/relation.h"
+
+namespace progxe {
+namespace {
+
+TEST(Schema, AnonymousNamesAndWidth) {
+  Schema s = Schema::Anonymous(3);
+  EXPECT_EQ(s.num_attributes(), 3);
+  EXPECT_EQ(s.attribute_names()[0], "a0");
+  EXPECT_EQ(s.attribute_names()[2], "a2");
+  EXPECT_EQ(s.join_name(), "jk");
+}
+
+TEST(Schema, IndexOf) {
+  Schema s({"price", "delay"}, "country");
+  EXPECT_EQ(s.IndexOf("price").value(), 0);
+  EXPECT_EQ(s.IndexOf("delay").value(), 1);
+  EXPECT_TRUE(s.IndexOf("missing").status().IsNotFound());
+}
+
+TEST(Schema, ToStringMentionsEverything) {
+  Schema s({"x", "y"}, "j");
+  EXPECT_EQ(s.ToString(), "Schema(x, y | j)");
+}
+
+TEST(Relation, AppendAndAccess) {
+  Relation rel(Schema::Anonymous(2));
+  const double row0[] = {1.5, 2.5};
+  const double row1[] = {3.0, 4.0};
+  EXPECT_EQ(rel.Append(row0, 7), 0u);
+  EXPECT_EQ(rel.Append(row1, 9), 1u);
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.attr(0, 1), 2.5);
+  EXPECT_EQ(rel.attr(1, 0), 3.0);
+  EXPECT_EQ(rel.join_key(0), 7);
+  EXPECT_EQ(rel.join_key(1), 9);
+  auto span = rel.attrs(1);
+  EXPECT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[1], 4.0);
+}
+
+TEST(Relation, SelectRenumbersAndMaps) {
+  Relation rel(Schema::Anonymous(1));
+  for (int i = 0; i < 5; ++i) {
+    double v = static_cast<double>(i);
+    rel.Append({&v, 1}, i * 10);
+  }
+  std::vector<RowId> ids;
+  Relation sub = rel.Select({4, 1}, &ids);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.attr(0, 0), 4.0);
+  EXPECT_EQ(sub.attr(1, 0), 1.0);
+  EXPECT_EQ(sub.join_key(0), 40);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 4u);
+  EXPECT_EQ(ids[1], 1u);
+}
+
+TEST(Generator, ParseDistribution) {
+  EXPECT_EQ(ParseDistribution("independent").value(),
+            Distribution::kIndependent);
+  EXPECT_EQ(ParseDistribution("corr").value(), Distribution::kCorrelated);
+  EXPECT_EQ(ParseDistribution("anti").value(),
+            Distribution::kAntiCorrelated);
+  EXPECT_FALSE(ParseDistribution("zipf").ok());
+}
+
+TEST(Generator, JoinDomainSizeFromSelectivity) {
+  EXPECT_EQ(JoinDomainSize(0.001), 1000u);
+  EXPECT_EQ(JoinDomainSize(0.1), 10u);
+  EXPECT_EQ(JoinDomainSize(1.0), 1u);
+}
+
+TEST(Generator, RejectsBadOptions) {
+  GeneratorOptions bad;
+  bad.num_attributes = 0;
+  EXPECT_FALSE(GenerateRelation(bad).ok());
+  bad = GeneratorOptions();
+  bad.join_selectivity = 0.0;
+  EXPECT_FALSE(GenerateRelation(bad).ok());
+  bad = GeneratorOptions();
+  bad.attr_lo = 5;
+  bad.attr_hi = 5;
+  EXPECT_FALSE(GenerateRelation(bad).ok());
+}
+
+TEST(Generator, Deterministic) {
+  GeneratorOptions opts;
+  opts.cardinality = 100;
+  opts.seed = 5;
+  Relation a = GenerateRelation(opts).MoveValue();
+  Relation b = GenerateRelation(opts).MoveValue();
+  ASSERT_EQ(a.size(), b.size());
+  for (RowId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.join_key(i), b.join_key(i));
+    for (int d = 0; d < a.num_attributes(); ++d) {
+      EXPECT_EQ(a.attr(i, d), b.attr(i, d));
+    }
+  }
+}
+
+class GeneratorDistributions
+    : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(GeneratorDistributions, ValuesInRangeAndKeysInDomain) {
+  GeneratorOptions opts;
+  opts.distribution = GetParam();
+  opts.cardinality = 5000;
+  opts.num_attributes = 4;
+  opts.join_selectivity = 0.01;
+  Relation rel = GenerateRelation(opts).MoveValue();
+  ASSERT_EQ(rel.size(), 5000u);
+  const auto domain = static_cast<JoinKey>(JoinDomainSize(0.01));
+  for (RowId i = 0; i < rel.size(); ++i) {
+    EXPECT_GE(rel.join_key(i), 0);
+    EXPECT_LT(rel.join_key(i), domain);
+    for (int d = 0; d < 4; ++d) {
+      EXPECT_GE(rel.attr(i, d), 1.0);
+      EXPECT_LE(rel.attr(i, d), 100.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, GeneratorDistributions,
+                         ::testing::Values(Distribution::kIndependent,
+                                           Distribution::kCorrelated,
+                                           Distribution::kAntiCorrelated),
+                         [](const auto& info) {
+                           return DistributionName(info.param);
+                         });
+
+// Pearson correlation between the first two attributes must have the
+// distribution's characteristic sign.
+double PairwiseCorrelation(const Relation& rel) {
+  const size_t n = rel.size();
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (RowId i = 0; i < n; ++i) {
+    const double x = rel.attr(i, 0);
+    const double y = rel.attr(i, 1);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  const double dn = static_cast<double>(n);
+  const double cov = sxy / dn - (sx / dn) * (sy / dn);
+  const double vx = sxx / dn - (sx / dn) * (sx / dn);
+  const double vy = syy / dn - (sy / dn) * (sy / dn);
+  return cov / std::sqrt(vx * vy);
+}
+
+TEST(Generator, CorrelationSigns) {
+  GeneratorOptions opts;
+  opts.cardinality = 20000;
+  opts.num_attributes = 2;
+
+  opts.distribution = Distribution::kIndependent;
+  EXPECT_NEAR(PairwiseCorrelation(GenerateRelation(opts).MoveValue()), 0.0,
+              0.05);
+
+  opts.distribution = Distribution::kCorrelated;
+  EXPECT_GT(PairwiseCorrelation(GenerateRelation(opts).MoveValue()), 0.5);
+
+  opts.distribution = Distribution::kAntiCorrelated;
+  EXPECT_LT(PairwiseCorrelation(GenerateRelation(opts).MoveValue()), -0.5);
+}
+
+// The skyline-size ordering correlated < independent < anti-correlated is
+// the defining property of the benchmark family (Börzsönyi et al.).
+TEST(Generator, SkylineSizeOrdering) {
+  GeneratorOptions opts;
+  opts.cardinality = 3000;
+  opts.num_attributes = 4;
+
+  auto skyline_size = [&](Distribution d) {
+    opts.distribution = d;
+    Relation rel = GenerateRelation(opts).MoveValue();
+    size_t count = 0;
+    for (RowId i = 0; i < rel.size(); ++i) {
+      bool dominated = false;
+      for (RowId j = 0; j < rel.size() && !dominated; ++j) {
+        if (i == j) continue;
+        bool leq = true;
+        bool strict = false;
+        for (int d2 = 0; d2 < 4; ++d2) {
+          if (rel.attr(j, d2) > rel.attr(i, d2)) {
+            leq = false;
+            break;
+          }
+          if (rel.attr(j, d2) < rel.attr(i, d2)) strict = true;
+        }
+        dominated = leq && strict;
+      }
+      if (!dominated) ++count;
+    }
+    return count;
+  };
+
+  const size_t corr = skyline_size(Distribution::kCorrelated);
+  const size_t indep = skyline_size(Distribution::kIndependent);
+  const size_t anti = skyline_size(Distribution::kAntiCorrelated);
+  EXPECT_LT(corr, indep);
+  EXPECT_LT(indep, anti);
+}
+
+}  // namespace
+}  // namespace progxe

@@ -1,0 +1,95 @@
+// Tests for the max_results early-termination mode: the emitted prefix must
+// consist of final-skyline members only, and work must actually be saved.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness/experiment.h"
+#include "progxe/executor.h"
+
+namespace progxe {
+namespace {
+
+Workload MakeWorkload(Distribution dist, size_t n, double sigma) {
+  WorkloadParams params;
+  params.distribution = dist;
+  params.cardinality = n;
+  params.dims = 4;
+  params.sigma = sigma;
+  params.seed = 31;
+  return Workload::Make(params).MoveValue();
+}
+
+TEST(EarlyTermination, PrefixIsSubsetOfFinalSkyline) {
+  Workload w = MakeWorkload(Distribution::kAntiCorrelated, 2000, 0.01);
+
+  auto reference = RunAlgorithm(Algo::kJfSl, w);
+  ASSERT_TRUE(reference.ok());
+  auto ref_ids = CanonicalIdPairs(reference->results);
+
+  for (size_t limit : {1u, 10u, 100u}) {
+    ProgXeOptions options;
+    options.max_results = limit;
+    std::vector<ResultTuple> results;
+    ProgXeExecutor exec(w.query(), options);
+    ASSERT_TRUE(
+        exec.Run([&](const ResultTuple& r) { results.push_back(r); }).ok());
+    ASSERT_EQ(results.size(), limit) << "exact prefix length expected";
+    for (const ResultTuple& r : results) {
+      EXPECT_TRUE(std::binary_search(ref_ids.begin(), ref_ids.end(),
+                                     std::make_pair(r.r_id, r.t_id)))
+          << "early-terminated run emitted a non-skyline tuple";
+    }
+  }
+}
+
+TEST(EarlyTermination, SavesJoinWork) {
+  Workload w = MakeWorkload(Distribution::kAntiCorrelated, 3000, 0.05);
+
+  ProgXeOptions full_options;
+  ProgXeExecutor full(w.query(), full_options);
+  size_t full_count = 0;
+  ASSERT_TRUE(full.Run([&](const ResultTuple&) { ++full_count; }).ok());
+
+  ProgXeOptions limited_options;
+  limited_options.max_results = 20;
+  ProgXeExecutor limited(w.query(), limited_options);
+  size_t limited_count = 0;
+  ASSERT_TRUE(
+      limited.Run([&](const ResultTuple&) { ++limited_count; }).ok());
+
+  EXPECT_EQ(limited_count, 20u);
+  EXPECT_GT(full_count, 20u);
+  EXPECT_LT(limited.stats().join_pairs_generated,
+            full.stats().join_pairs_generated);
+  EXPECT_LT(limited.stats().regions_processed,
+            full.stats().regions_processed);
+}
+
+TEST(EarlyTermination, LimitAboveTotalIsHarmless) {
+  Workload w = MakeWorkload(Distribution::kIndependent, 500, 0.02);
+  auto reference = RunAlgorithm(Algo::kProgXe, w);
+  ASSERT_TRUE(reference.ok());
+
+  ProgXeOptions options;
+  options.max_results = 1000000;
+  std::vector<ResultTuple> results;
+  ProgXeExecutor exec(w.query(), options);
+  ASSERT_TRUE(
+      exec.Run([&](const ResultTuple& r) { results.push_back(r); }).ok());
+  EXPECT_EQ(results.size(), reference->results.size());
+}
+
+TEST(EarlyTermination, ZeroMeansUnlimited) {
+  Workload w = MakeWorkload(Distribution::kCorrelated, 400, 0.05);
+  ProgXeOptions options;
+  options.max_results = 0;
+  std::vector<ResultTuple> results;
+  ProgXeExecutor exec(w.query(), options);
+  ASSERT_TRUE(
+      exec.Run([&](const ResultTuple& r) { results.push_back(r); }).ok());
+  EXPECT_GT(results.size(), 0u);
+}
+
+}  // namespace
+}  // namespace progxe

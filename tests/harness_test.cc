@@ -1,0 +1,169 @@
+// Tests for the progressiveness harness: recorder, metrics, workloads,
+// experiment driver, CSV writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv_writer.h"
+#include "harness/experiment.h"
+
+namespace progxe {
+namespace {
+
+TEST(ProgressiveRecorder, CountsAndMonotoneTime) {
+  ProgressiveRecorder rec;
+  for (int i = 0; i < 5; ++i) rec.OnResult();
+  rec.OnFinish();
+  EXPECT_EQ(rec.total_results(), 5u);
+  EXPECT_TRUE(rec.finished());
+  EXPECT_GE(rec.total_seconds(), 0.0);
+  ASSERT_EQ(rec.points().size(), 5u);
+  for (size_t i = 1; i < rec.points().size(); ++i) {
+    EXPECT_GE(rec.points()[i].t_sec, rec.points()[i - 1].t_sec);
+    EXPECT_EQ(rec.points()[i].count, i + 1);
+  }
+}
+
+TEST(ProgressiveRecorder, TimeToFraction) {
+  ProgressiveRecorder rec;
+  EXPECT_EQ(rec.TimeToFirst(), -1.0);
+  EXPECT_EQ(rec.TimeToFraction(0.5), -1.0);
+  for (int i = 0; i < 10; ++i) rec.OnResult();
+  rec.OnFinish();
+  EXPECT_GE(rec.TimeToFirst(), 0.0);
+  EXPECT_GE(rec.TimeToFraction(0.5), rec.TimeToFirst());
+  EXPECT_GE(rec.TimeToFraction(1.0), rec.TimeToFraction(0.5));
+}
+
+TEST(ProgressiveRecorder, DownsampleKeepsEndpoints) {
+  ProgressiveRecorder rec;
+  for (int i = 0; i < 100; ++i) rec.OnResult();
+  auto sampled = rec.Downsample(10);
+  ASSERT_EQ(sampled.size(), 10u);
+  EXPECT_EQ(sampled.front().count, rec.points().front().count);
+  EXPECT_EQ(sampled.back().count, rec.points().back().count);
+  // Small series pass through.
+  ProgressiveRecorder small;
+  small.OnResult();
+  EXPECT_EQ(small.Downsample(10).size(), 1u);
+}
+
+TEST(ProgressiveRecorder, ResetClearsState) {
+  ProgressiveRecorder rec;
+  rec.OnResult();
+  rec.OnFinish();
+  rec.Reset();
+  EXPECT_EQ(rec.total_results(), 0u);
+  EXPECT_FALSE(rec.finished());
+  EXPECT_TRUE(rec.points().empty());
+}
+
+TEST(Metrics, SummarizeRecorder) {
+  ProgressiveRecorder rec;
+  for (int i = 0; i < 4; ++i) rec.OnResult();
+  rec.OnFinish();
+  ProgressivenessMetrics m = SummarizeRecorder(rec);
+  EXPECT_EQ(m.total_results, 4u);
+  EXPECT_GE(m.time_to_25pct, 0.0);
+  EXPECT_LE(m.time_to_25pct, m.time_to_75pct);
+}
+
+TEST(FormatSeries, EmitsLabelledRows) {
+  std::vector<SeriesPoint> pts{{0.1, 1}, {0.2, 2}};
+  std::string out = FormatSeries(pts, "ProgXe");
+  EXPECT_NE(out.find("ProgXe t=0.1"), std::string::npos);
+  EXPECT_NE(out.find("n=2"), std::string::npos);
+}
+
+TEST(WorkloadParams, ToStringMentionsEverything) {
+  WorkloadParams params;
+  params.distribution = Distribution::kAntiCorrelated;
+  params.cardinality = 123;
+  std::string s = params.ToString();
+  EXPECT_NE(s.find("anticorrelated"), std::string::npos);
+  EXPECT_NE(s.find("123"), std::string::npos);
+}
+
+TEST(Workload, SourcesDifferButShareParams) {
+  WorkloadParams params;
+  params.cardinality = 100;
+  params.dims = 2;
+  auto w = Workload::Make(params);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->r().size(), 100u);
+  EXPECT_EQ(w->t().size(), 100u);
+  // R and T are seeded differently.
+  bool differ = false;
+  for (RowId i = 0; i < 100 && !differ; ++i) {
+    differ = w->r().attr(i, 0) != w->t().attr(i, 0);
+  }
+  EXPECT_TRUE(differ);
+  SkyMapJoinQuery q = w->query();
+  EXPECT_EQ(q.map.output_dimensions(), 2);
+  EXPECT_TRUE(q.pref.IsAllLowest());
+}
+
+TEST(AlgoRegistry, NamesAndOrder) {
+  EXPECT_STREQ(AlgoName(Algo::kProgXe), "ProgXe");
+  EXPECT_STREQ(AlgoName(Algo::kSsmj), "SSMJ");
+  EXPECT_EQ(AllAlgos().size(), 8u);
+  EXPECT_STREQ(AlgoName(Algo::kSaj), "SAJ");
+}
+
+TEST(OptionsForAlgo, VariantFlags) {
+  ProgXeOptions base;
+  EXPECT_EQ(OptionsForAlgo(Algo::kProgXe, base).ordering,
+            OrderingMode::kProgOrder);
+  EXPECT_FALSE(OptionsForAlgo(Algo::kProgXe, base).push_through);
+  EXPECT_TRUE(OptionsForAlgo(Algo::kProgXePlus, base).push_through);
+  EXPECT_EQ(OptionsForAlgo(Algo::kProgXeNoOrder, base).ordering,
+            OrderingMode::kRandom);
+  EXPECT_TRUE(OptionsForAlgo(Algo::kProgXePlusNoOrder, base).push_through);
+}
+
+TEST(RunAlgorithm, PopulatesMetricsAndSeries) {
+  WorkloadParams params;
+  params.cardinality = 300;
+  params.dims = 3;
+  params.sigma = 0.02;
+  auto w = Workload::Make(params);
+  ASSERT_TRUE(w.ok());
+  auto run = RunAlgorithm(Algo::kProgXe, *w);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->series.size(), run->results.size());
+  EXPECT_EQ(run->metrics.total_results, run->results.size());
+  EXPECT_GT(run->join_pairs, 0u);
+}
+
+TEST(CsvWriter, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::Escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::Escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::Escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRowsToFile) {
+  const std::string path = "/tmp/progxe_csv_test.csv";
+  {
+    auto writer = CsvWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    writer->WriteRow({"algo", "t", "n"});
+    writer->WriteValues(std::string("ProgXe"), 0.5, 42);
+    writer->Close();
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "algo,t,n");
+  EXPECT_EQ(line2.substr(0, 7), "ProgXe,");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, OpenFailsOnBadPath) {
+  EXPECT_FALSE(CsvWriter::Open("/nonexistent-dir-xyz/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace progxe

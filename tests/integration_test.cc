@@ -1,0 +1,149 @@
+// Cross-algorithm integration tests: properties P1-P3 of DESIGN.md.
+//
+// P1 (correctness & completeness): every algorithm's final result set equals
+//    the reference skyline of the mapped join.
+// P2 (progressive safety): every tuple ProgXe emits before completion is in
+//    the final skyline — implied here by P1 because ProgXe's emission log IS
+//    its final set (no retraction mechanism exists).
+// P3 (monotone emission): cumulative counts are non-decreasing and end at
+//    the final skyline size.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/experiment.h"
+
+namespace progxe {
+namespace {
+
+struct Sweep {
+  Distribution dist;
+  size_t n;
+  int dims;
+  double sigma;
+};
+
+class IntegrationSweep : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(IntegrationSweep, AllAlgorithmsProduceTheReferenceSkyline) {
+  const Sweep& sweep = GetParam();
+  WorkloadParams params;
+  params.distribution = sweep.dist;
+  params.cardinality = sweep.n;
+  params.dims = sweep.dims;
+  params.sigma = sweep.sigma;
+  params.seed = 1234;
+  auto workload = Workload::Make(params);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+
+  auto reference = RunAlgorithm(Algo::kJfSl, *workload);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const auto ref_ids = CanonicalIdPairs(reference->results);
+
+  for (Algo algo : AllAlgos()) {
+    SCOPED_TRACE(AlgoName(algo));
+    auto run = RunAlgorithm(algo, *workload);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+    // P1: exact same final answer.
+    EXPECT_EQ(CanonicalIdPairs(run->results), ref_ids);
+
+    // P3: monotone cumulative emission ending at the total.
+    size_t prev = 0;
+    double prev_t = 0.0;
+    for (const SeriesPoint& p : run->series) {
+      EXPECT_EQ(p.count, prev + 1);
+      EXPECT_GE(p.t_sec, prev_t);
+      prev = p.count;
+      prev_t = p.t_sec;
+    }
+    if (algo != Algo::kSsmj) {
+      EXPECT_EQ(prev, ref_ids.size());
+    } else {
+      // SSMJ may emit batch-1 false positives on top of the final set.
+      EXPECT_GE(prev, ref_ids.size());
+      EXPECT_EQ(prev, ref_ids.size() + run->early_false_positives);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, IntegrationSweep,
+    ::testing::Values(
+        // Distribution coverage at d=4 (the paper's main setting).
+        Sweep{Distribution::kIndependent, 2000, 4, 0.01},
+        Sweep{Distribution::kCorrelated, 2000, 4, 0.01},
+        Sweep{Distribution::kAntiCorrelated, 2000, 4, 0.01},
+        // Selectivity extremes.
+        Sweep{Distribution::kIndependent, 3000, 4, 0.0005},
+        Sweep{Distribution::kAntiCorrelated, 1000, 4, 0.1},
+        Sweep{Distribution::kCorrelated, 1000, 3, 0.1},
+        // Dimensionality sweep.
+        Sweep{Distribution::kIndependent, 1500, 2, 0.01},
+        Sweep{Distribution::kAntiCorrelated, 800, 5, 0.02},
+        Sweep{Distribution::kCorrelated, 800, 6, 0.02},
+        // Tiny and skewed.
+        Sweep{Distribution::kIndependent, 50, 3, 0.5},
+        Sweep{Distribution::kAntiCorrelated, 200, 2, 1.0}),
+    [](const ::testing::TestParamInfo<Sweep>& info) {
+      const Sweep& s = info.param;
+      std::string name = DistributionName(s.dist);
+      name += "_n" + std::to_string(s.n) + "_d" + std::to_string(s.dims) +
+              "_s" + std::to_string(static_cast<int>(s.sigma * 10000));
+      return name;
+    });
+
+// ProgXe's early emissions must never be retracted: with a callback that
+// snapshots counts, every early tuple must be found in the final set.
+TEST(ProgressiveSafety, EarlyEmissionsAreFinal) {
+  WorkloadParams params;
+  params.distribution = Distribution::kAntiCorrelated;
+  params.cardinality = 1500;
+  params.dims = 4;
+  params.sigma = 0.01;
+  auto workload = Workload::Make(params);
+  ASSERT_TRUE(workload.ok());
+
+  auto run = RunAlgorithm(Algo::kProgXe, *workload);
+  ASSERT_TRUE(run.ok());
+  auto reference = RunAlgorithm(Algo::kJfSl, *workload);
+  ASSERT_TRUE(reference.ok());
+
+  // All emissions (in emission order) are in the reference answer.
+  auto ref_ids = CanonicalIdPairs(reference->results);
+  for (const ResultTuple& r : run->results) {
+    auto key = std::make_pair(r.r_id, r.t_id);
+    EXPECT_TRUE(std::binary_search(ref_ids.begin(), ref_ids.end(), key))
+        << "emitted non-skyline tuple (" << r.r_id << "," << r.t_id << ")";
+  }
+}
+
+// Mapped output values reported by ProgXe match a direct evaluation of the
+// mapping functions on the original rows.
+TEST(ResultValues, MatchDirectEvaluation) {
+  WorkloadParams params;
+  params.distribution = Distribution::kIndependent;
+  params.cardinality = 800;
+  params.dims = 3;
+  params.sigma = 0.02;
+  auto workload = Workload::Make(params);
+  ASSERT_TRUE(workload.ok());
+
+  auto run = RunAlgorithm(Algo::kProgXePlus, *workload);
+  ASSERT_TRUE(run.ok());
+  ASSERT_FALSE(run->results.empty());
+
+  const MapSpec map = workload->query().map;
+  for (const ResultTuple& r : run->results) {
+    std::vector<double> expected(static_cast<size_t>(map.output_dimensions()));
+    map.Eval(workload->r().attrs(r.r_id), workload->t().attrs(r.t_id),
+             expected.data());
+    ASSERT_EQ(expected.size(), r.values.size());
+    for (size_t j = 0; j < expected.size(); ++j) {
+      EXPECT_DOUBLE_EQ(expected[j], r.values[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace progxe

@@ -1,0 +1,178 @@
+// Unit tests for the join substrate: key index, hash join, sort-merge join.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "join/hash_join.h"
+#include "join/key_index.h"
+#include "join/sort_merge_join.h"
+
+namespace progxe {
+namespace {
+
+Relation MakeRelation(const std::vector<JoinKey>& keys) {
+  Relation rel(Schema::Anonymous(1));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    double v = static_cast<double>(i);
+    rel.Append({&v, 1}, keys[i]);
+  }
+  return rel;
+}
+
+using Pair = std::pair<RowId, RowId>;
+
+std::vector<Pair> NestedLoopJoin(const Relation& r, const Relation& t) {
+  std::vector<Pair> out;
+  for (RowId i = 0; i < r.size(); ++i) {
+    for (RowId j = 0; j < t.size(); ++j) {
+      if (r.join_key(i) == t.join_key(j)) out.emplace_back(i, j);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(KeyIndex, FindAndDistinct) {
+  Relation rel = MakeRelation({1, 2, 1, 3, 2, 1});
+  KeyIndex index(rel);
+  EXPECT_EQ(index.distinct_keys(), 3u);
+  ASSERT_NE(index.Find(1), nullptr);
+  EXPECT_EQ(index.Find(1)->size(), 3u);
+  EXPECT_EQ(index.Find(99), nullptr);
+}
+
+TEST(KeyIndex, SubsetOfRows) {
+  Relation rel = MakeRelation({1, 2, 1, 3});
+  KeyIndex index(rel, {0, 3});
+  EXPECT_EQ(index.distinct_keys(), 2u);
+  EXPECT_EQ(index.Find(2), nullptr);
+  ASSERT_NE(index.Find(1), nullptr);
+  EXPECT_EQ(index.Find(1)->size(), 1u);
+}
+
+TEST(KeyIndex, SharesKeyWith) {
+  Relation a = MakeRelation({1, 2, 3});
+  Relation b = MakeRelation({4, 5, 3});
+  Relation c = MakeRelation({6, 7});
+  KeyIndex ia(a), ib(b), ic(c);
+  EXPECT_TRUE(ia.SharesKeyWith(ib));
+  EXPECT_TRUE(ib.SharesKeyWith(ia));
+  EXPECT_FALSE(ia.SharesKeyWith(ic));
+}
+
+TEST(JoinIndexes, EmitsCrossProductPerKey) {
+  Relation r = MakeRelation({1, 1, 2});
+  Relation t = MakeRelation({1, 2, 2});
+  std::vector<RowId> all_r(r.size());
+  std::iota(all_r.begin(), all_r.end(), 0u);
+  std::vector<RowId> all_t(t.size());
+  std::iota(all_t.begin(), all_t.end(), 0u);
+  KeyIndex ir(r, all_r), it(t, all_t);
+  std::vector<Pair> pairs;
+  size_t count = JoinIndexes(ir, it, [&](RowId a, RowId b) {
+    pairs.emplace_back(a, b);
+  });
+  std::sort(pairs.begin(), pairs.end());
+  EXPECT_EQ(count, 4u);  // key 1: 2x1, key 2: 1x2
+  EXPECT_EQ(pairs, NestedLoopJoin(r, t));
+}
+
+TEST(HashJoin, MatchesNestedLoop) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<JoinKey> rk(50);
+    std::vector<JoinKey> tk(70);
+    for (auto& key : rk) key = static_cast<JoinKey>(rng.NextBelow(10));
+    for (auto& key : tk) key = static_cast<JoinKey>(rng.NextBelow(10));
+    Relation r = MakeRelation(rk);
+    Relation t = MakeRelation(tk);
+    std::vector<Pair> pairs;
+    JoinStats stats =
+        HashJoin(r, t, [&](RowId a, RowId b) { pairs.emplace_back(a, b); });
+    std::sort(pairs.begin(), pairs.end());
+    EXPECT_EQ(pairs, NestedLoopJoin(r, t));
+    EXPECT_EQ(stats.output_pairs, pairs.size());
+  }
+}
+
+TEST(HashJoin, BuildsOnSmallerSide) {
+  Relation small = MakeRelation({1, 2});
+  Relation large = MakeRelation({1, 1, 2, 2, 3});
+  JoinStats st = HashJoin(small, large, [](RowId, RowId) {});
+  EXPECT_EQ(st.build_rows, 2u);
+  EXPECT_EQ(st.probe_rows, 5u);
+  // Emission stays in (r, t) order regardless of build side.
+  std::vector<Pair> pairs;
+  HashJoin(large, small, [&](RowId a, RowId b) { pairs.emplace_back(a, b); });
+  for (const Pair& p : pairs) {
+    EXPECT_EQ(large.join_key(p.first), small.join_key(p.second));
+  }
+}
+
+TEST(HashJoin, CountAndSelectivity) {
+  Relation r = MakeRelation({1, 2, 3, 4});
+  Relation t = MakeRelation({1, 1, 9});
+  EXPECT_EQ(HashJoinCount(r, t), 2u);
+  EXPECT_DOUBLE_EQ(MeasuredJoinSelectivity(r, t), 2.0 / 12.0);
+  Relation empty = MakeRelation({});
+  EXPECT_DOUBLE_EQ(MeasuredJoinSelectivity(r, empty), 0.0);
+}
+
+TEST(SortMergeJoin, MatchesHashJoin) {
+  Rng rng(44);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<JoinKey> rk(40);
+    std::vector<JoinKey> tk(60);
+    for (auto& key : rk) key = static_cast<JoinKey>(rng.NextBelow(8));
+    for (auto& key : tk) key = static_cast<JoinKey>(rng.NextBelow(8));
+    Relation r = MakeRelation(rk);
+    Relation t = MakeRelation(tk);
+    std::vector<RowId> all_r(r.size());
+    std::iota(all_r.begin(), all_r.end(), 0u);
+    std::vector<RowId> all_t(t.size());
+    std::iota(all_t.begin(), all_t.end(), 0u);
+    std::vector<Pair> pairs;
+    size_t count =
+        MergeJoin(SortByKey(r, all_r), SortByKey(t, all_t),
+                  [&](RowId a, RowId b) { pairs.emplace_back(a, b); });
+    std::sort(pairs.begin(), pairs.end());
+    EXPECT_EQ(pairs, NestedLoopJoin(r, t));
+    EXPECT_EQ(count, pairs.size());
+  }
+}
+
+TEST(SortMergeJoin, DisjointAndEmptyInputs) {
+  Relation r = MakeRelation({1, 2});
+  Relation t = MakeRelation({3, 4});
+  std::vector<RowId> all{0, 1};
+  size_t count = MergeJoin(SortByKey(r, all), SortByKey(t, all),
+                           [](RowId, RowId) { FAIL(); });
+  EXPECT_EQ(count, 0u);
+  count = MergeJoin(SortByKey(r, {}), SortByKey(t, all),
+                    [](RowId, RowId) { FAIL(); });
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(GeneratedSelectivity, TracksRequestedSigma) {
+  // The generator's join-domain construction should yield a measured
+  // selectivity close to the requested sigma.
+  for (double sigma : {0.1, 0.01, 0.001}) {
+    GeneratorOptions opts;
+    opts.cardinality = 5000;
+    opts.num_attributes = 2;
+    opts.join_selectivity = sigma;
+    opts.seed = 1;
+    Relation r = GenerateRelation(opts).MoveValue();
+    opts.seed = 2;
+    Relation t = GenerateRelation(opts).MoveValue();
+    const double measured = MeasuredJoinSelectivity(r, t);
+    EXPECT_GT(measured, sigma * 0.8);
+    EXPECT_LT(measured, sigma * 1.2);
+  }
+}
+
+}  // namespace
+}  // namespace progxe

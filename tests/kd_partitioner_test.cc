@@ -1,0 +1,146 @@
+// Tests for the adaptive kd-style partitioner and its use in the executor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "data/generator.h"
+#include "grid/kd_partitioner.h"
+#include "harness/experiment.h"
+
+namespace progxe {
+namespace {
+
+struct KdSetup {
+  Relation rel{Schema::Anonymous(0)};
+  std::unique_ptr<ContributionTable> contribs;
+};
+
+KdSetup MakeKdSetup(Distribution dist, size_t n, int d, uint64_t seed = 3) {
+  KdSetup s;
+  GeneratorOptions gen;
+  gen.distribution = dist;
+  gen.cardinality = n;
+  gen.num_attributes = d;
+  gen.seed = seed;
+  s.rel = GenerateRelation(gen).MoveValue();
+  CanonicalMapper mapper(MapSpec::PairwiseSum(d), Preference::AllLowest(d));
+  s.contribs = std::make_unique<ContributionTable>(s.rel, mapper, Side::kR);
+  return s;
+}
+
+TEST(KdPartitioner, CoversAllRowsExactlyOnce) {
+  KdSetup s = MakeKdSetup(Distribution::kAntiCorrelated, 3000, 3);
+  KdPartitionerOptions options;
+  options.max_partitions = 64;
+  KdPartitioner parts(s.rel, *s.contribs, options);
+  std::unordered_set<RowId> seen;
+  for (const InputPartition& part : parts.partitions()) {
+    EXPECT_FALSE(part.rows.empty());
+    for (RowId id : part.rows) {
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), s.rel.size());
+  EXPECT_LE(parts.num_partitions(), 64u);
+}
+
+TEST(KdPartitioner, PartitionsAreBalanced) {
+  KdSetup s = MakeKdSetup(Distribution::kCorrelated, 4096, 2);
+  KdPartitionerOptions options;
+  options.max_partitions = 32;
+  KdPartitioner parts(s.rel, *s.contribs, options);
+  size_t min_size = s.rel.size();
+  size_t max_size = 0;
+  for (const InputPartition& part : parts.partitions()) {
+    min_size = std::min(min_size, part.size());
+    max_size = std::max(max_size, part.size());
+  }
+  // Median splits: sizes within a factor ~2 of each other (power-of-two n).
+  EXPECT_LE(max_size, 2 * min_size + 1);
+}
+
+TEST(KdPartitioner, BoundsAreTight) {
+  KdSetup s = MakeKdSetup(Distribution::kIndependent, 1000, 3);
+  KdPartitionerOptions options;
+  KdPartitioner parts(s.rel, *s.contribs, options);
+  for (const InputPartition& part : parts.partitions()) {
+    for (int j = 0; j < 3; ++j) {
+      double lo = 1e300;
+      double hi = -1e300;
+      for (RowId id : part.rows) {
+        lo = std::min(lo, s.contribs->vector(id)[j]);
+        hi = std::max(hi, s.contribs->vector(id)[j]);
+      }
+      EXPECT_DOUBLE_EQ(part.bounds[static_cast<size_t>(j)].lo, lo);
+      EXPECT_DOUBLE_EQ(part.bounds[static_cast<size_t>(j)].hi, hi);
+    }
+  }
+}
+
+TEST(KdPartitioner, RespectsRowTarget) {
+  KdSetup s = MakeKdSetup(Distribution::kIndependent, 2000, 2);
+  KdPartitionerOptions options;
+  options.max_rows_per_partition = 100;
+  options.max_partitions = 1000;
+  KdPartitioner parts(s.rel, *s.contribs, options);
+  for (const InputPartition& part : parts.partitions()) {
+    EXPECT_LE(part.size(), 100u);
+  }
+}
+
+TEST(KdPartitioner, AllEqualRowsSingleLeaf) {
+  Relation rel(Schema::Anonymous(2));
+  const double row[] = {5.0, 5.0};
+  for (int i = 0; i < 100; ++i) rel.Append(row, i % 3);
+  CanonicalMapper mapper(MapSpec::PairwiseSum(2), Preference::AllLowest(2));
+  ContributionTable contribs(rel, mapper, Side::kR);
+  KdPartitionerOptions options;
+  options.max_rows_per_partition = 10;
+  KdPartitioner parts(rel, contribs, options);
+  ASSERT_EQ(parts.num_partitions(), 1u);
+  EXPECT_EQ(parts.partitions()[0].size(), 100u);
+}
+
+TEST(KdPartitioner, EmptyRelation) {
+  Relation rel(Schema::Anonymous(2));
+  CanonicalMapper mapper(MapSpec::PairwiseSum(2), Preference::AllLowest(2));
+  ContributionTable contribs(rel, mapper, Side::kR);
+  KdPartitioner parts(rel, contribs, KdPartitionerOptions());
+  EXPECT_EQ(parts.num_partitions(), 0u);
+}
+
+// The executor produces identical answers under either partitioning scheme.
+class KdExecutorSweep : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(KdExecutorSweep, SameSkylineAsUniformGrid) {
+  WorkloadParams params;
+  params.distribution = GetParam();
+  params.cardinality = 1500;
+  params.dims = 4;
+  params.sigma = 0.01;
+  params.seed = 77;
+  auto workload = Workload::Make(params);
+  ASSERT_TRUE(workload.ok());
+
+  auto run_with = [&](PartitioningScheme scheme) {
+    ProgXeOptions options;
+    options.partitioning = scheme;
+    auto run = RunAlgorithm(Algo::kProgXe, *workload, options);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    return CanonicalIdPairs(run->results);
+  };
+  EXPECT_EQ(run_with(PartitioningScheme::kKdTree),
+            run_with(PartitioningScheme::kUniformGrid));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, KdExecutorSweep,
+                         ::testing::Values(Distribution::kIndependent,
+                                           Distribution::kCorrelated,
+                                           Distribution::kAntiCorrelated),
+                         [](const auto& info) {
+                           return DistributionName(info.param);
+                         });
+
+}  // namespace
+}  // namespace progxe

@@ -1,0 +1,264 @@
+// Unit tests for intervals, mapping functions, contribution separability and
+// the canonical mapper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "mapping/canonical.h"
+#include "mapping/map_expr.h"
+#include "prefs/dominance.h"
+
+namespace progxe {
+namespace {
+
+TEST(Interval, BasicsAndArithmetic) {
+  Interval a(1.0, 3.0);
+  EXPECT_EQ(a.width(), 2.0);
+  EXPECT_TRUE(a.Contains(1.0));
+  EXPECT_TRUE(a.Contains(3.0));
+  EXPECT_FALSE(a.Contains(3.1));
+
+  Interval b(2.0, 5.0);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(Interval(4.0, 6.0)));
+  EXPECT_TRUE(Interval(3.0, 4.0).Intersects(a));  // touching endpoints
+
+  Interval hull = a.Hull(Interval(10.0, 12.0));
+  EXPECT_EQ(hull, Interval(1.0, 12.0));
+
+  EXPECT_EQ(a + b, Interval(3.0, 8.0));
+  EXPECT_EQ(a * 2.0, Interval(2.0, 6.0));
+  EXPECT_EQ(a * -1.0, Interval(-3.0, -1.0));  // negative weight flips
+  EXPECT_EQ(a + 10.0, Interval(11.0, 13.0));
+  EXPECT_EQ(Interval::Point(5.0).width(), 0.0);
+}
+
+TEST(Transform, MonotoneAndInterval) {
+  for (Transform t : {Transform::kIdentity, Transform::kLog1p,
+                      Transform::kSqrt, Transform::kSaturating}) {
+    double prev = ApplyTransform(t, 0.0);
+    for (double v = 0.25; v <= 10.0; v += 0.25) {
+      double cur = ApplyTransform(t, v);
+      EXPECT_GT(cur, prev) << "transform not strictly increasing";
+      prev = cur;
+    }
+    Interval img = ApplyTransform(t, Interval(1.0, 4.0));
+    EXPECT_EQ(img.lo, ApplyTransform(t, 1.0));
+    EXPECT_EQ(img.hi, ApplyTransform(t, 4.0));
+  }
+}
+
+TEST(MapFunc, EvalQ1Style) {
+  // Q1: tCost = R.uPrice + T.uShipCost; delay = 2*R.manTime + T.shipTime.
+  MapFunc tcost = MapFunc::Sum(0, 0, "tCost");
+  MapFunc delay = MapFunc::WeightedSum(2.0, 1, 1.0, 1, 0.0, "delay");
+  const double r[] = {10.0, 3.0};
+  const double t[] = {4.0, 7.0};
+  EXPECT_EQ(tcost.Eval(r, t), 14.0);
+  EXPECT_EQ(delay.Eval(r, t), 13.0);
+}
+
+TEST(MapFunc, PassthroughAndConstant) {
+  MapFunc f = MapFunc::Passthrough(Side::kT, 1);
+  const double r[] = {1.0};
+  const double t[] = {5.0, 9.0};
+  EXPECT_EQ(f.Eval(r, t), 9.0);
+
+  MapFunc with_const({{Side::kR, 0, 1.0}}, 100.0);
+  EXPECT_EQ(with_const.Eval(r, t), 101.0);
+}
+
+TEST(MapFunc, ValidateChecksIndices) {
+  MapFunc bad({{Side::kR, 5, 1.0}});
+  EXPECT_FALSE(bad.Validate(2, 2).ok());
+  EXPECT_TRUE(bad.Validate(6, 2).ok());
+  MapFunc bad_t({{Side::kT, 3, 1.0}});
+  EXPECT_FALSE(bad_t.Validate(6, 2).ok());
+}
+
+TEST(MapFunc, ToStringReadable) {
+  MapFunc f = MapFunc::WeightedSum(2.0, 1, 1.0, 0, 0.0, "delay");
+  EXPECT_EQ(f.ToString(), "delay = 2*R.a1 + T.a0");
+}
+
+// Separability: Eval == Combine(Contribution_R, Contribution_T) for random
+// functions and inputs — the property the whole engine rests on.
+TEST(MapFuncProperty, ContributionSeparability) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<MapTerm> terms;
+    const int nterms = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int i = 0; i < nterms; ++i) {
+      terms.push_back(MapTerm{rng.Bernoulli(0.5) ? Side::kR : Side::kT,
+                              static_cast<int>(rng.NextBelow(3)),
+                              rng.Uniform(0.1, 3.0)});
+    }
+    const Transform transform = static_cast<Transform>(rng.NextBelow(4));
+    MapFunc f(terms, rng.Uniform(0.0, 5.0), transform);
+
+    double r[3];
+    double t[3];
+    for (int i = 0; i < 3; ++i) {
+      r[i] = rng.Uniform(0.0, 10.0);
+      t[i] = rng.Uniform(0.0, 10.0);
+    }
+    const double direct = f.Eval(r, t);
+    const double split =
+        f.Combine(f.Contribution(Side::kR, r), f.Contribution(Side::kT, t));
+    EXPECT_NEAR(direct, split, 1e-12);
+  }
+}
+
+// Bound soundness: for random attribute boxes, the contribution of any point
+// inside the box lies inside the propagated interval.
+TEST(MapFuncProperty, ContributionBoundsContainPointImages) {
+  Rng rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<MapTerm> terms;
+    for (int i = 0; i < 3; ++i) {
+      terms.push_back(MapTerm{Side::kR, i, rng.Uniform(-2.0, 3.0)});
+    }
+    MapFunc f(terms, rng.Uniform(-1.0, 1.0));
+
+    std::vector<Interval> box;
+    for (int i = 0; i < 3; ++i) {
+      double lo = rng.Uniform(0.0, 5.0);
+      box.push_back(Interval(lo, lo + rng.Uniform(0.0, 5.0)));
+    }
+    Interval bounds = f.ContributionBounds(Side::kR, box);
+    for (int sample = 0; sample < 20; ++sample) {
+      double pt[3];
+      for (int i = 0; i < 3; ++i) {
+        pt[i] = rng.Uniform(box[static_cast<size_t>(i)].lo,
+                            box[static_cast<size_t>(i)].hi);
+      }
+      const double v = f.Contribution(Side::kR, pt);
+      EXPECT_GE(v, bounds.lo - 1e-9);
+      EXPECT_LE(v, bounds.hi + 1e-9);
+    }
+  }
+}
+
+TEST(MapSpec, PairwiseSumShape) {
+  MapSpec spec = MapSpec::PairwiseSum(3);
+  EXPECT_EQ(spec.output_dimensions(), 3);
+  const double r[] = {1.0, 2.0, 3.0};
+  const double t[] = {10.0, 20.0, 30.0};
+  double out[3];
+  spec.Eval(r, t, out);
+  EXPECT_EQ(out[0], 11.0);
+  EXPECT_EQ(out[1], 22.0);
+  EXPECT_EQ(out[2], 33.0);
+}
+
+TEST(MapSpec, ValidateRejectsEmptyAndBadIndices) {
+  EXPECT_FALSE(MapSpec().Validate(2, 2).ok());
+  EXPECT_FALSE(
+      MapSpec({MapFunc::Sum(0, 9)}).Validate(2, 2).ok());
+  EXPECT_TRUE(MapSpec::PairwiseSum(2).Validate(2, 2).ok());
+}
+
+TEST(CanonicalMapper, FoldsHighestDimensions) {
+  MapSpec spec = MapSpec::PairwiseSum(2);
+  Preference pref({Direction::kLowest, Direction::kHighest});
+  CanonicalMapper mapper(spec, pref);
+
+  const double r[] = {1.0, 2.0};
+  const double t[] = {3.0, 4.0};
+  double cr[2];
+  double ct[2];
+  mapper.ContributionVector(Side::kR, r, cr);
+  mapper.ContributionVector(Side::kT, t, ct);
+  double out[2];
+  mapper.Combine(cr, ct, out);
+  EXPECT_EQ(out[0], 4.0);    // minimized: raw value
+  EXPECT_EQ(out[1], -6.0);   // maximized: negated
+  EXPECT_EQ(mapper.Decanonicalize(1, out[1]), 6.0);
+}
+
+// Canonical dominance must agree with preference-directed dominance on the
+// raw outputs for random mixed-direction specs.
+TEST(CanonicalMapperProperty, CanonicalOrderMatchesPreferenceOrder) {
+  Rng rng(77);
+  MapSpec spec = MapSpec::PairwiseSum(3);
+  Preference pref({Direction::kLowest, Direction::kHighest,
+                   Direction::kLowest});
+  CanonicalMapper mapper(spec, pref);
+  for (int trial = 0; trial < 300; ++trial) {
+    double r1[3], t1[3], r2[3], t2[3];
+    for (int i = 0; i < 3; ++i) {
+      r1[i] = static_cast<double>(rng.NextBelow(4));
+      t1[i] = static_cast<double>(rng.NextBelow(4));
+      r2[i] = static_cast<double>(rng.NextBelow(4));
+      t2[i] = static_cast<double>(rng.NextBelow(4));
+    }
+    double raw1[3], raw2[3];
+    spec.Eval(r1, t1, raw1);
+    spec.Eval(r2, t2, raw2);
+
+    double c1r[3], c1t[3], c2r[3], c2t[3], can1[3], can2[3];
+    mapper.ContributionVector(Side::kR, r1, c1r);
+    mapper.ContributionVector(Side::kT, t1, c1t);
+    mapper.ContributionVector(Side::kR, r2, c2r);
+    mapper.ContributionVector(Side::kT, t2, c2t);
+    mapper.Combine(c1r, c1t, can1);
+    mapper.Combine(c2r, c2t, can2);
+
+    std::span<const double> s1(raw1, 3);
+    std::span<const double> s2(raw2, 3);
+    EXPECT_EQ(DominatesMin(can1, can2, 3), Dominates(s1, s2, pref));
+  }
+}
+
+// CombineBounds soundness under every transform and direction mix.
+TEST(CanonicalMapperProperty, CombineBoundsContainCombinedPoints) {
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<MapFunc> funcs;
+    std::vector<Direction> dirs;
+    for (int j = 0; j < 2; ++j) {
+      const Transform transform = static_cast<Transform>(rng.NextBelow(4));
+      funcs.push_back(MapFunc({{Side::kR, j, rng.Uniform(0.1, 2.0)},
+                               {Side::kT, j, rng.Uniform(0.1, 2.0)}},
+                              0.0, transform));
+      dirs.push_back(rng.Bernoulli(0.5) ? Direction::kLowest
+                                        : Direction::kHighest);
+    }
+    CanonicalMapper mapper{MapSpec(funcs), Preference(dirs)};
+
+    std::vector<Interval> r_box;
+    std::vector<Interval> t_box;
+    for (int i = 0; i < 2; ++i) {
+      double lo = rng.Uniform(0.0, 5.0);
+      r_box.push_back(Interval(lo, lo + rng.Uniform(0.1, 5.0)));
+      lo = rng.Uniform(0.0, 5.0);
+      t_box.push_back(Interval(lo, lo + rng.Uniform(0.1, 5.0)));
+    }
+    Interval r_contrib[2], t_contrib[2], out_bounds[2];
+    mapper.ContributionBounds(Side::kR, r_box, r_contrib);
+    mapper.ContributionBounds(Side::kT, t_box, t_contrib);
+    mapper.CombineBounds(r_contrib, t_contrib, out_bounds);
+
+    for (int sample = 0; sample < 20; ++sample) {
+      double r_pt[2], t_pt[2];
+      for (int i = 0; i < 2; ++i) {
+        r_pt[i] = rng.Uniform(r_box[static_cast<size_t>(i)].lo,
+                              r_box[static_cast<size_t>(i)].hi);
+        t_pt[i] = rng.Uniform(t_box[static_cast<size_t>(i)].lo,
+                              t_box[static_cast<size_t>(i)].hi);
+      }
+      double cr[2], ct[2], out[2];
+      mapper.ContributionVector(Side::kR, r_pt, cr);
+      mapper.ContributionVector(Side::kT, t_pt, ct);
+      mapper.Combine(cr, ct, out);
+      for (int j = 0; j < 2; ++j) {
+        EXPECT_GE(out[j], out_bounds[j].lo - 1e-9);
+        EXPECT_LE(out[j], out_bounds[j].hi + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace progxe

@@ -1,0 +1,90 @@
+// Tests for the cardinality estimate (Equation 1) and the cost model
+// (Equations 3-7) used by ProgOrder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "progxe/cardinality.h"
+#include "progxe/cost_model.h"
+
+namespace progxe {
+namespace {
+
+TEST(Cardinality, FactorialD) {
+  EXPECT_EQ(FactorialD(0), 1.0);
+  EXPECT_EQ(FactorialD(1), 1.0);
+  EXPECT_EQ(FactorialD(3), 6.0);
+  EXPECT_EQ(FactorialD(5), 120.0);
+}
+
+TEST(Cardinality, ExpectedSkylineSizeFormula) {
+  // d = 1: a single minimum.
+  EXPECT_EQ(ExpectedSkylineSize(1000.0, 1), 1.0);
+  // d = 2: ln(n).
+  EXPECT_NEAR(ExpectedSkylineSize(std::exp(5.0), 2), 5.0, 1e-9);
+  // d = 4: ln(n)^3 / 3!.
+  const double n = std::exp(6.0);
+  EXPECT_NEAR(ExpectedSkylineSize(n, 4), 6.0 * 6.0 * 6.0 / 6.0, 1e-9);
+  // Floors at 1 and handles degenerate inputs.
+  EXPECT_EQ(ExpectedSkylineSize(1.0, 3), 1.0);
+  EXPECT_EQ(ExpectedSkylineSize(0.0, 3), 0.0);
+}
+
+TEST(Cardinality, MonotoneInNAndD) {
+  EXPECT_LT(ExpectedSkylineSize(100, 3), ExpectedSkylineSize(10000, 3));
+  EXPECT_LT(ExpectedSkylineSize(10000, 3), ExpectedSkylineSize(10000, 5));
+}
+
+TEST(Cardinality, RegionEstimateUsesJoinCardinality) {
+  // sigma * n_a * n_b = 0 -> 0; equal products -> equal estimates.
+  EXPECT_EQ(RegionCardinalityEstimate(0.0, 100, 100, 4), 0.0);
+  EXPECT_EQ(RegionCardinalityEstimate(0.01, 100, 100, 4),
+            RegionCardinalityEstimate(1.0, 10, 10, 4));
+}
+
+TEST(CostModel, KungAlpha) {
+  EXPECT_EQ(KungAlpha(2), 1.0);
+  EXPECT_EQ(KungAlpha(3), 1.0);
+  EXPECT_EQ(KungAlpha(4), 2.0);
+  EXPECT_EQ(KungAlpha(6), 4.0);
+}
+
+TEST(CostModel, ComparablePartitions) {
+  CostModelParams params;
+  params.cells_per_dim = 10;
+  params.dims = 4;
+  EXPECT_EQ(ComparablePartitionsAvg(params), 40.0);
+}
+
+TEST(CostModel, CostGrowsWithPartitionSizes) {
+  CostModelParams params;
+  params.sigma = 0.01;
+  const double small = RegionCost(params, 100, 100, 50);
+  const double large = RegionCost(params, 1000, 1000, 50);
+  EXPECT_LT(small, large);
+}
+
+TEST(CostModel, CostGrowsWithSigma) {
+  CostModelParams params;
+  params.sigma = 0.001;
+  const double low = RegionCost(params, 500, 500, 50);
+  params.sigma = 0.1;
+  const double high = RegionCost(params, 500, 500, 50);
+  EXPECT_LT(low, high);
+}
+
+TEST(CostModel, AlwaysPositive) {
+  CostModelParams params;
+  params.sigma = 0.0;
+  EXPECT_GE(RegionCost(params, 0, 0, 0), 1.0);
+}
+
+TEST(CostModel, JoinTermDominatesAtTinySigma) {
+  // With sigma ~ 0, cost ~ n_a * n_b (Equation 4 dominates).
+  CostModelParams params;
+  params.sigma = 1e-9;
+  EXPECT_NEAR(RegionCost(params, 300, 400, 100), 300.0 * 400.0, 1.0);
+}
+
+}  // namespace
+}  // namespace progxe

@@ -1,0 +1,185 @@
+// Unit tests for the OutputTable: tuple-level processing (Section III-B),
+// comparable-slice dominance, frontier marking, coverage bookkeeping (P5).
+#include <gtest/gtest.h>
+
+#include "progxe/output_table.h"
+
+namespace progxe {
+namespace {
+
+class OutputTableTest : public ::testing::Test {
+ protected:
+  // 2-d grid over [0,10]^2 with 5 cells per dim (cell width 2).
+  OutputTableTest()
+      : geometry_({Interval(0, 10), Interval(0, 10)}, 5),
+        table_(geometry_,
+               std::vector<uint8_t>(static_cast<size_t>(geometry_.total_cells()), 0),
+               &stats_) {}
+
+  CellIndex CellAt(double x, double y) const {
+    const double pt[] = {x, y};
+    CellCoord coords[2];
+    geometry_.CoordsOf(pt, coords);
+    return geometry_.IndexOf(coords);
+  }
+
+  InsertOutcome Insert(double x, double y, RowId r = 0, RowId t = 0) {
+    const double pt[] = {x, y};
+    return table_.Insert(pt, r, t);
+  }
+
+  Region CoveringRegion(double lo_x, double lo_y, double hi_x, double hi_y) {
+    Region region;
+    region.id = next_region_id_++;
+    region.bounds = {Interval(lo_x, hi_x), Interval(lo_y, hi_y)};
+    region.lo_cell.resize(2);
+    region.hi_cell.resize(2);
+    for (int d = 0; d < 2; ++d) {
+      geometry_.CoordRange(d, region.bounds[static_cast<size_t>(d)],
+                           &region.lo_cell[static_cast<size_t>(d)],
+                           &region.hi_cell[static_cast<size_t>(d)]);
+    }
+    region.guaranteed = true;
+    return region;
+  }
+
+  ProgXeStats stats_;
+  GridGeometry geometry_;
+  OutputTable table_;
+  int32_t next_region_id_ = 0;
+};
+
+TEST_F(OutputTableTest, InsertAndPopulate) {
+  EXPECT_EQ(Insert(1.0, 1.0), InsertOutcome::kInserted);
+  EXPECT_TRUE(table_.populated(CellAt(1.0, 1.0)));
+  EXPECT_EQ(table_.AliveCount(CellAt(1.0, 1.0)), 1u);
+  EXPECT_FALSE(table_.populated(CellAt(9.0, 9.0)));
+}
+
+TEST_F(OutputTableTest, StrictlyDominatedCellDiscardsViaFrontier) {
+  EXPECT_EQ(Insert(1.0, 1.0), InsertOutcome::kInserted);  // cell (0,0)
+  // Cell (2,2) is strictly above cell (0,0): frontier discard.
+  EXPECT_EQ(Insert(5.0, 5.0), InsertOutcome::kDiscardedFrontier);
+  EXPECT_EQ(stats_.tuples_discarded_frontier, 1u);
+  EXPECT_TRUE(table_.marked(CellAt(5.0, 5.0)));
+}
+
+TEST_F(OutputTableTest, SliceDominationDiscardsTuple) {
+  // Same row of cells (share y-coordinate): (1,1) vs (5,1.5) are in cells
+  // (0,0) and (2,0) — same slab dim 1. The first dominates the second.
+  EXPECT_EQ(Insert(1.0, 1.0), InsertOutcome::kInserted);
+  EXPECT_EQ(Insert(5.0, 1.5), InsertOutcome::kDominated);
+  EXPECT_EQ(stats_.tuples_dominated_on_insert, 1u);
+}
+
+TEST_F(OutputTableTest, IncomparableTuplesCoexistAcrossSlabs) {
+  EXPECT_EQ(Insert(1.0, 5.0), InsertOutcome::kInserted);
+  EXPECT_EQ(Insert(5.0, 1.0), InsertOutcome::kInserted);
+  EXPECT_EQ(Insert(1.2, 4.8), InsertOutcome::kInserted);  // same cell, incomparable? (1.2>1.0, 4.8<5.0) yes
+  EXPECT_EQ(table_.AliveCount(CellAt(1.0, 5.0)), 2u);
+}
+
+TEST_F(OutputTableTest, NewTupleEvictsDominatedInUpperSlice) {
+  EXPECT_EQ(Insert(5.0, 1.5), InsertOutcome::kInserted);
+  EXPECT_EQ(table_.AliveCount(CellAt(5.0, 1.5)), 1u);
+  // New tuple in same slab (dim-1 coordinate 0) dominating the first.
+  EXPECT_EQ(Insert(1.0, 1.0), InsertOutcome::kInserted);
+  EXPECT_EQ(table_.AliveCount(CellAt(5.0, 1.5)), 0u);
+  EXPECT_EQ(stats_.tuples_evicted, 1u);
+}
+
+TEST_F(OutputTableTest, EagerKillOfStrictlyAbovePopulatedCells) {
+  EXPECT_EQ(Insert(5.0, 5.0), InsertOutcome::kInserted);
+  EXPECT_EQ(Insert(9.0, 9.0), InsertOutcome::kDiscardedFrontier);
+  // (9,9)'s cell marked by the frontier test...
+  EXPECT_TRUE(table_.marked(CellAt(9.0, 9.0)));
+  // Now a new populated cell strictly below (5,5) kills it.
+  EXPECT_EQ(Insert(1.0, 1.0), InsertOutcome::kInserted);
+  EXPECT_TRUE(table_.marked(CellAt(5.0, 5.0)));
+  EXPECT_EQ(table_.AliveCount(CellAt(5.0, 5.0)), 0u);
+  auto events = table_.DrainMarkedEvents();
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST_F(OutputTableTest, MarkedCellDiscardsArrivals) {
+  Insert(1.0, 1.0);
+  Insert(5.0, 5.0);  // frontier-discard marks cell (2,2)
+  EXPECT_EQ(Insert(5.5, 5.5), InsertOutcome::kDiscardedMarked);
+  EXPECT_EQ(stats_.tuples_discarded_marked, 1u);
+}
+
+TEST_F(OutputTableTest, EqualTuplesBothSurvive) {
+  EXPECT_EQ(Insert(3.0, 3.0, 1, 1), InsertOutcome::kInserted);
+  EXPECT_EQ(Insert(3.0, 3.0, 2, 2), InsertOutcome::kInserted);
+  EXPECT_EQ(table_.AliveCount(CellAt(3.0, 3.0)), 2u);
+}
+
+TEST_F(OutputTableTest, CoverageSettlesOnRelease) {
+  std::vector<Region> regions;
+  regions.push_back(CoveringRegion(0, 0, 3.9, 3.9));  // cells [0..1]^2
+  regions.push_back(CoveringRegion(2, 2, 5.9, 5.9));  // cells [1..2]^2
+  table_.InitCoverage(regions);
+  EXPECT_EQ(table_.reg_count(CellAt(1, 1)), 1);
+  EXPECT_EQ(table_.reg_count(CellAt(3, 3)), 2);  // overlap cell (1,1)
+  EXPECT_EQ(table_.reg_count(CellAt(9, 9)), 0);
+
+  auto settled0 = table_.ReleaseRegionCoverage(regions[0]);
+  // Cells covered only by region 0 settle; the overlap cell does not.
+  EXPECT_EQ(table_.reg_count(CellAt(3, 3)), 1);
+  bool overlap_settled = false;
+  for (CellIndex c : settled0) overlap_settled |= (c == CellAt(3, 3));
+  EXPECT_FALSE(overlap_settled);
+  EXPECT_EQ(settled0.size(), 3u);  // cells (0,0) (0,1) (1,0)
+
+  auto settled1 = table_.ReleaseRegionCoverage(regions[1]);
+  EXPECT_EQ(settled1.size(), 4u);  // all of region 1's cells now settle
+  EXPECT_EQ(table_.reg_count(CellAt(3, 3)), 0);
+}
+
+TEST_F(OutputTableTest, InactiveRegionsNotCounted) {
+  std::vector<Region> regions;
+  regions.push_back(CoveringRegion(0, 0, 3.9, 3.9));
+  regions.back().pruned = true;
+  table_.InitCoverage(regions);
+  EXPECT_EQ(table_.reg_count(CellAt(1, 1)), 0);
+}
+
+TEST_F(OutputTableTest, FlushEmitsAliveTuplesAndKeepsThemAsDominators) {
+  Insert(1.0, 1.0, 10, 20);
+  Insert(1.5, 0.5, 11, 21);  // same cell, incomparable
+  const CellIndex c = CellAt(1.0, 1.0);
+  std::vector<double> values;
+  std::vector<CellTupleIds> ids;
+  table_.FlushCell(c, &values, &ids);
+  EXPECT_TRUE(table_.emitted(c));
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(values.size(), 4u);
+  EXPECT_EQ(ids[0].r, 10u);
+  EXPECT_EQ(ids[1].t, 21u);
+  // Emitted tuples still dominate future arrivals in their slice.
+  EXPECT_EQ(Insert(5.0, 1.2), InsertOutcome::kDominated);
+}
+
+TEST_F(OutputTableTest, RegionDominatedByFrontier) {
+  Region far = CoveringRegion(6.0, 6.0, 9.0, 9.0);
+  EXPECT_FALSE(table_.RegionDominatedByFrontier(far));
+  Insert(1.0, 1.0);
+  EXPECT_TRUE(table_.RegionDominatedByFrontier(far));
+  // A region overlapping the populated cell's row is NOT wholly dominated.
+  Region touching = CoveringRegion(1.0, 6.0, 3.0, 9.0);
+  EXPECT_FALSE(table_.RegionDominatedByFrontier(touching));
+}
+
+TEST_F(OutputTableTest, PopulatedCellsListsLiveCellsOnly) {
+  Insert(9.0, 1.0);
+  Insert(1.0, 9.0);
+  Insert(1.0, 1.0);  // evicts nothing (incomparable cells?) — (1,1) dominates (9,1)? 1<=9,1<=1 strict -> dominates!
+  auto populated = table_.PopulatedCells();
+  // (1,1) dominates both earlier tuples (1<=9 & 1<1 false... check: (1,1) vs
+  // (9,1): dim0 1<9 strict, dim1 equal -> dominates; vs (1,9): dominates.
+  EXPECT_EQ(populated.size(), 1u);
+  EXPECT_EQ(populated[0], CellAt(1.0, 1.0));
+}
+
+}  // namespace
+}  // namespace progxe

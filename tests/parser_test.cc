@@ -1,0 +1,230 @@
+// Tests for the PREFERRING-syntax SMJ query parser and binder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generator.h"
+#include "query/parser.h"
+
+namespace progxe {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest()
+      : suppliers_(Schema({"uPrice", "manTime"}, "country")),
+        transporters_(Schema({"uShipCost", "shipTime"}, "country")) {
+    const double s0[] = {10.0, 3.0};
+    const double s1[] = {20.0, 1.0};
+    suppliers_.Append(s0, 1);
+    suppliers_.Append(s1, 1);
+    const double t0[] = {4.0, 7.0};
+    const double t1[] = {2.0, 9.0};
+    transporters_.Append(t0, 1);
+    transporters_.Append(t1, 2);
+    catalog_ = {{"Suppliers", &suppliers_.schema()},
+                {"Transporters", &transporters_.schema()}};
+    tables_ = {{"Suppliers", &suppliers_},
+               {"Transporters", &transporters_}};
+  }
+
+  static constexpr const char* kQ1 =
+      "SELECT R.id, T.id, "
+      "       (R.uPrice + T.uShipCost) AS tCost, "
+      "       (2 * R.manTime + T.shipTime) AS delay "
+      "FROM Suppliers R, Transporters T "
+      "WHERE R.country = T.country "
+      "PREFERRING LOWEST(tCost) AND LOWEST(delay)";
+
+  Relation suppliers_;
+  Relation transporters_;
+  std::map<std::string, const Schema*> catalog_;
+  std::map<std::string, const Relation*> tables_;
+};
+
+TEST_F(ParserTest, ParsesQ1Structure) {
+  auto parsed = ParseSmjQuery(kQ1, catalog_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->r_table, "Suppliers");
+  EXPECT_EQ(parsed->r_alias, "R");
+  EXPECT_EQ(parsed->t_table, "Transporters");
+  EXPECT_EQ(parsed->t_alias, "T");
+  EXPECT_EQ(parsed->r_join_attr, "country");
+  EXPECT_TRUE(parsed->select_r_id);
+  EXPECT_TRUE(parsed->select_t_id);
+  ASSERT_EQ(parsed->output_names.size(), 2u);
+  EXPECT_EQ(parsed->output_names[0], "tCost");
+  EXPECT_EQ(parsed->output_names[1], "delay");
+  EXPECT_EQ(parsed->map.output_dimensions(), 2);
+  EXPECT_TRUE(parsed->pref.IsAllLowest());
+}
+
+TEST_F(ParserTest, Q1ExpressionsEvaluateCorrectly) {
+  auto parsed = ParseSmjQuery(kQ1, catalog_);
+  ASSERT_TRUE(parsed.ok());
+  const double r[] = {10.0, 3.0};  // uPrice, manTime
+  const double t[] = {4.0, 7.0};   // uShipCost, shipTime
+  double out[2];
+  parsed->map.Eval(r, t, out);
+  EXPECT_EQ(out[0], 14.0);  // 10 + 4
+  EXPECT_EQ(out[1], 13.0);  // 2*3 + 7
+}
+
+TEST_F(ParserTest, BindAndRunEndToEnd) {
+  auto query = CompileSmjQuery(kQ1, tables_);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto results = RunProgXe(*query, ProgXeOptions());
+  ASSERT_TRUE(results.ok());
+  // Join key 1 matches suppliers {0,1} x transporter {0}:
+  //   (10+4, 2*3+7) = (14, 13) and (20+4, 2*1+7) = (24, 9): incomparable.
+  EXPECT_EQ(results->size(), 2u);
+}
+
+TEST_F(ParserTest, HighestAndMixedDirections) {
+  auto parsed = ParseSmjQuery(
+      "SELECT (R.uPrice + T.uShipCost) AS cost, "
+      "       (R.manTime + T.shipTime) AS speed "
+      "FROM Suppliers R, Transporters T WHERE R.country = T.country "
+      "PREFERRING HIGHEST(speed) AND LOWEST(cost)",
+      catalog_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Directions follow select-list order, not PREFERRING order.
+  EXPECT_EQ(parsed->pref.direction(0), Direction::kLowest);   // cost
+  EXPECT_EQ(parsed->pref.direction(1), Direction::kHighest);  // speed
+}
+
+TEST_F(ParserTest, TransformFunctions) {
+  auto parsed = ParseSmjQuery(
+      "SELECT LOG1P(R.uPrice + T.uShipCost) AS logCost "
+      "FROM Suppliers R, Transporters T WHERE R.country = T.country "
+      "PREFERRING LOWEST(logCost)",
+      catalog_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->map.func(0).transform(), Transform::kLog1p);
+  const double r[] = {10.0, 3.0};
+  const double t[] = {4.0, 7.0};
+  double out[1];
+  parsed->map.Eval(r, t, out);
+  EXPECT_DOUBLE_EQ(out[0], std::log1p(14.0));
+}
+
+TEST_F(ParserTest, ConstantsAndMinus) {
+  auto parsed = ParseSmjQuery(
+      "SELECT (R.uPrice - T.uShipCost + 100) AS margin "
+      "FROM Suppliers R, Transporters T WHERE R.country = T.country "
+      "PREFERRING HIGHEST(margin)",
+      catalog_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const double r[] = {10.0, 3.0};
+  const double t[] = {4.0, 7.0};
+  double out[1];
+  parsed->map.Eval(r, t, out);
+  EXPECT_EQ(out[0], 106.0);
+}
+
+TEST_F(ParserTest, CaseInsensitiveKeywords) {
+  auto parsed = ParseSmjQuery(
+      "select (R.uPrice + T.uShipCost) as c "
+      "from Suppliers R, Transporters T where R.country = T.country "
+      "preferring lowest(c)",
+      catalog_);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST_F(ParserTest, ErrorUnknownTable) {
+  auto parsed = ParseSmjQuery(
+      "SELECT (X.a + T.uShipCost) AS c FROM Nope X, Transporters T "
+      "WHERE X.country = T.country PREFERRING LOWEST(c)",
+      catalog_);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsNotFound());
+}
+
+TEST_F(ParserTest, ErrorUnknownAttribute) {
+  auto parsed = ParseSmjQuery(
+      "SELECT (R.bogus + T.uShipCost) AS c "
+      "FROM Suppliers R, Transporters T WHERE R.country = T.country "
+      "PREFERRING LOWEST(c)",
+      catalog_);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST_F(ParserTest, ErrorUnknownAlias) {
+  auto parsed = ParseSmjQuery(
+      "SELECT (Z.uPrice + T.uShipCost) AS c "
+      "FROM Suppliers R, Transporters T WHERE R.country = T.country "
+      "PREFERRING LOWEST(c)",
+      catalog_);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST_F(ParserTest, ErrorPreferenceMismatch) {
+  auto parsed = ParseSmjQuery(
+      "SELECT (R.uPrice + T.uShipCost) AS c, (R.manTime) AS m "
+      "FROM Suppliers R, Transporters T WHERE R.country = T.country "
+      "PREFERRING LOWEST(c)",
+      catalog_);
+  EXPECT_FALSE(parsed.ok());
+
+  parsed = ParseSmjQuery(
+      "SELECT (R.uPrice + T.uShipCost) AS c "
+      "FROM Suppliers R, Transporters T WHERE R.country = T.country "
+      "PREFERRING LOWEST(nope)",
+      catalog_);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST_F(ParserTest, ErrorMissingKeywords) {
+  EXPECT_FALSE(ParseSmjQuery("SELECT x", catalog_).ok());
+  EXPECT_FALSE(ParseSmjQuery("", catalog_).ok());
+  EXPECT_FALSE(ParseSmjQuery(
+                   "SELECT (R.uPrice + T.uShipCost) AS c "
+                   "FROM Suppliers R, Transporters T "
+                   "PREFERRING LOWEST(c)",  // no WHERE
+                   catalog_)
+                   .ok());
+}
+
+TEST_F(ParserTest, ErrorJoinOnNonJoinColumn) {
+  auto query = CompileSmjQuery(
+      "SELECT (R.uPrice + T.uShipCost) AS c "
+      "FROM Suppliers R, Transporters T WHERE R.uPrice = T.uShipCost "
+      "PREFERRING LOWEST(c)",
+      tables_);
+  EXPECT_FALSE(query.ok());
+  EXPECT_TRUE(query.status().IsInvalidArgument());
+}
+
+TEST_F(ParserTest, ParsedQueryMatchesHandBuiltOnGeneratedData) {
+  GeneratorOptions gen;
+  gen.cardinality = 400;
+  gen.num_attributes = 2;
+  gen.join_selectivity = 0.05;
+  gen.seed = 1;
+  Relation r = GenerateRelation(gen).MoveValue();
+  gen.seed = 2;
+  Relation t = GenerateRelation(gen).MoveValue();
+  std::map<std::string, const Relation*> tables{{"A", &r}, {"B", &t}};
+
+  auto query = CompileSmjQuery(
+      "SELECT (s.a0 + u.a0) AS x0, (s.a1 + u.a1) AS x1 "
+      "FROM A s, B u WHERE s.jk = u.jk "
+      "PREFERRING LOWEST(x0) AND LOWEST(x1)",
+      tables);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+
+  SkyMapJoinQuery hand;
+  hand.r = &r;
+  hand.t = &t;
+  hand.map = MapSpec::PairwiseSum(2);
+  hand.pref = Preference::AllLowest(2);
+
+  auto parsed_results = RunProgXe(*query, ProgXeOptions());
+  auto hand_results = RunProgXe(hand, ProgXeOptions());
+  ASSERT_TRUE(parsed_results.ok());
+  ASSERT_TRUE(hand_results.ok());
+  EXPECT_EQ(parsed_results->size(), hand_results->size());
+}
+
+}  // namespace
+}  // namespace progxe

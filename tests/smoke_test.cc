@@ -1,0 +1,33 @@
+// End-to-end smoke test: every algorithm returns the same final skyline on a
+// small workload.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace progxe {
+namespace {
+
+TEST(Smoke, AllAlgorithmsAgree) {
+  WorkloadParams params;
+  params.distribution = Distribution::kIndependent;
+  params.cardinality = 500;
+  params.dims = 3;
+  params.sigma = 0.01;
+  auto workload = Workload::Make(params);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+
+  auto reference = RunAlgorithm(Algo::kJfSl, *workload);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_GT(reference->results.size(), 0u);
+  auto ref_ids = CanonicalIdPairs(reference->results);
+
+  for (Algo algo : AllAlgos()) {
+    SCOPED_TRACE(AlgoName(algo));
+    auto run = RunAlgorithm(algo, *workload);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(CanonicalIdPairs(run->results), ref_ids);
+  }
+}
+
+}  // namespace
+}  // namespace progxe

@@ -1,0 +1,99 @@
+// Unit tests for the Status / Result error-handling substrate.
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace progxe {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, FactoryConstructorsCarryCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad k");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad k");
+
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Status, CopyIsCheapAndShared) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_EQ(b.code(), StatusCode::kInternal);
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "Not found");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "missing");
+}
+
+TEST(Result, MoveValueTransfersOwnership) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = r.MoveValue();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Result<int> Doubler(Result<int> in) {
+  PROGXE_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(Result, AssignOrReturnMacroPropagatesErrors) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  Result<int> err = Doubler(Status::Internal("nope"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInternal());
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status Chain(int v) {
+  PROGXE_RETURN_NOT_OK(FailIfNegative(v));
+  return Status::OK();
+}
+
+TEST(Status, ReturnNotOkMacro) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_TRUE(Chain(-1).IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace progxe

@@ -1,0 +1,203 @@
+// progxe_cli — run any algorithm on a synthetic SkyMapJoin workload from
+// the command line and inspect progressiveness interactively.
+//
+//   $ progxe_cli --dist=anti --n=20000 --dims=4 --sigma=0.001 --algo=ProgXe
+//   $ progxe_cli --algo=all --csv=series.csv
+//
+// Flags:
+//   --dist=independent|correlated|anticorrelated   (default independent)
+//   --n=<N>            source cardinality            (default 10000)
+//   --dims=<d>         skyline dimensions            (default 4)
+//   --sigma=<s>        join selectivity              (default 0.001)
+//   --seed=<s>         workload seed                 (default 42)
+//   --algo=<name|all>  ProgXe, ProgXe+, ProgXe-NoOrder, ProgXe+-NoOrder,
+//                      JF-SL, JF-SL+, SSMJ, SAJ, all  (default ProgXe)
+//   --kd               use the kd-tree partitioner for ProgXe variants
+//   --csv=<path>       append per-emission series rows to a CSV file
+//   --series=<k>       print at most k series samples (default 10)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/csv_writer.h"
+#include "harness/experiment.h"
+
+using namespace progxe;
+
+namespace {
+
+struct CliArgs {
+  Distribution dist = Distribution::kIndependent;
+  size_t n = 10000;
+  int dims = 4;
+  double sigma = 0.001;
+  uint64_t seed = 42;
+  std::string algo = "ProgXe";
+  bool kd = false;
+  std::string csv_path;
+  int series_samples = 10;
+};
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+    };
+    if (const char* v = value("--dist=")) {
+      auto dist = ParseDistribution(v);
+      if (!dist.ok()) {
+        std::fprintf(stderr, "%s\n", dist.status().ToString().c_str());
+        return false;
+      }
+      args->dist = *dist;
+    } else if (const char* v = value("--n=")) {
+      args->n = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--dims=")) {
+      args->dims = std::atoi(v);
+    } else if (const char* v = value("--sigma=")) {
+      args->sigma = std::atof(v);
+    } else if (const char* v = value("--seed=")) {
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--algo=")) {
+      args->algo = v;
+    } else if (const char* v = value("--csv=")) {
+      args->csv_path = v;
+    } else if (const char* v = value("--series=")) {
+      args->series_samples = std::atoi(v);
+    } else if (std::strcmp(arg, "--kd") == 0) {
+      args->kd = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("see the header comment of tools/progxe_cli.cc\n");
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AlgoFromName(const std::string& name, Algo* out) {
+  struct Entry {
+    const char* name;
+    Algo algo;
+  };
+  static const Entry kEntries[] = {
+      {"ProgXe", Algo::kProgXe},
+      {"ProgXe+", Algo::kProgXePlus},
+      {"ProgXe-NoOrder", Algo::kProgXeNoOrder},
+      {"ProgXe+-NoOrder", Algo::kProgXePlusNoOrder},
+      {"JF-SL", Algo::kJfSl},
+      {"JF-SL+", Algo::kJfSlPlus},
+      {"SSMJ", Algo::kSsmj},
+      {"SAJ", Algo::kSaj},
+  };
+  for (const Entry& e : kEntries) {
+    if (name == e.name) {
+      *out = e.algo;
+      return true;
+    }
+  }
+  return false;
+}
+
+int RunOne(Algo algo, const Workload& workload, const CliArgs& args,
+           CsvWriter* csv) {
+  ProgXeOptions tuning;
+  if (args.kd) tuning.partitioning = PartitioningScheme::kKdTree;
+  auto run = RunAlgorithm(algo, workload, tuning);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", AlgoName(algo),
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-20s results=%-8zu t_first=%.6fs t_50%%=%.6fs total=%.6fs "
+              "cmps=%llu pairs=%llu\n",
+              AlgoName(algo), run->metrics.total_results,
+              run->metrics.time_to_first, run->metrics.time_to_50pct,
+              run->metrics.total_time,
+              static_cast<unsigned long long>(run->dominance_comparisons),
+              static_cast<unsigned long long>(run->join_pairs));
+  if (args.series_samples > 0 && !run->series.empty()) {
+    std::vector<SeriesPoint> pts = run->series;
+    const size_t max_pts = static_cast<size_t>(args.series_samples);
+    if (pts.size() > max_pts) {
+      std::vector<SeriesPoint> sampled;
+      const double step = static_cast<double>(pts.size() - 1) /
+                          static_cast<double>(max_pts - 1);
+      for (size_t i = 0; i < max_pts; ++i) {
+        sampled.push_back(
+            pts[std::min(static_cast<size_t>(step * static_cast<double>(i)),
+                         pts.size() - 1)]);
+      }
+      sampled.back() = pts.back();
+      pts = std::move(sampled);
+    }
+    std::printf("  series:");
+    for (const SeriesPoint& p : pts) {
+      std::printf(" %.4f:%zu", p.t_sec, p.count);
+    }
+    std::printf("\n");
+  }
+  if (csv != nullptr) {
+    for (const SeriesPoint& p : run->series) {
+      csv->WriteValues(std::string(AlgoName(algo)),
+                       std::string(DistributionName(args.dist)), args.n,
+                       args.dims, args.sigma, p.t_sec, p.count);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  WorkloadParams params;
+  params.distribution = args.dist;
+  params.cardinality = args.n;
+  params.dims = args.dims;
+  params.sigma = args.sigma;
+  params.seed = args.seed;
+  auto workload = Workload::Make(params);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("workload: %s\n", params.ToString().c_str());
+
+  std::unique_ptr<CsvWriter> csv;
+  if (!args.csv_path.empty()) {
+    auto writer = CsvWriter::Open(args.csv_path);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "%s\n", writer.status().ToString().c_str());
+      return 1;
+    }
+    csv = std::make_unique<CsvWriter>(std::move(*writer));
+    csv->WriteRow({"algo", "dist", "n", "dims", "sigma", "t_sec", "count"});
+  }
+
+  int rc = 0;
+  if (args.algo == "all") {
+    for (Algo algo : AllAlgos()) {
+      rc |= RunOne(algo, *workload, args, csv.get());
+    }
+  } else {
+    Algo algo;
+    if (!AlgoFromName(args.algo, &algo)) {
+      std::fprintf(stderr,
+                   "unknown --algo=%s (try ProgXe, ProgXe+, ProgXe-NoOrder, "
+                   "ProgXe+-NoOrder, JF-SL, JF-SL+, SSMJ, SAJ, all)\n",
+                   args.algo.c_str());
+      return 2;
+    }
+    rc = RunOne(algo, *workload, args, csv.get());
+  }
+  if (csv != nullptr) csv->Close();
+  return rc;
+}
