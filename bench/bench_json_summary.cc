@@ -1,0 +1,84 @@
+// Machine-readable bench summary: runs the Fig-10/13 total-time matrix
+// (ProgXe variants + SSMJ across distributions and selectivities) and
+// writes one JSON object per config to a file — the data source behind
+// BENCH_progxe.json (see tools/run_bench.sh).
+//
+// Extra flag over bench_common: --out=<path> (default BENCH_progxe.json).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace progxe;
+using namespace progxe::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::string out_path = "BENCH_progxe.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+  const size_t n = args.ResolveN(3000);
+  const int dims = args.ResolveDims(4);
+
+  const Algo algos[] = {Algo::kProgXe, Algo::kProgXePlus,
+                        Algo::kProgXeNoOrder, Algo::kSsmj};
+  const Distribution dists[] = {Distribution::kCorrelated,
+                                Distribution::kIndependent,
+                                Distribution::kAntiCorrelated};
+  const double sigmas[] = {0.001, 0.01, 0.1};
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"progxe_totaltime\",\n");
+  std::fprintf(out, "  \"n\": %zu,\n  \"dims\": %d,\n  \"seed\": %llu,\n",
+               n, dims, static_cast<unsigned long long>(args.seed));
+  std::fprintf(out, "  \"configs\": [\n");
+
+  bool first = true;
+  for (Distribution dist : dists) {
+    for (double sigma : sigmas) {
+      WorkloadParams params;
+      params.distribution = dist;
+      params.cardinality = n;
+      params.dims = dims;
+      params.sigma = sigma;
+      params.seed = args.seed;
+      Workload workload = MustMakeWorkload(params);
+      for (Algo algo : algos) {
+        auto run = RunAlgorithm(algo, workload);
+        if (!run.ok()) {
+          std::fprintf(stderr, "error running %s: %s\n", AlgoName(algo),
+                       run.status().ToString().c_str());
+          std::fclose(out);
+          return 1;
+        }
+        if (!first) std::fprintf(out, ",\n");
+        first = false;
+        std::fprintf(out,
+                     "    {\"dist\": \"%s\", \"sigma\": %g, \"algo\": "
+                     "\"%s\", \"total_time_s\": %.6f, "
+                     "\"time_to_first_s\": %.6f, \"time_to_50pct_s\": %.6f, "
+                     "\"results\": %zu, \"dominance_comparisons\": %llu, "
+                     "\"join_pairs\": %llu}",
+                     DistributionName(dist), sigma, ShortAlgoName(algo),
+                     run->metrics.total_time, run->metrics.time_to_first,
+                     run->metrics.time_to_50pct, run->metrics.total_results,
+                     static_cast<unsigned long long>(
+                         run->dominance_comparisons),
+                     static_cast<unsigned long long>(run->join_pairs));
+        std::printf("%-15s %-15s sigma=%-7g total=%.4fs first=%.4fs\n",
+                    DistributionName(dist), ShortAlgoName(algo), sigma,
+                    run->metrics.total_time, run->metrics.time_to_first);
+      }
+    }
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

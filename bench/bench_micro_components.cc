@@ -157,6 +157,36 @@ void BM_OutputTableInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_OutputTableInsert);
 
+void BM_OutputTableInsertBatch(benchmark::State& state) {
+  const int d = 4;
+  const size_t batch = static_cast<size_t>(state.range(0));
+  std::vector<double> pts =
+      RandomPoints(20000, d, Distribution::kAntiCorrelated);
+  std::vector<RowIdPair> ids(20000);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = RowIdPair{static_cast<RowId>(i), 0};
+  }
+  ProgXeStats stats;
+  for (auto _ : state) {
+    state.PauseTiming();
+    GridGeometry grid(std::vector<Interval>(static_cast<size_t>(d),
+                                            Interval(0, 100)),
+                      10);
+    OutputTable table(
+        grid,
+        std::vector<uint8_t>(static_cast<size_t>(grid.total_cells()), 0),
+        &stats);
+    state.ResumeTiming();
+    for (size_t i = 0; i < 20000; i += batch) {
+      const size_t m = std::min(batch, 20000 - i);
+      table.InsertBatch(pts.data() + i * static_cast<size_t>(d),
+                        ids.data() + i, m);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 20000);
+}
+BENCHMARK(BM_OutputTableInsertBatch)->Arg(64)->Arg(256)->Arg(1024);
+
 void BM_Generator(benchmark::State& state) {
   const auto dist = static_cast<Distribution>(state.range(0));
   GeneratorOptions opts;

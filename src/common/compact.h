@@ -1,0 +1,35 @@
+// Stable in-place compaction over parallel arrays.
+//
+// Both incremental skyline structures — SkylineWindow (baselines) and
+// OutputTable::CellData (ProgXe cells) — store points as a flat k-wide
+// values array plus parallel per-point arrays, and periodically squeeze out
+// evicted entries. This helper is the single implementation of that
+// squeeze: one forward pass, each survivor moved at most once.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace progxe {
+
+/// Compacts `n` logical entries in place: keeps entry i iff `keep(i)`,
+/// moving survivors down with `move(from, to)` (called only when from !=
+/// to, in ascending order). Returns the survivor count; the caller shrinks
+/// its arrays to that size.
+template <typename KeepFn, typename MoveFn>
+inline size_t CompactParallel(size_t n, KeepFn&& keep, MoveFn&& move) {
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!keep(i)) continue;
+    if (w != i) move(i, w);
+    ++w;
+  }
+  return w;
+}
+
+/// Copies row `from` over row `to` of a flat array with `k` values per row.
+inline void MoveFlatRow(double* data, size_t k, size_t from, size_t to) {
+  std::copy(data + from * k, data + (from + 1) * k, data + to * k);
+}
+
+}  // namespace progxe

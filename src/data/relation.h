@@ -22,6 +22,12 @@ using JoinKey = int64_t;
 /// Dense row id within one relation.
 using RowId = uint32_t;
 
+/// One joined (R, T) row-id pair, the unit of the batched tuple pipeline.
+struct RowIdPair {
+  RowId r;
+  RowId t;
+};
+
 /// A mutable in-memory relation with fixed schema.
 class Relation {
  public:

@@ -5,6 +5,7 @@
 // matching groups rather than |I_a| * |I_b|.
 #pragma once
 
+#include <cassert>
 #include <unordered_map>
 #include <vector>
 
@@ -83,6 +84,38 @@ size_t JoinIndexes(const KeyIndex& r_index, const KeyIndex& t_index,
       }
     }
   });
+  return count;
+}
+
+/// Batched form of JoinIndexes: fills the caller-owned buffer `buf`
+/// (capacity `cap` pairs) and invokes `flush(buf, n)` whenever it fills,
+/// plus once for the tail. Pair order is identical to JoinIndexes, so the
+/// two forms drive downstream consumers through the same state sequence.
+/// Returns the number of pairs emitted.
+template <typename FlushFn>
+size_t JoinIndexesBatched(const KeyIndex& r_index, const KeyIndex& t_index,
+                          RowIdPair* buf, size_t cap, FlushFn&& flush) {
+  assert(cap > 0);
+  size_t count = 0;
+  size_t n = 0;
+  r_index.ForEach([&](JoinKey key, const std::vector<RowId>& r_rows) {
+    const std::vector<RowId>* t_rows = t_index.Find(key);
+    if (t_rows == nullptr) return;
+    for (RowId r : r_rows) {
+      for (RowId t : *t_rows) {
+        buf[n++] = RowIdPair{r, t};
+        if (n == cap) {
+          flush(buf, n);
+          count += n;
+          n = 0;
+        }
+      }
+    }
+  });
+  if (n > 0) {
+    flush(buf, n);
+    count += n;
+  }
   return count;
 }
 

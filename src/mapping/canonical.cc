@@ -43,6 +43,27 @@ void CanonicalMapper::Combine(const double* r_contrib, const double* t_contrib,
   }
 }
 
+void CanonicalMapper::CombineBatch(const RowIdPair* pairs, size_t n,
+                                   const double* r_flat, const double* t_flat,
+                                   double* out) const {
+  const int k = spec_.output_dimensions();
+  const size_t kk = static_cast<size_t>(k);
+  // Dimension-outer: sign and transform are loop invariants, and the inner
+  // loop is a strided gather-map-store over the whole block.
+  for (int j = 0; j < k; ++j) {
+    const double s = sign_[static_cast<size_t>(j)];
+    const Transform tf = spec_.func(j).transform();
+    const size_t jj = static_cast<size_t>(j);
+    for (size_t i = 0; i < n; ++i) {
+      const double rc = r_flat[static_cast<size_t>(pairs[i].r) * kk + jj];
+      const double tc = t_flat[static_cast<size_t>(pairs[i].t) * kk + jj];
+      // Same un-fold / re-fold as Combine (see above).
+      const double raw = s * (rc + tc);
+      out[i * kk + jj] = s * ApplyTransform(tf, raw);
+    }
+  }
+}
+
 void CanonicalMapper::CombineBounds(const Interval* r_contrib,
                                     const Interval* t_contrib,
                                     Interval* out) const {

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "data/relation.h"
 #include "mapping/interval.h"
 #include "mapping/map_expr.h"
 #include "prefs/preference.h"
@@ -43,6 +44,14 @@ class CanonicalMapper {
   /// Combines canonical contributions into the canonical output vector.
   void Combine(const double* r_contrib, const double* t_contrib,
                double* out) const;
+
+  /// Batched Combine: maps `n` joined pairs into the contiguous buffer
+  /// `out[0..n*k)` (k doubles per pair, pair-major). `r_flat`/`t_flat` are
+  /// the sources' flat contribution tables (k doubles per row, indexed by
+  /// the pairs' row ids). Equivalent to n calls to Combine, but hoists the
+  /// per-dimension sign and transform lookups out of the pair loop.
+  void CombineBatch(const RowIdPair* pairs, size_t n, const double* r_flat,
+                    const double* t_flat, double* out) const;
 
   /// Combines canonical contribution intervals into canonical output bounds.
   void CombineBounds(const Interval* r_contrib, const Interval* t_contrib,

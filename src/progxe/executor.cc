@@ -240,8 +240,12 @@ Status ProgXeExecutor::Run(const EmitFn& emit) {
   for (const Region& region : regions) {
     if (region.Active()) ++active_regions;
   }
+  // All emit-path buffers live outside the loops: the steady-state flush
+  // path performs no allocations.
   std::vector<double> flush_values;
   std::vector<CellTupleIds> flush_ids;
+  ResultTuple result;
+  result.values.resize(static_cast<size_t>(k));
   auto reached_limit = [&]() {
     return options_.max_results != 0 &&
            stats_.results_emitted >= options_.max_results;
@@ -254,10 +258,8 @@ Status ProgXeExecutor::Run(const EmitFn& emit) {
       table.FlushCell(c, &flush_values, &flush_ids);
       ++stats_.cells_flushed;
       for (size_t i = 0; i < flush_ids.size(); ++i) {
-        ResultTuple result;
         result.r_id = r_orig_ids[flush_ids[i].r];
         result.t_id = t_orig_ids[flush_ids[i].t];
-        result.values.resize(static_cast<size_t>(k));
         for (int j = 0; j < k; ++j) {
           result.values[static_cast<size_t>(j)] = mapper.Decanonicalize(
               j, flush_values[i * static_cast<size_t>(k) +
@@ -273,20 +275,58 @@ Status ProgXeExecutor::Run(const EmitFn& emit) {
 
   // Marks a region removed exactly once across all paths.
   std::vector<uint8_t> removed(regions.size(), 0);
+  std::vector<CellIndex> settled_scratch;
+  std::vector<CellIndex> marked_scratch;
+  std::vector<CellIndex> flush_scratch;
   auto remove_region = [&](Region& region) {
     if (removed[static_cast<size_t>(region.id)]) return;
     removed[static_cast<size_t>(region.id)] = 1;
     assert(active_regions > 0);
     --active_regions;
-    std::vector<CellIndex> settled = table.ReleaseRegionCoverage(region);
-    determine.OnCellsMarked(table.DrainMarkedEvents());
-    std::vector<CellIndex> flushes = determine.OnCellsSettled(settled);
+    table.ReleaseRegionCoverage(region, &settled_scratch);
+    table.DrainMarkedEvents(&marked_scratch);
+    determine.OnCellsMarked(marked_scratch);
+    determine.OnCellsSettled(settled_scratch, &flush_scratch);
     order.OnRegionRemoved(region.id);
-    emit_cells(flushes);
+    emit_cells(flush_scratch);
   };
+
+  // --- Incremental runtime region discard ------------------------------------
+  // The discard test (Algorithm 1, line 9) depends only on a region's
+  // lo_cell and the dominance frontier, so active regions are bucketed by
+  // lo_cell — one test covers every region of a bucket — and a bucket is
+  // re-tested only against frontier entries logged after the epoch at which
+  // it last survived (see OutputTable::FrontierDominatesSince). The sweep
+  // runs only when the frontier actually advanced.
+  struct DiscardBucket {
+    std::vector<CellCoord> lo;        // shared lo_cell coordinates
+    std::vector<int32_t> region_ids;  // regions with this lo_cell
+    uint64_t survived_epoch = 0;      // frontier epoch last tested clean
+  };
+  std::vector<DiscardBucket> discard_buckets;
+  {
+    std::unordered_map<CellIndex, size_t> bucket_of;
+    for (const Region& region : regions) {
+      if (!region.Active()) continue;
+      const CellIndex lo_index = table.geometry().IndexOf(region.lo_cell.data());
+      auto [it, inserted] =
+          bucket_of.try_emplace(lo_index, discard_buckets.size());
+      if (inserted) {
+        discard_buckets.emplace_back();
+        discard_buckets.back().lo = region.lo_cell;
+      }
+      discard_buckets[it->second].region_ids.push_back(region.id);
+    }
+  }
+  std::vector<int32_t> discard_scratch;
+  uint64_t last_sweep_epoch = 0;
 
   // --- Main loop (Algorithm 1) ----------------------------------------------
   std::vector<double> out_values(static_cast<size_t>(k));
+  const size_t batch_cap =
+      options_.insert_batch_size > 1 ? options_.insert_batch_size : 0;
+  std::vector<RowIdPair> pair_buf(batch_cap);
+  std::vector<double> batch_values(batch_cap * static_cast<size_t>(k));
   const auto& r_parts = r_grid->partitions();
   const auto& t_parts = t_grid->partitions();
 
@@ -297,32 +337,83 @@ Status ProgXeExecutor::Run(const EmitFn& emit) {
     Region& region = regions[static_cast<size_t>(next)];
     if (!region.Active()) continue;
 
-    // Tuple-level processing: join the partition pair, map, insert.
+    // Tuple-level processing: join the partition pair, map, insert — in
+    // blocks when batching is enabled, per tuple otherwise. The batched
+    // pipeline visits pairs in the same order and produces identical
+    // results and counters (see OutputTable::InsertBatch).
     const InputPartition& pa = r_parts[static_cast<size_t>(region.a)];
     const InputPartition& pb = t_parts[static_cast<size_t>(region.b)];
-    JoinIndexes(pa.key_index, pb.key_index, [&](RowId r_id, RowId t_id) {
-      ++stats_.join_pairs_generated;
-      mapper.Combine(r_contrib.vector(r_id), t_contrib.vector(t_id),
-                     out_values.data());
-      table.Insert(out_values.data(), r_id, t_id);
-    });
+    if (batch_cap > 0) {
+      stats_.join_pairs_generated += JoinIndexesBatched(
+          pa.key_index, pb.key_index, pair_buf.data(), batch_cap,
+          [&](const RowIdPair* pairs, size_t m) {
+            mapper.CombineBatch(pairs, m, r_contrib.flat().data(),
+                                t_contrib.flat().data(), batch_values.data());
+            table.InsertBatch(batch_values.data(), pairs, m);
+          });
+    } else {
+      JoinIndexes(pa.key_index, pb.key_index, [&](RowId r_id, RowId t_id) {
+        ++stats_.join_pairs_generated;
+        mapper.Combine(r_contrib.vector(r_id), t_contrib.vector(t_id),
+                       out_values.data());
+        table.Insert(out_values.data(), r_id, t_id);
+      });
+    }
     region.processed = true;
     ++stats_.regions_processed;
 
     // Kill events produced during insertion must reach ProgDetermine before
     // settle processing.
-    determine.OnCellsMarked(table.DrainMarkedEvents());
+    table.DrainMarkedEvents(&marked_scratch);
+    determine.OnCellsMarked(marked_scratch);
     remove_region(region);
 
     // Runtime region discard (Algorithm 1, line 9): regions now wholly
-    // dominated by generated tuples.
-    for (Region& other : regions) {
-      if (!other.Active()) continue;
-      if (table.RegionDominatedByFrontier(other)) {
+    // dominated by generated tuples. Only runs when the frontier advanced
+    // since the last sweep; each bucket is tested against the frontier
+    // entries logged since it last survived.
+    const uint64_t epoch = table.frontier_epoch();
+    if (epoch != last_sweep_epoch) {
+      discard_scratch.clear();
+      for (size_t bi = 0; bi < discard_buckets.size();) {
+        DiscardBucket& bucket = discard_buckets[bi];
+        // Lazily drop regions that completed or were discarded meanwhile.
+        std::erase_if(bucket.region_ids, [&](int32_t id) {
+          return !regions[static_cast<size_t>(id)].Active();
+        });
+        if (bucket.region_ids.empty()) {
+          // Permanently dead: swap-pop so later sweeps skip it entirely.
+          if (bi + 1 != discard_buckets.size()) {
+            discard_buckets[bi] = std::move(discard_buckets.back());
+          }
+          discard_buckets.pop_back();
+          continue;
+        }
+        if (table.FrontierDominatesSince(bucket.lo.data(),
+                                         bucket.survived_epoch)) {
+          discard_scratch.insert(discard_scratch.end(),
+                                 bucket.region_ids.begin(),
+                                 bucket.region_ids.end());
+          if (bi + 1 != discard_buckets.size()) {
+            discard_buckets[bi] = std::move(discard_buckets.back());
+          }
+          discard_buckets.pop_back();
+          continue;
+        }
+        bucket.survived_epoch = epoch;
+        ++bi;
+      }
+      // Discard in ascending region id — the order the full rescan used —
+      // so flush/emission order is byte-for-byte stable.
+      std::sort(discard_scratch.begin(), discard_scratch.end());
+      for (int32_t id : discard_scratch) {
+        Region& other = regions[static_cast<size_t>(id)];
+        if (!other.Active()) continue;
         other.discarded = true;
         ++stats_.regions_discarded_runtime;
         remove_region(other);
       }
+      last_sweep_epoch = epoch;
     }
   }
 

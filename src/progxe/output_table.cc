@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/compact.h"
+
 namespace progxe {
 
 namespace {
@@ -24,26 +26,37 @@ inline bool CoordsStrictlyBelow(const CellCoord* a, const CellCoord* b,
   return true;
 }
 
+/// Enumerates ascending entry indices whose bit is set in the AND of the
+/// `k` bitmaps in `ptrs` (each at least `min_words` words). `fn(p)`
+/// returns false to stop the sweep early.
+template <typename Fn>
+inline void SweepAnd(const uint64_t* const* ptrs, int k, size_t min_words,
+                     Fn&& fn) {
+  for (size_t w = 0; w < min_words; ++w) {
+    uint64_t m = ptrs[0][w];
+    for (int d = 1; d < k; ++d) m &= ptrs[d][w];
+    while (m != 0) {
+      const size_t p = (w << 6) + static_cast<size_t>(__builtin_ctzll(m));
+      m &= m - 1;
+      if (!fn(p)) return;
+    }
+  }
+}
+
 }  // namespace
 
 void OutputTable::CellData::Compact(int k) {
   if (dead_count == 0) return;
-  size_t w = 0;
   const size_t kk = static_cast<size_t>(k);
-  for (size_t i = 0; i < ids.size(); ++i) {
-    if (!alive[i]) continue;
-    if (w != i) {
-      std::copy(values.begin() + static_cast<ptrdiff_t>(i * kk),
-                values.begin() + static_cast<ptrdiff_t>((i + 1) * kk),
-                values.begin() + static_cast<ptrdiff_t>(w * kk));
-      ids[w] = ids[i];
-    }
-    alive[w] = 1;
-    ++w;
-  }
+  const size_t w = CompactParallel(
+      ids.size(), [this](size_t i) { return alive[i] != 0; },
+      [this, kk](size_t from, size_t to) {
+        MoveFlatRow(values.data(), kk, from, to);
+        ids[to] = ids[from];
+      });
   values.resize(w * kk);
   ids.resize(w);
-  alive.resize(w);
+  alive.assign(w, 1);
   dead_count = 0;
   assert(alive_count == w);
 }
@@ -59,11 +72,65 @@ OutputTable::OutputTable(GridGeometry geometry, std::vector<uint8_t> marked,
   reg_count_.assign(total, 0);
   emitted_.assign(total, 0);
   cell_slot_.assign(total, -1);
-  visit_stamp_.assign(total, 0);
-  slabs_.resize(static_cast<size_t>(k_));
-  for (auto& dim_slabs : slabs_) {
-    dim_slabs.resize(static_cast<size_t>(geometry_.cells_per_dim()));
+  scratch_coords_.resize(static_cast<size_t>(k_));
+  sweep_ptrs_.resize(static_cast<size_t>(k_));
+  le_bits_.resize(static_cast<size_t>(k_));
+  ge_bits_.resize(static_cast<size_t>(k_));
+  for (int d = 0; d < k_; ++d) {
+    le_bits_[static_cast<size_t>(d)].resize(
+        static_cast<size_t>(geometry_.cells_per_dim()));
+    ge_bits_[static_cast<size_t>(d)].resize(
+        static_cast<size_t>(geometry_.cells_per_dim()));
   }
+}
+
+void OutputTable::SetPopBits(size_t i, const CellCoord* coords, bool value) {
+  const size_t word = i >> 6;
+  const uint64_t bit = uint64_t{1} << (i & 63);
+  const int cpd = geometry_.cells_per_dim();
+  for (int d = 0; d < k_; ++d) {
+    auto& le = le_bits_[static_cast<size_t>(d)];
+    auto& ge = ge_bits_[static_cast<size_t>(d)];
+    for (CellCoord v = coords[d]; v < cpd; ++v) {
+      auto& w = le[static_cast<size_t>(v)];
+      if (w.size() <= word) {
+        if (!value) continue;  // an unset bit needs no storage
+        w.resize(word + 1, 0);
+      }
+      if (value) {
+        w[word] |= bit;
+      } else {
+        w[word] &= ~bit;
+      }
+    }
+    for (CellCoord v = 0; v <= coords[d]; ++v) {
+      auto& w = ge[static_cast<size_t>(v)];
+      if (w.size() <= word) {
+        if (!value) continue;
+        w.resize(word + 1, 0);
+      }
+      if (value) {
+        w[word] |= bit;
+      } else {
+        w[word] &= ~bit;
+      }
+    }
+  }
+}
+
+size_t OutputTable::GatherSweep(bool ge, const CellCoord* coords,
+                                CellCoord offset) {
+  const int cpd = geometry_.cells_per_dim();
+  size_t min_words = SIZE_MAX;
+  for (int d = 0; d < k_; ++d) {
+    const CellCoord v = coords[d] + offset;
+    if (v < 0 || v >= cpd) return 0;  // empty candidate set
+    const auto& bits = (ge ? ge_bits_ : le_bits_)[static_cast<size_t>(d)]
+                                                 [static_cast<size_t>(v)];
+    sweep_ptrs_[static_cast<size_t>(d)] = bits.data();
+    min_words = std::min(min_words, bits.size());
+  }
+  return min_words == SIZE_MAX ? 0 : min_words;
 }
 
 void OutputTable::InitCoverage(const std::vector<Region>& regions) {
@@ -75,15 +142,22 @@ void OutputTable::InitCoverage(const std::vector<Region>& regions) {
   }
 }
 
+void OutputTable::ReleaseRegionCoverage(const Region& region,
+                                        std::vector<CellIndex>* settled_out) {
+  settled_out->clear();
+  geometry_.ForEachCellInBox(
+      region.lo_cell.data(), region.hi_cell.data(),
+      [this, settled_out](CellIndex c) {
+        int32_t& rc = reg_count_[static_cast<size_t>(c)];
+        assert(rc > 0);
+        if (--rc == 0) settled_out->push_back(c);
+      });
+}
+
 std::vector<CellIndex> OutputTable::ReleaseRegionCoverage(
     const Region& region) {
   std::vector<CellIndex> settled;
-  geometry_.ForEachCellInBox(region.lo_cell.data(), region.hi_cell.data(),
-                             [this, &settled](CellIndex c) {
-                               int32_t& rc = reg_count_[static_cast<size_t>(c)];
-                               assert(rc > 0);
-                               if (--rc == 0) settled.push_back(c);
-                             });
+  ReleaseRegionCoverage(region, &settled);
   return settled;
 }
 
@@ -109,6 +183,18 @@ bool OutputTable::RegionDominatedByFrontier(const Region& region) const {
   return FrontierStrictlyDominates(region.lo_cell.data());
 }
 
+bool OutputTable::FrontierDominatesSince(const CellCoord* coords,
+                                         uint64_t since_epoch) const {
+  const size_t kk = static_cast<size_t>(k_);
+  for (size_t f = static_cast<size_t>(since_epoch) * kk;
+       f + kk <= frontier_log_.size(); f += kk) {
+    if (CoordsStrictlyBelow(frontier_log_.data() + f, coords, k_)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void OutputTable::UpdateFrontier(const CellCoord* coords) {
   const size_t kk = static_cast<size_t>(k_);
   // Redundant if an existing frontier cell is <= coords everywhere.
@@ -116,19 +202,20 @@ void OutputTable::UpdateFrontier(const CellCoord* coords) {
     if (CoordsLeq(frontier_.data() + f, coords, k_)) return;
   }
   // Remove frontier entries that the new cell covers.
-  size_t w = 0;
-  for (size_t f = 0; f + kk <= frontier_.size(); f += kk) {
-    if (!CoordsLeq(coords, frontier_.data() + f, k_)) {
-      if (w != f) {
-        std::copy(frontier_.begin() + static_cast<ptrdiff_t>(f),
-                  frontier_.begin() + static_cast<ptrdiff_t>(f + kk),
-                  frontier_.begin() + static_cast<ptrdiff_t>(w));
-      }
-      w += kk;
-    }
-  }
-  frontier_.resize(w);
+  const size_t w = CompactParallel(
+      frontier_.size() / kk,
+      [this, coords, kk](size_t f) {
+        return !CoordsLeq(coords, frontier_.data() + f * kk, k_);
+      },
+      [this, kk](size_t from, size_t to) {
+        std::copy(frontier_.begin() + static_cast<ptrdiff_t>(from * kk),
+                  frontier_.begin() + static_cast<ptrdiff_t>((from + 1) * kk),
+                  frontier_.begin() + static_cast<ptrdiff_t>(to * kk));
+      });
+  frontier_.resize(w * kk);
   frontier_.insert(frontier_.end(), coords, coords + k_);
+  frontier_log_.insert(frontier_log_.end(), coords, coords + k_);
+  ++frontier_epoch_;
 }
 
 OutputTable::CellData* OutputTable::EnsureCell(CellIndex c,
@@ -138,6 +225,7 @@ OutputTable::CellData* OutputTable::EnsureCell(CellIndex c,
   s = static_cast<int32_t>(cells_.size());
   cells_.emplace_back();
   cells_.back().coords.assign(coords, coords + k_);
+  cells_.back().index = c;
   cell_slot_[static_cast<size_t>(c)] = s;
   return &cells_.back();
 }
@@ -155,34 +243,84 @@ void OutputTable::KillCell(CellIndex c) {
     cell.alive.clear();
     cell.alive_count = 0;
     cell.dead_count = 0;
-  }
-}
-
-void OutputTable::OnCellPopulated(CellIndex c, const CellCoord* coords) {
-  for (int dim = 0; dim < k_; ++dim) {
-    slabs_[static_cast<size_t>(dim)][static_cast<size_t>(coords[dim])]
-        .push_back(c);
-  }
-  UpdateFrontier(coords);
-  // Eager kill: every populated cell strictly above `coords` is now wholly
-  // dominated (any tuple here dominates all of its tuples, half-open cells).
-  for (size_t s = 0; s < cells_.size(); ++s) {
-    CellData& other = cells_[s];
-    if (other.alive_count == 0) continue;
-    const CellIndex oc = geometry_.IndexOf(other.coords.data());
-    if (oc == c) continue;
-    if (emitted_[static_cast<size_t>(oc)]) continue;  // final; see header
-    if (CoordsStrictlyBelow(coords, other.coords.data(), k_)) {
-      KillCell(oc);
+    // Tombstone the populated-cell index entry: a marked cell never
+    // receives tuples again, so it can never re-populate.
+    if (cell.pop_pos >= 0) {
+      SetPopBits(static_cast<size_t>(cell.pop_pos), cell.coords.data(),
+                 false);
+      pop_slots_[static_cast<size_t>(cell.pop_pos)] = -1;
+      cell.pop_pos = -1;
+      ++pop_tombstones_;
     }
   }
 }
 
+void OutputTable::MaybeCompactPopulated() {
+  if (pop_tombstones_ * 2 <= pop_slots_.size() || pop_slots_.size() < 64) {
+    return;
+  }
+  const size_t kk = static_cast<size_t>(k_);
+  const size_t w = CompactParallel(
+      pop_slots_.size(), [this](size_t i) { return pop_slots_[i] >= 0; },
+      [this, kk](size_t from, size_t to) {
+        std::copy(pop_coords_.begin() + static_cast<ptrdiff_t>(from * kk),
+                  pop_coords_.begin() + static_cast<ptrdiff_t>((from + 1) * kk),
+                  pop_coords_.begin() + static_cast<ptrdiff_t>(to * kk));
+        pop_slots_[to] = pop_slots_[from];
+      });
+  for (size_t i = 0; i < w; ++i) {
+    cells_[static_cast<size_t>(pop_slots_[i])].pop_pos =
+        static_cast<int32_t>(i);
+  }
+  pop_coords_.resize(w * kk);
+  pop_slots_.resize(w);
+  pop_tombstones_ = 0;
+  // Rebuild the coordinate bitmaps for the compacted index.
+  const size_t words = (w + 63) >> 6;
+  for (int d = 0; d < k_; ++d) {
+    for (auto& bits : le_bits_[static_cast<size_t>(d)]) {
+      bits.assign(words, 0);
+    }
+    for (auto& bits : ge_bits_[static_cast<size_t>(d)]) {
+      bits.assign(words, 0);
+    }
+  }
+  for (size_t i = 0; i < w; ++i) {
+    SetPopBits(i, pop_coords_.data() + i * kk, true);
+  }
+}
+
+void OutputTable::OnCellPopulated(CellIndex c, const CellCoord* coords) {
+  CellData& self = cells_[static_cast<size_t>(slot(c))];
+  if (self.pop_pos < 0) {
+    self.pop_pos = static_cast<int32_t>(pop_slots_.size());
+    pop_coords_.insert(pop_coords_.end(), coords, coords + k_);
+    pop_slots_.push_back(slot(c));
+    SetPopBits(static_cast<size_t>(self.pop_pos), coords, true);
+  }
+  UpdateFrontier(coords);
+  // Eager kill: every populated cell strictly above `coords` is now wholly
+  // dominated (any tuple here dominates all of its tuples, half-open
+  // cells). Candidates have coord[d] >= coords[d] + 1 in every dimension.
+  const size_t words = GatherSweep(/*ge=*/true, coords, 1);
+  SweepAnd(sweep_ptrs_.data(), k_, words, [this](size_t p) {
+    const int32_t s = pop_slots_[p];
+    if (s >= 0) {  // else: tombstone (stale bit within this word)
+      CellData& other = cells_[static_cast<size_t>(s)];
+      const CellIndex oc = other.index;
+      if (other.alive_count != 0 && !emitted_[static_cast<size_t>(oc)]) {
+        KillCell(oc);
+      }
+    }
+    return true;
+  });
+}
+
 InsertOutcome OutputTable::Insert(const double* values, RowId r_id,
                                   RowId t_id) {
-  std::vector<CellCoord> coords(static_cast<size_t>(k_));
-  geometry_.CoordsOf(values, coords.data());
-  const CellIndex c = geometry_.IndexOf(coords.data());
+  CellCoord* coords = scratch_coords_.data();
+  geometry_.CoordsOf(values, coords);
+  const CellIndex c = geometry_.IndexOf(coords);
 
   assert(!emitted_[static_cast<size_t>(c)] &&
          "tuple arrived in an already-flushed cell");
@@ -191,16 +329,79 @@ InsertOutcome OutputTable::Insert(const double* values, RowId r_id,
     ++stats_->tuples_discarded_marked;
     return InsertOutcome::kDiscardedMarked;
   }
-  if (FrontierStrictlyDominates(coords.data())) {
+  if (FrontierStrictlyDominates(coords)) {
     KillCell(c);
     ++stats_->tuples_discarded_frontier;
     return InsertOutcome::kDiscardedFrontier;
   }
+  MaybeCompactPopulated();
+  return InsertAlive(values, r_id, t_id, coords, c);
+}
+
+void OutputTable::InsertBatch(const double* values, const RowIdPair* ids,
+                              size_t n) {
+  const size_t kk = static_cast<size_t>(k_);
+  if (batch_coords_.size() < n * kk) batch_coords_.resize(n * kk);
+  if (batch_cells_.size() < n) batch_cells_.resize(n);
+
+  // Pass 1: coordinates and cell indices for the whole block, one tight
+  // loop over the geometry.
+  for (size_t i = 0; i < n; ++i) {
+    CellCoord* coords = batch_coords_.data() + i * kk;
+    geometry_.CoordsOf(values + i * kk, coords);
+    batch_cells_[i] = geometry_.IndexOf(coords);
+  }
+
+  // Pass 2: process runs of consecutive same-cell tuples. Processing order
+  // is exactly the input order, so counters match the per-tuple path. The
+  // run-level shortcut is sound because within a run neither check can
+  // flip: inserting into cell c never marks c (the eager kill skips cells
+  // the new tuple does not strictly dominate, c included), and never makes
+  // the frontier strictly dominate c (the only entry added is c's own
+  // coordinates, and entries it evicts are covered by it).
+  size_t i = 0;
+  while (i < n) {
+    const CellIndex c = batch_cells_[i];
+    size_t run_end = i + 1;
+    while (run_end < n && batch_cells_[run_end] == c) ++run_end;
+    const size_t run_len = run_end - i;
+    const CellCoord* coords = batch_coords_.data() + i * kk;
+
+    assert(!emitted_[static_cast<size_t>(c)] &&
+           "tuple arrived in an already-flushed cell");
+
+    if (marked_[static_cast<size_t>(c)]) {
+      stats_->tuples_discarded_marked += run_len;
+      i = run_end;
+      continue;
+    }
+    if (FrontierStrictlyDominates(coords)) {
+      // Per-tuple equivalence: the first tuple takes the frontier hit and
+      // kills the cell; the rest would then see the cell marked.
+      KillCell(c);
+      ++stats_->tuples_discarded_frontier;
+      stats_->tuples_discarded_marked += run_len - 1;
+      i = run_end;
+      continue;
+    }
+    MaybeCompactPopulated();
+    for (size_t t = i; t < run_end; ++t) {
+      InsertAlive(values + t * kk, ids[t].r, ids[t].t, coords, c);
+    }
+    i = run_end;
+  }
+}
+
+InsertOutcome OutputTable::InsertAlive(const double* values, RowId r_id,
+                                       RowId t_id, const CellCoord* coords,
+                                       CellIndex c) {
+  const size_t kk = static_cast<size_t>(k_);
 
   // Dominance check against live tuples in the comparable dominator slice:
   // populated cells p with p <= coords in every dimension (cells strictly
   // below in all dimensions were handled by the frontier test above, so any
   // survivor here shares at least one coordinate — the paper's slice).
+  // Candidates are enumerated by ANDing the per-dimension <= bitmaps.
   //
   // Tie fast-path: if an *alive* tuple exactly equals the newcomer, nothing
   // generated so far dominates either (or the incumbent would be dead), and
@@ -208,84 +409,84 @@ InsertOutcome OutputTable::Insert(const double* values, RowId r_id,
   // stop. This keeps heavily-tied workloads (e.g. all-zero penalty
   // dimensions in query relaxation) linear instead of quadratic.
   bool found_equal_alive = false;
-  ++current_stamp_;
-  for (int dim = 0; dim < k_ && !found_equal_alive; ++dim) {
-    const auto& slab =
-        slabs_[static_cast<size_t>(dim)][static_cast<size_t>(coords[dim])];
-    for (CellIndex pc : slab) {
-      if (visit_stamp_[static_cast<size_t>(pc)] == current_stamp_) continue;
-      visit_stamp_[static_cast<size_t>(pc)] = current_stamp_;
-      const int32_t s = slot(pc);
-      if (s < 0) continue;
-      const CellData& cell = cells_[static_cast<size_t>(s)];
-      if (cell.alive_count == 0) continue;
-      if (!CoordsLeq(cell.coords.data(), coords.data(), k_)) continue;
-      const bool own_cell = pc == c;
-      const size_t kk = static_cast<size_t>(k_);
-      for (size_t i = 0; i < cell.ids.size(); ++i) {
-        if (!cell.alive[i]) continue;
-        if (own_cell) {
-          DomResult r = CompareMin(cell.values.data() + i * kk, values, k_,
-                                   &dom_counter_);
-          if (r == DomResult::kLeftDominates) {
-            ++stats_->tuples_dominated_on_insert;
-            return InsertOutcome::kDominated;
-          }
-          if (r == DomResult::kEqual) {
-            found_equal_alive = true;
-            break;
-          }
-        } else if (DominatesMin(cell.values.data() + i * kk, values, k_,
-                                &dom_counter_)) {
-          ++stats_->tuples_dominated_on_insert;
-          return InsertOutcome::kDominated;
+  bool dominated = false;
+  size_t words = GatherSweep(/*ge=*/false, coords, 0);
+  SweepAnd(sweep_ptrs_.data(), k_, words, [&](size_t p) {
+    const CellCoord* pc = pop_coords_.data() + p * kk;
+    // Strictly-below populated cells cannot exist here (the frontier
+    // test ran first); skipping them keeps the slice identical to the
+    // paper's.
+    if (CoordsStrictlyBelow(pc, coords, k_)) return true;
+    const int32_t s = pop_slots_[p];
+    if (s < 0) return true;  // tombstone (stale bit within this word)
+    const CellData& cell = cells_[static_cast<size_t>(s)];
+    if (cell.alive_count == 0) return true;
+    const bool own_cell = cell.index == c;
+    for (size_t i = 0; i < cell.ids.size(); ++i) {
+      if (!cell.alive[i]) continue;
+      if (own_cell) {
+        DomResult r = CompareMin(cell.values.data() + i * kk, values, k_,
+                                 &dom_counter_);
+        if (r == DomResult::kLeftDominates) {
+          dominated = true;
+          return false;
         }
+        if (r == DomResult::kEqual) {
+          found_equal_alive = true;
+          return false;
+        }
+      } else if (DominatesMin(cell.values.data() + i * kk, values, k_,
+                              &dom_counter_)) {
+        dominated = true;
+        return false;
       }
-      if (found_equal_alive) break;
     }
+    return true;
+  });
+  if (dominated) {
+    ++stats_->tuples_dominated_on_insert;
+    return InsertOutcome::kDominated;
   }
 
   // Evict live tuples the new one dominates: populated cells p with
   // p >= coords in every dimension (again, sharing a coordinate; strictly
   // greater cells are killed wholesale when this cell first populates).
   if (!found_equal_alive) {
-    ++current_stamp_;
-    for (int dim = 0; dim < k_; ++dim) {
-      const auto& slab =
-          slabs_[static_cast<size_t>(dim)][static_cast<size_t>(coords[dim])];
-      for (CellIndex pc : slab) {
-        if (visit_stamp_[static_cast<size_t>(pc)] == current_stamp_) continue;
-        visit_stamp_[static_cast<size_t>(pc)] = current_stamp_;
-        const int32_t s = slot(pc);
-        if (s < 0) continue;
-        CellData& cell = cells_[static_cast<size_t>(s)];
-        if (cell.alive_count == 0) continue;
-        if (emitted_[static_cast<size_t>(pc)]) continue;
-        if (!CoordsLeq(coords.data(), cell.coords.data(), k_)) continue;
-        const size_t kk = static_cast<size_t>(k_);
-        for (size_t i = 0; i < cell.ids.size(); ++i) {
-          if (!cell.alive[i]) continue;
-          if (DominatesMin(values, cell.values.data() + i * kk, k_,
-                           &dom_counter_)) {
-            cell.alive[i] = 0;
-            --cell.alive_count;
-            ++cell.dead_count;
-            ++stats_->tuples_evicted;
-          }
+    words = GatherSweep(/*ge=*/true, coords, 0);
+    SweepAnd(sweep_ptrs_.data(), k_, words, [&](size_t p) {
+      const CellCoord* pc = pop_coords_.data() + p * kk;
+      // Strictly-above cells are killed wholesale (and marked) when this
+      // cell first populates; evicting their tuples here instead would
+      // leave them unmarked and still accepting arrivals.
+      if (CoordsStrictlyBelow(coords, pc, k_)) return true;
+      const int32_t s = pop_slots_[p];
+      if (s < 0) return true;  // tombstone (stale bit within this word)
+      CellData& cell = cells_[static_cast<size_t>(s)];
+      if (cell.alive_count == 0) return true;
+      if (emitted_[static_cast<size_t>(cell.index)]) return true;
+      for (size_t i = 0; i < cell.ids.size(); ++i) {
+        if (!cell.alive[i]) continue;
+        if (DominatesMin(values, cell.values.data() + i * kk, k_,
+                         &dom_counter_)) {
+          cell.alive[i] = 0;
+          --cell.alive_count;
+          ++cell.dead_count;
+          ++stats_->tuples_evicted;
         }
-        if (cell.dead_count > cell.ids.size() / 2) cell.Compact(k_);
       }
-    }
+      if (cell.dead_count > cell.ids.size() / 2) cell.Compact(k_);
+      return true;
+    });
   }
 
   // Insert.
-  CellData* cell = EnsureCell(c, coords.data());
+  CellData* cell = EnsureCell(c, coords);
   const bool newly_populated = cell->alive_count == 0 && cell->ids.empty();
   cell->values.insert(cell->values.end(), values, values + k_);
   cell->ids.push_back(CellTupleIds{r_id, t_id});
   cell->alive.push_back(1);
   ++cell->alive_count;
-  if (newly_populated) OnCellPopulated(c, coords.data());
+  if (newly_populated) OnCellPopulated(c, coords);
   return InsertOutcome::kInserted;
 }
 
@@ -307,6 +508,11 @@ void OutputTable::FlushCell(CellIndex c, std::vector<double>* values_out,
   }
 }
 
+void OutputTable::DrainMarkedEvents(std::vector<CellIndex>* out) {
+  out->assign(marked_events_.begin(), marked_events_.end());
+  marked_events_.clear();
+}
+
 std::vector<CellIndex> OutputTable::DrainMarkedEvents() {
   std::vector<CellIndex> out;
   out.swap(marked_events_);
@@ -317,7 +523,7 @@ std::vector<CellIndex> OutputTable::PopulatedCells() const {
   std::vector<CellIndex> out;
   for (const CellData& cell : cells_) {
     if (cell.alive_count == 0) continue;
-    out.push_back(geometry_.IndexOf(cell.coords.data()));
+    out.push_back(cell.index);
   }
   return out;
 }

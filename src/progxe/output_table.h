@@ -7,6 +7,17 @@
 // Cell-level soundness relies on half-open grid cells (see
 // grid/grid_geometry.h): a populated cell strictly below another cell in
 // every coordinate dominates *all* of that cell's present and future tuples.
+//
+// Hot-path layout: populated cells are indexed by a compact
+// structure-of-arrays (coordinates flat, k per entry, plus a parallel slot
+// array) so the comparable-slice and eager-kill scans are linear sweeps
+// over contiguous memory; killed cells leave tombstones that are compacted
+// once they outnumber the live entries. The insert path is allocation-free
+// in steady state — per-call coordinate buffers are member scratch — and
+// the batched entry point (InsertBatch) amortizes coordinate computation
+// and cell-level checks over runs of same-cell tuples while remaining
+// result- and counter-identical to per-tuple Insert calls in the same
+// order.
 #pragma once
 
 #include <cstdint>
@@ -53,7 +64,12 @@ class OutputTable {
   void InitCoverage(const std::vector<Region>& regions);
 
   /// Removes a region's box from coverage (it completed or was discarded).
-  /// Returns the cells whose count reached zero ("settled" cells).
+  /// Assigns the cells whose count reached zero ("settled" cells) to
+  /// `*settled_out` (reusing its capacity).
+  void ReleaseRegionCoverage(const Region& region,
+                             std::vector<CellIndex>* settled_out);
+
+  /// Allocating convenience overload (tests).
   std::vector<CellIndex> ReleaseRegionCoverage(const Region& region);
 
   int32_t reg_count(CellIndex c) const {
@@ -64,6 +80,15 @@ class OutputTable {
 
   /// Inserts one join result with canonical output vector `values[0..k)`.
   InsertOutcome Insert(const double* values, RowId r_id, RowId t_id);
+
+  /// Inserts a block of `n` join results (`values` holds k doubles per
+  /// tuple, pair-major; `ids` is parallel). Exactly equivalent — stats
+  /// counters included — to calling Insert per tuple in order, but bins the
+  /// block into runs of same-cell tuples: coordinates are computed in one
+  /// tight pass and the marked/frontier cell checks run once per run
+  /// (sound because an insert into a cell can neither mark that cell nor
+  /// make the frontier dominate it; see output_table.cc).
+  void InsertBatch(const double* values, const RowIdPair* ids, size_t n);
 
   // --- Cell predicates -----------------------------------------------------
 
@@ -85,6 +110,26 @@ class OutputTable {
   /// (Algorithm 1, line 9).
   bool RegionDominatedByFrontier(const Region& region) const;
 
+  // --- Incremental frontier tracking ---------------------------------------
+  //
+  // Every coordinate vector ever added to the frontier is appended to an
+  // append-only log; the epoch is the number of log entries. A consumer
+  // that verified "no frontier entry strictly dominates coords" at epoch e
+  // only needs to test log entries [e, frontier_epoch()) later: entries
+  // evicted from the frontier in between are always covered by a newer
+  // entry that dominates at least as much, so the log never loses
+  // dominators.
+
+  /// Number of frontier insertions so far. Advances only when a new cell
+  /// populates in a frontier-relevant position.
+  uint64_t frontier_epoch() const { return frontier_epoch_; }
+
+  /// True iff a frontier entry logged at epoch >= `since_epoch` strictly
+  /// dominates `coords`. With `since_epoch` equal to the epoch of the last
+  /// surviving check, this is equivalent to FrontierStrictlyDominates.
+  bool FrontierDominatesSince(const CellCoord* coords,
+                              uint64_t since_epoch) const;
+
   // --- Flushing ------------------------------------------------------------
 
   /// Marks the cell emitted and appends its live tuples (canonical values +
@@ -95,7 +140,11 @@ class OutputTable {
                  std::vector<CellTupleIds>* ids_out);
 
   /// Cells killed (marked) at runtime since the last drain; the caller
-  /// (ProgDetermine) must drop them from its pending set.
+  /// (ProgDetermine) must drop them from its pending set. Assigns into
+  /// `*out`, reusing its capacity.
+  void DrainMarkedEvents(std::vector<CellIndex>* out);
+
+  /// Allocating convenience overload (tests).
   std::vector<CellIndex> DrainMarkedEvents();
 
   /// All cells currently holding live tuples (diagnostic / final sweep).
@@ -109,6 +158,8 @@ class OutputTable {
     std::vector<CellTupleIds> ids;  // parallel to values
     std::vector<uint8_t> alive;     // parallel
     std::vector<CellCoord> coords;  // this cell's grid coordinates
+    CellIndex index = -1;           // cached geometry_.IndexOf(coords)
+    int32_t pop_pos = -1;           // position in the populated-cell index
     size_t alive_count = 0;
     size_t dead_count = 0;
 
@@ -121,14 +172,33 @@ class OutputTable {
   /// Ensures a CellData exists for the (about-to-be-populated) cell.
   CellData* EnsureCell(CellIndex c, const CellCoord* coords);
 
-  /// Registers a newly populated cell: slab lists, frontier update, and
-  /// eager kill of populated cells strictly above it.
+  /// Registers a newly populated cell: populated-cell index, frontier
+  /// update, and eager kill of populated cells strictly above it.
   void OnCellPopulated(CellIndex c, const CellCoord* coords);
 
   /// Kills a cell: drops its live tuples and marks it non-contributing.
   void KillCell(CellIndex c);
 
   void UpdateFrontier(const CellCoord* coords);
+
+  /// Squeezes tombstones out of the populated-cell index once they
+  /// dominate it. Must only run outside the index sweeps.
+  void MaybeCompactPopulated();
+
+  /// Appends entry `i` (== pop_slots_.size() - 1) to the coordinate
+  /// bitmaps, or clears it on kill.
+  void SetPopBits(size_t i, const CellCoord* coords, bool value);
+
+  /// Fills sweep_ptrs_ with the per-dimension bitmaps at coordinate
+  /// `coords[d] + offset` (from ge_bits_ when `ge`, le_bits_ otherwise)
+  /// and returns the common sweepable word count — 0 when any dimension's
+  /// candidate set is empty.
+  size_t GatherSweep(bool ge, const CellCoord* coords, CellCoord offset);
+
+  /// Insert continuation once the cell-level marked/frontier checks have
+  /// passed: slice dominance scan, eviction scan, and the append.
+  InsertOutcome InsertAlive(const double* values, RowId r_id, RowId t_id,
+                            const CellCoord* coords, CellIndex c);
 
   GridGeometry geometry_;
   int k_;
@@ -141,17 +211,38 @@ class OutputTable {
   std::vector<int32_t> cell_slot_;
   std::vector<CellData> cells_;
 
-  // slabs_[dim][coord]: indices of populated cells with coords[dim]==coord.
-  std::vector<std::vector<std::vector<CellIndex>>> slabs_;
+  // Populated-cell index (structure of arrays): pop_coords_ holds k_
+  // coordinates per entry, pop_slots_ the matching slot into cells_ (-1 =
+  // tombstone of a killed cell). The dominance-slice and eager-kill scans
+  // run over this index instead of chasing per-dimension slab lists.
+  std::vector<CellCoord> pop_coords_;
+  std::vector<int32_t> pop_slots_;
+  size_t pop_tombstones_ = 0;
+
+  // Cumulative coordinate bitmaps over the index: bit i of
+  // le_bits_[d][v] is set iff entry i is live and its coord[d] <= v;
+  // ge_bits_ likewise for >=. The comparable-slice scans AND k of these
+  // word by word, so candidate enumeration costs O(n_pop / 64) words plus
+  // the true candidates — instead of a per-entry coordinate test.
+  std::vector<std::vector<std::vector<uint64_t>>> le_bits_;  // [k][cpd][w]
+  std::vector<std::vector<std::vector<uint64_t>>> ge_bits_;  // [k][cpd][w]
 
   // Pareto-minimal coordinates of populated cells (flat, k_ per entry).
   std::vector<CellCoord> frontier_;
 
-  // Per-scan visit de-duplication stamps.
-  std::vector<uint32_t> visit_stamp_;
-  uint32_t current_stamp_ = 0;
+  // Append-only log behind frontier_epoch(); see above.
+  std::vector<CellCoord> frontier_log_;
+  uint64_t frontier_epoch_ = 0;
 
   std::vector<CellIndex> marked_events_;
+
+  // Reusable scratch: single-insert coordinates, the batch pipeline's
+  // per-block coordinate / cell-index buffers, and the sweep's per-
+  // dimension bitmap pointers.
+  std::vector<CellCoord> scratch_coords_;
+  std::vector<CellCoord> batch_coords_;
+  std::vector<CellIndex> batch_cells_;
+  std::vector<const uint64_t*> sweep_ptrs_;
 };
 
 }  // namespace progxe

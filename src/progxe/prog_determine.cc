@@ -25,25 +25,26 @@ int64_t ProgDetermine::CountBlockers(const CellCoord* coords) const {
   return blockers;
 }
 
-std::vector<CellIndex> ProgDetermine::OnCellsSettled(
-    const std::vector<CellIndex>& settled) {
-  std::vector<CellIndex> flush;
+void ProgDetermine::OnCellsSettled(const std::vector<CellIndex>& settled,
+                                   std::vector<CellIndex>* flush_out) {
+  std::vector<CellIndex>& flush = *flush_out;
+  flush.clear();
 
   // Phase 1: cascade this batch over previously pending cells. A settled
   // cell s unblocks pending q iff s lies in q's dominator cone.
   if (!settled.empty()) {
-    std::vector<std::vector<CellCoord>> settled_coords;
-    settled_coords.reserve(settled.size());
-    std::vector<CellCoord> buf(static_cast<size_t>(k_));
-    for (CellIndex s : settled) {
-      table_->geometry().CoordsOfIndex(s, buf.data());
-      settled_coords.push_back(buf);
+    const size_t kk = static_cast<size_t>(k_);
+    settled_coords_scratch_.resize(settled.size() * kk);
+    for (size_t si = 0; si < settled.size(); ++si) {
+      table_->geometry().CoordsOfIndex(settled[si],
+                                       settled_coords_scratch_.data() +
+                                           si * kk);
     }
     for (Pending& p : pending_) {
       if (p.dropped) continue;
       for (size_t si = 0; si < settled.size(); ++si) {
         if (settled[si] == p.cell) continue;
-        const CellCoord* sc = settled_coords[si].data();
+        const CellCoord* sc = settled_coords_scratch_.data() + si * kk;
         bool in_cone = true;
         for (int d = 0; d < k_; ++d) {
           if (sc[d] > p.coords[static_cast<size_t>(d)]) {
@@ -83,7 +84,8 @@ std::vector<CellIndex> ProgDetermine::OnCellsSettled(
   // Phase 2: admit the newly settled cells themselves. Their blocker count
   // is computed against the *post-release* RegCounts, so the current batch
   // is already accounted for.
-  std::vector<CellCoord> coords(static_cast<size_t>(k_));
+  coords_scratch_.resize(static_cast<size_t>(k_));
+  std::vector<CellCoord>& coords = coords_scratch_;
   for (CellIndex s : settled) {
     if (table_->emitted(s) || table_->marked(s) || !table_->populated(s)) {
       continue;  // nothing will ever need flushing here
@@ -103,6 +105,12 @@ std::vector<CellIndex> ProgDetermine::OnCellsSettled(
 
   std::sort(flush.begin(), flush.end());
   flush.erase(std::unique(flush.begin(), flush.end()), flush.end());
+}
+
+std::vector<CellIndex> ProgDetermine::OnCellsSettled(
+    const std::vector<CellIndex>& settled) {
+  std::vector<CellIndex> flush;
+  OnCellsSettled(settled, &flush);
   return flush;
 }
 

@@ -25,8 +25,13 @@ class ProgDetermine {
   explicit ProgDetermine(OutputTable* table);
 
   /// Processes the settled cells of a just-completed (or discarded) region:
-  /// admits newly pending cells, cascades blocker decrements, and returns
-  /// every cell that is now safe to flush, in deterministic order.
+  /// admits newly pending cells, cascades blocker decrements, and assigns
+  /// every cell that is now safe to flush to `*flush_out` (reusing its
+  /// capacity), in deterministic order.
+  void OnCellsSettled(const std::vector<CellIndex>& settled,
+                      std::vector<CellIndex>* flush_out);
+
+  /// Allocating convenience overload (tests).
   std::vector<CellIndex> OnCellsSettled(const std::vector<CellIndex>& settled);
 
   /// Drops cells that were killed (marked) at runtime from the pending set.
@@ -52,6 +57,11 @@ class ProgDetermine {
   /// pending slot per cell, or -1.
   std::vector<int32_t> pending_slot_;
   size_t pending_live_ = 0;
+
+  /// Reusable scratch: coordinates of the current settled batch (flat, k_
+  /// per cell) and a single coordinate buffer.
+  std::vector<CellCoord> settled_coords_scratch_;
+  std::vector<CellCoord> coords_scratch_;
 };
 
 }  // namespace progxe

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "common/compact.h"
+
 namespace progxe {
 
 std::vector<uint32_t> SkylineReference(const PointView& points,
@@ -103,35 +105,42 @@ std::vector<uint32_t> Skyline(const PointView& points, const Preference& pref,
 
 bool SkylineWindow::Insert(const double* p, uint64_t payload,
                            DomCounter* counter) {
-  size_t w = 0;
   const size_t k = static_cast<size_t>(k_);
-  for (size_t j = 0; j < payloads_.size(); ++j) {
-    const double* q = points_.data() + j * k;
-    DomResult r = CompareMin(q, p, k_, counter);
+  const size_t n = payloads_.size();
+  // Single scan: record victims, bail if an incumbent dominates p. By
+  // transitivity no incumbent can dominate p after p dominated another
+  // (both incumbents would have to dominate each other), so bailing never
+  // leaves the window half-evicted.
+  evict_scratch_.clear();
+  for (size_t j = 0; j < n; ++j) {
+    DomResult r = CompareMin(points_.data() + j * k, p, k_, counter);
     if (r == DomResult::kLeftDominates) {
-      // p loses; compact any holes created so far and bail.
-      if (w != j) {
-        for (size_t rest = j; rest < payloads_.size(); ++rest) {
-          std::copy(points_.data() + rest * k, points_.data() + (rest + 1) * k,
-                    points_.data() + w * k);
-          payloads_[w] = payloads_[rest];
-          ++w;
-        }
-        points_.resize(w * k);
-        payloads_.resize(w);
-      }
+      assert(evict_scratch_.empty());
       return false;
     }
-    if (r != DomResult::kRightDominates) {
-      if (w != j) {
-        std::copy(q, q + k, points_.data() + w * k);
-        payloads_[w] = payloads_[j];
-      }
-      ++w;
-    }
+    if (r == DomResult::kRightDominates) evict_scratch_.push_back(j);
   }
-  points_.resize(w * k);
-  payloads_.resize(w);
+  if (!evict_scratch_.empty()) {
+    // Squeeze out the victims; survivors move at most once.
+    size_t next_victim = 0;
+    const size_t w = CompactParallel(
+        n,
+        [&](size_t i) {
+          if (next_victim < evict_scratch_.size() &&
+              evict_scratch_[next_victim] == i) {
+            ++next_victim;
+            return false;
+          }
+          return true;
+        },
+        [&](size_t from, size_t to) {
+          MoveFlatRow(points_.data(), k, from, to);
+          payloads_[to] = payloads_[from];
+        });
+    points_.resize(w * k);
+    payloads_.resize(w);
+  }
+  // No-eviction fast path falls straight through: append only, no resize.
   points_.insert(points_.end(), p, p + k);
   payloads_.push_back(payload);
   return true;

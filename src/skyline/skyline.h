@@ -73,6 +73,7 @@ class SkylineWindow {
   int k_;
   std::vector<double> points_;     // flat, k_ per entry
   std::vector<uint64_t> payloads_;
+  std::vector<size_t> evict_scratch_;  // victim indices of the current insert
 };
 
 }  // namespace progxe

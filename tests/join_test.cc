@@ -80,6 +80,29 @@ TEST(JoinIndexes, EmitsCrossProductPerKey) {
   EXPECT_EQ(pairs, NestedLoopJoin(r, t));
 }
 
+TEST(JoinIndexesBatched, SamePairSequenceForAnyCapacity) {
+  Relation r = MakeRelation({1, 1, 2, 3, 3, 3});
+  Relation t = MakeRelation({1, 2, 2, 3, 3});
+  KeyIndex ir(r), it(t);
+  std::vector<Pair> reference;
+  const size_t ref_count = JoinIndexes(ir, it, [&](RowId a, RowId b) {
+    reference.emplace_back(a, b);
+  });
+  // Batched joins must emit the identical sequence, full blocks plus a
+  // ragged tail, for every buffer capacity.
+  for (size_t cap : {size_t{1}, size_t{3}, size_t{4}, size_t{64}}) {
+    std::vector<RowIdPair> buf(cap);
+    std::vector<Pair> got;
+    const size_t count = JoinIndexesBatched(
+        ir, it, buf.data(), cap, [&](const RowIdPair* pairs, size_t n) {
+          EXPECT_LE(n, cap);
+          for (size_t i = 0; i < n; ++i) got.emplace_back(pairs[i].r, pairs[i].t);
+        });
+    EXPECT_EQ(count, ref_count) << "cap=" << cap;
+    EXPECT_EQ(got, reference) << "cap=" << cap;
+  }
+}
+
 TEST(HashJoin, MatchesNestedLoop) {
   Rng rng(3);
   for (int trial = 0; trial < 20; ++trial) {

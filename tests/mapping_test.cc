@@ -211,6 +211,50 @@ TEST(CanonicalMapperProperty, CanonicalOrderMatchesPreferenceOrder) {
   }
 }
 
+// CombineBatch must reproduce per-pair Combine bit for bit under every
+// transform and direction mix.
+TEST(CanonicalMapperProperty, CombineBatchMatchesCombine) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int k = 2 + static_cast<int>(rng.NextBelow(2));
+    std::vector<MapFunc> funcs;
+    std::vector<Direction> dirs;
+    for (int j = 0; j < k; ++j) {
+      funcs.push_back(MapFunc({{Side::kR, j % 2, rng.Uniform(0.1, 2.0)},
+                               {Side::kT, j % 2, rng.Uniform(0.1, 2.0)}},
+                              rng.Uniform(0.0, 3.0),
+                              static_cast<Transform>(rng.NextBelow(4))));
+      dirs.push_back(rng.Bernoulli(0.5) ? Direction::kLowest
+                                        : Direction::kHighest);
+    }
+    CanonicalMapper mapper{MapSpec(funcs), Preference(dirs)};
+
+    const size_t kk = static_cast<size_t>(k);
+    const size_t n_r = 5, n_t = 4, n_pairs = 9;
+    std::vector<double> r_flat(n_r * kk), t_flat(n_t * kk);
+    for (double& v : r_flat) v = rng.Uniform(-4.0, 4.0);
+    for (double& v : t_flat) v = rng.Uniform(-4.0, 4.0);
+    std::vector<RowIdPair> pairs;
+    for (size_t i = 0; i < n_pairs; ++i) {
+      pairs.push_back(RowIdPair{static_cast<RowId>(rng.NextBelow(n_r)),
+                                static_cast<RowId>(rng.NextBelow(n_t))});
+    }
+
+    std::vector<double> batch_out(n_pairs * kk);
+    mapper.CombineBatch(pairs.data(), n_pairs, r_flat.data(), t_flat.data(),
+                        batch_out.data());
+    std::vector<double> single(kk);
+    for (size_t i = 0; i < n_pairs; ++i) {
+      mapper.Combine(r_flat.data() + pairs[i].r * kk,
+                     t_flat.data() + pairs[i].t * kk, single.data());
+      for (size_t j = 0; j < kk; ++j) {
+        EXPECT_EQ(single[j], batch_out[i * kk + j])
+            << "trial=" << trial << " pair=" << i << " dim=" << j;
+      }
+    }
+  }
+}
+
 // CombineBounds soundness under every transform and direction mix.
 TEST(CanonicalMapperProperty, CombineBoundsContainCombinedPoints) {
   Rng rng(31);

@@ -2,6 +2,10 @@
 // comparable-slice dominance, frontier marking, coverage bookkeeping (P5).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
 #include "progxe/output_table.h"
 
 namespace progxe {
@@ -168,6 +172,47 @@ TEST_F(OutputTableTest, RegionDominatedByFrontier) {
   // A region overlapping the populated cell's row is NOT wholly dominated.
   Region touching = CoveringRegion(1.0, 6.0, 3.0, 9.0);
   EXPECT_FALSE(table_.RegionDominatedByFrontier(touching));
+}
+
+TEST_F(OutputTableTest, InsertBatchMatchesSequentialInserts) {
+  // Two tables driven with the same tuple stream — one per tuple, one in
+  // blocks with ragged tails — must agree on every counter and cell state.
+  Rng rng(123);
+  std::vector<double> pts;
+  std::vector<RowIdPair> ids;
+  for (RowId i = 0; i < 500; ++i) {
+    pts.push_back(rng.Uniform(0.0, 10.0));
+    pts.push_back(rng.Uniform(0.0, 10.0));
+    ids.push_back(RowIdPair{i, i});
+  }
+  ProgXeStats batch_stats;
+  OutputTable batch_table(
+      geometry_,
+      std::vector<uint8_t>(static_cast<size_t>(geometry_.total_cells()), 0),
+      &batch_stats);
+  for (size_t i = 0; i < 500; i += 96) {
+    const size_t m = std::min<size_t>(96, 500 - i);
+    batch_table.InsertBatch(pts.data() + i * 2, ids.data() + i, m);
+  }
+  for (size_t i = 0; i < 500; ++i) {
+    table_.Insert(pts.data() + i * 2, ids[i].r, ids[i].t);
+  }
+  EXPECT_EQ(stats_.tuples_discarded_marked, batch_stats.tuples_discarded_marked);
+  EXPECT_EQ(stats_.tuples_discarded_frontier,
+            batch_stats.tuples_discarded_frontier);
+  EXPECT_EQ(stats_.tuples_dominated_on_insert,
+            batch_stats.tuples_dominated_on_insert);
+  EXPECT_EQ(stats_.tuples_evicted, batch_stats.tuples_evicted);
+  EXPECT_EQ(table_.dom_counter()->comparisons,
+            batch_table.dom_counter()->comparisons);
+  auto pop_a = table_.PopulatedCells();
+  auto pop_b = batch_table.PopulatedCells();
+  std::sort(pop_a.begin(), pop_a.end());
+  std::sort(pop_b.begin(), pop_b.end());
+  EXPECT_EQ(pop_a, pop_b);
+  for (CellIndex c : pop_a) {
+    EXPECT_EQ(table_.AliveCount(c), batch_table.AliveCount(c)) << "cell " << c;
+  }
 }
 
 TEST_F(OutputTableTest, PopulatedCellsListsLiveCellsOnly) {

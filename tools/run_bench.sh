@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs the perf-trajectory benches and writes BENCH_progxe.json at the repo
+# root: Fig-10/13-style per-config total time, time-to-first-result and
+# dominance-comparison counts, plus the insert-path microbenchmark
+# throughput when google-benchmark is available.
+#
+# Usage: tools/run_bench.sh [build_dir] [extra bench_json_summary flags...]
+#   tools/run_bench.sh                 # uses ./build, CI-scale sizes
+#   tools/run_bench.sh build --quick   # smoke-sized run
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+if [[ ! -x "$build_dir/bench_json_summary" ]]; then
+  echo "building benches in $build_dir ..."
+  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+  cmake --build "$build_dir" -j --target bench_json_summary >/dev/null
+  cmake --build "$build_dir" -j --target bench_micro_components >/dev/null 2>&1 || true
+fi
+
+out="$repo_root/BENCH_progxe.json"
+"$build_dir/bench_json_summary" --out="$out.tmp" "$@"
+
+micro_json=""
+if [[ -x "$build_dir/bench_micro_components" ]]; then
+  echo "running insert-path microbenchmark ..."
+  micro_json="$("$build_dir/bench_micro_components" \
+      --benchmark_filter='OutputTableInsert' \
+      --benchmark_format=json 2>/dev/null)"
+fi
+
+# Merge the micro results (if any) into the summary JSON.
+MICRO_JSON="$micro_json" python3 - "$out.tmp" "$out" <<'EOF'
+import json, os, sys
+summary = json.load(open(sys.argv[1]))
+micro_raw = os.environ.get("MICRO_JSON", "")
+if micro_raw.strip():
+    micro = json.loads(micro_raw)
+    summary["micro_insert"] = [
+        {
+            "name": b["name"],
+            "items_per_second": b.get("items_per_second"),
+            "cpu_time_ns": b.get("cpu_time"),
+        }
+        for b in micro.get("benchmarks", [])
+    ]
+json.dump(summary, open(sys.argv[2], "w"), indent=2)
+print(f"wrote {sys.argv[2]}")
+EOF
+rm -f "$out.tmp"
