@@ -10,6 +10,7 @@
 #include "grid/bloom_filter.h"
 #include "grid/grid_geometry.h"
 #include "join/hash_join.h"
+#include "mapping/canonical.h"
 #include "prefs/dominance.h"
 #include "progxe/output_table.h"
 #include "skyline/skyline.h"
@@ -186,6 +187,47 @@ void BM_OutputTableInsertBatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 20000);
 }
 BENCHMARK(BM_OutputTableInsertBatch)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CombineBatch(benchmark::State& state) {
+  // The parallel pipeline's worker-side map stage: one CombineBatch call
+  // per chunk. Transform arg 0 = identity pairwise sums, 1 = rotating
+  // log1p/sqrt (realistic Q1-style expressions).
+  const int d = 4;
+  const bool transformed = state.range(0) != 0;
+  const size_t n_rows = 4096;
+  const size_t batch = 1024;
+
+  std::vector<MapFunc> funcs;
+  for (int j = 0; j < d; ++j) {
+    const Transform tf = !transformed         ? Transform::kIdentity
+                         : (j % 2 == 0)       ? Transform::kLog1p
+                                              : Transform::kSqrt;
+    funcs.push_back(MapFunc(
+        {MapTerm{Side::kR, j, 1.0}, MapTerm{Side::kT, j, 1.0}}, 0.0, tf));
+  }
+  CanonicalMapper mapper(MapSpec(std::move(funcs)),
+                         Preference::AllLowest(d));
+
+  std::vector<double> r_flat =
+      RandomPoints(n_rows, d, Distribution::kIndependent, 3);
+  std::vector<double> t_flat =
+      RandomPoints(n_rows, d, Distribution::kIndependent, 4);
+  std::vector<RowIdPair> pairs(batch);
+  Rng rng(99);
+  for (size_t i = 0; i < batch; ++i) {
+    pairs[i] = RowIdPair{static_cast<RowId>(rng.NextBelow(n_rows)),
+                         static_cast<RowId>(rng.NextBelow(n_rows))};
+  }
+  std::vector<double> out(batch * static_cast<size_t>(d));
+  for (auto _ : state) {
+    mapper.CombineBatch(pairs.data(), batch, r_flat.data(), t_flat.data(),
+                        out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_CombineBatch)->Arg(0)->Arg(1);
 
 void BM_Generator(benchmark::State& state) {
   const auto dist = static_cast<Distribution>(state.range(0));

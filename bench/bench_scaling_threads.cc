@@ -1,0 +1,162 @@
+// Thread-scaling bench for the parallel join->map pipeline: total time and
+// time-to-first-result vs. ProgXeOptions::num_threads, on a workload whose
+// mapping functions carry non-trivial transforms (the paper's Q1-style
+// tCost/delay expressions use weighted sums; we add log1p/sqrt transforms so
+// the map stage represents realistic per-tuple compute).
+//
+// Results and every ProgXeStats counter are bit-identical across thread
+// counts (verified per run below); only wall-clock changes. With
+// --json=<path> a machine-readable summary is written for
+// tools/run_bench.sh to merge into BENCH_progxe.json.
+//
+// Extra flags over bench_common: --json=<path>, --threads=<comma list>.
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "progxe/session.h"
+
+using namespace progxe;
+using namespace progxe::bench;
+
+namespace {
+
+struct ThreadRun {
+  int threads = 1;
+  double total_s = 0.0;
+  double first_s = 0.0;
+  size_t results = 0;
+  uint64_t join_pairs = 0;
+  uint64_t comparisons = 0;
+};
+
+/// Weighted pairwise sums with rotating log1p/sqrt transforms: every output
+/// dimension j is transform_j(w_r * R[j] + w_t * T[j]).
+MapSpec TransformedMap(int dims) {
+  std::vector<MapFunc> funcs;
+  for (int j = 0; j < dims; ++j) {
+    const Transform tf = j % 2 == 0 ? Transform::kLog1p : Transform::kSqrt;
+    funcs.push_back(MapFunc({MapTerm{Side::kR, j, 1.0 + 0.25 * j},
+                             MapTerm{Side::kT, j, 1.0}},
+                            /*constant=*/0.0, tf));
+  }
+  return MapSpec(std::move(funcs));
+}
+
+ThreadRun RunWithThreads(const SkyMapJoinQuery& query, int threads) {
+  ProgXeOptions options;
+  options.num_threads = threads;
+  // The watch starts before Open: total time includes the (serial, thread-
+  // count-independent) PreparePhase, so speedups are honest end-to-end.
+  Stopwatch watch;
+  auto session = ProgXeSession::Open(query, options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 session.status().ToString().c_str());
+    std::exit(1);
+  }
+  ThreadRun run;
+  run.threads = threads;
+  std::vector<ResultTuple> batch;
+  while ((*session)->NextBatch(0, &batch) > 0) {
+    if (run.results == 0) run.first_s = watch.ElapsedSeconds();
+    run.results += batch.size();
+  }
+  run.total_s = watch.ElapsedSeconds();
+  run.join_pairs = (*session)->stats().join_pairs_generated;
+  run.comparisons = (*session)->stats().dominance_comparisons;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::string json_path;
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      thread_counts.clear();
+      for (const char* p = argv[i] + 10; *p != '\0';) {
+        thread_counts.push_back(std::atoi(p));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    }
+  }
+  const size_t n = args.ResolveN(args.quick ? 4000 : 30000);
+  const int dims = args.ResolveDims(4);
+  const double sigma = args.quick ? 0.01 : 0.002;
+
+  GeneratorOptions gen;
+  gen.distribution = Distribution::kAntiCorrelated;
+  gen.cardinality = n;
+  gen.num_attributes = dims;
+  gen.join_selectivity = sigma;
+  gen.seed = args.seed;
+  Relation r = GenerateRelation(gen).MoveValue();
+  gen.seed = args.seed + 1;
+  Relation t = GenerateRelation(gen).MoveValue();
+
+  SkyMapJoinQuery query;
+  query.r = &r;
+  query.t = &t;
+  query.map = TransformedMap(dims);
+  query.pref = Preference::AllLowest(dims);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("thread scaling: n=%zu dims=%d sigma=%g hw_threads=%u\n", n,
+              dims, sigma, hw);
+
+  std::vector<ThreadRun> runs;
+  for (int threads : thread_counts) {
+    ThreadRun run = RunWithThreads(query, threads);
+    runs.push_back(run);
+    const double speedup = runs.front().total_s / run.total_s;
+    std::printf(
+        "  threads=%-2d total=%.4fs first=%.6fs speedup=%.2fx results=%zu "
+        "pairs=%llu cmps=%llu\n",
+        run.threads, run.total_s, run.first_s, speedup, run.results,
+        static_cast<unsigned long long>(run.join_pairs),
+        static_cast<unsigned long long>(run.comparisons));
+    // Counter identity across thread counts is the whole contract; fail
+    // loudly if this machine ever disagrees with the test suite.
+    if (run.results != runs.front().results ||
+        run.join_pairs != runs.front().join_pairs ||
+        run.comparisons != runs.front().comparisons) {
+      std::fprintf(stderr, "FATAL: thread count changed results/counters\n");
+      return 1;
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"thread_scaling\",\n  \"n\": %zu,\n"
+                 "  \"dims\": %d,\n  \"sigma\": %g,\n"
+                 "  \"hardware_concurrency\": %u,\n  \"runs\": [\n",
+                 n, dims, sigma, hw);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const ThreadRun& run = runs[i];
+      std::fprintf(out,
+                   "    {\"threads\": %d, \"total_time_s\": %.6f, "
+                   "\"time_to_first_s\": %.6f, \"speedup_vs_1\": %.4f, "
+                   "\"results\": %zu}%s\n",
+                   run.threads, run.total_s, run.first_s,
+                   runs.front().total_s / run.total_s, run.results,
+                   i + 1 == runs.size() ? "" : ",");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -10,7 +10,7 @@
 
 #include "common/stopwatch.h"
 #include "data/generator.h"
-#include "progxe/executor.h"
+#include "progxe/session.h"
 
 using namespace progxe;
 
@@ -57,5 +57,25 @@ int main() {
   std::printf("[%8.4fs] done: %zu Pareto-optimal results\n",
               watch.ElapsedSeconds(), count);
   std::printf("stats: %s\n", executor.stats().ToString().c_str());
+
+  // 4. The same query through the pull-based session API: the caller asks
+  //    for results when it wants them ("first page now"), and the engine
+  //    runs only as far as needed. NextBatch(0, ...) would drain instead.
+  auto session = ProgXeSession::Open(query, ProgXeOptions());
+  if (!session.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<ResultTuple> page;
+  (*session)->NextBatch(5, &page);
+  std::printf("session first page (%zu results):\n", page.size());
+  for (const ResultTuple& result : page) {
+    std::printf("  R#%u join T#%u -> (%.1f, %.1f, %.1f, %.1f)\n",
+                result.r_id, result.t_id, result.values[0], result.values[1],
+                result.values[2], result.values[3]);
+  }
+  std::printf("session finished=%s after one page (more results pending)\n",
+              (*session)->Finished() ? "true" : "false");
   return 0;
 }

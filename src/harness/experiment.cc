@@ -1,11 +1,14 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "common/macros.h"
 
 #include "baselines/jf_sl.h"
 #include "baselines/saj.h"
 #include "baselines/ssmj.h"
-#include "progxe/executor.h"
+#include "progxe/session.h"
 
 namespace progxe {
 
@@ -87,12 +90,22 @@ Result<ExperimentRun> RunAlgorithm(Algo algo, const Workload& workload,
     case Algo::kProgXePlus:
     case Algo::kProgXeNoOrder:
     case Algo::kProgXePlusNoOrder: {
-      ProgXeExecutor executor(query, OptionsForAlgo(algo, tuning));
+      // Driven through the pull-based session (same results and counters as
+      // ProgXeExecutor::Run): tuning carries num_threads and batch size
+      // straight into the pipeline, so benches can sweep thread counts.
+      // Reset precedes Open so the timed window covers PreparePhase, like
+      // the baselines' end-to-end timing.
       recorder.Reset();
-      PROGXE_RETURN_NOT_OK(executor.Run(emit));
+      PROGXE_ASSIGN_OR_RETURN(
+          std::unique_ptr<ProgXeSession> session,
+          ProgXeSession::Open(query, OptionsForAlgo(algo, tuning)));
+      std::vector<ResultTuple> batch;
+      while (session->NextBatch(0, &batch) > 0) {
+        for (const ResultTuple& r : batch) emit(r);
+      }
       recorder.OnFinish();
-      run.dominance_comparisons = executor.stats().dominance_comparisons;
-      run.join_pairs = executor.stats().join_pairs_generated;
+      run.dominance_comparisons = session->stats().dominance_comparisons;
+      run.join_pairs = session->stats().join_pairs_generated;
       break;
     }
     case Algo::kJfSl:

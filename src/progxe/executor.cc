@@ -1,23 +1,9 @@
 #include "progxe/executor.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-#include <numeric>
 #include <sstream>
-#include <unordered_map>
 
-#include "common/logging.h"
 #include "common/macros.h"
-#include "elgraph/el_graph.h"
-#include "grid/input_grid.h"
-#include "grid/kd_partitioner.h"
-#include "join/key_index.h"
-#include "outputspace/lookahead.h"
-#include "progxe/output_table.h"
-#include "progxe/prog_determine.h"
-#include "progxe/prog_order.h"
-#include "skyline/group_skyline.h"
+#include "progxe/session.h"
 
 namespace progxe {
 
@@ -48,389 +34,20 @@ ProgXeExecutor::ProgXeExecutor(SkyMapJoinQuery query, ProgXeOptions options)
 
 ProgXeExecutor::~ProgXeExecutor() = default;
 
-namespace {
-
-/// Picks the largest per-dimension cell count whose k-dim total stays under
-/// `budget`, clamped to [lo, hi]. Used when options leave grid sizes to the
-/// engine: the paper tunes its partition size delta per dimensionality
-/// (Section VI-B) and so do we.
-int AutoCellsPerDim(int k, double budget, int lo, int hi) {
-  const double per_dim = std::pow(budget, 1.0 / static_cast<double>(k));
-  const int cells = static_cast<int>(per_dim);
-  return std::clamp(cells, lo, hi);
-}
-
-/// Measured join selectivity via key histograms: sum over shared keys of
-/// cnt_R(k) * cnt_T(k), divided by |R| * |T|.
-double MeasureSigma(const Relation& r, const Relation& t) {
-  if (r.empty() || t.empty()) return 0.0;
-  std::unordered_map<JoinKey, size_t> r_hist;
-  r_hist.reserve(r.size());
-  for (size_t i = 0; i < r.size(); ++i) {
-    ++r_hist[r.join_key(static_cast<RowId>(i))];
-  }
-  double pairs = 0.0;
-  for (size_t i = 0; i < t.size(); ++i) {
-    auto it = r_hist.find(t.join_key(static_cast<RowId>(i)));
-    if (it != r_hist.end()) pairs += static_cast<double>(it->second);
-  }
-  return pairs /
-         (static_cast<double>(r.size()) * static_cast<double>(t.size()));
-}
-
-}  // namespace
-
 Status ProgXeExecutor::Run(const EmitFn& emit) {
-  if (ran_) {
-    return Status::InvalidArgument("ProgXeExecutor::Run is single-shot");
+  // Reusable: each Run opens a fresh session over the same query object and
+  // starts from zeroed counters.
+  stats_ = ProgXeStats{};
+  auto session = ProgXeSession::Open(query_, options_);
+  if (!session.ok()) {
+    return session.status();
   }
-  ran_ = true;
-
-  if (query_.r == nullptr || query_.t == nullptr) {
-    return Status::InvalidArgument("query sources must be non-null");
+  std::vector<ResultTuple> batch;
+  while ((*session)->NextBatch(0, &batch) > 0) {
+    stats_ = (*session)->stats();  // keep stats() live for emit callbacks
+    for (const ResultTuple& result : batch) emit(result);
   }
-  if (query_.pref.dimensions() != query_.map.output_dimensions()) {
-    return Status::InvalidArgument(
-        "preference dimensionality must match the map output");
-  }
-  PROGXE_RETURN_NOT_OK(
-      query_.map.Validate(query_.r->num_attributes(),
-                          query_.t->num_attributes()));
-  if (options_.input_cells_per_dim < 0 || options_.output_cells_per_dim < 0) {
-    return Status::InvalidArgument("grid cell counts must be >= 0");
-  }
-  if (options_.output_cells_per_dim == 0) {
-    const int k_out = query_.map.output_dimensions();
-    // ~60K output cells keeps the dense per-cell state cache-resident.
-    options_.output_cells_per_dim = AutoCellsPerDim(k_out, 60000.0, 4, 24);
-  }
-
-  const Relation& r_full = *query_.r;
-  const Relation& t_full = *query_.t;
-  stats_.r_rows = r_full.size();
-  stats_.t_rows = t_full.size();
-  if (r_full.empty() || t_full.empty()) return Status::OK();
-
-  CanonicalMapper mapper(query_.map, query_.pref);
-  const int k = mapper.output_dimensions();
-
-  // --- Optional skyline partial push-through (the "+" variants) -----------
-  // Pruning each source to its group-level skyline is result-preserving for
-  // separable monotone maps (see skyline/group_skyline.h).
-  Relation r_pruned{Schema::Anonymous(0)};
-  Relation t_pruned{Schema::Anonymous(0)};
-  std::vector<RowId> r_orig_ids;
-  std::vector<RowId> t_orig_ids;
-  const Relation* r_rel = &r_full;
-  const Relation* t_rel = &t_full;
-  if (options_.push_through) {
-    ContributionTable r_full_contrib(r_full, mapper, Side::kR);
-    ContributionTable t_full_contrib(t_full, mapper, Side::kT);
-    DomCounter push_counter;
-    std::vector<RowId> r_keep =
-        PushThroughPrune(r_full, r_full_contrib, &push_counter);
-    std::vector<RowId> t_keep =
-        PushThroughPrune(t_full, t_full_contrib, &push_counter);
-    stats_.dominance_comparisons += push_counter.comparisons;
-    r_pruned = r_full.Select(r_keep, &r_orig_ids);
-    t_pruned = t_full.Select(t_keep, &t_orig_ids);
-    r_rel = &r_pruned;
-    t_rel = &t_pruned;
-  } else {
-    r_orig_ids.resize(r_full.size());
-    std::iota(r_orig_ids.begin(), r_orig_ids.end(), 0u);
-    t_orig_ids.resize(t_full.size());
-    std::iota(t_orig_ids.begin(), t_orig_ids.end(), 0u);
-  }
-  stats_.r_rows_after_push_through = r_rel->size();
-  stats_.t_rows_after_push_through = t_rel->size();
-
-  // --- Sigma for the benefit/cost models -----------------------------------
-  double sigma = options_.sigma_hint;
-  if (sigma <= 0.0) sigma = MeasureSigma(*r_rel, *t_rel);
-  if (sigma <= 0.0) return Status::OK();  // provably empty join
-  stats_.sigma_used = sigma;
-
-  if (options_.input_cells_per_dim == 0) {
-    // Pick the input resolution so each region's expected join work
-    // amortizes its bookkeeping (EL-Graph edge, coverage box, discard
-    // checks): aim for >= ~200 join pairs per region, i.e. at most
-    // P = N * sqrt(sigma / 200) partitions per source, within an absolute
-    // budget of ~120 partitions (~14K candidate pairs).
-    const double n_min = static_cast<double>(
-        std::min(r_rel->size(), t_rel->size()));
-    const double work_cap = n_min * std::sqrt(sigma / 200.0);
-    const double budget = std::clamp(work_cap, 4.0, 120.0);
-    options_.input_cells_per_dim =
-        AutoCellsPerDim(query_.map.output_dimensions(), budget, 2, 8);
-  }
-
-  // --- Contribution tables and input partitioning --------------------------
-  ContributionTable r_contrib(*r_rel, mapper, Side::kR);
-  ContributionTable t_contrib(*t_rel, mapper, Side::kT);
-  std::unique_ptr<InputPartitioning> r_grid;
-  std::unique_ptr<InputPartitioning> t_grid;
-  if (options_.partitioning == PartitioningScheme::kUniformGrid) {
-    InputGridOptions grid_options;
-    grid_options.cells_per_dim = options_.input_cells_per_dim;
-    grid_options.signature_mode = options_.signature_mode;
-    grid_options.bloom_bits = options_.bloom_bits;
-    grid_options.bloom_hashes = options_.bloom_hashes;
-    r_grid = std::make_unique<InputGrid>(*r_rel, r_contrib, grid_options);
-    t_grid = std::make_unique<InputGrid>(*t_rel, t_contrib, grid_options);
-  } else {
-    KdPartitionerOptions kd_options;
-    // Same partition budget the uniform grid would get.
-    double leaves = 1.0;
-    for (int j = 0; j < k; ++j) {
-      leaves *= static_cast<double>(options_.input_cells_per_dim);
-    }
-    kd_options.max_partitions =
-        static_cast<size_t>(std::clamp(leaves, 1.0, 4096.0));
-    kd_options.signature_mode = options_.signature_mode;
-    kd_options.bloom_bits = options_.bloom_bits;
-    kd_options.bloom_hashes = options_.bloom_hashes;
-    r_grid = std::make_unique<KdPartitioner>(*r_rel, r_contrib, kd_options);
-    t_grid = std::make_unique<KdPartitioner>(*t_rel, t_contrib, kd_options);
-  }
-
-  // --- Output-space look-ahead ---------------------------------------------
-  LookaheadOptions la_options;
-  la_options.output_cells_per_dim = options_.output_cells_per_dim;
-  la_options.max_output_cells = options_.max_output_cells;
-  PROGXE_ASSIGN_OR_RETURN(
-      LookaheadResult la,
-      OutputSpaceLookahead(*r_grid, *t_grid, mapper, la_options));
-  stats_.partition_pairs_total = la.stats.pairs_total;
-  stats_.partition_pairs_skipped = la.stats.pairs_skipped_signature;
-  stats_.regions_created = la.stats.regions_created;
-  stats_.regions_pruned_lookahead = la.stats.regions_pruned;
-  stats_.cells_marked_lookahead = la.stats.cells_marked;
-
-  std::vector<Region>& regions = la.regions;
-
-  // --- Runtime structures ---------------------------------------------------
-  OutputTable table(la.output_grid, std::move(la.marked), &stats_);
-  table.InitCoverage(regions);
-  ProgDetermine determine(&table);
-
-  std::unique_ptr<ElGraph> el_graph;
-  if (options_.ordering == OrderingMode::kProgOrder) {
-    el_graph = std::make_unique<ElGraph>(regions,
-                                         options_.max_regions_for_elgraph);
-    stats_.elgraph_disabled = el_graph->disabled();
-  }
-
-  CostModelParams cost_params;
-  cost_params.sigma = sigma;
-  cost_params.cells_per_dim = options_.output_cells_per_dim;
-  cost_params.dims = k;
-
-  std::vector<size_t> r_sizes;
-  for (const auto& p : r_grid->partitions()) r_sizes.push_back(p.size());
-  std::vector<size_t> t_sizes;
-  for (const auto& p : t_grid->partitions()) t_sizes.push_back(p.size());
-
-  ProgOrder order(&regions, el_graph.get(), &table, cost_params,
-                  std::move(r_sizes), std::move(t_sizes), options_.ordering,
-                  options_.seed, &stats_);
-
-  // --- Emission helper -------------------------------------------------------
-  size_t active_regions = 0;
-  for (const Region& region : regions) {
-    if (region.Active()) ++active_regions;
-  }
-  // All emit-path buffers live outside the loops: the steady-state flush
-  // path performs no allocations.
-  std::vector<double> flush_values;
-  std::vector<CellTupleIds> flush_ids;
-  ResultTuple result;
-  result.values.resize(static_cast<size_t>(k));
-  auto reached_limit = [&]() {
-    return options_.max_results != 0 &&
-           stats_.results_emitted >= options_.max_results;
-  };
-  auto emit_cells = [&](const std::vector<CellIndex>& cells) {
-    for (CellIndex c : cells) {
-      if (reached_limit()) return;
-      flush_values.clear();
-      flush_ids.clear();
-      table.FlushCell(c, &flush_values, &flush_ids);
-      ++stats_.cells_flushed;
-      for (size_t i = 0; i < flush_ids.size(); ++i) {
-        result.r_id = r_orig_ids[flush_ids[i].r];
-        result.t_id = t_orig_ids[flush_ids[i].t];
-        for (int j = 0; j < k; ++j) {
-          result.values[static_cast<size_t>(j)] = mapper.Decanonicalize(
-              j, flush_values[i * static_cast<size_t>(k) +
-                              static_cast<size_t>(j)]);
-        }
-        emit(result);
-        ++stats_.results_emitted;
-        if (active_regions > 0) ++stats_.results_emitted_early;
-        if (reached_limit()) return;
-      }
-    }
-  };
-
-  // Marks a region removed exactly once across all paths.
-  std::vector<uint8_t> removed(regions.size(), 0);
-  std::vector<CellIndex> settled_scratch;
-  std::vector<CellIndex> marked_scratch;
-  std::vector<CellIndex> flush_scratch;
-  auto remove_region = [&](Region& region) {
-    if (removed[static_cast<size_t>(region.id)]) return;
-    removed[static_cast<size_t>(region.id)] = 1;
-    assert(active_regions > 0);
-    --active_regions;
-    table.ReleaseRegionCoverage(region, &settled_scratch);
-    table.DrainMarkedEvents(&marked_scratch);
-    determine.OnCellsMarked(marked_scratch);
-    determine.OnCellsSettled(settled_scratch, &flush_scratch);
-    order.OnRegionRemoved(region.id);
-    emit_cells(flush_scratch);
-  };
-
-  // --- Incremental runtime region discard ------------------------------------
-  // The discard test (Algorithm 1, line 9) depends only on a region's
-  // lo_cell and the dominance frontier, so active regions are bucketed by
-  // lo_cell — one test covers every region of a bucket — and a bucket is
-  // re-tested only against frontier entries logged after the epoch at which
-  // it last survived (see OutputTable::FrontierDominatesSince). The sweep
-  // runs only when the frontier actually advanced.
-  struct DiscardBucket {
-    std::vector<CellCoord> lo;        // shared lo_cell coordinates
-    std::vector<int32_t> region_ids;  // regions with this lo_cell
-    uint64_t survived_epoch = 0;      // frontier epoch last tested clean
-  };
-  std::vector<DiscardBucket> discard_buckets;
-  {
-    std::unordered_map<CellIndex, size_t> bucket_of;
-    for (const Region& region : regions) {
-      if (!region.Active()) continue;
-      const CellIndex lo_index = table.geometry().IndexOf(region.lo_cell.data());
-      auto [it, inserted] =
-          bucket_of.try_emplace(lo_index, discard_buckets.size());
-      if (inserted) {
-        discard_buckets.emplace_back();
-        discard_buckets.back().lo = region.lo_cell;
-      }
-      discard_buckets[it->second].region_ids.push_back(region.id);
-    }
-  }
-  std::vector<int32_t> discard_scratch;
-  uint64_t last_sweep_epoch = 0;
-
-  // --- Main loop (Algorithm 1) ----------------------------------------------
-  std::vector<double> out_values(static_cast<size_t>(k));
-  const size_t batch_cap =
-      options_.insert_batch_size > 1 ? options_.insert_batch_size : 0;
-  std::vector<RowIdPair> pair_buf(batch_cap);
-  std::vector<double> batch_values(batch_cap * static_cast<size_t>(k));
-  const auto& r_parts = r_grid->partitions();
-  const auto& t_parts = t_grid->partitions();
-
-  for (;;) {
-    if (reached_limit()) break;  // early termination (max_results)
-    const int32_t next = order.PopNext();
-    if (next < 0) break;
-    Region& region = regions[static_cast<size_t>(next)];
-    if (!region.Active()) continue;
-
-    // Tuple-level processing: join the partition pair, map, insert — in
-    // blocks when batching is enabled, per tuple otherwise. The batched
-    // pipeline visits pairs in the same order and produces identical
-    // results and counters (see OutputTable::InsertBatch).
-    const InputPartition& pa = r_parts[static_cast<size_t>(region.a)];
-    const InputPartition& pb = t_parts[static_cast<size_t>(region.b)];
-    if (batch_cap > 0) {
-      stats_.join_pairs_generated += JoinIndexesBatched(
-          pa.key_index, pb.key_index, pair_buf.data(), batch_cap,
-          [&](const RowIdPair* pairs, size_t m) {
-            mapper.CombineBatch(pairs, m, r_contrib.flat().data(),
-                                t_contrib.flat().data(), batch_values.data());
-            table.InsertBatch(batch_values.data(), pairs, m);
-          });
-    } else {
-      JoinIndexes(pa.key_index, pb.key_index, [&](RowId r_id, RowId t_id) {
-        ++stats_.join_pairs_generated;
-        mapper.Combine(r_contrib.vector(r_id), t_contrib.vector(t_id),
-                       out_values.data());
-        table.Insert(out_values.data(), r_id, t_id);
-      });
-    }
-    region.processed = true;
-    ++stats_.regions_processed;
-
-    // Kill events produced during insertion must reach ProgDetermine before
-    // settle processing.
-    table.DrainMarkedEvents(&marked_scratch);
-    determine.OnCellsMarked(marked_scratch);
-    remove_region(region);
-
-    // Runtime region discard (Algorithm 1, line 9): regions now wholly
-    // dominated by generated tuples. Only runs when the frontier advanced
-    // since the last sweep; each bucket is tested against the frontier
-    // entries logged since it last survived.
-    const uint64_t epoch = table.frontier_epoch();
-    if (epoch != last_sweep_epoch) {
-      discard_scratch.clear();
-      for (size_t bi = 0; bi < discard_buckets.size();) {
-        DiscardBucket& bucket = discard_buckets[bi];
-        // Lazily drop regions that completed or were discarded meanwhile.
-        std::erase_if(bucket.region_ids, [&](int32_t id) {
-          return !regions[static_cast<size_t>(id)].Active();
-        });
-        if (bucket.region_ids.empty()) {
-          // Permanently dead: swap-pop so later sweeps skip it entirely.
-          if (bi + 1 != discard_buckets.size()) {
-            discard_buckets[bi] = std::move(discard_buckets.back());
-          }
-          discard_buckets.pop_back();
-          continue;
-        }
-        if (table.FrontierDominatesSince(bucket.lo.data(),
-                                         bucket.survived_epoch)) {
-          discard_scratch.insert(discard_scratch.end(),
-                                 bucket.region_ids.begin(),
-                                 bucket.region_ids.end());
-          if (bi + 1 != discard_buckets.size()) {
-            discard_buckets[bi] = std::move(discard_buckets.back());
-          }
-          discard_buckets.pop_back();
-          continue;
-        }
-        bucket.survived_epoch = epoch;
-        ++bi;
-      }
-      // Discard in ascending region id — the order the full rescan used —
-      // so flush/emission order is byte-for-byte stable.
-      std::sort(discard_scratch.begin(), discard_scratch.end());
-      for (int32_t id : discard_scratch) {
-        Region& other = regions[static_cast<size_t>(id)];
-        if (!other.Active()) continue;
-        other.discarded = true;
-        ++stats_.regions_discarded_runtime;
-        remove_region(other);
-      }
-      last_sweep_epoch = epoch;
-    }
-  }
-
-  stats_.dominance_comparisons += table.dom_counter()->comparisons;
-
-  if (reached_limit()) return Status::OK();  // prefix delivered; stop here
-
-  // Completeness sweep: every populated unmarked cell must have flushed.
-  for (CellIndex c : table.PopulatedCells()) {
-    if (!table.emitted(c) && !table.marked(c)) {
-      // Unreachable by construction; fail loudly in debug, recover in
-      // release so no result is ever lost.
-      assert(false && "cell missed by progressive determination");
-      std::vector<CellIndex> one{c};
-      emit_cells(one);
-    }
-  }
+  stats_ = (*session)->stats();
   return Status::OK();
 }
 

@@ -10,6 +10,10 @@
 // Every tuple handed to the emit callback is guaranteed to be in the final
 // skyline (no retractions), and the union of all emissions is exactly the
 // skyline of the mapped join (completeness).
+//
+// Stages 1-3 live in progxe/prepare.h (PreparePhase) and stage 4 in
+// progxe/region_loop.h (RegionLoop); ProgXeExecutor::Run is a thin loop
+// over the pull-based ProgXeSession (progxe/session.h) that composes them.
 #pragma once
 
 #include <memory>
@@ -39,17 +43,18 @@ class ProgXeExecutor {
   ProgXeExecutor(const ProgXeExecutor&) = delete;
   ProgXeExecutor& operator=(const ProgXeExecutor&) = delete;
 
-  /// Runs the query to completion, invoking `emit` progressively.
-  /// Single-shot: a second call returns an error.
+  /// Runs the query to completion, invoking `emit` progressively. Reusable:
+  /// each call starts a fresh run with zeroed counters over the same query,
+  /// and identical runs produce identical results and stats.
   Status Run(const EmitFn& emit);
 
+  /// Counters of the most recent Run (live during a Run's emit callbacks).
   const ProgXeStats& stats() const { return stats_; }
 
  private:
   SkyMapJoinQuery query_;
   ProgXeOptions options_;
   ProgXeStats stats_;
-  bool ran_ = false;
 };
 
 /// Convenience wrapper: runs a ProgXe query and returns all results.

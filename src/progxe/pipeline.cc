@@ -1,0 +1,206 @@
+#include "progxe/pipeline.h"
+
+#include <algorithm>
+
+#include "join/key_index.h"
+
+namespace progxe {
+
+RegionJoinPipeline::RegionJoinPipeline(const CanonicalMapper* mapper,
+                                       const double* r_flat,
+                                       const double* t_flat,
+                                       const GridGeometry* geometry,
+                                       size_t insert_batch_size,
+                                       int num_threads)
+    : mapper_(mapper),
+      r_flat_(r_flat),
+      t_flat_(t_flat),
+      geometry_(geometry),
+      batch_cap_(insert_batch_size > 1 ? insert_batch_size : 0),
+      num_threads_(num_threads),
+      k_(mapper->output_dimensions()) {
+  seq_pairs_.resize(batch_cap_);
+  seq_values_.resize(batch_cap_ * static_cast<size_t>(k_));
+  tuple_values_.resize(static_cast<size_t>(k_));
+  if (num_threads_ > 1) {
+    slots_.resize(2 * static_cast<size_t>(num_threads_));
+    workers_.reserve(static_cast<size_t>(num_threads_));
+    for (int i = 0; i < num_threads_; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+RegionJoinPipeline::~RegionJoinPipeline() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mtx_);
+      shutdown_ = true;
+    }
+    cv_workers_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+}
+
+uint64_t RegionJoinPipeline::ProcessRegion(const InputPartition& pa,
+                                           const InputPartition& pb,
+                                           OutputTable* table) {
+  if (workers_.empty()) return ProcessSequential(pa, pb, table);
+  return ProcessParallel(pa, pb, table);
+}
+
+uint64_t RegionJoinPipeline::ProcessSequential(const InputPartition& pa,
+                                               const InputPartition& pb,
+                                               OutputTable* table) {
+  if (batch_cap_ > 0) {
+    return JoinIndexesBatched(
+        pa.key_index, pb.key_index, seq_pairs_.data(), batch_cap_,
+        [&](const RowIdPair* pairs, size_t m) {
+          mapper_->CombineBatch(pairs, m, r_flat_, t_flat_,
+                                seq_values_.data());
+          table->InsertBatch(seq_values_.data(), pairs, m);
+        });
+  }
+  const size_t kk = static_cast<size_t>(k_);
+  return JoinIndexes(pa.key_index, pb.key_index, [&](RowId r_id, RowId t_id) {
+    mapper_->Combine(r_flat_ + static_cast<size_t>(r_id) * kk,
+                     t_flat_ + static_cast<size_t>(t_id) * kk,
+                     tuple_values_.data());
+    table->Insert(tuple_values_.data(), r_id, t_id);
+  });
+}
+
+void RegionJoinPipeline::FillChunk(size_t task_begin, size_t task_end,
+                                   ChunkSlot* slot) const {
+  const size_t kk = static_cast<size_t>(k_);
+  size_t n = 0;
+  for (size_t i = task_begin; i < task_end; ++i) {
+    n += tasks_[i].t_rows->size();
+  }
+  if (slot->pairs.size() < n) slot->pairs.resize(n);
+  if (slot->values.size() < n * kk) slot->values.resize(n * kk);
+  if (slot->coords.size() < n * kk) slot->coords.resize(n * kk);
+  if (slot->cells.size() < n) slot->cells.resize(n);
+
+  size_t p = 0;
+  for (size_t i = task_begin; i < task_end; ++i) {
+    const RowId r = tasks_[i].r;
+    for (RowId t : *tasks_[i].t_rows) {
+      slot->pairs[p++] = RowIdPair{r, t};
+    }
+  }
+  mapper_->CombineBatch(slot->pairs.data(), n, r_flat_, t_flat_,
+                        slot->values.data());
+  for (size_t i = 0; i < n; ++i) {
+    CellCoord* coords = slot->coords.data() + i * kk;
+    geometry_->CoordsOf(slot->values.data() + i * kk, coords);
+    slot->cells[i] = geometry_->IndexOf(coords);
+  }
+  slot->n = n;
+}
+
+uint64_t RegionJoinPipeline::ProcessParallel(const InputPartition& pa,
+                                             const InputPartition& pb,
+                                             OutputTable* table) {
+  // Task list in the exact JoinIndexes enumeration order. Workers are idle
+  // here (no chunks outstanding), so the shared vectors are safe to write;
+  // the publish below hands them over under the mutex.
+  tasks_.clear();
+  uint64_t total_pairs = 0;
+  pa.key_index.ForEach([&](JoinKey key, const std::vector<RowId>& r_rows) {
+    const std::vector<RowId>* t_rows = pb.key_index.Find(key);
+    if (t_rows == nullptr) return;
+    for (RowId r : r_rows) tasks_.push_back(Task{r, t_rows});
+    total_pairs +=
+        static_cast<uint64_t>(r_rows.size()) * t_rows->size();
+  });
+  if (tasks_.empty()) return 0;
+
+  // Chunk sizing: enough chunks to keep every worker busy, each chunk big
+  // enough to amortize a slot handshake, capped to bound ring memory.
+  const size_t floor_pairs = std::max<size_t>(batch_cap_, 1024);
+  size_t target = static_cast<size_t>(
+      total_pairs / (static_cast<uint64_t>(num_threads_) * 4));
+  target = std::clamp(target, floor_pairs, size_t{32768});
+
+  chunk_task_end_.clear();
+  size_t acc = 0;
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    acc += tasks_[i].t_rows->size();
+    if (acc >= target) {
+      chunk_task_end_.push_back(i + 1);
+      acc = 0;
+    }
+  }
+  if (acc > 0) chunk_task_end_.push_back(tasks_.size());
+
+  // A single chunk gains nothing from the pool: expand and insert inline.
+  // (Same order, same InsertBatch, same counters.)
+  if (chunk_task_end_.size() == 1) {
+    ChunkSlot& slot = slots_[0];
+    FillChunk(0, tasks_.size(), &slot);
+    table->InsertBatchPrebinned(slot.values.data(), slot.pairs.data(), slot.n,
+                                slot.coords.data(), slot.cells.data());
+    return total_pairs;
+  }
+
+  // Publish the region's chunks to the pool.
+  const size_t num_chunks = chunk_task_end_.size();
+  const size_t ring = slots_.size();
+  {
+    std::lock_guard<std::mutex> lock(mtx_);
+    for (size_t s = 0; s < ring; ++s) {
+      slots_[s].expected = s;
+      slots_[s].filled = false;
+    }
+    next_chunk_ = 0;
+    num_chunks_ = num_chunks;
+  }
+  cv_workers_.notify_all();
+
+  // Ordered merge: hand chunk c to the table only after chunks < c, so the
+  // insert stream is exactly the sequential pair order.
+  for (size_t c = 0; c < num_chunks; ++c) {
+    ChunkSlot& slot = slots_[c % ring];
+    {
+      std::unique_lock<std::mutex> lock(mtx_);
+      cv_driver_.wait(lock, [&] { return slot.filled; });
+    }
+    table->InsertBatchPrebinned(slot.values.data(), slot.pairs.data(), slot.n,
+                                slot.coords.data(), slot.cells.data());
+    {
+      std::lock_guard<std::mutex> lock(mtx_);
+      slot.filled = false;
+      slot.expected = c + ring;
+    }
+    cv_workers_.notify_all();
+  }
+  return total_pairs;
+}
+
+void RegionJoinPipeline::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mtx_);
+  for (;;) {
+    cv_workers_.wait(
+        lock, [&] { return shutdown_ || next_chunk_ < num_chunks_; });
+    if (shutdown_) return;
+    const size_t c = next_chunk_++;
+    ChunkSlot& slot = slots_[c % slots_.size()];
+    // The slot may still hold chunk c - ring: wait for the merge to drain
+    // it. Claims are ordered, so the merge can always make progress and
+    // this wait is bounded.
+    cv_workers_.wait(lock, [&] {
+      return shutdown_ || (!slot.filled && slot.expected == c);
+    });
+    if (shutdown_) return;
+    const size_t begin = c == 0 ? 0 : chunk_task_end_[c - 1];
+    const size_t end = chunk_task_end_[c];
+    lock.unlock();
+    FillChunk(begin, end, &slot);
+    lock.lock();
+    slot.filled = true;
+    cv_driver_.notify_one();
+  }
+}
+
+}  // namespace progxe

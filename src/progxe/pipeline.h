@@ -1,0 +1,112 @@
+// The region-level tuple pipeline: join a region's partition pair, map the
+// pairs through CanonicalMapper, and insert into the OutputTable — either
+// inline (num_threads <= 1, the PR-1 batched path or the per-tuple legacy
+// path) or across a fixed worker pool.
+//
+// Parallel mode decomposes a region's join into *tasks* (one R-side row of
+// one matching join group, paired with that group's T rows) enumerated in
+// exactly the order JoinIndexes visits pairs. Contiguous task ranges form
+// chunks; workers claim chunks in order, expand the pairs, run
+// CanonicalMapper::CombineBatch and pre-compute output-grid coordinates
+// into a per-chunk buffer from a fixed ring. The driver merges chunks back
+// *in chunk order*, handing each to the single-threaded
+// OutputTable::InsertBatch — so the table observes exactly the sequential
+// pair order and every ProgXeStats counter is bit-identical at any thread
+// count (enforced by tests/batched_equivalence_test.cc).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "grid/partitioning.h"
+#include "mapping/canonical.h"
+#include "progxe/output_table.h"
+
+namespace progxe {
+
+class RegionJoinPipeline {
+ public:
+  /// `mapper`, `r_flat`/`t_flat` (flat contribution tables) and `geometry`
+  /// must outlive the pipeline. `num_threads <= 1` spawns no threads.
+  RegionJoinPipeline(const CanonicalMapper* mapper, const double* r_flat,
+                     const double* t_flat, const GridGeometry* geometry,
+                     size_t insert_batch_size, int num_threads);
+  ~RegionJoinPipeline();
+
+  RegionJoinPipeline(const RegionJoinPipeline&) = delete;
+  RegionJoinPipeline& operator=(const RegionJoinPipeline&) = delete;
+
+  /// Joins `pa` x `pb`, maps every pair and inserts into `*table` in the
+  /// sequential pair order. Returns the number of join pairs generated.
+  uint64_t ProcessRegion(const InputPartition& pa, const InputPartition& pb,
+                         OutputTable* table);
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  /// One R row joined against its group's T rows: |t_rows| consecutive
+  /// pairs of the sequential order.
+  struct Task {
+    RowId r;
+    const std::vector<RowId>* t_rows;
+  };
+
+  /// A chunk's output buffers plus its slot-handshake state.
+  struct ChunkSlot {
+    std::vector<RowIdPair> pairs;
+    std::vector<double> values;    // k per pair
+    std::vector<CellCoord> coords; // k per pair
+    std::vector<CellIndex> cells;  // one per pair
+    size_t n = 0;
+    /// The next chunk index this slot will carry; a worker may fill the
+    /// slot only when `filled == false && expected == its chunk`.
+    size_t expected = 0;
+    bool filled = false;
+  };
+
+  uint64_t ProcessSequential(const InputPartition& pa,
+                             const InputPartition& pb, OutputTable* table);
+  uint64_t ProcessParallel(const InputPartition& pa, const InputPartition& pb,
+                           OutputTable* table);
+
+  /// Expands tasks [begin, end) into `slot` (pairs, mapped values, grid
+  /// coordinates and cell indices). Runs on workers; touches only
+  /// read-only shared state and the slot.
+  void FillChunk(size_t task_begin, size_t task_end, ChunkSlot* slot) const;
+
+  void WorkerLoop();
+
+  const CanonicalMapper* mapper_;
+  const double* r_flat_;
+  const double* t_flat_;
+  const GridGeometry* geometry_;
+  size_t batch_cap_;  // insert_batch_size; <= 1 selects the per-tuple path
+  int num_threads_;
+  int k_;
+
+  // Sequential-path scratch (also the per-tuple path's value buffer).
+  std::vector<RowIdPair> seq_pairs_;
+  std::vector<double> seq_values_;
+  std::vector<double> tuple_values_;
+
+  // --- Parallel state (guarded by mtx_ unless noted) -----------------------
+  std::vector<std::thread> workers_;
+  std::mutex mtx_;
+  std::condition_variable cv_workers_;  // slot freed / new region / shutdown
+  std::condition_variable cv_driver_;   // slot filled
+  bool shutdown_ = false;
+  size_t next_chunk_ = 0;
+  size_t num_chunks_ = 0;
+
+  // Shared per-region inputs, written by the driver while workers are idle
+  // (between region epochs), read-only to workers during an epoch.
+  std::vector<Task> tasks_;
+  std::vector<size_t> chunk_task_end_;  // chunk i covers tasks
+                                        // [chunk_task_end_[i-1], chunk_task_end_[i])
+  std::vector<ChunkSlot> slots_;        // ring, 2 * num_threads_ entries
+};
+
+}  // namespace progxe

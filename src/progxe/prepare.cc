@@ -1,0 +1,179 @@
+#include "progxe/prepare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "grid/input_grid.h"
+#include "grid/kd_partitioner.h"
+
+namespace progxe {
+
+namespace {
+
+/// Picks the largest per-dimension cell count whose k-dim total stays under
+/// `budget`, clamped to [lo, hi]. Used when options leave grid sizes to the
+/// engine: the paper tunes its partition size delta per dimensionality
+/// (Section VI-B) and so do we.
+int AutoCellsPerDim(int k, double budget, int lo, int hi) {
+  const double per_dim = std::pow(budget, 1.0 / static_cast<double>(k));
+  const int cells = static_cast<int>(per_dim);
+  return std::clamp(cells, lo, hi);
+}
+
+/// Measured join selectivity via key histograms: sum over shared keys of
+/// cnt_R(k) * cnt_T(k), divided by |R| * |T|.
+double MeasureSigma(const Relation& r, const Relation& t) {
+  if (r.empty() || t.empty()) return 0.0;
+  std::unordered_map<JoinKey, size_t> r_hist;
+  r_hist.reserve(r.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    ++r_hist[r.join_key(static_cast<RowId>(i))];
+  }
+  double pairs = 0.0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    auto it = r_hist.find(t.join_key(static_cast<RowId>(i)));
+    if (it != r_hist.end()) pairs += static_cast<double>(it->second);
+  }
+  return pairs /
+         (static_cast<double>(r.size()) * static_cast<double>(t.size()));
+}
+
+}  // namespace
+
+Status PreparePhase(const SkyMapJoinQuery& query, ProgXeOptions* options,
+                    ProgXeStats* stats, PreparedQuery* out) {
+  if (query.r == nullptr || query.t == nullptr) {
+    return Status::InvalidArgument("query sources must be non-null");
+  }
+  if (query.pref.dimensions() != query.map.output_dimensions()) {
+    return Status::InvalidArgument(
+        "preference dimensionality must match the map output");
+  }
+  PROGXE_RETURN_NOT_OK(
+      query.map.Validate(query.r->num_attributes(),
+                         query.t->num_attributes()));
+  if (options->input_cells_per_dim < 0 || options->output_cells_per_dim < 0) {
+    return Status::InvalidArgument("grid cell counts must be >= 0");
+  }
+  if (options->output_cells_per_dim == 0) {
+    const int k_out = query.map.output_dimensions();
+    // ~60K output cells keeps the dense per-cell state cache-resident.
+    options->output_cells_per_dim = AutoCellsPerDim(k_out, 60000.0, 4, 24);
+  }
+
+  const Relation& r_full = *query.r;
+  const Relation& t_full = *query.t;
+  stats->r_rows = r_full.size();
+  stats->t_rows = t_full.size();
+  if (r_full.empty() || t_full.empty()) {
+    out->trivially_empty = true;
+    return Status::OK();
+  }
+
+  out->mapper = CanonicalMapper(query.map, query.pref);
+  out->k = out->mapper.output_dimensions();
+
+  // --- Optional skyline partial push-through -----------------------------
+  // Pruning each source to its group-level skyline is result-preserving for
+  // separable monotone maps (see skyline/group_skyline.h).
+  out->r_rel = &r_full;
+  out->t_rel = &t_full;
+  if (options->push_through) {
+    ContributionTable r_full_contrib(r_full, out->mapper, Side::kR);
+    ContributionTable t_full_contrib(t_full, out->mapper, Side::kT);
+    DomCounter push_counter;
+    std::vector<RowId> r_keep =
+        PushThroughPrune(r_full, r_full_contrib, &push_counter);
+    std::vector<RowId> t_keep =
+        PushThroughPrune(t_full, t_full_contrib, &push_counter);
+    stats->dominance_comparisons += push_counter.comparisons;
+    out->r_pruned = r_full.Select(r_keep, &out->r_orig_ids);
+    out->t_pruned = t_full.Select(t_keep, &out->t_orig_ids);
+    out->r_rel = &out->r_pruned;
+    out->t_rel = &out->t_pruned;
+  } else {
+    out->r_orig_ids.resize(r_full.size());
+    std::iota(out->r_orig_ids.begin(), out->r_orig_ids.end(), 0u);
+    out->t_orig_ids.resize(t_full.size());
+    std::iota(out->t_orig_ids.begin(), out->t_orig_ids.end(), 0u);
+  }
+  stats->r_rows_after_push_through = out->r_rel->size();
+  stats->t_rows_after_push_through = out->t_rel->size();
+
+  // --- Sigma for the benefit/cost models ---------------------------------
+  out->sigma = options->sigma_hint;
+  if (out->sigma <= 0.0) out->sigma = MeasureSigma(*out->r_rel, *out->t_rel);
+  if (out->sigma <= 0.0) {  // provably empty join
+    out->trivially_empty = true;
+    return Status::OK();
+  }
+  stats->sigma_used = out->sigma;
+
+  if (options->input_cells_per_dim == 0) {
+    // Pick the input resolution so each region's expected join work
+    // amortizes its bookkeeping (EL-Graph edge, coverage box, discard
+    // checks): aim for >= ~200 join pairs per region, i.e. at most
+    // P = N * sqrt(sigma / 200) partitions per source, within an absolute
+    // budget of ~120 partitions (~14K candidate pairs).
+    const double n_min = static_cast<double>(
+        std::min(out->r_rel->size(), out->t_rel->size()));
+    const double work_cap = n_min * std::sqrt(out->sigma / 200.0);
+    const double budget = std::clamp(work_cap, 4.0, 120.0);
+    options->input_cells_per_dim =
+        AutoCellsPerDim(query.map.output_dimensions(), budget, 2, 8);
+  }
+
+  // --- Contribution tables and input partitioning ------------------------
+  out->r_contrib = std::make_unique<ContributionTable>(*out->r_rel,
+                                                       out->mapper, Side::kR);
+  out->t_contrib = std::make_unique<ContributionTable>(*out->t_rel,
+                                                       out->mapper, Side::kT);
+  if (options->partitioning == PartitioningScheme::kUniformGrid) {
+    InputGridOptions grid_options;
+    grid_options.cells_per_dim = options->input_cells_per_dim;
+    grid_options.signature_mode = options->signature_mode;
+    grid_options.bloom_bits = options->bloom_bits;
+    grid_options.bloom_hashes = options->bloom_hashes;
+    out->r_grid = std::make_unique<InputGrid>(*out->r_rel, *out->r_contrib,
+                                              grid_options);
+    out->t_grid = std::make_unique<InputGrid>(*out->t_rel, *out->t_contrib,
+                                              grid_options);
+  } else {
+    KdPartitionerOptions kd_options;
+    // Same partition budget the uniform grid would get.
+    double leaves = 1.0;
+    for (int j = 0; j < out->k; ++j) {
+      leaves *= static_cast<double>(options->input_cells_per_dim);
+    }
+    kd_options.max_partitions =
+        static_cast<size_t>(std::clamp(leaves, 1.0, 4096.0));
+    kd_options.signature_mode = options->signature_mode;
+    kd_options.bloom_bits = options->bloom_bits;
+    kd_options.bloom_hashes = options->bloom_hashes;
+    out->r_grid = std::make_unique<KdPartitioner>(*out->r_rel, *out->r_contrib,
+                                                  kd_options);
+    out->t_grid = std::make_unique<KdPartitioner>(*out->t_rel, *out->t_contrib,
+                                                  kd_options);
+  }
+
+  // --- Output-space look-ahead -------------------------------------------
+  LookaheadOptions la_options;
+  la_options.output_cells_per_dim = options->output_cells_per_dim;
+  la_options.max_output_cells = options->max_output_cells;
+  PROGXE_ASSIGN_OR_RETURN(
+      out->lookahead,
+      OutputSpaceLookahead(*out->r_grid, *out->t_grid, out->mapper,
+                           la_options));
+  stats->partition_pairs_total = out->lookahead.stats.pairs_total;
+  stats->partition_pairs_skipped =
+      out->lookahead.stats.pairs_skipped_signature;
+  stats->regions_created = out->lookahead.stats.regions_created;
+  stats->regions_pruned_lookahead = out->lookahead.stats.regions_pruned;
+  stats->cells_marked_lookahead = out->lookahead.stats.cells_marked;
+  return Status::OK();
+}
+
+}  // namespace progxe

@@ -1,0 +1,62 @@
+// PreparePhase: everything the ProgXe executor does before the first join
+// pair is generated — query validation, optional skyline push-through,
+// sigma measurement, contribution tables, input partitioning and the
+// output-space look-ahead. Separated from the region loop so the two stages
+// are independently testable and so a pull-based session can hold the
+// prepared state across incremental NextBatch calls.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "grid/partitioning.h"
+#include "outputspace/lookahead.h"
+#include "progxe/executor.h"
+#include "skyline/group_skyline.h"
+
+namespace progxe {
+
+/// Output of PreparePhase: the immutable per-query state the region loop
+/// runs against. Self-referential (r_rel/t_rel may point at the owned
+/// pruned copies), hence neither copyable nor movable — hold it behind a
+/// unique_ptr.
+struct PreparedQuery {
+  PreparedQuery() = default;
+  PreparedQuery(const PreparedQuery&) = delete;
+  PreparedQuery& operator=(const PreparedQuery&) = delete;
+
+  CanonicalMapper mapper;
+  int k = 0;
+
+  /// Owned pruned copies (push_through only; empty otherwise).
+  Relation r_pruned{Schema::Anonymous(0)};
+  Relation t_pruned{Schema::Anonymous(0)};
+  /// Maps working row ids back to the caller's original row ids.
+  std::vector<RowId> r_orig_ids;
+  std::vector<RowId> t_orig_ids;
+  /// The working sources: the originals, or the pruned copies above.
+  const Relation* r_rel = nullptr;
+  const Relation* t_rel = nullptr;
+
+  double sigma = 0.0;
+
+  std::unique_ptr<ContributionTable> r_contrib;
+  std::unique_ptr<ContributionTable> t_contrib;
+  std::unique_ptr<InputPartitioning> r_grid;
+  std::unique_ptr<InputPartitioning> t_grid;
+
+  LookaheadResult lookahead;
+
+  /// True when the query provably produces nothing (an empty source or a
+  /// measured-empty join): the region loop is skipped entirely.
+  bool trivially_empty = false;
+};
+
+/// Validates `query`/`*options`, resolves auto-chosen grid resolutions into
+/// `*options`, and fills `*out` plus the prepare-side counters of `*stats`
+/// (rows, push-through sizes, sigma, look-ahead stats).
+Status PreparePhase(const SkyMapJoinQuery& query, ProgXeOptions* options,
+                    ProgXeStats* stats, PreparedQuery* out);
+
+}  // namespace progxe

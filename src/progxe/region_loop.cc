@@ -1,0 +1,210 @@
+#include "progxe/region_loop.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace progxe {
+
+RegionLoop::RegionLoop(PreparedQuery* prep, const ProgXeOptions& options,
+                       ProgXeStats* stats)
+    : prep_(prep),
+      options_(options),
+      stats_(stats),
+      regions_(&prep->lookahead.regions),
+      table_(prep->lookahead.output_grid, std::move(prep->lookahead.marked),
+             stats),
+      determine_(&table_),
+      pipeline_(&prep->mapper, prep->r_contrib->flat().data(),
+                prep->t_contrib->flat().data(), &table_.geometry(),
+                options.insert_batch_size, options.num_threads) {
+  table_.InitCoverage(*regions_);
+
+  if (options_.ordering == OrderingMode::kProgOrder) {
+    el_graph_ = std::make_unique<ElGraph>(*regions_,
+                                          options_.max_regions_for_elgraph);
+    stats_->elgraph_disabled = el_graph_->disabled();
+  }
+
+  CostModelParams cost_params;
+  cost_params.sigma = prep->sigma;
+  cost_params.cells_per_dim = options_.output_cells_per_dim;
+  cost_params.dims = prep->k;
+
+  std::vector<size_t> r_sizes;
+  for (const auto& p : prep->r_grid->partitions()) r_sizes.push_back(p.size());
+  std::vector<size_t> t_sizes;
+  for (const auto& p : prep->t_grid->partitions()) t_sizes.push_back(p.size());
+
+  order_ = std::make_unique<ProgOrder>(
+      regions_, el_graph_.get(), &table_, cost_params, std::move(r_sizes),
+      std::move(t_sizes), options_.ordering, options_.seed, stats_);
+
+  for (const Region& region : *regions_) {
+    if (region.Active()) ++active_regions_;
+  }
+  removed_.assign(regions_->size(), 0);
+  result_.values.resize(static_cast<size_t>(prep->k));
+
+  // Bucket the active regions by lo_cell for the runtime discard sweep.
+  std::unordered_map<CellIndex, size_t> bucket_of;
+  for (const Region& region : *regions_) {
+    if (!region.Active()) continue;
+    const CellIndex lo_index = table_.geometry().IndexOf(region.lo_cell.data());
+    auto [it, inserted] =
+        bucket_of.try_emplace(lo_index, discard_buckets_.size());
+    if (inserted) {
+      discard_buckets_.emplace_back();
+      discard_buckets_.back().lo = region.lo_cell;
+    }
+    discard_buckets_[it->second].region_ids.push_back(region.id);
+  }
+}
+
+bool RegionLoop::ReachedLimit() const {
+  return options_.max_results != 0 &&
+         stats_->results_emitted >= options_.max_results;
+}
+
+void RegionLoop::EmitCells(const std::vector<CellIndex>& cells,
+                           std::vector<ResultTuple>* pending) {
+  const int k = prep_->k;
+  for (CellIndex c : cells) {
+    if (ReachedLimit()) return;
+    flush_values_.clear();
+    flush_ids_.clear();
+    table_.FlushCell(c, &flush_values_, &flush_ids_);
+    ++stats_->cells_flushed;
+    for (size_t i = 0; i < flush_ids_.size(); ++i) {
+      result_.r_id = prep_->r_orig_ids[flush_ids_[i].r];
+      result_.t_id = prep_->t_orig_ids[flush_ids_[i].t];
+      for (int j = 0; j < k; ++j) {
+        result_.values[static_cast<size_t>(j)] = prep_->mapper.Decanonicalize(
+            j, flush_values_[i * static_cast<size_t>(k) +
+                             static_cast<size_t>(j)]);
+      }
+      pending->push_back(result_);
+      ++stats_->results_emitted;
+      if (active_regions_ > 0) ++stats_->results_emitted_early;
+      if (ReachedLimit()) return;
+    }
+  }
+}
+
+void RegionLoop::RemoveRegion(Region& region,
+                              std::vector<ResultTuple>* pending) {
+  if (removed_[static_cast<size_t>(region.id)]) return;
+  removed_[static_cast<size_t>(region.id)] = 1;
+  assert(active_regions_ > 0);
+  --active_regions_;
+  table_.ReleaseRegionCoverage(region, &settled_scratch_);
+  table_.DrainMarkedEvents(&marked_scratch_);
+  determine_.OnCellsMarked(marked_scratch_);
+  determine_.OnCellsSettled(settled_scratch_, &flush_scratch_);
+  order_->OnRegionRemoved(region.id);
+  EmitCells(flush_scratch_, pending);
+}
+
+void RegionLoop::DiscardSweep(std::vector<ResultTuple>* pending) {
+  // Only runs when the frontier advanced since the last sweep; each bucket
+  // is tested against the frontier entries logged since it last survived.
+  const uint64_t epoch = table_.frontier_epoch();
+  if (epoch == last_sweep_epoch_) return;
+  discard_scratch_.clear();
+  for (size_t bi = 0; bi < discard_buckets_.size();) {
+    DiscardBucket& bucket = discard_buckets_[bi];
+    // Lazily drop regions that completed or were discarded meanwhile.
+    std::erase_if(bucket.region_ids, [&](int32_t id) {
+      return !(*regions_)[static_cast<size_t>(id)].Active();
+    });
+    if (bucket.region_ids.empty()) {
+      // Permanently dead: swap-pop so later sweeps skip it entirely.
+      if (bi + 1 != discard_buckets_.size()) {
+        discard_buckets_[bi] = std::move(discard_buckets_.back());
+      }
+      discard_buckets_.pop_back();
+      continue;
+    }
+    if (table_.FrontierDominatesSince(bucket.lo.data(),
+                                      bucket.survived_epoch)) {
+      discard_scratch_.insert(discard_scratch_.end(),
+                              bucket.region_ids.begin(),
+                              bucket.region_ids.end());
+      if (bi + 1 != discard_buckets_.size()) {
+        discard_buckets_[bi] = std::move(discard_buckets_.back());
+      }
+      discard_buckets_.pop_back();
+      continue;
+    }
+    bucket.survived_epoch = epoch;
+    ++bi;
+  }
+  // Discard in ascending region id — the order the full rescan used — so
+  // flush/emission order is byte-for-byte stable.
+  std::sort(discard_scratch_.begin(), discard_scratch_.end());
+  for (int32_t id : discard_scratch_) {
+    Region& other = (*regions_)[static_cast<size_t>(id)];
+    if (!other.Active()) continue;
+    other.discarded = true;
+    ++stats_->regions_discarded_runtime;
+    RemoveRegion(other, pending);
+  }
+  last_sweep_epoch_ = epoch;
+}
+
+void RegionLoop::CompletenessSweep(std::vector<ResultTuple>* pending) {
+  // Every populated unmarked cell must have flushed by now.
+  for (CellIndex c : table_.PopulatedCells()) {
+    if (!table_.emitted(c) && !table_.marked(c)) {
+      // Unreachable by construction; fail loudly in debug, recover in
+      // release so no result is ever lost.
+      assert(false && "cell missed by progressive determination");
+      std::vector<CellIndex> one{c};
+      EmitCells(one, pending);
+    }
+  }
+}
+
+bool RegionLoop::Step(std::vector<ResultTuple>* pending) {
+  if (done_) return false;
+  for (;;) {
+    if (ReachedLimit()) {  // early termination (max_results)
+      stats_->dominance_comparisons += table_.dom_counter()->comparisons;
+      table_.dom_counter()->comparisons = 0;
+      done_ = true;
+      return false;
+    }
+    const int32_t next = order_->PopNext();
+    if (next < 0) {
+      stats_->dominance_comparisons += table_.dom_counter()->comparisons;
+      table_.dom_counter()->comparisons = 0;
+      CompletenessSweep(pending);
+      done_ = true;
+      return false;
+    }
+    Region& region = (*regions_)[static_cast<size_t>(next)];
+    if (!region.Active()) continue;
+
+    // Tuple-level processing: join the partition pair, map, insert — via
+    // the (optionally parallel) pipeline, which preserves the sequential
+    // pair order and hence every counter.
+    const InputPartition& pa =
+        prep_->r_grid->partitions()[static_cast<size_t>(region.a)];
+    const InputPartition& pb =
+        prep_->t_grid->partitions()[static_cast<size_t>(region.b)];
+    stats_->join_pairs_generated += pipeline_.ProcessRegion(pa, pb, &table_);
+    region.processed = true;
+    ++stats_->regions_processed;
+
+    // Kill events produced during insertion must reach ProgDetermine
+    // before settle processing.
+    table_.DrainMarkedEvents(&marked_scratch_);
+    determine_.OnCellsMarked(marked_scratch_);
+    RemoveRegion(region, pending);
+
+    DiscardSweep(pending);
+    return true;
+  }
+}
+
+}  // namespace progxe

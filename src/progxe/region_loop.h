@@ -1,0 +1,91 @@
+// RegionLoop: the incremental driver of ProgXe's main loop (Algorithm 1).
+// One Step() = one iteration — ProgOrder picks a region, the tuple pipeline
+// joins/maps/inserts it (optionally across worker threads), ProgDetermine
+// flushes settled cells, and the epoch-gated runtime discard sweep removes
+// regions the new frontier wholly dominates. Emitted results are appended
+// to the caller's pending vector, which is what lets ProgXeSession expose a
+// pull-based NextBatch on top while ProgXeExecutor::Run stays a thin loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "elgraph/el_graph.h"
+#include "progxe/output_table.h"
+#include "progxe/pipeline.h"
+#include "progxe/prepare.h"
+#include "progxe/prog_determine.h"
+#include "progxe/prog_order.h"
+
+namespace progxe {
+
+class RegionLoop {
+ public:
+  /// `prep` must outlive the loop and is consumed by it (region flags and
+  /// the look-ahead marking move into the runtime structures): one
+  /// PreparedQuery drives exactly one RegionLoop.
+  RegionLoop(PreparedQuery* prep, const ProgXeOptions& options,
+             ProgXeStats* stats);
+
+  /// Runs one main-loop iteration, appending any results it proves final to
+  /// `*pending`. Returns false — without processing anything further — once
+  /// no active regions remain or options.max_results has been reached; the
+  /// final completeness sweep has run by then.
+  bool Step(std::vector<ResultTuple>* pending);
+
+  /// True once Step() has nothing left to do.
+  bool done() const { return done_; }
+
+ private:
+  bool ReachedLimit() const;
+  void EmitCells(const std::vector<CellIndex>& cells,
+                 std::vector<ResultTuple>* pending);
+  void RemoveRegion(Region& region, std::vector<ResultTuple>* pending);
+  void DiscardSweep(std::vector<ResultTuple>* pending);
+  /// Recovery net behind the progressive guarantees: flushes any populated
+  /// unmarked cell ProgDetermine somehow missed (unreachable by
+  /// construction; see executor completeness notes).
+  void CompletenessSweep(std::vector<ResultTuple>* pending);
+
+  PreparedQuery* prep_;
+  const ProgXeOptions& options_;
+  ProgXeStats* stats_;
+  std::vector<Region>* regions_;
+
+  OutputTable table_;
+  ProgDetermine determine_;
+  std::unique_ptr<ElGraph> el_graph_;
+  std::unique_ptr<ProgOrder> order_;
+  RegionJoinPipeline pipeline_;
+
+  bool done_ = false;
+  size_t active_regions_ = 0;
+
+  /// Marks a region removed exactly once across all removal paths.
+  std::vector<uint8_t> removed_;
+
+  // Incremental runtime region discard (Algorithm 1, line 9): active
+  // regions bucketed by lo_cell — the discard test depends only on it — and
+  // re-tested only against frontier entries logged after the epoch at which
+  // the bucket last survived (see OutputTable::FrontierDominatesSince).
+  struct DiscardBucket {
+    std::vector<CellCoord> lo;        // shared lo_cell coordinates
+    std::vector<int32_t> region_ids;  // regions with this lo_cell
+    uint64_t survived_epoch = 0;      // frontier epoch last tested clean
+  };
+  std::vector<DiscardBucket> discard_buckets_;
+  uint64_t last_sweep_epoch_ = 0;
+
+  // Emit-path scratch, reused across steps: the steady-state flush path
+  // performs no allocations.
+  std::vector<double> flush_values_;
+  std::vector<CellTupleIds> flush_ids_;
+  ResultTuple result_;
+  std::vector<CellIndex> settled_scratch_;
+  std::vector<CellIndex> marked_scratch_;
+  std::vector<CellIndex> flush_scratch_;
+  std::vector<int32_t> discard_scratch_;
+};
+
+}  // namespace progxe

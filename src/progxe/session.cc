@@ -1,0 +1,50 @@
+#include "progxe/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace progxe {
+
+Result<std::unique_ptr<ProgXeSession>> ProgXeSession::Open(
+    const SkyMapJoinQuery& query, ProgXeOptions options) {
+  // make_unique needs a public constructor; the session is handed out
+  // fully-opened only.
+  std::unique_ptr<ProgXeSession> session(new ProgXeSession());
+  session->options_ = std::move(options);
+  session->prep_ = std::make_unique<PreparedQuery>();
+  PROGXE_RETURN_NOT_OK(PreparePhase(query, &session->options_,
+                                    &session->stats_, session->prep_.get()));
+  if (!session->prep_->trivially_empty) {
+    session->loop_ = std::make_unique<RegionLoop>(
+        session->prep_.get(), session->options_, &session->stats_);
+  }
+  return session;
+}
+
+size_t ProgXeSession::NextBatch(size_t max_results,
+                                std::vector<ResultTuple>* out) {
+  out->clear();
+  while (pending_pos_ >= pending_.size() && loop_ != nullptr &&
+         !loop_->done()) {
+    pending_.clear();
+    pending_pos_ = 0;
+    loop_->Step(&pending_);
+  }
+  size_t n = pending_.size() - pending_pos_;
+  if (max_results != 0) n = std::min(n, max_results);
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(pending_[pending_pos_ + i]));
+  }
+  pending_pos_ += n;
+  return n;
+}
+
+bool ProgXeSession::Finished() const {
+  return pending_pos_ >= pending_.size() &&
+         (loop_ == nullptr || loop_->done());
+}
+
+}  // namespace progxe

@@ -1,0 +1,67 @@
+// ProgXeSession: the pull-based incremental consumption API over the
+// staged executor (PreparePhase + RegionLoop).
+//
+//   auto session = ProgXeSession::Open(query, options);   // validates, prepares
+//   std::vector<ResultTuple> batch;
+//   while ((*session)->NextBatch(100, &batch) > 0) {
+//     ...  // every tuple is already guaranteed final — consume, render, ship
+//   }
+//
+// NextBatch runs the engine only as far as needed to produce the next
+// results, so a caller can interleave consumption with its own work, stop
+// early at any point, or drive many sessions from one scheduler — while the
+// result stream and every ProgXeStats counter stay bit-identical to a
+// one-shot ProgXeExecutor::Run (which is itself a thin loop over a session).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "progxe/executor.h"
+#include "progxe/prepare.h"
+#include "progxe/region_loop.h"
+
+namespace progxe {
+
+class ProgXeSession {
+ public:
+  /// Validates the query and runs PreparePhase (push-through, contribution
+  /// tables, grids, look-ahead). No join pair is generated yet. The
+  /// relations behind `query` must outlive the session.
+  static Result<std::unique_ptr<ProgXeSession>> Open(
+      const SkyMapJoinQuery& query, ProgXeOptions options);
+
+  ProgXeSession(const ProgXeSession&) = delete;
+  ProgXeSession& operator=(const ProgXeSession&) = delete;
+
+  /// Advances the engine until at least one result is available (or the run
+  /// finishes), then fills `*out` (cleared first) with up to `max_results`
+  /// results — 0 means no per-call cap. Returns the number delivered;
+  /// 0 iff Finished(). Results beyond the cap stay buffered for the next
+  /// call, so the delivered stream is exactly the Run emission stream.
+  size_t NextBatch(size_t max_results, std::vector<ResultTuple>* out);
+
+  /// True once every result has been delivered (the run completed, hit
+  /// options.max_results, or the query was provably empty).
+  bool Finished() const;
+
+  /// Live counters; final once Finished() is true.
+  const ProgXeStats& stats() const { return stats_; }
+
+  const ProgXeOptions& options() const { return options_; }
+
+ private:
+  ProgXeSession() = default;
+
+  ProgXeOptions options_;
+  ProgXeStats stats_;
+  std::unique_ptr<PreparedQuery> prep_;
+  std::unique_ptr<RegionLoop> loop_;  // null for trivially-empty queries
+
+  /// Flushed-but-undelivered results: [pending_pos_, pending_.size()).
+  std::vector<ResultTuple> pending_;
+  size_t pending_pos_ = 0;
+};
+
+}  // namespace progxe

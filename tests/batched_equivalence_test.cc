@@ -8,78 +8,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
-#include "common/rng.h"
-#include "data/generator.h"
-#include "progxe/executor.h"
+#include "equivalence_common.h"
 #include "skyline/skyline.h"
 
 namespace progxe {
 namespace {
 
-struct Config {
-  Relation r{Schema::Anonymous(0)};
-  Relation t{Schema::Anonymous(0)};
-  MapSpec map;
-  Preference pref;
-
-  SkyMapJoinQuery query() const {
-    SkyMapJoinQuery q;
-    q.r = &r;
-    q.t = &t;
-    q.map = map;
-    q.pref = pref;
-    return q;
-  }
-};
-
-/// Random query in the style of random_query_test, plus two stress knobs:
-/// `tied` forces one output dimension to a constant (every join result ties
-/// on it) and `high_sigma` pushes join selectivity into the 0.2-0.5 range.
-Config MakeConfig(Rng* rng, bool tied, bool high_sigma) {
-  Config cfg;
-  const int src_dims = 2 + static_cast<int>(rng->NextBelow(3));
-  const int out_dims = 2 + static_cast<int>(rng->NextBelow(2));
-  const double sigma = high_sigma ? 0.2 + rng->NextDouble() * 0.3
-                                  : 0.01 + rng->NextDouble() * 0.19;
-
-  GeneratorOptions gen;
-  gen.distribution = static_cast<Distribution>(rng->NextBelow(3));
-  gen.cardinality = 120 + rng->NextBelow(200);
-  gen.num_attributes = src_dims;
-  gen.join_selectivity = sigma;
-  gen.seed = rng->Next();
-  cfg.r = GenerateRelation(gen).MoveValue();
-  gen.seed = rng->Next();
-  gen.cardinality = 120 + rng->NextBelow(200);
-  cfg.t = GenerateRelation(gen).MoveValue();
-
-  std::vector<MapFunc> funcs;
-  std::vector<Direction> dirs;
-  for (int j = 0; j < out_dims; ++j) {
-    std::vector<MapTerm> terms;
-    const int nterms = 1 + static_cast<int>(rng->NextBelow(3));
-    for (int i = 0; i < nterms; ++i) {
-      // Weight 0 on every term of a tied dimension: the dimension becomes
-      // the constant, so all join results collide there.
-      const double weight =
-          tied && j == 0 ? 0.0 : rng->Uniform(0.2, 3.0);
-      terms.push_back(MapTerm{
-          rng->Bernoulli(0.5) ? Side::kR : Side::kT,
-          static_cast<int>(rng->NextBelow(static_cast<uint64_t>(src_dims))),
-          weight});
-    }
-    funcs.push_back(MapFunc(terms, rng->Uniform(0.0, 10.0),
-                            static_cast<Transform>(rng->NextBelow(4))));
-    dirs.push_back(rng->Bernoulli(0.3) ? Direction::kHighest
-                                       : Direction::kLowest);
-  }
-  cfg.map = MapSpec(std::move(funcs));
-  cfg.pref = Preference(std::move(dirs));
-  return cfg;
-}
+using test::Config;
+using test::ExpectSameStats;
+using test::MakeConfig;
 
 /// Oracle per the issue: materialize the join, canonicalize the mapped
 /// values under the preference, and run the O(n^2) SkylineReference.
@@ -115,32 +56,27 @@ std::vector<std::pair<RowId, RowId>> Sorted(
   return ids;
 }
 
-/// The counters that define the pipeline's observable work. The batched
-/// path must reproduce all of them exactly, comparisons included.
-void ExpectSameStats(const ProgXeStats& a, const ProgXeStats& b,
-                     const char* label) {
-  EXPECT_EQ(a.join_pairs_generated, b.join_pairs_generated) << label;
-  EXPECT_EQ(a.tuples_discarded_marked, b.tuples_discarded_marked) << label;
-  EXPECT_EQ(a.tuples_discarded_frontier, b.tuples_discarded_frontier)
-      << label;
-  EXPECT_EQ(a.tuples_dominated_on_insert, b.tuples_dominated_on_insert)
-      << label;
-  EXPECT_EQ(a.tuples_evicted, b.tuples_evicted) << label;
-  EXPECT_EQ(a.dominance_comparisons, b.dominance_comparisons) << label;
-  EXPECT_EQ(a.results_emitted, b.results_emitted) << label;
-  EXPECT_EQ(a.regions_discarded_runtime, b.regions_discarded_runtime)
-      << label;
-  EXPECT_EQ(a.cells_flushed, b.cells_flushed) << label;
-}
-
 Result<std::vector<ResultTuple>> RunConfig(const Config& cfg, size_t batch_size,
                                      ProgXeStats* stats,
-                                     size_t max_results = 0) {
+                                     size_t max_results = 0,
+                                     int num_threads = 1) {
   ProgXeOptions options;
   options.insert_batch_size = batch_size;
   options.max_results = max_results;
   options.seed = 0xfeed;
+  options.num_threads = num_threads;
   return RunProgXe(cfg.query(), options, stats);
+}
+
+/// Thread counts the parallel pipeline is swept over; PROGXE_TEST_THREADS
+/// adds one more (the ThreadSanitizer CI job sets it to 4).
+std::vector<int> ThreadSweep() {
+  std::vector<int> sweep = {2, 8};
+  if (const char* env = std::getenv("PROGXE_TEST_THREADS")) {
+    const int extra = std::atoi(env);
+    if (extra > 1) sweep.push_back(extra);
+  }
+  return sweep;
 }
 
 class BatchedEquivalenceSweep : public ::testing::TestWithParam<int> {};
@@ -158,6 +94,7 @@ TEST_P(BatchedEquivalenceSweep, BatchedMatchesOracleAndLegacyCounters) {
   EXPECT_EQ(Sorted(legacy.value()), oracle) << "legacy path, param=" << param;
 
   // Default block size plus an odd size that exercises ragged tails.
+  std::vector<std::pair<RowId, RowId>> batched256_seq;
   for (size_t batch : {size_t{256}, size_t{7}}) {
     ProgXeStats batched_stats;
     auto batched = RunConfig(cfg, batch, &batched_stats);
@@ -165,6 +102,26 @@ TEST_P(BatchedEquivalenceSweep, BatchedMatchesOracleAndLegacyCounters) {
     EXPECT_EQ(Sorted(batched.value()), oracle)
         << "batch=" << batch << ", param=" << param;
     ExpectSameStats(legacy_stats, batched_stats, "full run");
+    if (batch == 256) {
+      for (const auto& res : batched.value()) {
+        batched256_seq.emplace_back(res.r_id, res.t_id);
+      }
+    }
+  }
+
+  // The parallel join->map pipeline: any worker count must reproduce the
+  // single-threaded *emission sequence* and counters bit-for-bit — the
+  // ordered merge feeds the output table in exactly the sequential pair
+  // order.
+  for (int threads : ThreadSweep()) {
+    ProgXeStats mt_stats;
+    auto mt = RunConfig(cfg, 256, &mt_stats, 0, threads);
+    ASSERT_TRUE(mt.ok());
+    std::vector<std::pair<RowId, RowId>> mt_seq;
+    for (const auto& res : mt.value()) mt_seq.emplace_back(res.r_id, res.t_id);
+    EXPECT_EQ(mt_seq, batched256_seq)
+        << "threads=" << threads << ", param=" << param;
+    ExpectSameStats(legacy_stats, mt_stats, "parallel run");
   }
 
   // max_results early termination: the emitted prefix must be identical

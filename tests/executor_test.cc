@@ -53,12 +53,43 @@ TEST(Executor, RejectsOutOfRangeMapIndices) {
   EXPECT_TRUE(exec.Run([](const ResultTuple&) {}).IsInvalidArgument());
 }
 
-TEST(Executor, RunIsSingleShot) {
-  Relation r = MakeRows({{{1, 2}, 0}}, 2);
-  Relation t = MakeRows({{{1, 2}, 0}}, 2);
-  ProgXeExecutor exec(QueryOver(r, t, 2), ProgXeOptions());
-  EXPECT_TRUE(exec.Run([](const ResultTuple&) {}).ok());
-  EXPECT_TRUE(exec.Run([](const ResultTuple&) {}).IsInvalidArgument());
+TEST(Executor, RunIsReusable) {
+  // The same executor object runs the same query repeatedly, and every run
+  // reproduces the same result sequence and the same counters from scratch.
+  GeneratorOptions gen;
+  gen.distribution = Distribution::kAntiCorrelated;
+  gen.cardinality = 400;
+  gen.num_attributes = 3;
+  gen.join_selectivity = 0.05;
+  gen.seed = 7;
+  Relation r = GenerateRelation(gen).MoveValue();
+  gen.seed = 8;
+  Relation t = GenerateRelation(gen).MoveValue();
+  ProgXeExecutor exec(QueryOver(r, t, 3), ProgXeOptions());
+
+  std::vector<std::pair<RowId, RowId>> first_ids;
+  ASSERT_TRUE(exec.Run([&](const ResultTuple& res) {
+                    first_ids.emplace_back(res.r_id, res.t_id);
+                  })
+                  .ok());
+  const ProgXeStats first = exec.stats();
+  ASSERT_GT(first.results_emitted, 0u);
+
+  std::vector<std::pair<RowId, RowId>> second_ids;
+  ASSERT_TRUE(exec.Run([&](const ResultTuple& res) {
+                    second_ids.emplace_back(res.r_id, res.t_id);
+                  })
+                  .ok());
+  const ProgXeStats& second = exec.stats();
+
+  EXPECT_EQ(first_ids, second_ids);
+  EXPECT_EQ(first.results_emitted, second.results_emitted);
+  EXPECT_EQ(first.join_pairs_generated, second.join_pairs_generated);
+  EXPECT_EQ(first.dominance_comparisons, second.dominance_comparisons);
+  EXPECT_EQ(first.regions_processed, second.regions_processed);
+  EXPECT_EQ(first.regions_discarded_runtime, second.regions_discarded_runtime);
+  EXPECT_EQ(first.cells_flushed, second.cells_flushed);
+  EXPECT_EQ(first.tuples_evicted, second.tuples_evicted);
 }
 
 TEST(Executor, EmptySourcesYieldNoResults) {

@@ -13,6 +13,8 @@
 //   --algo=<name|all>  ProgXe, ProgXe+, ProgXe-NoOrder, ProgXe+-NoOrder,
 //                      JF-SL, JF-SL+, SSMJ, SAJ, all  (default ProgXe)
 //   --kd               use the kd-tree partitioner for ProgXe variants
+//   --num_threads=<w>  join->map worker threads for ProgXe variants
+//                      (default 1; results are identical at any count)
 //   --csv=<path>       append per-emission series rows to a CSV file
 //   --series=<k>       print at most k series samples (default 10)
 #include <cstdio>
@@ -34,6 +36,7 @@ struct CliArgs {
   uint64_t seed = 42;
   std::string algo = "ProgXe";
   bool kd = false;
+  int num_threads = 1;
   std::string csv_path;
   int series_samples = 10;
 };
@@ -64,6 +67,12 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->algo = v;
     } else if (const char* v = value("--csv=")) {
       args->csv_path = v;
+    } else if (const char* v = value("--num_threads=")) {
+      args->num_threads = std::atoi(v);
+      if (args->num_threads < 1) {
+        std::fprintf(stderr, "--num_threads must be >= 1\n");
+        return false;
+      }
     } else if (const char* v = value("--series=")) {
       args->series_samples = std::atoi(v);
     } else if (std::strcmp(arg, "--kd") == 0) {
@@ -107,6 +116,7 @@ int RunOne(Algo algo, const Workload& workload, const CliArgs& args,
            CsvWriter* csv) {
   ProgXeOptions tuning;
   if (args.kd) tuning.partitioning = PartitioningScheme::kKdTree;
+  tuning.num_threads = args.num_threads;
   auto run = RunAlgorithm(algo, workload, tuning);
   if (!run.ok()) {
     std::fprintf(stderr, "%s failed: %s\n", AlgoName(algo),

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs the perf-trajectory benches and writes BENCH_progxe.json at the repo
 # root: Fig-10/13-style per-config total time, time-to-first-result and
-# dominance-comparison counts, plus the insert-path microbenchmark
-# throughput when google-benchmark is available.
+# dominance-comparison counts, the thread-scaling sweep of the parallel
+# join->map pipeline (bench_scaling_threads), plus the insert-path and
+# CombineBatch microbenchmark throughput when google-benchmark is available.
 #
 # Usage: tools/run_bench.sh [build_dir] [extra bench_json_summary flags...]
 #   tools/run_bench.sh                 # uses ./build, CI-scale sizes
@@ -17,24 +18,36 @@ if [[ ! -x "$build_dir/bench_json_summary" ]]; then
   echo "building benches in $build_dir ..."
   cmake -B "$build_dir" -S "$repo_root" >/dev/null
   cmake --build "$build_dir" -j --target bench_json_summary >/dev/null
+  cmake --build "$build_dir" -j --target bench_scaling_threads >/dev/null
   cmake --build "$build_dir" -j --target bench_micro_components >/dev/null 2>&1 || true
 fi
 
 out="$repo_root/BENCH_progxe.json"
 "$build_dir/bench_json_summary" --out="$out.tmp" "$@"
 
+threads_json=""
+if [[ -x "$build_dir/bench_scaling_threads" ]]; then
+  echo "running thread-scaling bench ..."
+  "$build_dir/bench_scaling_threads" --json="$out.threads.tmp" "$@"
+  threads_json="$(cat "$out.threads.tmp")"
+  rm -f "$out.threads.tmp"
+fi
+
 micro_json=""
 if [[ -x "$build_dir/bench_micro_components" ]]; then
   echo "running insert-path microbenchmark ..."
   micro_json="$("$build_dir/bench_micro_components" \
-      --benchmark_filter='OutputTableInsert' \
+      --benchmark_filter='OutputTableInsert|CombineBatch' \
       --benchmark_format=json 2>/dev/null)"
 fi
 
-# Merge the micro results (if any) into the summary JSON.
-MICRO_JSON="$micro_json" python3 - "$out.tmp" "$out" <<'EOF'
+# Merge the thread-scaling and micro results (if any) into the summary JSON.
+MICRO_JSON="$micro_json" THREADS_JSON="$threads_json" python3 - "$out.tmp" "$out" <<'EOF'
 import json, os, sys
 summary = json.load(open(sys.argv[1]))
+threads_raw = os.environ.get("THREADS_JSON", "")
+if threads_raw.strip():
+    summary["thread_scaling"] = json.loads(threads_raw)
 micro_raw = os.environ.get("MICRO_JSON", "")
 if micro_raw.strip():
     micro = json.loads(micro_raw)
