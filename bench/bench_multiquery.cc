@@ -1,0 +1,244 @@
+// Multi-query serving bench: aggregate throughput and time-to-first-result
+// for a mixed light/heavy workload served through the QueryScheduler.
+//
+// The workload is the serving-layer stress the paper's aggregator scenario
+// implies: a few heavy analytical queries submitted first, then a burst of
+// light interactive ones. The interesting numbers are the light queries'
+// time-to-first-result under each scheduling configuration — with budget
+// slicing off (budget=0, one flush per slice) a heavy region can hold a
+// worker, with it on every query progresses every round — plus the
+// aggregate makespan, which measures the scheduler's switching overhead.
+//
+// Every query's result count is checked against a solo session run; the
+// full bit-level stream/counter equivalence lives in tests/service_test.cc.
+//
+// Extra flags over bench_common: --json=<path>, --workers=<n>.
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "progxe/session.h"
+#include "service/scheduler.h"
+
+using namespace progxe;
+using namespace progxe::bench;
+
+namespace {
+
+struct QueryTiming {
+  bool heavy = false;
+  double t_first = 0.0;
+  double t_done = 0.0;
+  size_t results = 0;
+};
+
+class TimingSink : public QuerySink {
+ public:
+  void Reset(const Stopwatch* watch, bool heavy) {
+    watch_ = watch;
+    timing_ = QueryTiming{};
+    timing_.heavy = heavy;
+  }
+  void OnBatch(const std::vector<ResultTuple>& batch) override {
+    if (timing_.results == 0) timing_.t_first = watch_->ElapsedSeconds();
+    timing_.results += batch.size();
+  }
+  void OnDone(QueryState state, const Status& status,
+              const ProgXeStats&) override {
+    timing_.t_done = watch_->ElapsedSeconds();
+    if (state != QueryState::kFinished) {
+      std::fprintf(stderr, "query ended %s: %s\n", QueryStateName(state),
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const QueryTiming& timing() const { return timing_; }
+
+ private:
+  const Stopwatch* watch_ = nullptr;
+  QueryTiming timing_;
+};
+
+struct Scenario {
+  const char* name;
+  FairnessPolicy policy;
+  size_t budget;
+  int workers;
+};
+
+struct ScenarioResult {
+  Scenario scenario;
+  double makespan = 0.0;
+  double ttfr_p50 = 0.0;
+  double ttfr_p99 = 0.0;
+  double light_ttfr_p50 = 0.0;
+  double light_ttfr_worst = 0.0;
+  size_t results_total = 0;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::string json_path;
+  int workers_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers_override = std::atoi(argv[i] + 10);
+    }
+  }
+
+  const size_t heavy_n = args.ResolveN(args.quick ? 2500 : 12000);
+  const size_t light_n = std::max<size_t>(heavy_n / 10, 200);
+  const int dims = args.ResolveDims(4);
+  const double sigma = args.quick ? 0.01 : 0.004;
+  constexpr size_t kHeavy = 3;
+  constexpr size_t kLight = 9;
+
+  // Heavy queries first, then the light burst — the worst case for a
+  // FIFO-ish server and the motivating one for budget slicing.
+  std::vector<Workload> workloads;
+  std::vector<bool> heavy_flags;
+  for (size_t i = 0; i < kHeavy + kLight; ++i) {
+    const bool heavy = i < kHeavy;
+    WorkloadParams params;
+    params.distribution = Distribution::kAntiCorrelated;
+    params.cardinality = heavy ? heavy_n : light_n;
+    params.dims = dims;
+    params.sigma = sigma;
+    params.seed = args.seed + i;
+    workloads.push_back(MustMakeWorkload(params));
+    heavy_flags.push_back(heavy);
+  }
+
+  // Solo reference result counts (also warms the page cache evenly).
+  std::vector<size_t> solo_results;
+  for (const Workload& workload : workloads) {
+    auto session = ProgXeSession::Open(workload.query(), ProgXeOptions());
+    if (!session.ok()) {
+      std::fprintf(stderr, "open: %s\n", session.status().ToString().c_str());
+      return 1;
+    }
+    size_t count = 0;
+    std::vector<ResultTuple> batch;
+    while ((*session)->NextBatch(0, &batch) > 0) count += batch.size();
+    solo_results.push_back(count);
+  }
+
+  std::printf(
+      "multiquery: %zu heavy (n=%zu) + %zu light (n=%zu), dims=%d sigma=%g\n",
+      kHeavy, heavy_n, kLight, light_n, dims, sigma);
+
+  const int workers = workers_override > 0 ? workers_override : 1;
+  // The last scenario contrasts the base worker count with a 4x pool (the
+  // JSON records the exact count per run).
+  const Scenario scenarios[] = {
+      {"rr_unsliced", FairnessPolicy::kRoundRobin, 0, workers},
+      {"rr_sliced", FairnessPolicy::kRoundRobin, 4096, workers},
+      {"wf_sliced", FairnessPolicy::kWeightedFair, 4096, workers},
+      {"rr_sliced_mw", FairnessPolicy::kRoundRobin, 4096, workers * 4},
+  };
+
+  std::vector<ScenarioResult> results;
+  std::vector<TimingSink> sinks(workloads.size());
+  for (const Scenario& scenario : scenarios) {
+    ServiceOptions sopts;
+    sopts.num_workers = scenario.workers;
+    sopts.batch_budget = scenario.budget;
+    sopts.policy = scenario.policy;
+    sopts.max_concurrent = 0;
+
+    Stopwatch watch;
+    {
+      QueryScheduler scheduler(sopts);
+      for (size_t i = 0; i < workloads.size(); ++i) {
+        sinks[i].Reset(&watch, heavy_flags[i]);
+        // Under weighted-fair, interactive queries get 4x the share.
+        const double weight = heavy_flags[i] ? 1.0 : 4.0;
+        auto handle = scheduler.Submit(workloads[i].query(), ProgXeOptions(),
+                                       &sinks[i], weight);
+        if (!handle.ok()) {
+          std::fprintf(stderr, "submit: %s\n",
+                       handle.status().ToString().c_str());
+          return 1;
+        }
+      }
+      scheduler.Drain();
+    }
+
+    ScenarioResult result;
+    result.scenario = scenario;
+    result.makespan = watch.ElapsedSeconds();
+    std::vector<double> all_first;
+    std::vector<double> light_first;
+    for (size_t i = 0; i < sinks.size(); ++i) {
+      const QueryTiming& timing = sinks[i].timing();
+      if (timing.results != solo_results[i]) {
+        std::fprintf(stderr,
+                     "FATAL: query %zu served %zu results, solo %zu\n", i,
+                     timing.results, solo_results[i]);
+        return 1;
+      }
+      result.results_total += timing.results;
+      all_first.push_back(timing.t_first);
+      if (!timing.heavy) light_first.push_back(timing.t_first);
+    }
+    result.ttfr_p50 = Percentile(all_first, 0.50);
+    result.ttfr_p99 = Percentile(all_first, 0.99);
+    result.light_ttfr_p50 = Percentile(light_first, 0.50);
+    result.light_ttfr_worst = Percentile(light_first, 1.0);
+    results.push_back(result);
+
+    std::printf(
+        "  %-13s workers=%d budget=%-5zu makespan=%.4fs ttfr_p50=%.4fs "
+        "ttfr_p99=%.4fs light_p50=%.4fs light_worst=%.4fs\n",
+        scenario.name, scenario.workers, scenario.budget, result.makespan,
+        result.ttfr_p50, result.ttfr_p99, result.light_ttfr_p50,
+        result.light_ttfr_worst);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"multiquery\",\n  \"heavy_n\": %zu,\n"
+                 "  \"light_n\": %zu,\n  \"num_heavy\": %zu,\n"
+                 "  \"num_light\": %zu,\n  \"dims\": %d,\n  \"sigma\": %g,\n"
+                 "  \"runs\": [\n",
+                 heavy_n, light_n, kHeavy, kLight, dims, sigma);
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ScenarioResult& r = results[i];
+      std::fprintf(
+          out,
+          "    {\"scenario\": \"%s\", \"policy\": \"%s\", \"budget\": %zu, "
+          "\"workers\": %d, \"makespan_s\": %.6f, \"ttfr_p50_s\": %.6f, "
+          "\"ttfr_p99_s\": %.6f, \"light_ttfr_p50_s\": %.6f, "
+          "\"light_ttfr_worst_s\": %.6f, \"results\": %zu}%s\n",
+          r.scenario.name, FairnessPolicyName(r.scenario.policy),
+          r.scenario.budget, r.scenario.workers, r.makespan, r.ttfr_p50,
+          r.ttfr_p99, r.light_ttfr_p50, r.light_ttfr_worst, r.results_total,
+          i + 1 == results.size() ? "" : ",");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -34,6 +34,36 @@ const char* AlgoName(Algo algo) {
   return "?";
 }
 
+bool AlgoFromName(const std::string& name, Algo* out) {
+  for (Algo algo : AllAlgos()) {
+    if (name == AlgoName(algo)) {
+      *out = algo;
+      return true;
+    }
+  }
+  // Hyphenated CLI-friendly aliases (no spaces or parentheses to quote).
+  struct Alias {
+    const char* name;
+    Algo algo;
+  };
+  static const Alias kAliases[] = {
+      {"ProgXe-NoOrder", Algo::kProgXeNoOrder},
+      {"ProgXe+-NoOrder", Algo::kProgXePlusNoOrder},
+  };
+  for (const Alias& alias : kAliases) {
+    if (name == alias.name) {
+      *out = alias.algo;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsProgXeVariant(Algo algo) {
+  return algo == Algo::kProgXe || algo == Algo::kProgXePlus ||
+         algo == Algo::kProgXeNoOrder || algo == Algo::kProgXePlusNoOrder;
+}
+
 std::vector<Algo> AllAlgos() {
   return {Algo::kProgXe,     Algo::kProgXePlus,        Algo::kProgXeNoOrder,
           Algo::kProgXePlusNoOrder, Algo::kJfSl,       Algo::kJfSlPlus,

@@ -27,6 +27,13 @@ enum class Algo {
 
 const char* AlgoName(Algo algo);
 
+/// Inverse of AlgoName. Returns false on an unknown name.
+bool AlgoFromName(const std::string& name, Algo* out);
+
+/// True for the four ProgXe variants (the algorithms a ProgXeSession — and
+/// hence the multi-query serving layer — can drive).
+bool IsProgXeVariant(Algo algo);
+
 /// All progressive + blocking algorithms, in presentation order.
 std::vector<Algo> AllAlgos();
 

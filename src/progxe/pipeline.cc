@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "join/key_index.h"
-
 namespace progxe {
 
 RegionJoinPipeline::RegionJoinPipeline(const CanonicalMapper* mapper,
@@ -45,29 +43,11 @@ RegionJoinPipeline::~RegionJoinPipeline() {
 uint64_t RegionJoinPipeline::ProcessRegion(const InputPartition& pa,
                                            const InputPartition& pb,
                                            OutputTable* table) {
-  if (workers_.empty()) return ProcessSequential(pa, pb, table);
-  return ProcessParallel(pa, pb, table);
-}
-
-uint64_t RegionJoinPipeline::ProcessSequential(const InputPartition& pa,
-                                               const InputPartition& pb,
-                                               OutputTable* table) {
-  if (batch_cap_ > 0) {
-    return JoinIndexesBatched(
-        pa.key_index, pb.key_index, seq_pairs_.data(), batch_cap_,
-        [&](const RowIdPair* pairs, size_t m) {
-          mapper_->CombineBatch(pairs, m, r_flat_, t_flat_,
-                                seq_values_.data());
-          table->InsertBatch(seq_values_.data(), pairs, m);
-        });
-  }
-  const size_t kk = static_cast<size_t>(k_);
-  return JoinIndexes(pa.key_index, pb.key_index, [&](RowId r_id, RowId t_id) {
-    mapper_->Combine(r_flat_ + static_cast<size_t>(r_id) * kk,
-                     t_flat_ + static_cast<size_t>(t_id) * kk,
-                     tuple_values_.data());
-    table->Insert(tuple_values_.data(), r_id, t_id);
-  });
+  // The whole-region path is the resumable path run to exhaustion, so both
+  // share one implementation and the equivalence suites cover them
+  // together.
+  BeginRegion(pa, pb);
+  return ProcessSome(/*max_pairs=*/0, table);
 }
 
 void RegionJoinPipeline::FillChunk(size_t task_begin, size_t task_end,
@@ -99,12 +79,11 @@ void RegionJoinPipeline::FillChunk(size_t task_begin, size_t task_end,
   slot->n = n;
 }
 
-uint64_t RegionJoinPipeline::ProcessParallel(const InputPartition& pa,
-                                             const InputPartition& pb,
-                                             OutputTable* table) {
+uint64_t RegionJoinPipeline::BuildTasks(const InputPartition& pa,
+                                        const InputPartition& pb) {
   // Task list in the exact JoinIndexes enumeration order. Workers are idle
   // here (no chunks outstanding), so the shared vectors are safe to write;
-  // the publish below hands them over under the mutex.
+  // a parallel publish hands them over under the mutex.
   tasks_.clear();
   uint64_t total_pairs = 0;
   pa.key_index.ForEach([&](JoinKey key, const std::vector<RowId>& r_rows) {
@@ -114,8 +93,10 @@ uint64_t RegionJoinPipeline::ProcessParallel(const InputPartition& pa,
     total_pairs +=
         static_cast<uint64_t>(r_rows.size()) * t_rows->size();
   });
-  if (tasks_.empty()) return 0;
+  return total_pairs;
+}
 
+size_t RegionJoinPipeline::BuildChunks(uint64_t total_pairs) {
   // Chunk sizing: enough chunks to keep every worker busy, each chunk big
   // enough to amortize a slot handshake, capped to bound ring memory.
   const size_t floor_pairs = std::max<size_t>(batch_cap_, 1024);
@@ -133,49 +114,126 @@ uint64_t RegionJoinPipeline::ProcessParallel(const InputPartition& pa,
     }
   }
   if (acc > 0) chunk_task_end_.push_back(tasks_.size());
+  return chunk_task_end_.size();
+}
 
-  // A single chunk gains nothing from the pool: expand and insert inline.
-  // (Same order, same InsertBatch, same counters.)
-  if (chunk_task_end_.size() == 1) {
-    ChunkSlot& slot = slots_[0];
-    FillChunk(0, tasks_.size(), &slot);
-    table->InsertBatchPrebinned(slot.values.data(), slot.pairs.data(), slot.n,
-                                slot.coords.data(), slot.cells.data());
-    return total_pairs;
-  }
+void RegionJoinPipeline::BeginRegion(const InputPartition& pa,
+                                     const InputPartition& pb) {
+  const uint64_t total_pairs = BuildTasks(pa, pb);
+  cursor_task_ = 0;
+  cursor_offset_ = 0;
+  resumable_parallel_ = false;
+  region_open_ = !tasks_.empty();
+  if (!region_open_) return;
 
-  // Publish the region's chunks to the pool.
-  const size_t num_chunks = chunk_task_end_.size();
-  const size_t ring = slots_.size();
-  {
-    std::lock_guard<std::mutex> lock(mtx_);
-    for (size_t s = 0; s < ring; ++s) {
-      slots_[s].expected = s;
-      slots_[s].filled = false;
+  // Parallel mode pays off only when there is more than one chunk; a
+  // single chunk (or no pool) walks the sequential cursor instead.
+  if (!workers_.empty() && BuildChunks(total_pairs) > 1) {
+    resumable_parallel_ = true;
+    merge_chunk_ = 0;
+    const size_t ring = slots_.size();
+    {
+      std::lock_guard<std::mutex> lock(mtx_);
+      for (size_t s = 0; s < ring; ++s) {
+        slots_[s].expected = s;
+        slots_[s].filled = false;
+      }
+      next_chunk_ = 0;
+      num_chunks_ = chunk_task_end_.size();
     }
-    next_chunk_ = 0;
-    num_chunks_ = num_chunks;
+    cv_workers_.notify_all();
   }
-  cv_workers_.notify_all();
+}
 
-  // Ordered merge: hand chunk c to the table only after chunks < c, so the
-  // insert stream is exactly the sequential pair order.
-  for (size_t c = 0; c < num_chunks; ++c) {
-    ChunkSlot& slot = slots_[c % ring];
+uint64_t RegionJoinPipeline::ProcessSome(size_t max_pairs,
+                                         OutputTable* table) {
+  if (!region_open_) return 0;
+  return resumable_parallel_ ? ProcessSomeParallel(max_pairs, table)
+                             : ProcessSomeSequential(max_pairs, table);
+}
+
+uint64_t RegionJoinPipeline::ProcessSomeSequential(size_t max_pairs,
+                                                   OutputTable* table) {
+  const size_t kk = static_cast<size_t>(k_);
+  uint64_t done = 0;
+  if (batch_cap_ > 0) {
+    while (cursor_task_ < tasks_.size()) {
+      // Fill one insert block from the cursor, spanning tasks exactly like
+      // JoinIndexesBatched spans join groups.
+      size_t n = 0;
+      while (n < batch_cap_ && cursor_task_ < tasks_.size()) {
+        const Task& task = tasks_[cursor_task_];
+        const std::vector<RowId>& t_rows = *task.t_rows;
+        while (cursor_offset_ < t_rows.size() && n < batch_cap_) {
+          seq_pairs_[n++] = RowIdPair{task.r, t_rows[cursor_offset_++]};
+        }
+        if (cursor_offset_ == t_rows.size()) {
+          ++cursor_task_;
+          cursor_offset_ = 0;
+        }
+      }
+      mapper_->CombineBatch(seq_pairs_.data(), n, r_flat_, t_flat_,
+                            seq_values_.data());
+      table->InsertBatch(seq_values_.data(), seq_pairs_.data(), n);
+      done += n;
+      if (max_pairs != 0 && done >= max_pairs) break;
+    }
+  } else {
+    // Per-tuple legacy path, sliced at pair granularity.
+    bool stop = false;
+    while (!stop && cursor_task_ < tasks_.size()) {
+      const Task& task = tasks_[cursor_task_];
+      const std::vector<RowId>& t_rows = *task.t_rows;
+      while (cursor_offset_ < t_rows.size()) {
+        const RowId t = t_rows[cursor_offset_++];
+        mapper_->Combine(r_flat_ + static_cast<size_t>(task.r) * kk,
+                         t_flat_ + static_cast<size_t>(t) * kk,
+                         tuple_values_.data());
+        table->Insert(tuple_values_.data(), task.r, t);
+        ++done;
+        if (max_pairs != 0 && done >= max_pairs) {
+          stop = true;
+          break;
+        }
+      }
+      if (cursor_offset_ >= t_rows.size()) {
+        ++cursor_task_;
+        cursor_offset_ = 0;
+      }
+    }
+  }
+  if (cursor_task_ >= tasks_.size()) region_open_ = false;
+  return done;
+}
+
+uint64_t RegionJoinPipeline::ProcessSomeParallel(size_t max_pairs,
+                                                 OutputTable* table) {
+  // Same ordered merge as ProcessParallel, pausable between chunks. During
+  // a pause workers fill the remaining ring slots and then block, so the
+  // yielded region holds no CPU.
+  const size_t ring = slots_.size();
+  const size_t num_chunks = chunk_task_end_.size();
+  uint64_t done = 0;
+  while (merge_chunk_ < num_chunks) {
+    ChunkSlot& slot = slots_[merge_chunk_ % ring];
     {
       std::unique_lock<std::mutex> lock(mtx_);
       cv_driver_.wait(lock, [&] { return slot.filled; });
     }
     table->InsertBatchPrebinned(slot.values.data(), slot.pairs.data(), slot.n,
                                 slot.coords.data(), slot.cells.data());
+    done += slot.n;
     {
       std::lock_guard<std::mutex> lock(mtx_);
       slot.filled = false;
-      slot.expected = c + ring;
+      slot.expected = merge_chunk_ + ring;
     }
     cv_workers_.notify_all();
+    ++merge_chunk_;
+    if (max_pairs != 0 && done >= max_pairs) break;
   }
-  return total_pairs;
+  if (merge_chunk_ >= num_chunks) region_open_ = false;
+  return done;
 }
 
 void RegionJoinPipeline::WorkerLoop() {

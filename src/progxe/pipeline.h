@@ -44,6 +44,19 @@ class RegionJoinPipeline {
   uint64_t ProcessRegion(const InputPartition& pa, const InputPartition& pb,
                          OutputTable* table);
 
+  /// Resumable mode — the serving layer's yield point. BeginRegion
+  /// enumerates the region's tasks (and, in parallel mode, publishes its
+  /// chunks to the pool); each ProcessSome call then advances at least one
+  /// block of join pairs and at most ~`max_pairs` (0 = all remaining),
+  /// returning the pairs it inserted. Slices visit pairs in exactly the
+  /// ProcessRegion order, so results and every ProgXeStats counter are
+  /// bit-identical no matter where the slice boundaries fall. A region is
+  /// complete once RegionExhausted(); abandoning one mid-way is only safe
+  /// through the destructor (which shuts the pool down).
+  void BeginRegion(const InputPartition& pa, const InputPartition& pb);
+  uint64_t ProcessSome(size_t max_pairs, OutputTable* table);
+  bool RegionExhausted() const { return !region_open_; }
+
   int num_threads() const { return num_threads_; }
 
  private:
@@ -67,10 +80,13 @@ class RegionJoinPipeline {
     bool filled = false;
   };
 
-  uint64_t ProcessSequential(const InputPartition& pa,
-                             const InputPartition& pb, OutputTable* table);
-  uint64_t ProcessParallel(const InputPartition& pa, const InputPartition& pb,
-                           OutputTable* table);
+  /// Builds tasks_ (and total pair count) for `pa` x `pb` in the exact
+  /// JoinIndexes enumeration order. Workers must be idle.
+  uint64_t BuildTasks(const InputPartition& pa, const InputPartition& pb);
+  /// Splits tasks_ into chunk_task_end_ and returns the chunk count.
+  size_t BuildChunks(uint64_t total_pairs);
+  uint64_t ProcessSomeSequential(size_t max_pairs, OutputTable* table);
+  uint64_t ProcessSomeParallel(size_t max_pairs, OutputTable* table);
 
   /// Expands tasks [begin, end) into `slot` (pairs, mapped values, grid
   /// coordinates and cell indices). Runs on workers; touches only
@@ -91,6 +107,16 @@ class RegionJoinPipeline {
   std::vector<RowIdPair> seq_pairs_;
   std::vector<double> seq_values_;
   std::vector<double> tuple_values_;
+
+  // Resumable-mode cursor. In sequential mode the cursor walks tasks_
+  // directly; in parallel mode it tracks the next chunk to merge while the
+  // pool keeps filling slots ahead (workers block on the ring during a
+  // pause, so a yielded region costs no CPU).
+  bool region_open_ = false;
+  bool resumable_parallel_ = false;
+  size_t cursor_task_ = 0;    // sequential: next task to expand
+  size_t cursor_offset_ = 0;  // sequential: offset into that task's t_rows
+  size_t merge_chunk_ = 0;    // parallel: next chunk to merge
 
   // --- Parallel state (guarded by mtx_ unless noted) -----------------------
   std::vector<std::thread> workers_;

@@ -165,44 +165,67 @@ void RegionLoop::CompletenessSweep(std::vector<ResultTuple>* pending) {
   }
 }
 
-bool RegionLoop::Step(std::vector<ResultTuple>* pending) {
+void RegionLoop::FinishRegion(Region& region,
+                              std::vector<ResultTuple>* pending) {
+  region.processed = true;
+  ++stats_->regions_processed;
+
+  // Kill events produced during insertion must reach ProgDetermine
+  // before settle processing.
+  table_.DrainMarkedEvents(&marked_scratch_);
+  determine_.OnCellsMarked(marked_scratch_);
+  RemoveRegion(region, pending);
+
+  DiscardSweep(pending);
+}
+
+bool RegionLoop::Step(std::vector<ResultTuple>* pending, size_t max_pairs) {
   if (done_) return false;
   for (;;) {
-    if (ReachedLimit()) {  // early termination (max_results)
-      stats_->dominance_comparisons += table_.dom_counter()->comparisons;
-      table_.dom_counter()->comparisons = 0;
-      done_ = true;
-      return false;
+    if (current_region_ < 0) {
+      if (ReachedLimit()) {  // early termination (max_results)
+        stats_->dominance_comparisons += table_.dom_counter()->comparisons;
+        table_.dom_counter()->comparisons = 0;
+        done_ = true;
+        return false;
+      }
+      const int32_t next = order_->PopNext();
+      if (next < 0) {
+        stats_->dominance_comparisons += table_.dom_counter()->comparisons;
+        table_.dom_counter()->comparisons = 0;
+        CompletenessSweep(pending);
+        done_ = true;
+        return false;
+      }
+      Region& picked = (*regions_)[static_cast<size_t>(next)];
+      if (!picked.Active()) continue;
+
+      const InputPartition& pa =
+          prep_->r_grid->partitions()[static_cast<size_t>(picked.a)];
+      const InputPartition& pb =
+          prep_->t_grid->partitions()[static_cast<size_t>(picked.b)];
+      if (max_pairs == 0) {
+        // Whole-region fast path: join the partition pair, map, insert —
+        // via the (optionally parallel) pipeline, which preserves the
+        // sequential pair order and hence every counter.
+        stats_->join_pairs_generated +=
+            pipeline_.ProcessRegion(pa, pb, &table_);
+        FinishRegion(picked, pending);
+        return true;
+      }
+      pipeline_.BeginRegion(pa, pb);
+      current_region_ = next;
     }
-    const int32_t next = order_->PopNext();
-    if (next < 0) {
-      stats_->dominance_comparisons += table_.dom_counter()->comparisons;
-      table_.dom_counter()->comparisons = 0;
-      CompletenessSweep(pending);
-      done_ = true;
-      return false;
+
+    // Sliced path: advance the open region by ~max_pairs pairs; flush only
+    // once it is exhausted, so the table sees the identical insert stream.
+    Region& region = (*regions_)[static_cast<size_t>(current_region_)];
+    if (!pipeline_.RegionExhausted()) {
+      stats_->join_pairs_generated += pipeline_.ProcessSome(max_pairs, &table_);
+      if (!pipeline_.RegionExhausted()) return true;  // yielded mid-region
     }
-    Region& region = (*regions_)[static_cast<size_t>(next)];
-    if (!region.Active()) continue;
-
-    // Tuple-level processing: join the partition pair, map, insert — via
-    // the (optionally parallel) pipeline, which preserves the sequential
-    // pair order and hence every counter.
-    const InputPartition& pa =
-        prep_->r_grid->partitions()[static_cast<size_t>(region.a)];
-    const InputPartition& pb =
-        prep_->t_grid->partitions()[static_cast<size_t>(region.b)];
-    stats_->join_pairs_generated += pipeline_.ProcessRegion(pa, pb, &table_);
-    region.processed = true;
-    ++stats_->regions_processed;
-
-    // Kill events produced during insertion must reach ProgDetermine
-    // before settle processing.
-    table_.DrainMarkedEvents(&marked_scratch_);
-    determine_.OnCellsMarked(marked_scratch_);
-    RemoveRegion(region, pending);
-
-    DiscardSweep(pending);
+    current_region_ = -1;
+    FinishRegion(region, pending);
     return true;
   }
 }

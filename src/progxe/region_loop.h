@@ -28,17 +28,26 @@ class RegionLoop {
   RegionLoop(PreparedQuery* prep, const ProgXeOptions& options,
              ProgXeStats* stats);
 
-  /// Runs one main-loop iteration, appending any results it proves final to
-  /// `*pending`. Returns false — without processing anything further — once
-  /// no active regions remain or options.max_results has been reached; the
-  /// final completeness sweep has run by then.
-  bool Step(std::vector<ResultTuple>* pending);
+  /// Runs one bounded slice of the main loop, appending any results it
+  /// proves final to `*pending`. `max_pairs` caps the join pairs processed
+  /// in this call: 0 drives the picked region all the way to its flush (the
+  /// legacy one-region step); otherwise the call may yield mid-region after
+  /// ~max_pairs pairs (producing no results) and the next call resumes at
+  /// the same pair without redoing work — the serving layer's preemption
+  /// point. Slice boundaries never change results, emission order or any
+  /// ProgXeStats counter. Returns false — without processing anything
+  /// further — once no active regions remain or options.max_results has
+  /// been reached; the final completeness sweep has run by then.
+  bool Step(std::vector<ResultTuple>* pending, size_t max_pairs = 0);
 
   /// True once Step() has nothing left to do.
   bool done() const { return done_; }
 
  private:
   bool ReachedLimit() const;
+  /// Post-join bookkeeping shared by the whole-region and sliced paths:
+  /// marked-event drain, region removal, discard sweep.
+  void FinishRegion(Region& region, std::vector<ResultTuple>* pending);
   void EmitCells(const std::vector<CellIndex>& cells,
                  std::vector<ResultTuple>* pending);
   void RemoveRegion(Region& region, std::vector<ResultTuple>* pending);
@@ -61,6 +70,9 @@ class RegionLoop {
 
   bool done_ = false;
   size_t active_regions_ = 0;
+  /// Region currently open in the pipeline (budgeted Step yielded inside
+  /// it); -1 when the next Step picks a fresh region.
+  int32_t current_region_ = -1;
 
   /// Marks a region removed exactly once across all removal paths.
   std::vector<uint8_t> removed_;

@@ -23,14 +23,30 @@ Result<std::unique_ptr<ProgXeSession>> ProgXeSession::Open(
   return session;
 }
 
+ProgXeSession::~ProgXeSession() { Close(); }
+
 size_t ProgXeSession::NextBatch(size_t max_results,
                                 std::vector<ResultTuple>* out) {
+  return NextBatch(max_results, /*max_pairs=*/0, out);
+}
+
+size_t ProgXeSession::NextBatch(size_t max_results, size_t max_pairs,
+                                std::vector<ResultTuple>* out) {
   out->clear();
+  size_t budget = max_pairs;
   while (pending_pos_ >= pending_.size() && loop_ != nullptr &&
          !loop_->done()) {
     pending_.clear();
     pending_pos_ = 0;
-    loop_->Step(&pending_);
+    const uint64_t before = stats_.join_pairs_generated;
+    loop_->Step(&pending_, budget);
+    if (max_pairs != 0) {
+      // Charge the slice for the pairs it actually processed; Step may
+      // overshoot by one insert block, never undershoot while yielding.
+      const uint64_t used = stats_.join_pairs_generated - before;
+      budget = used >= budget ? 0 : budget - static_cast<size_t>(used);
+      if (budget == 0) break;
+    }
   }
   size_t n = pending_.size() - pending_pos_;
   if (max_results != 0) n = std::min(n, max_results);
@@ -40,6 +56,18 @@ size_t ProgXeSession::NextBatch(size_t max_results,
   }
   pending_pos_ += n;
   return n;
+}
+
+void ProgXeSession::Close() {
+  if (closed_) return;
+  closed_ = true;
+  // The loop references the prepared state: destroy it first. Its pipeline
+  // destructor joins any worker threads, even mid-region.
+  loop_.reset();
+  prep_.reset();
+  pending_.clear();
+  pending_.shrink_to_fit();
+  pending_pos_ = 0;
 }
 
 bool ProgXeSession::Finished() const {

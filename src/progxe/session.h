@@ -35,6 +35,9 @@ class ProgXeSession {
   ProgXeSession(const ProgXeSession&) = delete;
   ProgXeSession& operator=(const ProgXeSession&) = delete;
 
+  /// Closes the session, then destroys it (workers joined, state freed).
+  ~ProgXeSession();
+
   /// Advances the engine until at least one result is available (or the run
   /// finishes), then fills `*out` (cleared first) with up to `max_results`
   /// results — 0 means no per-call cap. Returns the number delivered;
@@ -42,14 +45,38 @@ class ProgXeSession {
   /// call, so the delivered stream is exactly the Run emission stream.
   size_t NextBatch(size_t max_results, std::vector<ResultTuple>* out);
 
+  /// Budget-aware NextBatch — the scheduler's time slice. Advances the
+  /// engine by at most ~`max_pairs` join pairs (0 = unbudgeted, identical
+  /// to the two-argument form) and returns whatever results that work
+  /// produced, up to `max_results`. Unlike the unbudgeted form it may
+  /// return 0 while !Finished(): the slice ended mid-region (a *yield*) —
+  /// the next call resumes at the same join pair without redoing work.
+  /// Concatenating delivered batches over any sequence of budgets
+  /// reproduces the Run emission stream and all ProgXeStats counters
+  /// bit-identically.
+  size_t NextBatch(size_t max_results, size_t max_pairs,
+                   std::vector<ResultTuple>* out);
+
+  /// Cooperatively tears the session down: joins any RegionJoinPipeline
+  /// workers, releases the prepared query state and scratch buffers, and
+  /// drops undelivered results. Finished() is true afterwards and further
+  /// NextBatch calls deliver nothing. Idempotent; the destructor delegates
+  /// here, so an explicit Close is only needed to reclaim resources (or
+  /// worker threads) before the session object itself goes away.
+  void Close();
+
   /// True once every result has been delivered (the run completed, hit
-  /// options.max_results, or the query was provably empty).
+  /// options.max_results, or the query was provably empty) or the session
+  /// was closed.
   bool Finished() const;
 
   /// Live counters; final once Finished() is true.
   const ProgXeStats& stats() const { return stats_; }
 
   const ProgXeOptions& options() const { return options_; }
+
+  /// True iff Close() has run (explicitly or via early teardown).
+  bool closed() const { return closed_; }
 
  private:
   ProgXeSession() = default;
@@ -58,6 +85,7 @@ class ProgXeSession {
   ProgXeStats stats_;
   std::unique_ptr<PreparedQuery> prep_;
   std::unique_ptr<RegionLoop> loop_;  // null for trivially-empty queries
+  bool closed_ = false;
 
   /// Flushed-but-undelivered results: [pending_pos_, pending_.size()).
   std::vector<ResultTuple> pending_;

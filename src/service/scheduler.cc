@@ -1,0 +1,384 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "progxe/session.h"
+
+namespace progxe {
+
+const char* FairnessPolicyName(FairnessPolicy policy) {
+  switch (policy) {
+    case FairnessPolicy::kRoundRobin:
+      return "round_robin";
+    case FairnessPolicy::kWeightedFair:
+      return "weighted_fair";
+  }
+  return "?";
+}
+
+bool FairnessPolicyFromName(const char* name, FairnessPolicy* out) {
+  if (std::strcmp(name, "rr") == 0 || std::strcmp(name, "round_robin") == 0) {
+    *out = FairnessPolicy::kRoundRobin;
+    return true;
+  }
+  if (std::strcmp(name, "wf") == 0 ||
+      std::strcmp(name, "weighted_fair") == 0) {
+    *out = FairnessPolicy::kWeightedFair;
+    return true;
+  }
+  return false;
+}
+
+const char* QueryStateName(QueryState state) {
+  switch (state) {
+    case QueryState::kQueued:
+      return "queued";
+    case QueryState::kRunning:
+      return "running";
+    case QueryState::kFinished:
+      return "finished";
+    case QueryState::kCancelled:
+      return "cancelled";
+    case QueryState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+QuerySink::~QuerySink() = default;
+
+namespace service_internal {
+
+/// Virtual-time granularity of the stride scheduler: a weight-1 query's
+/// pass advances by this much per slice.
+constexpr uint64_t kStrideScale = 1 << 16;
+
+struct QueryRecord {
+  uint64_t id = 0;
+  SkyMapJoinQuery spec;
+  ProgXeOptions options;
+  QuerySink* sink = nullptr;
+
+  /// Stride-scheduling state (kWeightedFair): pass advances by stride per
+  /// slice; the smallest pass runs next.
+  uint64_t stride = kStrideScale;
+  uint64_t pass = 0;
+
+  std::atomic<QueryState> state{QueryState::kQueued};
+  std::atomic<bool> cancel{false};
+  /// True while the record sits in SchedulerCore::waiting. Guarded by the
+  /// core mutex; together with `cancel` (only ever set under that mutex)
+  /// it keeps SchedulerCore::cancelled_waiting exact.
+  bool in_waiting = false;
+
+  /// Terminal outputs; written by the finishing thread before the terminal
+  /// state is published (release), read by handles after observing it
+  /// (acquire).
+  Status status;
+  ProgXeStats final_stats;
+
+  std::unique_ptr<ProgXeSession> session;  // open while kRunning
+};
+
+using RecordPtr = std::shared_ptr<QueryRecord>;
+
+struct SchedulerCore {
+  ServiceOptions options;
+
+  std::mutex mtx;
+  std::condition_variable work_cv;  // workers: new work / freed slot / stop
+  std::condition_variable done_cv;  // Wait()/Drain(): a query went terminal
+  bool stop = false;
+
+  uint64_t next_id = 1;
+  size_t live = 0;    // submitted, not yet terminal
+  size_t active = 0;  // admitted (slot held), not yet terminal
+  uint64_t virtual_time = 0;  // pass floor for newly admitted queries
+
+  std::deque<RecordPtr> waiting;  // admission queue, FIFO
+  std::deque<RecordPtr> ready;    // runnable; deque for RR, min-heap for WF
+  /// Number of `waiting` entries with `cancel` set — an O(1) stand-in for
+  /// scanning the queue in the worker wake predicate.
+  size_t cancelled_waiting = 0;
+};
+
+namespace {
+
+/// Min-heap order on (pass, id): ties resolve to the earlier submission so
+/// the weighted-fair pick is deterministic.
+bool PassGreater(const RecordPtr& a, const RecordPtr& b) {
+  return a->pass != b->pass ? a->pass > b->pass : a->id > b->id;
+}
+
+bool HasFreeSlot(const SchedulerCore& core) {
+  return core.options.max_concurrent == 0 ||
+         core.active < core.options.max_concurrent;
+}
+
+void EnqueueReady(SchedulerCore* core, RecordPtr rec) {
+  core->ready.push_back(std::move(rec));
+  if (core->options.policy == FairnessPolicy::kWeightedFair) {
+    std::push_heap(core->ready.begin(), core->ready.end(), PassGreater);
+  }
+}
+
+RecordPtr PopReady(SchedulerCore* core) {
+  if (core->options.policy == FairnessPolicy::kWeightedFair) {
+    std::pop_heap(core->ready.begin(), core->ready.end(), PassGreater);
+  }
+  RecordPtr rec;
+  if (core->options.policy == FairnessPolicy::kWeightedFair) {
+    rec = std::move(core->ready.back());
+    core->ready.pop_back();
+    core->virtual_time = rec->pass;
+  } else {
+    rec = std::move(core->ready.front());
+    core->ready.pop_front();
+  }
+  return rec;
+}
+
+/// Publishes a terminal state: copies the final stats, tears the session
+/// down (joining its workers), fires OnDone, then marks the record terminal
+/// and wakes waiters. Runs with `lock` held on entry and exit; the
+/// callback and session teardown happen unlocked.
+void FinishQuery(SchedulerCore* core, const RecordPtr& rec, QueryState state,
+                 Status status, std::unique_lock<std::mutex>* lock) {
+  assert(IsTerminal(state));
+  lock->unlock();
+  if (rec->session != nullptr) {
+    rec->final_stats = rec->session->stats();
+    rec->session->Close();
+    rec->session.reset();
+  }
+  rec->status = std::move(status);
+  if (rec->sink != nullptr) {
+    rec->sink->OnDone(state, rec->status, rec->final_stats);
+  }
+  rec->state.store(state, std::memory_order_release);
+  lock->lock();
+  assert(core->live > 0);
+  --core->live;
+  core->done_cv.notify_all();
+  // A freed admission slot may unblock a waiting query.
+  core->work_cv.notify_all();
+}
+
+/// Runs one slice of `rec` (unlocked). Returns the terminal state, or
+/// kRunning if the query should be requeued.
+QueryState RunSlice(SchedulerCore* core, const RecordPtr& rec,
+                    std::vector<ResultTuple>* batch) {
+  if (rec->cancel.load(std::memory_order_acquire)) {
+    return QueryState::kCancelled;
+  }
+  rec->session->NextBatch(core->options.max_batch_results,
+                          core->options.batch_budget, batch);
+  if (!batch->empty()) rec->sink->OnBatch(*batch);
+  return rec->session->Finished() ? QueryState::kFinished
+                                  : QueryState::kRunning;
+}
+
+void WorkerLoop(const std::shared_ptr<SchedulerCore>& core) {
+  std::vector<ResultTuple> batch;
+  std::unique_lock<std::mutex> lock(core->mtx);
+  for (;;) {
+    core->work_cv.wait(lock, [&] {
+      return core->stop || !core->ready.empty() ||
+             core->cancelled_waiting > 0 ||
+             (!core->waiting.empty() && HasFreeSlot(*core));
+    });
+    if (core->stop) return;
+
+    // Reap cancelled waiting-room entries first: they hold no slot, so
+    // their OnDone must not wait for one (and they must stop occupying
+    // max_queue capacity). Pull them all out before unlocking — FinishQuery
+    // drops the lock, during which other workers may mutate the deque.
+    if (core->cancelled_waiting > 0) {
+      std::vector<RecordPtr> reaped;
+      for (auto it = core->waiting.begin(); it != core->waiting.end();) {
+        if ((*it)->cancel.load(std::memory_order_acquire)) {
+          (*it)->in_waiting = false;
+          --core->cancelled_waiting;
+          reaped.push_back(std::move(*it));
+          it = core->waiting.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (const RecordPtr& rec : reaped) {
+        FinishQuery(core.get(), rec, QueryState::kCancelled, Status::OK(),
+                    &lock);
+      }
+      continue;
+    }
+
+    // Admission next: it is what creates runnable work.
+    if (!core->waiting.empty() && HasFreeSlot(*core)) {
+      RecordPtr rec = std::move(core->waiting.front());
+      core->waiting.pop_front();
+      rec->in_waiting = false;
+      ++core->active;  // hold the slot while PreparePhase runs
+      lock.unlock();
+      auto session = ProgXeSession::Open(rec->spec, rec->options);
+      lock.lock();
+      if (!session.ok()) {
+        --core->active;
+        FinishQuery(core.get(), rec, QueryState::kFailed, session.status(),
+                    &lock);
+        continue;
+      }
+      rec->session = std::move(session).MoveValue();
+      rec->state.store(QueryState::kRunning, std::memory_order_release);
+      // Start at the current virtual time: a late arrival competes fairly
+      // instead of monopolizing workers to catch up.
+      rec->pass = core->virtual_time;
+      EnqueueReady(core.get(), std::move(rec));
+      core->work_cv.notify_one();
+      continue;
+    }
+
+    RecordPtr rec = PopReady(core.get());
+    lock.unlock();
+    const QueryState outcome = RunSlice(core.get(), rec, &batch);
+    lock.lock();
+    if (outcome == QueryState::kRunning) {
+      rec->pass += rec->stride;
+      EnqueueReady(core.get(), std::move(rec));
+    } else {
+      --core->active;
+      FinishQuery(core.get(), rec, outcome, Status::OK(), &lock);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace service_internal
+
+using service_internal::QueryRecord;
+using service_internal::RecordPtr;
+using service_internal::SchedulerCore;
+
+uint64_t QueryHandle::id() const { return query_ == nullptr ? 0 : query_->id; }
+
+QueryState QueryHandle::state() const {
+  assert(query_ != nullptr);
+  return query_->state.load(std::memory_order_acquire);
+}
+
+void QueryHandle::Cancel() {
+  assert(query_ != nullptr);
+  // Setting `cancel` under the core mutex keeps `cancelled_waiting` exact:
+  // a worker holding the lock can rely on "counter == 0 implies no waiting
+  // entry is cancelled".
+  std::lock_guard<std::mutex> lock(core_->mtx);
+  const bool first = !query_->cancel.exchange(true, std::memory_order_acq_rel);
+  if (first && query_->in_waiting) ++core_->cancelled_waiting;
+  core_->work_cv.notify_all();
+}
+
+void QueryHandle::Wait() {
+  assert(query_ != nullptr);
+  std::unique_lock<std::mutex> lock(core_->mtx);
+  core_->done_cv.wait(lock, [&] {
+    return IsTerminal(query_->state.load(std::memory_order_acquire));
+  });
+}
+
+const ProgXeStats& QueryHandle::stats() const {
+  assert(query_ != nullptr && IsTerminal(state()));
+  return query_->final_stats;
+}
+
+Status QueryHandle::status() const {
+  assert(query_ != nullptr && IsTerminal(state()));
+  return query_->status;
+}
+
+QueryScheduler::QueryScheduler(ServiceOptions options)
+    : options_(options), core_(std::make_shared<SchedulerCore>()) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  core_->options = options_;
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back(service_internal::WorkerLoop, core_);
+  }
+}
+
+QueryScheduler::~QueryScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(core_->mtx);
+    core_->stop = true;
+  }
+  core_->work_cv.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+
+  // Workers are gone, so this thread owns the queues: cancel-finish every
+  // query still queued or runnable so each sink gets its OnDone.
+  std::unique_lock<std::mutex> lock(core_->mtx);
+  while (!core_->waiting.empty() || !core_->ready.empty()) {
+    RecordPtr rec;
+    if (!core_->waiting.empty()) {
+      rec = std::move(core_->waiting.front());
+      core_->waiting.pop_front();
+    } else {
+      rec = std::move(core_->ready.front());
+      core_->ready.pop_front();
+      --core_->active;
+    }
+    service_internal::FinishQuery(core_.get(), rec, QueryState::kCancelled,
+                                  Status::OK(), &lock);
+  }
+}
+
+Result<QueryHandle> QueryScheduler::Submit(const SkyMapJoinQuery& query,
+                                           ProgXeOptions options,
+                                           QuerySink* sink, double weight) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("Submit: sink must not be null");
+  }
+  if (!(weight > 0.0)) {
+    return Status::InvalidArgument("Submit: weight must be positive");
+  }
+  auto rec = std::make_shared<QueryRecord>();
+  rec->spec = query;
+  rec->options = std::move(options);
+  rec->sink = sink;
+  const double w = std::clamp(weight, 1.0 / 16.0, 1024.0);
+  rec->stride = std::max<uint64_t>(
+      1, static_cast<uint64_t>(service_internal::kStrideScale / w));
+
+  std::lock_guard<std::mutex> lock(core_->mtx);
+  if (core_->stop) {
+    return Status::Internal("Submit: scheduler is shutting down");
+  }
+  if (core_->options.max_queue != 0 &&
+      core_->waiting.size() >= core_->options.max_queue) {
+    return Status::OutOfRange("Submit: admission queue full (max_queue=" +
+                              std::to_string(core_->options.max_queue) + ")");
+  }
+  rec->id = core_->next_id++;
+  ++core_->live;
+  rec->in_waiting = true;
+  core_->waiting.push_back(rec);
+  core_->work_cv.notify_one();
+
+  QueryHandle handle;
+  handle.core_ = core_;
+  handle.query_ = std::move(rec);
+  return handle;
+}
+
+void QueryScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(core_->mtx);
+  core_->done_cv.wait(lock, [&] { return core_->live == 0; });
+}
+
+}  // namespace progxe

@@ -1,0 +1,173 @@
+// QueryScheduler: the multi-query serving layer over ProgXeSession.
+//
+// Many concurrent SkyMapJoin queries share one pool of scheduler workers.
+// Each worker repeatedly picks a runnable query and advances its session by
+// one *slice* — a budget-aware NextBatch bounded by
+// ServiceOptions::batch_budget join pairs — delivering any progressive
+// results to the query's QuerySink before requeueing it. Because a session
+// can yield mid-region and resume without redoing work, a heavy query
+// cannot starve light ones: with budget slicing on, every admitted query
+// makes progress every scheduler round.
+//
+//   QueryScheduler scheduler({.num_workers = 4, .batch_budget = 4096});
+//   auto handle = scheduler.Submit(query, options, &sink);   // non-blocking
+//   ...                      // sink.OnBatch fires as results become final
+//   handle->Cancel();        // optional, cooperative
+//   scheduler.Drain();       // or handle.Wait()
+//
+// Guarantees:
+//   * Per query, OnBatch calls arrive in emission order from one worker at
+//     a time, and the concatenated batches plus the final ProgXeStats are
+//     bit-identical to draining that query's session alone — for any
+//     interleaving, budget, worker count and fairness policy (enforced by
+//     tests/service_test.cc).
+//   * Exactly one OnDone per submitted query, after its last OnBatch —
+//     including on cancellation, failure and scheduler destruction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "progxe/config.h"
+#include "progxe/executor.h"
+
+namespace progxe {
+
+/// How the scheduler picks the next runnable query.
+enum class FairnessPolicy : uint8_t {
+  /// FIFO cycle over runnable queries: every query gets one slice per round.
+  kRoundRobin,
+  /// Stride scheduling: each query consumes virtual time at stride/weight;
+  /// the smallest pass value runs next, so a weight-2 query receives twice
+  /// the slices of a weight-1 query under contention.
+  kWeightedFair,
+};
+
+const char* FairnessPolicyName(FairnessPolicy policy);
+
+/// Inverse of FairnessPolicyName, also accepting the CLI short forms
+/// "rr" and "wf". Returns false on an unknown name.
+bool FairnessPolicyFromName(const char* name, FairnessPolicy* out);
+
+/// Serving-layer configuration.
+struct ServiceOptions {
+  /// Scheduler worker threads (>= 1). Workers run PreparePhase on
+  /// admission and NextBatch slices; a query's own
+  /// ProgXeOptions::num_threads pool, if any, is layered underneath.
+  int num_workers = 1;
+
+  /// Join-pair budget per NextBatch slice. 0 disables slicing: each slice
+  /// then drives the session to its next flush, so one huge region can
+  /// hold a worker for its full join. Small budgets sharpen fairness and
+  /// time-to-first-result at a small switching cost.
+  size_t batch_budget = 4096;
+
+  /// Per-OnBatch result cap (0 = deliver everything a slice produced).
+  size_t max_batch_results = 0;
+
+  /// Admission control: at most this many queries hold an open session at
+  /// once (0 = unbounded). Further submissions wait in FIFO order.
+  size_t max_concurrent = 8;
+
+  /// Bound on the not-yet-admitted queue; Submit fails with OutOfRange
+  /// once full (0 = unbounded).
+  size_t max_queue = 0;
+
+  FairnessPolicy policy = FairnessPolicy::kRoundRobin;
+};
+
+/// Lifecycle of a submitted query.
+enum class QueryState : uint8_t {
+  kQueued,     ///< Waiting for an admission slot.
+  kRunning,    ///< Session open; receiving slices.
+  kFinished,   ///< All results delivered.
+  kCancelled,  ///< Cancel() (or scheduler teardown) took effect.
+  kFailed,     ///< Open/validation failed; see QueryHandle::status().
+};
+
+const char* QueryStateName(QueryState state);
+inline bool IsTerminal(QueryState state) {
+  return state == QueryState::kFinished || state == QueryState::kCancelled ||
+         state == QueryState::kFailed;
+}
+
+/// Receives one query's progressive output. Callbacks fire on scheduler
+/// worker threads, but never concurrently for the same query; a sink
+/// shared across queries must synchronize itself. Callbacks must not block
+/// on the scheduler (no Wait/Drain from inside a callback).
+class QuerySink {
+ public:
+  virtual ~QuerySink();
+  /// Zero or more calls, each a non-empty run of guaranteed-final results
+  /// in emission order.
+  virtual void OnBatch(const std::vector<ResultTuple>& batch) = 0;
+  /// Exactly once, after the last OnBatch. `stats` holds the query's final
+  /// counters (zero-valued if the session never opened).
+  virtual void OnDone(QueryState state, const Status& status,
+                      const ProgXeStats& stats) = 0;
+};
+
+namespace service_internal {
+struct SchedulerCore;
+struct QueryRecord;
+}  // namespace service_internal
+
+/// Caller's view of one submitted query. Copyable; all methods are
+/// thread-safe. Handles keep the scheduler core alive, so outliving the
+/// scheduler is safe (the query is cancelled at scheduler destruction).
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+
+  uint64_t id() const;
+  QueryState state() const;
+  /// Requests cooperative cancellation: the query stops at its next slice
+  /// boundary (or before admission) and its sink receives
+  /// OnDone(kCancelled). No-op once terminal.
+  void Cancel();
+  /// Blocks until the query is terminal (its OnDone has returned).
+  void Wait();
+  /// Final counters; valid once state() is terminal.
+  const ProgXeStats& stats() const;
+  /// Failure status for kFailed; OK otherwise.
+  Status status() const;
+
+ private:
+  friend class QueryScheduler;
+  std::shared_ptr<service_internal::SchedulerCore> core_;
+  std::shared_ptr<service_internal::QueryRecord> query_;
+};
+
+class QueryScheduler {
+ public:
+  explicit QueryScheduler(ServiceOptions options);
+  /// Cancels every query still queued or running (each sink gets its
+  /// OnDone), then joins the workers.
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Enqueues a query. The relations behind `query` and the sink must stay
+  /// valid until the sink's OnDone returns. `weight` only matters under
+  /// kWeightedFair (relative slice share; clamped to [1/16, 1024]).
+  /// Fails with OutOfRange when the admission queue is full.
+  Result<QueryHandle> Submit(const SkyMapJoinQuery& query,
+                             ProgXeOptions options, QuerySink* sink,
+                             double weight = 1.0);
+
+  /// Blocks until every query submitted so far is terminal.
+  void Drain();
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  ServiceOptions options_;
+  std::shared_ptr<service_internal::SchedulerCore> core_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace progxe

@@ -86,6 +86,109 @@ TEST_P(SessionEquivalenceSweep, NextBatchMatchesRun) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SessionEquivalenceSweep,
                          ::testing::Range(0, 24));
 
+/// Drains a session with a per-call join-pair budget. Budgeted calls may
+/// legitimately return 0 while !Finished() (a mid-region yield).
+IdSeq DrainSessionBudgeted(const Config& cfg, const ProgXeOptions& options,
+                           size_t max_pairs, ProgXeStats* stats,
+                           size_t* yields) {
+  IdSeq seq;
+  auto session = ProgXeSession::Open(cfg.query(), options);
+  EXPECT_TRUE(session.ok());
+  std::vector<ResultTuple> batch;
+  while (!(*session)->Finished()) {
+    const size_t n = (*session)->NextBatch(0, max_pairs, &batch);
+    EXPECT_EQ(n, batch.size());
+    if (n == 0 && !(*session)->Finished()) ++*yields;
+    for (const auto& res : batch) seq.emplace_back(res.r_id, res.t_id);
+  }
+  EXPECT_EQ((*session)->NextBatch(0, max_pairs, &batch), 0u);
+  *stats = (*session)->stats();
+  return seq;
+}
+
+class SessionBudgetSweep : public ::testing::TestWithParam<int> {};
+
+// The serving-layer yield point: slicing NextBatch by any join-pair budget
+// must reproduce the Run stream and every counter bit-identically, and
+// small budgets must actually yield mid-region.
+TEST_P(SessionBudgetSweep, BudgetedNextBatchMatchesRun) {
+  const int param = GetParam();
+  Rng rng(0xb0d6 + static_cast<uint64_t>(param));
+  const Config cfg = MakeConfig(&rng, param % 5 == 0, param % 4 == 0);
+
+  ProgXeOptions options;
+  options.seed = 0xfeed;
+  if (param % 3 == 1) options.num_threads = 2 + (param % 2) * 2;
+  if (param % 3 == 2) options.max_results = 1 + static_cast<size_t>(param);
+
+  ProgXeStats run_stats;
+  const IdSeq reference = RunReference(cfg, options, &run_stats);
+
+  size_t total_yields = 0;
+  for (size_t max_pairs : {size_t{1}, size_t{37}, size_t{1000}}) {
+    ProgXeStats session_stats;
+    size_t yields = 0;
+    const IdSeq seq =
+        DrainSessionBudgeted(cfg, options, max_pairs, &session_stats, &yields);
+    EXPECT_EQ(seq, reference)
+        << "max_pairs=" << max_pairs << ", param=" << param;
+    ExpectSameStats(run_stats, session_stats, "budgeted session vs run");
+    total_yields += yields;
+  }
+  // A 1-pair budget on any non-trivial join must pause mid-region at least
+  // once; otherwise the yield point is dead code.
+  if (run_stats.join_pairs_generated > 50) {
+    EXPECT_GT(total_yields, 0u) << "param=" << param;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionBudgetSweep, ::testing::Range(0, 12));
+
+TEST(Session, CloseReleasesAndFinishes) {
+  Rng rng(0xc105e);
+  const Config cfg = MakeConfig(&rng, false, true);
+
+  // Consume a strict prefix, then Close: the session must report Finished,
+  // deliver nothing further, and keep its stats readable.
+  auto session = ProgXeSession::Open(cfg.query(), ProgXeOptions());
+  ASSERT_TRUE(session.ok());
+  std::vector<ResultTuple> batch;
+  ASSERT_GT((*session)->NextBatch(3, &batch), 0u);
+  const size_t emitted_before = (*session)->stats().results_emitted;
+  (*session)->Close();
+  EXPECT_TRUE((*session)->closed());
+  EXPECT_TRUE((*session)->Finished());
+  EXPECT_EQ((*session)->NextBatch(0, &batch), 0u);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ((*session)->stats().results_emitted, emitted_before);
+  (*session)->Close();  // idempotent
+  EXPECT_TRUE((*session)->Finished());
+}
+
+TEST(Session, CloseMidRegionJoinsParallelWorkers) {
+  Rng rng(0xc106);
+  const Config cfg = MakeConfig(&rng, false, true);
+  ProgXeOptions options;
+  options.num_threads = 4;
+  const char* env_threads = std::getenv("PROGXE_TEST_THREADS");
+  if (env_threads != nullptr) options.num_threads = std::atoi(env_threads);
+
+  // Yield mid-region with a tiny budget, then Close while the pipeline
+  // still holds an open region: worker teardown must be deterministic.
+  auto session = ProgXeSession::Open(cfg.query(), options);
+  ASSERT_TRUE(session.ok());
+  std::vector<ResultTuple> batch;
+  (*session)->NextBatch(0, /*max_pairs=*/1, &batch);
+  EXPECT_FALSE((*session)->Finished());
+  (*session)->Close();
+  EXPECT_TRUE((*session)->Finished());
+
+  // Destructor-only teardown of a yielded session must be clean too.
+  auto session2 = ProgXeSession::Open(cfg.query(), options);
+  ASSERT_TRUE(session2.ok());
+  (*session2)->NextBatch(0, /*max_pairs=*/1, &batch);
+}
+
 TEST(Session, EmptySourcesFinishImmediately) {
   Config cfg;
   cfg.r = Relation(Schema::Anonymous(2));

@@ -17,12 +17,25 @@
 //                      (default 1; results are identical at any count)
 //   --csv=<path>       append per-emission series rows to a CSV file
 //   --series=<k>       print at most k series samples (default 10)
+//
+// Multi-query serving (ProgXe variants only): with --queries=N > 1 the
+// workloads (seeds seed..seed+N-1) are served concurrently through the
+// QueryScheduler and per-query stats are printed as each one finishes.
+//   --queries=<N>         number of concurrent queries     (default 1)
+//   --workers=<n>         scheduler worker threads         (default 2)
+//   --budget=<pairs>      join pairs per NextBatch slice   (default 4096)
+//   --policy=rr|wf        round-robin | weighted-fair      (default rr)
+//   --max_concurrent=<n>  admission slots, 0 = unbounded   (default 0)
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/csv_writer.h"
+#include "common/stopwatch.h"
 #include "harness/experiment.h"
+#include "service/scheduler.h"
 
 using namespace progxe;
 
@@ -39,6 +52,13 @@ struct CliArgs {
   int num_threads = 1;
   std::string csv_path;
   int series_samples = 10;
+
+  // Multi-query serving.
+  size_t queries = 1;
+  int workers = 2;
+  size_t budget = 4096;
+  size_t max_concurrent = 0;
+  FairnessPolicy policy = FairnessPolicy::kRoundRobin;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -75,6 +95,23 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       }
     } else if (const char* v = value("--series=")) {
       args->series_samples = std::atoi(v);
+    } else if (const char* v = value("--queries=")) {
+      args->queries = static_cast<size_t>(std::atoll(v));
+      if (args->queries < 1) {
+        std::fprintf(stderr, "--queries must be >= 1\n");
+        return false;
+      }
+    } else if (const char* v = value("--workers=")) {
+      args->workers = std::atoi(v);
+    } else if (const char* v = value("--budget=")) {
+      args->budget = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--max_concurrent=")) {
+      args->max_concurrent = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--policy=")) {
+      if (!FairnessPolicyFromName(v, &args->policy)) {
+        std::fprintf(stderr, "--policy must be rr or wf\n");
+        return false;
+      }
     } else if (std::strcmp(arg, "--kd") == 0) {
       args->kd = true;
     } else if (std::strcmp(arg, "--help") == 0) {
@@ -86,30 +123,6 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
     }
   }
   return true;
-}
-
-bool AlgoFromName(const std::string& name, Algo* out) {
-  struct Entry {
-    const char* name;
-    Algo algo;
-  };
-  static const Entry kEntries[] = {
-      {"ProgXe", Algo::kProgXe},
-      {"ProgXe+", Algo::kProgXePlus},
-      {"ProgXe-NoOrder", Algo::kProgXeNoOrder},
-      {"ProgXe+-NoOrder", Algo::kProgXePlusNoOrder},
-      {"JF-SL", Algo::kJfSl},
-      {"JF-SL+", Algo::kJfSlPlus},
-      {"SSMJ", Algo::kSsmj},
-      {"SAJ", Algo::kSaj},
-  };
-  for (const Entry& e : kEntries) {
-    if (name == e.name) {
-      *out = e.algo;
-      return true;
-    }
-  }
-  return false;
 }
 
 int RunOne(Algo algo, const Workload& workload, const CliArgs& args,
@@ -161,18 +174,132 @@ int RunOne(Algo algo, const Workload& workload, const CliArgs& args,
   return 0;
 }
 
+/// The workload the CLI flags describe; multi-query serving offsets the
+/// seed per query.
+WorkloadParams MakeParams(const CliArgs& args, size_t seed_offset) {
+  WorkloadParams params;
+  params.distribution = args.dist;
+  params.cardinality = args.n;
+  params.dims = args.dims;
+  params.sigma = args.sigma;
+  params.seed = args.seed + seed_offset;
+  return params;
+}
+
+/// Serves `args.queries` workloads (seeds seed..seed+N-1) concurrently
+/// through the QueryScheduler, printing per-query progressive stats.
+int RunMultiQuery(Algo algo, const CliArgs& args) {
+  struct CliSink : QuerySink {
+    size_t index = 0;
+    const Stopwatch* watch = nullptr;
+    double t_first = 0.0;
+    double t_done = 0.0;
+    size_t batches = 0;
+    size_t results = 0;
+    ProgXeStats stats;
+    QueryState final_state = QueryState::kQueued;
+    void OnBatch(const std::vector<ResultTuple>& batch) override {
+      if (results == 0) t_first = watch->ElapsedSeconds();
+      results += batch.size();
+      ++batches;
+    }
+    void OnDone(QueryState state, const Status& status,
+                const ProgXeStats& final_stats) override {
+      t_done = watch->ElapsedSeconds();
+      final_state = state;
+      stats = final_stats;
+      if (!status.ok()) {
+        std::fprintf(stderr, "query %zu failed: %s\n", index,
+                     status.ToString().c_str());
+      }
+    }
+  };
+
+  ProgXeOptions tuning;
+  if (args.kd) tuning.partitioning = PartitioningScheme::kKdTree;
+  tuning.num_threads = args.num_threads;
+
+  std::vector<std::unique_ptr<Workload>> workloads;
+  for (size_t i = 0; i < args.queries; ++i) {
+    auto workload = Workload::Make(MakeParams(args, i));
+    if (!workload.ok()) {
+      std::fprintf(stderr, "workload %zu: %s\n", i,
+                   workload.status().ToString().c_str());
+      return 1;
+    }
+    workloads.push_back(std::make_unique<Workload>(workload.MoveValue()));
+  }
+
+  ServiceOptions sopts;
+  sopts.num_workers = args.workers;
+  sopts.batch_budget = args.budget;
+  sopts.max_concurrent = args.max_concurrent;
+  sopts.policy = args.policy;
+
+  std::printf("serving %zu x %s: workers=%d budget=%zu policy=%s\n",
+              args.queries, AlgoName(algo), sopts.num_workers,
+              sopts.batch_budget, FairnessPolicyName(sopts.policy));
+
+  std::vector<CliSink> sinks(args.queries);
+  Stopwatch watch;
+  QueryScheduler scheduler(sopts);
+  for (size_t i = 0; i < args.queries; ++i) {
+    sinks[i].index = i;
+    sinks[i].watch = &watch;
+    auto handle = scheduler.Submit(workloads[i]->query(),
+                                   OptionsForAlgo(algo, tuning), &sinks[i]);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "submit %zu: %s\n", i,
+                   handle.status().ToString().c_str());
+      return 1;
+    }
+  }
+  scheduler.Drain();
+  const double makespan = watch.ElapsedSeconds();
+
+  int rc = 0;
+  size_t total_results = 0;
+  double worst_first = 0.0;
+  for (const CliSink& sink : sinks) {
+    std::printf("  query=%-3zu seed=%-6llu state=%-9s results=%-7zu "
+                "batches=%-5zu t_first=%.6fs t_done=%.6fs pairs=%llu "
+                "cmps=%llu\n",
+                sink.index,
+                static_cast<unsigned long long>(args.seed + sink.index),
+                QueryStateName(sink.final_state), sink.results, sink.batches,
+                sink.t_first, sink.t_done,
+                static_cast<unsigned long long>(
+                    sink.stats.join_pairs_generated),
+                static_cast<unsigned long long>(
+                    sink.stats.dominance_comparisons));
+    if (sink.final_state != QueryState::kFinished) rc = 1;
+    total_results += sink.results;
+    if (sink.t_first > worst_first) worst_first = sink.t_first;
+  }
+  std::printf("aggregate: results=%zu makespan=%.6fs worst_t_first=%.6fs\n",
+              total_results, makespan, worst_first);
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args;
   if (!ParseArgs(argc, argv, &args)) return 2;
 
-  WorkloadParams params;
-  params.distribution = args.dist;
-  params.cardinality = args.n;
-  params.dims = args.dims;
-  params.sigma = args.sigma;
-  params.seed = args.seed;
+  if (args.queries > 1) {
+    Algo algo;
+    if (!AlgoFromName(args.algo, &algo) || !IsProgXeVariant(algo)) {
+      std::fprintf(stderr,
+                   "--queries=%zu requires a ProgXe variant --algo "
+                   "(got %s)\n",
+                   args.queries, args.algo.c_str());
+      return 2;
+    }
+    return RunMultiQuery(algo, args);
+  }
+
+  const WorkloadParams params = MakeParams(args, 0);
   auto workload = Workload::Make(params);
   if (!workload.ok()) {
     std::fprintf(stderr, "workload: %s\n",

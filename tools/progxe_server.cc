@@ -1,0 +1,327 @@
+// progxe_server — line-protocol driver for the multi-query serving layer.
+//
+// Reads commands from stdin, streams events to stdout (one line each,
+// flushed), serving every query through one QueryScheduler. Meant both as
+// an interactive demo of progressive multi-query serving and as a
+// scriptable endpoint (pipe a command file in, or hook the process up to a
+// socket with `socat TCP-LISTEN:9999,fork EXEC:progxe_server`).
+//
+// Process flags:
+//   --workers=<n>         scheduler worker threads          (default 2)
+//   --budget=<pairs>      join pairs per NextBatch slice    (default 4096)
+//   --policy=rr|wf        round-robin | weighted-fair       (default rr)
+//   --max_concurrent=<n>  admission slots, 0 = unbounded    (default 8)
+//   --max_queue=<n>       waiting-room bound, 0 = unbounded (default 0)
+//   --echo_results        print each result tuple's id pair
+//
+// Protocol (one command per line; tokens are key=value or bare words):
+//   submit [dist=independent|correlated|anticorrelated] [n=10000] [dims=4]
+//          [sigma=0.001] [seed=42] [threads=1] [max_results=0] [weight=1]
+//          [algo=ProgXe|ProgXe+|ProgXe-NoOrder|ProgXe+-NoOrder] [kd]
+//     -> "ok id=<id>"; then asynchronously:
+//        "batch id=<id> n=<k> total=<total> t=<sec>"      (per delivery)
+//        "result id=<id> r=<rid> t=<tid>"                 (--echo_results)
+//        "done id=<id> state=<state> results=<n> pairs=<n> cmps=<n> t=<sec>"
+//   cancel <id>     cooperative cancellation
+//   stats <id>      one "stat ..." line (live state, final stats if done)
+//   list            one "stat ..." line per submitted query
+//   quit            drain nothing further; cancel outstanding and exit
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "harness/experiment.h"
+#include "harness/workload.h"
+#include "service/scheduler.h"
+
+using namespace progxe;
+
+namespace {
+
+std::mutex g_out_mtx;
+
+void Emit(const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_out_mtx);
+  std::fputs(line.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+/// One served query: owns the workload (the relations must outlive the
+/// session) and the printing sink.
+struct ServedQuery : QuerySink {
+  uint64_t id = 0;
+  bool echo_results = false;
+  Stopwatch watch;  // started at submit
+  std::unique_ptr<Workload> workload;
+  QueryHandle handle;
+
+  /// Written by scheduler workers, read by the stdin thread (stats/list).
+  std::atomic<size_t> total{0};
+
+  void OnBatch(const std::vector<ResultTuple>& batch) override {
+    const size_t so_far =
+        total.fetch_add(batch.size(), std::memory_order_relaxed) +
+        batch.size();
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "batch id=%llu n=%zu total=%zu t=%.6f",
+                  static_cast<unsigned long long>(id), batch.size(), so_far,
+                  watch.ElapsedSeconds());
+    Emit(buf);
+    if (echo_results) {
+      for (const ResultTuple& res : batch) {
+        std::snprintf(buf, sizeof buf, "result id=%llu r=%lld t=%lld",
+                      static_cast<unsigned long long>(id),
+                      static_cast<long long>(res.r_id),
+                      static_cast<long long>(res.t_id));
+        Emit(buf);
+      }
+    }
+  }
+
+  void OnDone(QueryState state, const Status& status,
+              const ProgXeStats& stats) override {
+    // The session is already closed: nothing references the relations
+    // anymore (and no other thread touches `workload` after submit), so a
+    // long-lived server drops them now; the map entry stays for
+    // stats/list.
+    workload.reset();
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "done id=%llu state=%s results=%zu pairs=%llu cmps=%llu "
+                  "t=%.6f",
+                  static_cast<unsigned long long>(id), QueryStateName(state),
+                  stats.results_emitted,
+                  static_cast<unsigned long long>(stats.join_pairs_generated),
+                  static_cast<unsigned long long>(stats.dominance_comparisons),
+                  watch.ElapsedSeconds());
+    Emit(buf);
+    if (!status.ok()) Emit("err id=" + std::to_string(id) + " " +
+                           status.ToString());
+  }
+};
+
+struct SubmitSpec {
+  WorkloadParams params;
+  ProgXeOptions options;
+  double weight = 1.0;
+  Algo algo = Algo::kProgXe;
+};
+
+bool ParseSubmit(const std::vector<std::string>& tokens, SubmitSpec* spec,
+                 std::string* error) {
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      if (tok == "kd") {
+        spec->options.partitioning = PartitioningScheme::kKdTree;
+        continue;
+      }
+      *error = "unknown token: " + tok;
+      return false;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    if (key == "dist") {
+      auto dist = ParseDistribution(val);
+      if (!dist.ok()) {
+        *error = dist.status().ToString();
+        return false;
+      }
+      spec->params.distribution = *dist;
+    } else if (key == "n") {
+      spec->params.cardinality = static_cast<size_t>(std::atoll(val.c_str()));
+    } else if (key == "dims") {
+      spec->params.dims = std::atoi(val.c_str());
+    } else if (key == "sigma") {
+      spec->params.sigma = std::atof(val.c_str());
+    } else if (key == "seed") {
+      spec->params.seed = static_cast<uint64_t>(std::atoll(val.c_str()));
+    } else if (key == "threads") {
+      spec->options.num_threads = std::atoi(val.c_str());
+    } else if (key == "max_results") {
+      spec->options.max_results =
+          static_cast<size_t>(std::atoll(val.c_str()));
+    } else if (key == "weight") {
+      spec->weight = std::atof(val.c_str());
+    } else if (key == "algo") {
+      Algo algo;
+      if (!AlgoFromName(val, &algo) || !IsProgXeVariant(algo)) {
+        *error = "algo must be a ProgXe variant, got " + val;
+        return false;
+      }
+      spec->algo = algo;
+    } else {
+      *error = "unknown key: " + key;
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintStat(const ServedQuery& query) {
+  const QueryState state = query.handle.state();
+  std::ostringstream line;
+  line << "stat id=" << query.id << " state=" << QueryStateName(state)
+       << " delivered=" << query.total.load(std::memory_order_relaxed);
+  if (IsTerminal(state)) {
+    const ProgXeStats& stats = query.handle.stats();
+    line << " results=" << stats.results_emitted
+         << " pairs=" << stats.join_pairs_generated
+         << " cmps=" << stats.dominance_comparisons;
+  }
+  Emit(line.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServiceOptions sopts;
+  sopts.num_workers = 2;
+  bool echo_results = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--workers=", 10) == 0) {
+      sopts.num_workers = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--budget=", 9) == 0) {
+      sopts.batch_budget = static_cast<size_t>(std::atoll(arg + 9));
+    } else if (std::strncmp(arg, "--policy=", 9) == 0) {
+      if (!FairnessPolicyFromName(arg + 9, &sopts.policy)) {
+        std::fprintf(stderr, "--policy must be rr or wf\n");
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--max_concurrent=", 17) == 0) {
+      sopts.max_concurrent = static_cast<size_t>(std::atoll(arg + 17));
+    } else if (std::strncmp(arg, "--max_queue=", 12) == 0) {
+      sopts.max_queue = static_cast<size_t>(std::atoll(arg + 12));
+    } else if (std::strcmp(arg, "--echo_results") == 0) {
+      echo_results = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("see the header comment of tools/progxe_server.cc\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return 2;
+    }
+  }
+
+  // Declared before the scheduler so teardown runs in the right order: the
+  // scheduler destructor cancel-finishes outstanding queries (firing their
+  // sinks' OnDone) while the sinks and their workloads are still alive.
+  std::map<uint64_t, std::unique_ptr<ServedQuery>> queries;
+  uint64_t next_id = 1;
+  QueryScheduler scheduler(sopts);
+
+  Emit(std::string("ready workers=") + std::to_string(sopts.num_workers) +
+       " budget=" + std::to_string(sopts.batch_budget) +
+       " policy=" + FairnessPolicyName(sopts.policy));
+
+  std::string line;
+  char linebuf[4096];
+  while (std::fgets(linebuf, sizeof linebuf, stdin) != nullptr) {
+    line.assign(linebuf);
+    // A read without a trailing newline means either the final line of the
+    // input (fine) or a command longer than the buffer: drain the latter
+    // and reject it whole rather than executing a truncated prefix and a
+    // garbage remainder.
+    if (!line.empty() && line.back() != '\n' &&
+        std::fgets(linebuf, sizeof linebuf, stdin) != nullptr) {
+      size_t len = std::strlen(linebuf);
+      while ((len == 0 || linebuf[len - 1] != '\n') &&
+             std::fgets(linebuf, sizeof linebuf, stdin) != nullptr) {
+        len = std::strlen(linebuf);
+      }
+      Emit("err command line too long (max 4095 bytes)");
+      continue;
+    }
+    std::istringstream in(line);
+    std::vector<std::string> tokens;
+    for (std::string tok; in >> tok;) tokens.push_back(tok);
+    if (tokens.empty()) continue;
+    const std::string& cmd = tokens[0];
+
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "submit") {
+      SubmitSpec spec;
+      std::string error;
+      if (!ParseSubmit(tokens, &spec, &error)) {
+        Emit("err " + error);
+        continue;
+      }
+      auto workload = Workload::Make(spec.params);
+      if (!workload.ok()) {
+        Emit("err " + workload.status().ToString());
+        continue;
+      }
+      auto query = std::make_unique<ServedQuery>();
+      query->id = next_id++;
+      query->echo_results = echo_results;
+      query->workload = std::make_unique<Workload>(workload.MoveValue());
+      query->watch.Start();
+      // The ok line must precede the query's asynchronous batch/done
+      // events, so emit it before the scheduler can start slicing; a
+      // Submit failure then voids the id with an err line.
+      Emit("ok id=" + std::to_string(query->id));
+      auto handle = scheduler.Submit(query->workload->query(),
+                                     OptionsForAlgo(spec.algo, spec.options),
+                                     query.get(), spec.weight);
+      if (!handle.ok()) {
+        Emit("err id=" + std::to_string(query->id) + " " +
+             handle.status().ToString());
+        continue;
+      }
+      query->handle = *handle;
+      queries.emplace(query->id, std::move(query));
+      continue;
+    }
+
+    if (cmd == "cancel" || cmd == "stats") {
+      if (tokens.size() != 2) {
+        Emit("err usage: " + cmd + " <id>");
+        continue;
+      }
+      const uint64_t id =
+          static_cast<uint64_t>(std::atoll(tokens[1].c_str()));
+      auto it = queries.find(id);
+      if (it == queries.end()) {
+        Emit("err no such query: " + tokens[1]);
+        continue;
+      }
+      if (cmd == "cancel") {
+        it->second->handle.Cancel();
+        Emit("ok cancelling id=" + tokens[1]);
+      } else {
+        PrintStat(*it->second);
+      }
+      continue;
+    }
+
+    if (cmd == "list") {
+      for (const auto& [id, query] : queries) PrintStat(*query);
+      Emit("ok " + std::to_string(queries.size()) + " queries");
+      continue;
+    }
+
+    if (cmd == "drain") {
+      scheduler.Drain();
+      Emit("ok drained");
+      continue;
+    }
+
+    Emit("err unknown command: " + cmd +
+         " (try submit/cancel/stats/list/drain/quit)");
+  }
+
+  // Scheduler destruction cancels whatever is still in flight; sinks (and
+  // the workloads they join over) stay alive until after that.
+  return 0;
+}

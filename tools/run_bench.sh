@@ -2,8 +2,9 @@
 # Runs the perf-trajectory benches and writes BENCH_progxe.json at the repo
 # root: Fig-10/13-style per-config total time, time-to-first-result and
 # dominance-comparison counts, the thread-scaling sweep of the parallel
-# join->map pipeline (bench_scaling_threads), plus the insert-path and
-# CombineBatch microbenchmark throughput when google-benchmark is available.
+# join->map pipeline (bench_scaling_threads), the multi-query serving-layer
+# sweep (bench_multiquery), plus the insert-path and CombineBatch
+# microbenchmark throughput when google-benchmark is available.
 #
 # Usage: tools/run_bench.sh [build_dir] [extra bench_json_summary flags...]
 #   tools/run_bench.sh                 # uses ./build, CI-scale sizes
@@ -19,6 +20,7 @@ if [[ ! -x "$build_dir/bench_json_summary" ]]; then
   cmake -B "$build_dir" -S "$repo_root" >/dev/null
   cmake --build "$build_dir" -j --target bench_json_summary >/dev/null
   cmake --build "$build_dir" -j --target bench_scaling_threads >/dev/null
+  cmake --build "$build_dir" -j --target bench_multiquery >/dev/null
   cmake --build "$build_dir" -j --target bench_micro_components >/dev/null 2>&1 || true
 fi
 
@@ -33,6 +35,14 @@ if [[ -x "$build_dir/bench_scaling_threads" ]]; then
   rm -f "$out.threads.tmp"
 fi
 
+multiquery_json=""
+if [[ -x "$build_dir/bench_multiquery" ]]; then
+  echo "running multi-query serving bench ..."
+  "$build_dir/bench_multiquery" --json="$out.multiquery.tmp" "$@"
+  multiquery_json="$(cat "$out.multiquery.tmp")"
+  rm -f "$out.multiquery.tmp"
+fi
+
 micro_json=""
 if [[ -x "$build_dir/bench_micro_components" ]]; then
   echo "running insert-path microbenchmark ..."
@@ -41,13 +51,18 @@ if [[ -x "$build_dir/bench_micro_components" ]]; then
       --benchmark_format=json 2>/dev/null)"
 fi
 
-# Merge the thread-scaling and micro results (if any) into the summary JSON.
-MICRO_JSON="$micro_json" THREADS_JSON="$threads_json" python3 - "$out.tmp" "$out" <<'EOF'
+# Merge the thread-scaling, multi-query and micro results (if any) into the
+# summary JSON.
+MICRO_JSON="$micro_json" THREADS_JSON="$threads_json" \
+MULTIQUERY_JSON="$multiquery_json" python3 - "$out.tmp" "$out" <<'EOF'
 import json, os, sys
 summary = json.load(open(sys.argv[1]))
 threads_raw = os.environ.get("THREADS_JSON", "")
 if threads_raw.strip():
     summary["thread_scaling"] = json.loads(threads_raw)
+multiquery_raw = os.environ.get("MULTIQUERY_JSON", "")
+if multiquery_raw.strip():
+    summary["multiquery"] = json.loads(multiquery_raw)
 micro_raw = os.environ.get("MICRO_JSON", "")
 if micro_raw.strip():
     micro = json.loads(micro_raw)
