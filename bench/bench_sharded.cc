@@ -1,0 +1,146 @@
+// Sharded-execution bench: makespan and time-to-first-result of one query
+// served through the ShardedStream, swept over the shard count K.
+//
+// Each K-run drives the identical workload through OpenProgXeStream with
+// K ∈ {1, 2, 4, 8}: K = 1 is the plain session baseline, larger K measures
+// the sharded executor's overheads (K PreparePhases over 1/K-sized slices,
+// the merge sink's dominance filtering and finality checks) and its
+// benefits (smaller per-shard grids; on a multi-core box, independent
+// shards are the natural unit for parallel or multi-process execution —
+// this single-process bench pumps them round-robin, so K > 1 here measures
+// the coordination cost alone). The result *set* is checked identical to
+// the K = 1 run on every configuration.
+//
+// Extra flags over bench_common: --json=<path>.
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "progxe/stream.h"
+#include "shard/sharded_stream.h"
+
+using namespace progxe;
+using namespace progxe::bench;
+
+namespace {
+
+struct ShardRun {
+  int num_shards = 0;
+  double makespan = 0.0;
+  double t_first = 0.0;
+  size_t results = 0;
+  uint64_t join_pairs = 0;
+  uint64_t comparisons = 0;        // per-shard engine counters, summed
+  uint64_t merge_comparisons = 0;  // merge-sink filtering/finality checks
+};
+
+using IdSet = std::vector<std::pair<RowId, RowId>>;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  WorkloadParams params;
+  params.distribution = Distribution::kAntiCorrelated;
+  params.cardinality = args.ResolveN(args.quick ? 4000 : 20000);
+  params.dims = args.ResolveDims(4);
+  params.sigma = args.quick ? 0.01 : 0.004;
+  params.seed = args.seed;
+  const Workload workload = MustMakeWorkload(params);
+
+  std::printf("sharded: %s\n", params.ToString().c_str());
+
+  std::vector<ShardRun> runs;
+  IdSet reference;
+  for (int num_shards : {1, 2, 4, 8}) {
+    ShardOptions shard_options;
+    shard_options.num_shards = num_shards;
+
+    Stopwatch watch;
+    auto stream =
+        OpenProgXeStream(workload.query(), ProgXeOptions(), shard_options);
+    if (!stream.ok()) {
+      std::fprintf(stderr, "open K=%d: %s\n", num_shards,
+                   stream.status().ToString().c_str());
+      return 1;
+    }
+    ShardRun run;
+    run.num_shards = num_shards;
+    IdSet ids;
+    std::vector<ResultTuple> batch;
+    while ((*stream)->NextBatch(0, &batch) > 0) {
+      if (run.results == 0) run.t_first = watch.ElapsedSeconds();
+      run.results += batch.size();
+      for (const ResultTuple& res : batch) {
+        ids.emplace_back(res.r_id, res.t_id);
+      }
+    }
+    run.makespan = watch.ElapsedSeconds();
+    run.join_pairs = (*stream)->stats().join_pairs_generated;
+    run.comparisons = (*stream)->stats().dominance_comparisons;
+    if (const auto* sharded =
+            dynamic_cast<const ShardedStream*>(stream->get())) {
+      run.merge_comparisons = sharded->merge_comparisons();
+    }
+
+    std::sort(ids.begin(), ids.end());
+    if (num_shards == 1) {
+      reference = std::move(ids);
+    } else if (ids != reference) {
+      std::fprintf(stderr,
+                   "FATAL: K=%d delivered %zu results, K=1 delivered %zu "
+                   "(sets differ)\n",
+                   num_shards, ids.size(), reference.size());
+      return 1;
+    }
+    runs.push_back(run);
+
+    std::printf(
+        "  K=%-2d makespan=%8.4fs t_first=%8.4fs results=%-7zu "
+        "pairs=%-10llu cmps=%-10llu merge_cmps=%llu\n",
+        run.num_shards, run.makespan, run.t_first, run.results,
+        static_cast<unsigned long long>(run.join_pairs),
+        static_cast<unsigned long long>(run.comparisons),
+        static_cast<unsigned long long>(run.merge_comparisons));
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"sharded\",\n  \"n\": %zu,\n"
+                 "  \"dims\": %d,\n  \"sigma\": %g,\n  \"seed\": %llu,\n"
+                 "  \"runs\": [\n",
+                 params.cardinality, params.dims, params.sigma,
+                 static_cast<unsigned long long>(params.seed));
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const ShardRun& r = runs[i];
+      std::fprintf(out,
+                   "    {\"shards\": %d, \"makespan_s\": %.6f, "
+                   "\"t_first_s\": %.6f, \"results\": %zu, "
+                   "\"join_pairs\": %llu, \"comparisons\": %llu, "
+                   "\"merge_comparisons\": %llu}%s\n",
+                   r.num_shards, r.makespan, r.t_first, r.results,
+                   static_cast<unsigned long long>(r.join_pairs),
+                   static_cast<unsigned long long>(r.comparisons),
+                   static_cast<unsigned long long>(r.merge_comparisons),
+                   i + 1 == runs.size() ? "" : ",");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -8,7 +8,7 @@
 #include "baselines/jf_sl.h"
 #include "baselines/saj.h"
 #include "baselines/ssmj.h"
-#include "progxe/session.h"
+#include "progxe/stream.h"
 
 namespace progxe {
 
@@ -104,7 +104,8 @@ std::vector<std::pair<RowId, RowId>> CanonicalIdPairs(
 }
 
 Result<ExperimentRun> RunAlgorithm(Algo algo, const Workload& workload,
-                                   ProgXeOptions tuning) {
+                                   ProgXeOptions tuning,
+                                   const ShardOptions& shards) {
   ExperimentRun run;
   run.algo = algo;
   ProgressiveRecorder recorder;
@@ -120,22 +121,23 @@ Result<ExperimentRun> RunAlgorithm(Algo algo, const Workload& workload,
     case Algo::kProgXePlus:
     case Algo::kProgXeNoOrder:
     case Algo::kProgXePlusNoOrder: {
-      // Driven through the pull-based session (same results and counters as
+      // Driven through the pull-based stream (same results and counters as
       // ProgXeExecutor::Run): tuning carries num_threads and batch size
-      // straight into the pipeline, so benches can sweep thread counts.
+      // straight into the pipeline, so benches can sweep thread counts, and
+      // `shards` selects the sharded executor behind the same interface.
       // Reset precedes Open so the timed window covers PreparePhase, like
       // the baselines' end-to-end timing.
       recorder.Reset();
       PROGXE_ASSIGN_OR_RETURN(
-          std::unique_ptr<ProgXeSession> session,
-          ProgXeSession::Open(query, OptionsForAlgo(algo, tuning)));
+          std::unique_ptr<ProgXeStream> stream,
+          OpenProgXeStream(query, OptionsForAlgo(algo, tuning), shards));
       std::vector<ResultTuple> batch;
-      while (session->NextBatch(0, &batch) > 0) {
+      while (stream->NextBatch(0, &batch) > 0) {
         for (const ResultTuple& r : batch) emit(r);
       }
       recorder.OnFinish();
-      run.dominance_comparisons = session->stats().dominance_comparisons;
-      run.join_pairs = session->stats().join_pairs_generated;
+      run.dominance_comparisons = stream->stats().dominance_comparisons;
+      run.join_pairs = stream->stats().join_pairs_generated;
       break;
     }
     case Algo::kJfSl:

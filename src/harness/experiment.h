@@ -10,6 +10,7 @@
 #include "harness/series.h"
 #include "harness/workload.h"
 #include "progxe/config.h"
+#include "progxe/stream.h"
 
 namespace progxe {
 
@@ -30,8 +31,9 @@ const char* AlgoName(Algo algo);
 /// Inverse of AlgoName. Returns false on an unknown name.
 bool AlgoFromName(const std::string& name, Algo* out);
 
-/// True for the four ProgXe variants (the algorithms a ProgXeSession — and
-/// hence the multi-query serving layer — can drive).
+/// True for the four ProgXe variants (the algorithms a ProgXeStream — and
+/// hence the multi-query serving layer and the sharded executor — can
+/// drive).
 bool IsProgXeVariant(Algo algo);
 
 /// All progressive + blocking algorithms, in presentation order.
@@ -51,9 +53,12 @@ struct ExperimentRun {
 };
 
 /// Runs `algo` on `workload`. `tuning` seeds the ProgXe variants' grid
-/// parameters (ordering/push-through fields are overridden per algo).
+/// parameters (ordering/push-through fields are overridden per algo);
+/// `shards` with num_shards > 1 drives the variant through a ShardedStream
+/// (ProgXe variants only — baselines ignore it).
 Result<ExperimentRun> RunAlgorithm(Algo algo, const Workload& workload,
-                                   ProgXeOptions tuning = ProgXeOptions());
+                                   ProgXeOptions tuning = ProgXeOptions(),
+                                   const ShardOptions& shards = {});
 
 /// ProgXe options corresponding to a variant (exposed for tests).
 ProgXeOptions OptionsForAlgo(Algo algo, ProgXeOptions tuning);

@@ -62,6 +62,12 @@ class CanonicalMapper {
     return sign_[static_cast<size_t>(j)] * canonical;
   }
 
+  /// Folds a user-facing output value back into the canonical minimize-all
+  /// space (the sign fold is its own inverse).
+  double Canonicalize(int j, double user_value) const {
+    return sign_[static_cast<size_t>(j)] * user_value;
+  }
+
  private:
   MapSpec spec_;
   Preference pref_;

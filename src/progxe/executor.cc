@@ -3,7 +3,7 @@
 #include <sstream>
 
 #include "common/macros.h"
-#include "progxe/session.h"
+#include "progxe/stream.h"
 
 namespace progxe {
 
@@ -35,19 +35,19 @@ ProgXeExecutor::ProgXeExecutor(SkyMapJoinQuery query, ProgXeOptions options)
 ProgXeExecutor::~ProgXeExecutor() = default;
 
 Status ProgXeExecutor::Run(const EmitFn& emit) {
-  // Reusable: each Run opens a fresh session over the same query object and
+  // Reusable: each Run opens a fresh stream over the same query object and
   // starts from zeroed counters.
   stats_ = ProgXeStats{};
-  auto session = ProgXeSession::Open(query_, options_);
-  if (!session.ok()) {
-    return session.status();
+  auto stream = OpenProgXeStream(query_, options_);
+  if (!stream.ok()) {
+    return stream.status();
   }
   std::vector<ResultTuple> batch;
-  while ((*session)->NextBatch(0, &batch) > 0) {
-    stats_ = (*session)->stats();  // keep stats() live for emit callbacks
+  while ((*stream)->NextBatch(0, &batch) > 0) {
+    stats_ = (*stream)->stats();  // keep stats() live for emit callbacks
     for (const ResultTuple& result : batch) emit(result);
   }
-  stats_ = (*session)->stats();
+  stats_ = (*stream)->stats();
   return Status::OK();
 }
 

@@ -13,7 +13,7 @@
 //
 // Stages 1-3 live in progxe/prepare.h (PreparePhase) and stage 4 in
 // progxe/region_loop.h (RegionLoop); ProgXeExecutor::Run is a thin loop
-// over the pull-based ProgXeSession (progxe/session.h) that composes them.
+// over the pull-based ProgXeStream (progxe/stream.h) that composes them.
 #pragma once
 
 #include <memory>

@@ -179,6 +179,20 @@ void RegionLoop::FinishRegion(Region& region,
   DiscardSweep(pending);
 }
 
+void RegionLoop::RemainingLowerBound(std::vector<double>* lo) const {
+  if (done_) return;
+  const GridGeometry& geom = table_.geometry();
+  const int k = geom.dimensions();
+  for (const Region& region : *regions_) {
+    if (!region.Active()) continue;
+    for (int d = 0; d < k; ++d) {
+      const double edge = geom.CellLower(d, region.lo_cell[static_cast<size_t>(d)]);
+      double& slot = (*lo)[static_cast<size_t>(d)];
+      if (edge < slot) slot = edge;
+    }
+  }
+}
+
 bool RegionLoop::Step(std::vector<ResultTuple>* pending, size_t max_pairs) {
   if (done_) return false;
   for (;;) {

@@ -43,6 +43,15 @@ class RegionLoop {
   /// True once Step() has nothing left to do.
   bool done() const { return done_; }
 
+  /// Min-merges into `lo[0..k)` the canonical lower cell edges of every
+  /// active region's lo_cell. Sound as a bound on anything the loop may
+  /// still emit: future join results land inside some active region's box,
+  /// and a populated unflushed cell always has reg_count > 0 (its tuples
+  /// came from a region whose box covers it, and cells flush the moment
+  /// their coverage drops to zero), so its tuples too sit above some active
+  /// region's lower cell edge.
+  void RemainingLowerBound(std::vector<double>* lo) const;
+
  private:
   bool ReachedLimit() const;
   /// Post-join bookkeeping shared by the whole-region and sliced paths:

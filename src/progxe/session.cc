@@ -1,6 +1,7 @@
 #include "progxe/session.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/macros.h"
@@ -24,11 +25,6 @@ Result<std::unique_ptr<ProgXeSession>> ProgXeSession::Open(
 }
 
 ProgXeSession::~ProgXeSession() { Close(); }
-
-size_t ProgXeSession::NextBatch(size_t max_results,
-                                std::vector<ResultTuple>* out) {
-  return NextBatch(max_results, /*max_pairs=*/0, out);
-}
 
 size_t ProgXeSession::NextBatch(size_t max_results, size_t max_pairs,
                                 std::vector<ResultTuple>* out) {
@@ -73,6 +69,27 @@ void ProgXeSession::Close() {
 bool ProgXeSession::Finished() const {
   return pending_pos_ >= pending_.size() &&
          (loop_ == nullptr || loop_->done());
+}
+
+bool ProgXeSession::RemainingLowerBound(std::vector<double>* lo) const {
+  if (Finished()) return false;
+  const size_t k = static_cast<size_t>(prep_->k);
+  lo->assign(k, std::numeric_limits<double>::infinity());
+  // Flushed-but-undelivered results, recanonicalized (the sign fold is an
+  // involution, so Canonicalize undoes what EmitCells applied).
+  for (size_t i = pending_pos_; i < pending_.size(); ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      (*lo)[j] = std::min(
+          (*lo)[j], prep_->mapper.Canonicalize(static_cast<int>(j),
+                                               pending_[i].values[j]));
+    }
+  }
+  // Everything the engine itself may still flush: live tuples in unsettled
+  // cells and all unprocessed regions, both covered by the active regions'
+  // cell boxes (an unsettled populated cell always has an active covering
+  // region — that is what keeps it unsettled).
+  if (loop_ != nullptr) loop_->RemainingLowerBound(lo);
+  return true;
 }
 
 }  // namespace progxe

@@ -12,6 +12,10 @@
 // early at any point, or drive many sessions from one scheduler — while the
 // result stream and every ProgXeStats counter stay bit-identical to a
 // one-shot ProgXeExecutor::Run (which is itself a thin loop over a session).
+//
+// ProgXeSession is the single-process implementation of the abstract
+// ProgXeStream interface (progxe/stream.h); consumers above the engine hold
+// a ProgXeStream and never name this type.
 #pragma once
 
 #include <memory>
@@ -21,10 +25,11 @@
 #include "progxe/executor.h"
 #include "progxe/prepare.h"
 #include "progxe/region_loop.h"
+#include "progxe/stream.h"
 
 namespace progxe {
 
-class ProgXeSession {
+class ProgXeSession : public ProgXeStream {
  public:
   /// Validates the query and runs PreparePhase (push-through, contribution
   /// tables, grids, look-ahead). No join pair is generated yet. The
@@ -36,26 +41,24 @@ class ProgXeSession {
   ProgXeSession& operator=(const ProgXeSession&) = delete;
 
   /// Closes the session, then destroys it (workers joined, state freed).
-  ~ProgXeSession();
+  ~ProgXeSession() override;
 
-  /// Advances the engine until at least one result is available (or the run
-  /// finishes), then fills `*out` (cleared first) with up to `max_results`
-  /// results — 0 means no per-call cap. Returns the number delivered;
-  /// 0 iff Finished(). Results beyond the cap stay buffered for the next
-  /// call, so the delivered stream is exactly the Run emission stream.
-  size_t NextBatch(size_t max_results, std::vector<ResultTuple>* out);
+  /// The unbudgeted base-class form advances the engine until at least one
+  /// result is available (or the run finishes); delivery returns 0 iff
+  /// Finished(). Results beyond the `max_results` cap stay buffered for the
+  /// next call, so the delivered stream is exactly the Run emission stream.
+  using ProgXeStream::NextBatch;
 
   /// Budget-aware NextBatch — the scheduler's time slice. Advances the
-  /// engine by at most ~`max_pairs` join pairs (0 = unbudgeted, identical
-  /// to the two-argument form) and returns whatever results that work
-  /// produced, up to `max_results`. Unlike the unbudgeted form it may
-  /// return 0 while !Finished(): the slice ended mid-region (a *yield*) —
-  /// the next call resumes at the same join pair without redoing work.
-  /// Concatenating delivered batches over any sequence of budgets
+  /// engine by at most ~`max_pairs` join pairs (0 = unbudgeted) and returns
+  /// whatever results that work produced, up to `max_results`. A budgeted
+  /// call may return 0 while !Finished(): the slice ended mid-region (a
+  /// *yield*) — the next call resumes at the same join pair without redoing
+  /// work. Concatenating delivered batches over any sequence of budgets
   /// reproduces the Run emission stream and all ProgXeStats counters
   /// bit-identically.
   size_t NextBatch(size_t max_results, size_t max_pairs,
-                   std::vector<ResultTuple>* out);
+                   std::vector<ResultTuple>* out) override;
 
   /// Cooperatively tears the session down: joins any RegionJoinPipeline
   /// workers, releases the prepared query state and scratch buffers, and
@@ -63,15 +66,25 @@ class ProgXeSession {
   /// NextBatch calls deliver nothing. Idempotent; the destructor delegates
   /// here, so an explicit Close is only needed to reclaim resources (or
   /// worker threads) before the session object itself goes away.
-  void Close();
+  void Close() override;
 
   /// True once every result has been delivered (the run completed, hit
   /// options.max_results, or the query was provably empty) or the session
   /// was closed.
-  bool Finished() const;
+  bool Finished() const override;
 
   /// Live counters; final once Finished() is true.
-  const ProgXeStats& stats() const { return stats_; }
+  const ProgXeStats& stats() const override { return stats_; }
+
+  /// The session's remaining-output frontier: fills `lo[0..k)` (resized)
+  /// with a canonical-space componentwise lower bound on every result this
+  /// session may still deliver. Returns false — leaving `*lo` unspecified —
+  /// iff nothing remains (Finished()). The bound covers undelivered flushed
+  /// results, live tuples in unflushed cells and every unprocessed region,
+  /// so a merge layer may treat any point the bound cannot dominate as
+  /// globally final (the cross-shard finality check in
+  /// shard/sharded_stream.cc).
+  bool RemainingLowerBound(std::vector<double>* lo) const;
 
   const ProgXeOptions& options() const { return options_; }
 

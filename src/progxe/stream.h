@@ -1,0 +1,80 @@
+// ProgXeStream: the abstract consumption API of the ProgXe engine.
+//
+// Everything above the engine — QueryScheduler workers, ProgXeExecutor::Run,
+// the harness, the CLI tools — drives queries through this budgeted pull
+// interface and never names a concrete implementation. Two implementations
+// exist today:
+//
+//   * ProgXeSession (progxe/session.h): one single-process engine instance,
+//     the original pull API.
+//   * ShardedStream (shard/sharded_stream.h): hash-partitions both sources
+//     by join key into K disjoint shards, runs one sub-session per shard and
+//     merges their locally-final outputs through a global finality check —
+//     behind exactly this interface, so a sharded query is just another
+//     stream behind a QueryHandle.
+//
+// The contract both implementations honor: every tuple delivered by
+// NextBatch is guaranteed to belong to the query's final skyline (no
+// retractions), the union of all deliveries is exactly that skyline, and
+// slice boundaries (any sequence of budgets) never change the delivered
+// result set.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "progxe/config.h"
+#include "progxe/executor.h"
+
+namespace progxe {
+
+/// How a query is split across engine instances. `num_shards <= 1` selects
+/// the single unsharded session; otherwise both sources are hash-partitioned
+/// by join key into `num_shards` disjoint shards (an equi-join pair always
+/// lands whole in one shard), each served by its own sub-session.
+struct ShardOptions {
+  int num_shards = 1;
+};
+
+/// Abstract budgeted pull stream over one SkyMapJoin query.
+class ProgXeStream {
+ public:
+  virtual ~ProgXeStream();
+
+  /// Advances the engine by at most ~`max_pairs` join pairs (0 = unbudgeted:
+  /// run until at least one result is available or the query finishes) and
+  /// fills `*out` (cleared first) with up to `max_results` guaranteed-final
+  /// results (0 = no per-call cap). Returns the number delivered. A budgeted
+  /// call may return 0 while !Finished(): the slice ended without anything
+  /// becoming final (a *yield*) — the next call resumes without redoing
+  /// work.
+  virtual size_t NextBatch(size_t max_results, size_t max_pairs,
+                           std::vector<ResultTuple>* out) = 0;
+
+  /// Unbudgeted convenience form.
+  size_t NextBatch(size_t max_results, std::vector<ResultTuple>* out) {
+    return NextBatch(max_results, /*max_pairs=*/0, out);
+  }
+
+  /// Cooperatively tears the stream down: joins any worker threads and
+  /// releases engine state; stats() stays readable. Finished() is true
+  /// afterwards and further NextBatch calls deliver nothing. Idempotent.
+  virtual void Close() = 0;
+
+  /// True once every result has been delivered or the stream was closed.
+  virtual bool Finished() const = 0;
+
+  /// Live counters; final once Finished() is true. For a sharded stream
+  /// these are the per-shard engine counters summed elementwise.
+  virtual const ProgXeStats& stats() const = 0;
+};
+
+/// Opens the stream implementation `shards` selects: a plain ProgXeSession
+/// for `num_shards <= 1`, a ShardedStream otherwise. This is the only
+/// constructor the serving layer and tools use.
+Result<std::unique_ptr<ProgXeStream>> OpenProgXeStream(
+    const SkyMapJoinQuery& query, ProgXeOptions options,
+    const ShardOptions& shards = {});
+
+}  // namespace progxe

@@ -3,14 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
-#include <cstring>
 #include <deque>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <utility>
-
-#include "progxe/session.h"
 
 namespace progxe {
 
@@ -24,13 +23,12 @@ const char* FairnessPolicyName(FairnessPolicy policy) {
   return "?";
 }
 
-bool FairnessPolicyFromName(const char* name, FairnessPolicy* out) {
-  if (std::strcmp(name, "rr") == 0 || std::strcmp(name, "round_robin") == 0) {
+bool FairnessPolicyFromName(std::string_view name, FairnessPolicy* out) {
+  if (name == "rr" || name == "round_robin") {
     *out = FairnessPolicy::kRoundRobin;
     return true;
   }
-  if (std::strcmp(name, "wf") == 0 ||
-      std::strcmp(name, "weighted_fair") == 0) {
+  if (name == "wf" || name == "weighted_fair") {
     *out = FairnessPolicy::kWeightedFair;
     return true;
   }
@@ -49,13 +47,41 @@ const char* QueryStateName(QueryState state) {
       return "cancelled";
     case QueryState::kFailed:
       return "failed";
+    case QueryState::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "?";
+}
+
+bool QueryStateFromName(std::string_view name, QueryState* out) {
+  for (QueryState state :
+       {QueryState::kQueued, QueryState::kRunning, QueryState::kFinished,
+        QueryState::kCancelled, QueryState::kFailed,
+        QueryState::kDeadlineExceeded}) {
+    if (name == QueryStateName(state)) {
+      *out = state;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string SchedulerStats::ToString() const {
+  std::ostringstream os;
+  os << "SchedulerStats{queued=" << queued << " running=" << running
+     << " submitted=" << submitted << " finished=" << finished
+     << " cancelled=" << cancelled << " failed=" << failed
+     << " deadline_exceeded=" << deadline_exceeded << " slices=" << slices
+     << " sliced_pairs=" << sliced_pairs << " batches=" << batches
+     << " results=" << results << "}";
+  return os.str();
 }
 
 QuerySink::~QuerySink() = default;
 
 namespace service_internal {
+
+using Clock = std::chrono::steady_clock;
 
 /// Virtual-time granularity of the stride scheduler: a weight-1 query's
 /// pass advances by this much per slice.
@@ -65,12 +91,17 @@ struct QueryRecord {
   uint64_t id = 0;
   SkyMapJoinQuery spec;
   ProgXeOptions options;
+  ShardOptions shards;
   QuerySink* sink = nullptr;
 
   /// Stride-scheduling state (kWeightedFair): pass advances by stride per
   /// slice; the smallest pass runs next.
   uint64_t stride = kStrideScale;
   uint64_t pass = 0;
+
+  /// Wall-clock expiry; only meaningful when `has_deadline`.
+  bool has_deadline = false;
+  Clock::time_point deadline;
 
   std::atomic<QueryState> state{QueryState::kQueued};
   std::atomic<bool> cancel{false};
@@ -85,7 +116,11 @@ struct QueryRecord {
   Status status;
   ProgXeStats final_stats;
 
-  std::unique_ptr<ProgXeSession> session;  // open while kRunning
+  std::unique_ptr<ProgXeStream> stream;  // open while kRunning
+
+  bool Expired(Clock::time_point now) const {
+    return has_deadline && now >= deadline;
+  }
 };
 
 using RecordPtr = std::shared_ptr<QueryRecord>;
@@ -108,6 +143,21 @@ struct SchedulerCore {
   /// Number of `waiting` entries with `cancel` set — an O(1) stand-in for
   /// scanning the queue in the worker wake predicate.
   size_t cancelled_waiting = 0;
+  /// Number of `waiting` entries carrying a deadline: when positive,
+  /// sleeping workers use a timed wait so waiting-room expiry is noticed
+  /// without any other activity.
+  size_t deadlined_waiting = 0;
+
+  // SchedulerStats counters (monotonic; guarded by mtx).
+  uint64_t submitted = 0;
+  uint64_t finished = 0;
+  uint64_t cancelled = 0;
+  uint64_t failed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t slices = 0;
+  uint64_t sliced_pairs = 0;
+  uint64_t batches = 0;
+  uint64_t results = 0;
 };
 
 namespace {
@@ -146,18 +196,39 @@ RecordPtr PopReady(SchedulerCore* core) {
   return rec;
 }
 
-/// Publishes a terminal state: copies the final stats, tears the session
+/// Bumps the terminal-outcome counter matching `state`. Caller holds mtx.
+void CountTerminal(SchedulerCore* core, QueryState state) {
+  switch (state) {
+    case QueryState::kFinished:
+      ++core->finished;
+      break;
+    case QueryState::kCancelled:
+      ++core->cancelled;
+      break;
+    case QueryState::kFailed:
+      ++core->failed;
+      break;
+    case QueryState::kDeadlineExceeded:
+      ++core->deadline_exceeded;
+      break;
+    default:
+      assert(false && "non-terminal state");
+  }
+}
+
+/// Publishes a terminal state: copies the final stats, tears the stream
 /// down (joining its workers), fires OnDone, then marks the record terminal
 /// and wakes waiters. Runs with `lock` held on entry and exit; the
-/// callback and session teardown happen unlocked.
+/// callback and stream teardown happen unlocked.
 void FinishQuery(SchedulerCore* core, const RecordPtr& rec, QueryState state,
                  Status status, std::unique_lock<std::mutex>* lock) {
   assert(IsTerminal(state));
+  CountTerminal(core, state);
   lock->unlock();
-  if (rec->session != nullptr) {
-    rec->final_stats = rec->session->stats();
-    rec->session->Close();
-    rec->session.reset();
+  if (rec->stream != nullptr) {
+    rec->final_stats = rec->stream->stats();
+    rec->stream->Close();
+    rec->stream.reset();
   }
   rec->status = std::move(status);
   if (rec->sink != nullptr) {
@@ -173,51 +244,106 @@ void FinishQuery(SchedulerCore* core, const RecordPtr& rec, QueryState state,
 }
 
 /// Runs one slice of `rec` (unlocked). Returns the terminal state, or
-/// kRunning if the query should be requeued.
+/// kRunning if the query should be requeued. `*pairs`/`*delivered` receive
+/// the slice's join-pair and result counts for the scheduler counters.
 QueryState RunSlice(SchedulerCore* core, const RecordPtr& rec,
-                    std::vector<ResultTuple>* batch) {
+                    std::vector<ResultTuple>* batch, uint64_t* pairs,
+                    uint64_t* delivered) {
+  *pairs = 0;
+  *delivered = 0;
   if (rec->cancel.load(std::memory_order_acquire)) {
     return QueryState::kCancelled;
   }
-  rec->session->NextBatch(core->options.max_batch_results,
-                          core->options.batch_budget, batch);
+  if (rec->Expired(Clock::now())) {
+    return QueryState::kDeadlineExceeded;
+  }
+  const uint64_t before = rec->stream->stats().join_pairs_generated;
+  rec->stream->NextBatch(core->options.max_batch_results,
+                         core->options.batch_budget, batch);
+  *pairs = rec->stream->stats().join_pairs_generated - before;
+  *delivered = batch->size();
   if (!batch->empty()) rec->sink->OnBatch(*batch);
-  return rec->session->Finished() ? QueryState::kFinished
-                                  : QueryState::kRunning;
+  return rec->stream->Finished() ? QueryState::kFinished
+                                 : QueryState::kRunning;
+}
+
+/// Pulls every cancelled or deadline-expired record out of the waiting
+/// room and finish-notifies it: such entries hold no slot, so their OnDone
+/// must not wait for one (and they must stop occupying max_queue
+/// capacity). Caller holds `lock`; FinishQuery drops it per record, so all
+/// targets are collected before the first callback.
+void ReapWaiting(SchedulerCore* core, std::unique_lock<std::mutex>* lock) {
+  const Clock::time_point now = Clock::now();
+  std::vector<std::pair<RecordPtr, QueryState>> reaped;
+  for (auto it = core->waiting.begin(); it != core->waiting.end();) {
+    RecordPtr& rec = *it;
+    const bool cancelled = rec->cancel.load(std::memory_order_acquire);
+    const bool expired = !cancelled && rec->Expired(now);
+    if (!cancelled && !expired) {
+      ++it;
+      continue;
+    }
+    rec->in_waiting = false;
+    if (cancelled) --core->cancelled_waiting;
+    if (rec->has_deadline) --core->deadlined_waiting;
+    reaped.emplace_back(std::move(rec), cancelled
+                                            ? QueryState::kCancelled
+                                            : QueryState::kDeadlineExceeded);
+    it = core->waiting.erase(it);
+  }
+  for (const auto& [rec, state] : reaped) {
+    FinishQuery(core, rec, state, Status::OK(), lock);
+  }
+}
+
+/// Earliest deadline among waiting-room entries, or time_point::max().
+/// Ready/running entries need no timer: they are sliced continuously and
+/// expiry is checked at every slice boundary.
+Clock::time_point NextWaitingDeadline(const SchedulerCore& core) {
+  Clock::time_point next = Clock::time_point::max();
+  for (const RecordPtr& rec : core.waiting) {
+    if (rec->has_deadline && rec->deadline < next) next = rec->deadline;
+  }
+  return next;
 }
 
 void WorkerLoop(const std::shared_ptr<SchedulerCore>& core) {
   std::vector<ResultTuple> batch;
   std::unique_lock<std::mutex> lock(core->mtx);
   for (;;) {
-    core->work_cv.wait(lock, [&] {
+    const auto wake = [&] {
       return core->stop || !core->ready.empty() ||
              core->cancelled_waiting > 0 ||
              (!core->waiting.empty() && HasFreeSlot(*core));
-    });
+    };
+    // Hand-rolled predicate wait: the sleep mode (timed vs not) must be
+    // re-decided on *every* wake, so a Submit that enqueues the first
+    // deadlined query converts an already-parked worker's untimed wait
+    // into a timed one instead of leaving it asleep past the deadline.
+    bool deadline_fired = false;
+    while (!wake()) {
+      if (core->deadlined_waiting > 0) {
+        if (core->work_cv.wait_until(lock, NextWaitingDeadline(*core)) ==
+            std::cv_status::timeout) {
+          deadline_fired = true;  // fall through to the reap pass
+          break;
+        }
+      } else {
+        core->work_cv.wait(lock);
+      }
+    }
     if (core->stop) return;
 
-    // Reap cancelled waiting-room entries first: they hold no slot, so
-    // their OnDone must not wait for one (and they must stop occupying
-    // max_queue capacity). Pull them all out before unlocking — FinishQuery
-    // drops the lock, during which other workers may mutate the deque.
-    if (core->cancelled_waiting > 0) {
-      std::vector<RecordPtr> reaped;
-      for (auto it = core->waiting.begin(); it != core->waiting.end();) {
-        if ((*it)->cancel.load(std::memory_order_acquire)) {
-          (*it)->in_waiting = false;
-          --core->cancelled_waiting;
-          reaped.push_back(std::move(*it));
-          it = core->waiting.erase(it);
-        } else {
-          ++it;
-        }
-      }
-      for (const RecordPtr& rec : reaped) {
-        FinishQuery(core.get(), rec, QueryState::kCancelled, Status::OK(),
-                    &lock);
-      }
+    // Reap dead waiting-room entries first (cancelled, or woken by the
+    // deadline timer above; an expiry that races other runnable work is
+    // picked up at the next timed wait).
+    if (core->cancelled_waiting > 0 || deadline_fired) {
+      ReapWaiting(core.get(), &lock);
       continue;
+    }
+    if (core->ready.empty() &&
+        (core->waiting.empty() || !HasFreeSlot(*core))) {
+      continue;  // spurious wake with nothing to do yet
     }
 
     // Admission next: it is what creates runnable work.
@@ -225,17 +351,24 @@ void WorkerLoop(const std::shared_ptr<SchedulerCore>& core) {
       RecordPtr rec = std::move(core->waiting.front());
       core->waiting.pop_front();
       rec->in_waiting = false;
+      if (rec->has_deadline) --core->deadlined_waiting;
+      if (rec->Expired(Clock::now())) {
+        // Never opens a stream: the deadline already passed in the queue.
+        FinishQuery(core.get(), rec, QueryState::kDeadlineExceeded,
+                    Status::OK(), &lock);
+        continue;
+      }
       ++core->active;  // hold the slot while PreparePhase runs
       lock.unlock();
-      auto session = ProgXeSession::Open(rec->spec, rec->options);
+      auto stream = OpenProgXeStream(rec->spec, rec->options, rec->shards);
       lock.lock();
-      if (!session.ok()) {
+      if (!stream.ok()) {
         --core->active;
-        FinishQuery(core.get(), rec, QueryState::kFailed, session.status(),
+        FinishQuery(core.get(), rec, QueryState::kFailed, stream.status(),
                     &lock);
         continue;
       }
-      rec->session = std::move(session).MoveValue();
+      rec->stream = std::move(stream).MoveValue();
       rec->state.store(QueryState::kRunning, std::memory_order_release);
       // Start at the current virtual time: a late arrival competes fairly
       // instead of monopolizing workers to catch up.
@@ -247,8 +380,21 @@ void WorkerLoop(const std::shared_ptr<SchedulerCore>& core) {
 
     RecordPtr rec = PopReady(core.get());
     lock.unlock();
-    const QueryState outcome = RunSlice(core.get(), rec, &batch);
+    uint64_t pairs = 0;
+    uint64_t delivered = 0;
+    const QueryState outcome =
+        RunSlice(core.get(), rec, &batch, &pairs, &delivered);
     lock.lock();
+    // Cancel/deadline short-circuits never advanced the stream: not a
+    // served slice.
+    if (outcome == QueryState::kRunning || outcome == QueryState::kFinished) {
+      ++core->slices;
+      core->sliced_pairs += pairs;
+    }
+    if (delivered > 0) {
+      ++core->batches;
+      core->results += delivered;
+    }
     if (outcome == QueryState::kRunning) {
       rec->pass += rec->stride;
       EnqueueReady(core.get(), std::move(rec));
@@ -340,20 +486,36 @@ QueryScheduler::~QueryScheduler() {
 
 Result<QueryHandle> QueryScheduler::Submit(const SkyMapJoinQuery& query,
                                            ProgXeOptions options,
-                                           QuerySink* sink, double weight) {
+                                           QuerySink* sink,
+                                           const SubmitOptions& submit) {
   if (sink == nullptr) {
     return Status::InvalidArgument("Submit: sink must not be null");
   }
-  if (!(weight > 0.0)) {
+  if (!(submit.weight > 0.0)) {
     return Status::InvalidArgument("Submit: weight must be positive");
   }
   auto rec = std::make_shared<QueryRecord>();
   rec->spec = query;
   rec->options = std::move(options);
+  rec->shards = submit.shards;
   rec->sink = sink;
-  const double w = std::clamp(weight, 1.0 / 16.0, 1024.0);
+  const double w = std::clamp(submit.weight, 1.0 / 16.0, 1024.0);
   rec->stride = std::max<uint64_t>(
       1, static_cast<uint64_t>(service_internal::kStrideScale / w));
+  const std::chrono::milliseconds deadline =
+      submit.deadline.count() != 0 ? submit.deadline
+                                   : options_.default_deadline;
+  if (deadline.count() > 0) {
+    rec->has_deadline = true;
+    // Saturate: a huge requested deadline must mean "far future", not
+    // overflow past it into an instantly-expired one.
+    const auto now = service_internal::Clock::now();
+    const auto headroom = std::chrono::duration_cast<std::chrono::milliseconds>(
+        service_internal::Clock::time_point::max() - now);
+    rec->deadline = deadline < headroom
+                        ? now + deadline
+                        : service_internal::Clock::time_point::max();
+  }
 
   std::lock_guard<std::mutex> lock(core_->mtx);
   if (core_->stop) {
@@ -366,7 +528,9 @@ Result<QueryHandle> QueryScheduler::Submit(const SkyMapJoinQuery& query,
   }
   rec->id = core_->next_id++;
   ++core_->live;
+  ++core_->submitted;
   rec->in_waiting = true;
+  if (rec->has_deadline) ++core_->deadlined_waiting;
   core_->waiting.push_back(rec);
   core_->work_cv.notify_one();
 
@@ -379,6 +543,23 @@ Result<QueryHandle> QueryScheduler::Submit(const SkyMapJoinQuery& query,
 void QueryScheduler::Drain() {
   std::unique_lock<std::mutex> lock(core_->mtx);
   core_->done_cv.wait(lock, [&] { return core_->live == 0; });
+}
+
+SchedulerStats QueryScheduler::stats() const {
+  SchedulerStats stats;
+  std::lock_guard<std::mutex> lock(core_->mtx);
+  stats.queued = core_->waiting.size();
+  stats.running = core_->active;
+  stats.submitted = core_->submitted;
+  stats.finished = core_->finished;
+  stats.cancelled = core_->cancelled;
+  stats.failed = core_->failed;
+  stats.deadline_exceeded = core_->deadline_exceeded;
+  stats.slices = core_->slices;
+  stats.sliced_pairs = core_->sliced_pairs;
+  stats.batches = core_->batches;
+  stats.results = core_->results;
+  return stats;
 }
 
 }  // namespace progxe

@@ -1,13 +1,20 @@
-// QueryScheduler: the multi-query serving layer over ProgXeSession.
+// QueryScheduler: the multi-query serving layer over ProgXeStream.
 //
 // Many concurrent SkyMapJoin queries share one pool of scheduler workers.
-// Each worker repeatedly picks a runnable query and advances its session by
+// Each worker repeatedly picks a runnable query and advances its stream by
 // one *slice* — a budget-aware NextBatch bounded by
 // ServiceOptions::batch_budget join pairs — delivering any progressive
-// results to the query's QuerySink before requeueing it. Because a session
+// results to the query's QuerySink before requeueing it. Because a stream
 // can yield mid-region and resume without redoing work, a heavy query
 // cannot starve light ones: with budget slicing on, every admitted query
 // makes progress every scheduler round.
+//
+// The scheduler drives only the abstract ProgXeStream interface
+// (progxe/stream.h): a query sharded across K engine instances
+// (SubmitOptions::shards) is served through the same slicing, fairness,
+// deadline and cancellation machinery as a plain session — one sub-session
+// per shard behind a single QueryHandle, with budget accounting summed
+// across shards by the stream itself.
 //
 //   QueryScheduler scheduler({.num_workers = 4, .batch_budget = 4096});
 //   auto handle = scheduler.Submit(query, options, &sink);   // non-blocking
@@ -18,21 +25,27 @@
 // Guarantees:
 //   * Per query, OnBatch calls arrive in emission order from one worker at
 //     a time, and the concatenated batches plus the final ProgXeStats are
-//     bit-identical to draining that query's session alone — for any
+//     bit-identical to draining that query's stream alone — for any
 //     interleaving, budget, worker count and fairness policy (enforced by
 //     tests/service_test.cc).
 //   * Exactly one OnDone per submitted query, after its last OnBatch —
-//     including on cancellation, failure and scheduler destruction.
+//     including on cancellation, deadline expiry, failure and scheduler
+//     destruction.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "progxe/config.h"
 #include "progxe/executor.h"
+#include "progxe/stream.h"
 
 namespace progxe {
 
@@ -49,8 +62,9 @@ enum class FairnessPolicy : uint8_t {
 const char* FairnessPolicyName(FairnessPolicy policy);
 
 /// Inverse of FairnessPolicyName, also accepting the CLI short forms
-/// "rr" and "wf". Returns false on an unknown name.
-bool FairnessPolicyFromName(const char* name, FairnessPolicy* out);
+/// "rr" and "wf". Round-trips every enumerator; returns false on an
+/// unknown name.
+bool FairnessPolicyFromName(std::string_view name, FairnessPolicy* out);
 
 /// Serving-layer configuration.
 struct ServiceOptions {
@@ -68,7 +82,7 @@ struct ServiceOptions {
   /// Per-OnBatch result cap (0 = deliver everything a slice produced).
   size_t max_batch_results = 0;
 
-  /// Admission control: at most this many queries hold an open session at
+  /// Admission control: at most this many queries hold an open stream at
   /// once (0 = unbounded). Further submissions wait in FIFO order.
   size_t max_concurrent = 8;
 
@@ -77,22 +91,71 @@ struct ServiceOptions {
   size_t max_queue = 0;
 
   FairnessPolicy policy = FairnessPolicy::kRoundRobin;
+
+  /// Wall-clock deadline applied to every query that does not carry its own
+  /// SubmitOptions::deadline, measured from Submit. Zero = none. An expired
+  /// query terminates with QueryState::kDeadlineExceeded at its next slice
+  /// boundary (or in the waiting room, without ever opening a stream) and
+  /// its sink still receives exactly one OnDone.
+  std::chrono::milliseconds default_deadline{0};
 };
 
 /// Lifecycle of a submitted query.
 enum class QueryState : uint8_t {
-  kQueued,     ///< Waiting for an admission slot.
-  kRunning,    ///< Session open; receiving slices.
-  kFinished,   ///< All results delivered.
-  kCancelled,  ///< Cancel() (or scheduler teardown) took effect.
-  kFailed,     ///< Open/validation failed; see QueryHandle::status().
+  kQueued,            ///< Waiting for an admission slot.
+  kRunning,           ///< Stream open; receiving slices.
+  kFinished,          ///< All results delivered.
+  kCancelled,         ///< Cancel() (or scheduler teardown) took effect.
+  kFailed,            ///< Open/validation failed; see QueryHandle::status().
+  kDeadlineExceeded,  ///< Per-query deadline expired before completion.
 };
 
 const char* QueryStateName(QueryState state);
+
+/// Inverse of QueryStateName; round-trips every enumerator. Returns false
+/// on an unknown name.
+bool QueryStateFromName(std::string_view name, QueryState* out);
+
 inline bool IsTerminal(QueryState state) {
   return state == QueryState::kFinished || state == QueryState::kCancelled ||
-         state == QueryState::kFailed;
+         state == QueryState::kFailed ||
+         state == QueryState::kDeadlineExceeded;
 }
+
+/// Per-submission knobs beyond the engine options.
+struct SubmitOptions {
+  /// Relative slice share under kWeightedFair (clamped to [1/16, 1024]);
+  /// ignored by kRoundRobin.
+  double weight = 1.0;
+  /// Wall-clock deadline measured from Submit; zero inherits
+  /// ServiceOptions::default_deadline, negative opts out of the deadline
+  /// even when a default exists.
+  std::chrono::milliseconds deadline{0};
+  /// Engine sharding: num_shards > 1 serves the query through a
+  /// ShardedStream (one sub-session per shard behind this one handle).
+  ShardOptions shards;
+};
+
+/// A point-in-time snapshot of scheduler-wide counters
+/// (QueryScheduler::stats()).
+struct SchedulerStats {
+  // Gauges (instantaneous).
+  size_t queued = 0;   ///< Waiting-room depth.
+  size_t running = 0;  ///< Admitted queries holding a slot.
+
+  // Monotonic counters (since construction).
+  uint64_t submitted = 0;          ///< Accepted Submit calls.
+  uint64_t finished = 0;           ///< Queries ended kFinished.
+  uint64_t cancelled = 0;          ///< Queries ended kCancelled.
+  uint64_t failed = 0;             ///< Queries ended kFailed.
+  uint64_t deadline_exceeded = 0;  ///< Queries ended kDeadlineExceeded.
+  uint64_t slices = 0;             ///< NextBatch slices served.
+  uint64_t sliced_pairs = 0;       ///< Join pairs processed across slices.
+  uint64_t batches = 0;            ///< Non-empty OnBatch deliveries.
+  uint64_t results = 0;            ///< Result tuples delivered to sinks.
+
+  std::string ToString() const;
+};
 
 /// Receives one query's progressive output. Callbacks fire on scheduler
 /// worker threads, but never concurrently for the same query; a sink
@@ -105,7 +168,7 @@ class QuerySink {
   /// in emission order.
   virtual void OnBatch(const std::vector<ResultTuple>& batch) = 0;
   /// Exactly once, after the last OnBatch. `stats` holds the query's final
-  /// counters (zero-valued if the session never opened).
+  /// counters (zero-valued if the stream never opened).
   virtual void OnDone(QueryState state, const Status& status,
                       const ProgXeStats& stats) = 0;
 };
@@ -152,15 +215,27 @@ class QueryScheduler {
   QueryScheduler& operator=(const QueryScheduler&) = delete;
 
   /// Enqueues a query. The relations behind `query` and the sink must stay
-  /// valid until the sink's OnDone returns. `weight` only matters under
-  /// kWeightedFair (relative slice share; clamped to [1/16, 1024]).
-  /// Fails with OutOfRange when the admission queue is full.
+  /// valid until the sink's OnDone returns. Fails with OutOfRange when the
+  /// admission queue is full.
   Result<QueryHandle> Submit(const SkyMapJoinQuery& query,
                              ProgXeOptions options, QuerySink* sink,
-                             double weight = 1.0);
+                             const SubmitOptions& submit);
+
+  /// Weight-only convenience overload (the pre-SubmitOptions signature).
+  Result<QueryHandle> Submit(const SkyMapJoinQuery& query,
+                             ProgXeOptions options, QuerySink* sink,
+                             double weight = 1.0) {
+    SubmitOptions submit;
+    submit.weight = weight;
+    return Submit(query, std::move(options), sink, submit);
+  }
 
   /// Blocks until every query submitted so far is terminal.
   void Drain();
+
+  /// Snapshot of queue depth, admitted/running counts and the served-work
+  /// counters.
+  SchedulerStats stats() const;
 
   const ServiceOptions& options() const { return options_; }
 

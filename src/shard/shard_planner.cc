@@ -1,0 +1,38 @@
+#include "shard/shard_planner.h"
+
+namespace progxe {
+
+namespace {
+
+/// Rows of `rel` grouped by shard, in source order.
+std::vector<std::vector<RowId>> RowsByShard(const Relation& rel,
+                                            int num_shards) {
+  std::vector<std::vector<RowId>> rows(static_cast<size_t>(num_shards));
+  for (size_t i = 0; i < rel.size(); ++i) {
+    const RowId id = static_cast<RowId>(i);
+    rows[static_cast<size_t>(ShardOfKey(rel.join_key(id), num_shards))]
+        .push_back(id);
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<QueryShard> PlanShards(const Relation& r, const Relation& t,
+                                   int num_shards) {
+  if (num_shards < 1) num_shards = 1;
+  const std::vector<std::vector<RowId>> r_rows = RowsByShard(r, num_shards);
+  const std::vector<std::vector<RowId>> t_rows = RowsByShard(t, num_shards);
+
+  std::vector<QueryShard> shards;
+  shards.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    QueryShard shard;
+    shard.r = r.Select(r_rows[static_cast<size_t>(s)], &shard.r_orig_ids);
+    shard.t = t.Select(t_rows[static_cast<size_t>(s)], &shard.t_orig_ids);
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+}  // namespace progxe

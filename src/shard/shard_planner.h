@@ -1,0 +1,62 @@
+// ShardPlanner: splits one SkyMapJoin query into K disjoint sub-queries by
+// hash-partitioning both sources on the join key.
+//
+// Because SkyMapJoin's join is an equi-join on the dictionary-encoded join
+// key, every (r, t) join pair has matching keys and therefore lands whole in
+// exactly one shard: the union of the shards' join outputs is exactly the
+// unsharded join output, with no pair duplicated or lost. That disjointness
+// is what makes the sharded skyline reconstructible — the global skyline is
+// the skyline of the union of the per-shard skylines (a global result is
+// undominated by anything, in particular by its own shard, so it survives
+// its shard's local skyline).
+#pragma once
+
+#include <vector>
+
+#include "data/relation.h"
+#include "data/schema.h"
+#include "progxe/executor.h"
+
+namespace progxe {
+
+/// Deterministic 64-bit finalizer (splitmix64) over the join key: the shard
+/// of a key must not depend on platform hash seeding, so sharded runs are
+/// reproducible across processes.
+inline uint64_t MixJoinKey(JoinKey key) {
+  uint64_t x = static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline int ShardOfKey(JoinKey key, int num_shards) {
+  return static_cast<int>(MixJoinKey(key) % static_cast<uint64_t>(num_shards));
+}
+
+/// One shard's slice of the query: owned row-disjoint copies of both
+/// sources plus the maps back to the caller's original row ids.
+struct QueryShard {
+  Relation r{Schema::Anonymous(0)};
+  Relation t{Schema::Anonymous(0)};
+  /// Shard-local row id -> original row id, per source.
+  std::vector<RowId> r_orig_ids;
+  std::vector<RowId> t_orig_ids;
+
+  /// The shard's sub-query; `map`/`pref` are copied from the parent query
+  /// and `r`/`t` point into *this, so the shard must outlive the returned
+  /// query's consumers.
+  SkyMapJoinQuery Query(const SkyMapJoinQuery& parent) const {
+    SkyMapJoinQuery q = parent;
+    q.r = &r;
+    q.t = &t;
+    return q;
+  }
+};
+
+/// Hash-partitions `r` and `t` by join key into `num_shards` disjoint
+/// shards (some possibly empty on skewed key domains). Row order within a
+/// shard preserves the source order, so per-shard runs are deterministic.
+std::vector<QueryShard> PlanShards(const Relation& r, const Relation& t,
+                                   int num_shards);
+
+}  // namespace progxe

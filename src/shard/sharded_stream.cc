@@ -1,0 +1,274 @@
+#include "shard/sharded_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "prefs/dominance.h"
+
+namespace progxe {
+
+ProgXeStream::~ProgXeStream() = default;
+
+namespace {
+
+/// Elementwise counter sum; booleans OR (a sharded run used the EL-Graph
+/// bypass iff any shard did).
+void AddStats(ProgXeStats* agg, const ProgXeStats& s) {
+  agg->r_rows += s.r_rows;
+  agg->t_rows += s.t_rows;
+  agg->r_rows_after_push_through += s.r_rows_after_push_through;
+  agg->t_rows_after_push_through += s.t_rows_after_push_through;
+  agg->sigma_used += s.sigma_used;
+  agg->partition_pairs_total += s.partition_pairs_total;
+  agg->partition_pairs_skipped += s.partition_pairs_skipped;
+  agg->regions_created += s.regions_created;
+  agg->regions_pruned_lookahead += s.regions_pruned_lookahead;
+  agg->cells_marked_lookahead += s.cells_marked_lookahead;
+  agg->elgraph_disabled = agg->elgraph_disabled || s.elgraph_disabled;
+  agg->regions_processed += s.regions_processed;
+  agg->regions_discarded_runtime += s.regions_discarded_runtime;
+  agg->pq_reorderings += s.pq_reorderings;
+  agg->join_pairs_generated += s.join_pairs_generated;
+  agg->tuples_discarded_marked += s.tuples_discarded_marked;
+  agg->tuples_discarded_frontier += s.tuples_discarded_frontier;
+  agg->tuples_dominated_on_insert += s.tuples_dominated_on_insert;
+  agg->tuples_evicted += s.tuples_evicted;
+  agg->dominance_comparisons += s.dominance_comparisons;
+  agg->results_emitted += s.results_emitted;
+  agg->cells_flushed += s.cells_flushed;
+  agg->results_emitted_early += s.results_emitted_early;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedStream>> ShardedStream::Open(
+    const SkyMapJoinQuery& query, ProgXeOptions options,
+    const ShardOptions& shard_options) {
+  if (query.r == nullptr || query.t == nullptr) {
+    // The planner reads the sources before any per-shard PreparePhase
+    // validation could reject them; keep parity with the unsharded path.
+    return Status::InvalidArgument("query sources must be non-null");
+  }
+  std::unique_ptr<ShardedStream> stream(new ShardedStream());
+  stream->cap_ = options.max_results;
+  // The cap is a property of the merged stream: a shard must not stop at
+  // max_results of its *local* skyline, which is unrelated to the first
+  // max_results global results.
+  ProgXeOptions sub_options = std::move(options);
+  sub_options.max_results = 0;
+
+  std::vector<QueryShard> slices =
+      PlanShards(*query.r, *query.t, shard_options.num_shards);
+  // Sessions point into their slice's relations, so every slice must sit at
+  // its final address before any session opens: reserve + move all slices
+  // in first, and never resize shards_ afterwards.
+  stream->shards_.reserve(slices.size());
+  for (QueryShard& slice : slices) {
+    stream->shards_.emplace_back();
+    stream->shards_.back().slice = std::move(slice);
+  }
+  for (SubShard& shard : stream->shards_) {
+    // Validation runs per shard before the empty-source short-circuit, so
+    // an invalid query fails here even when every shard is empty.
+    PROGXE_ASSIGN_OR_RETURN(
+        shard.session,
+        ProgXeSession::Open(shard.slice.Query(query), sub_options));
+  }
+  stream->mapper_ = CanonicalMapper(query.map, query.pref);
+  stream->k_ = stream->mapper_.output_dimensions();
+  // Shards that prepared to provably-empty joins constrain nothing.
+  stream->RefreshBoundsAndRelease();
+  return stream;
+}
+
+ShardedStream::~ShardedStream() { Close(); }
+
+bool ShardedStream::AllExhausted() const {
+  for (const SubShard& shard : shards_) {
+    if (!shard.exhausted) return false;
+  }
+  return true;
+}
+
+uint64_t ShardedStream::PumpRound(size_t per_shard) {
+  uint64_t used = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    SubShard& shard = shards_[i];
+    if (shard.exhausted) continue;
+    const uint64_t before = shard.session->stats().join_pairs_generated;
+    shard.session->NextBatch(/*max_results=*/0, per_shard, &pump_scratch_);
+    used += shard.session->stats().join_pairs_generated - before;
+    Ingest(i, pump_scratch_);
+  }
+  return used;
+}
+
+void ShardedStream::Ingest(size_t shard_idx,
+                           const std::vector<ResultTuple>& batch) {
+  const QueryShard& slice = shards_[shard_idx].slice;
+  const size_t k = static_cast<size_t>(k_);
+  for (const ResultTuple& local : batch) {
+    Candidate candidate;
+    candidate.tuple = local;
+    candidate.tuple.r_id = slice.r_orig_ids[local.r_id];
+    candidate.tuple.t_id = slice.t_orig_ids[local.t_id];
+    candidate.shard = static_cast<int>(shard_idx);
+    candidate.canon.resize(k);
+    for (size_t j = 0; j < k; ++j) {
+      candidate.canon[j] =
+          mapper_.Canonicalize(static_cast<int>(j), local.values[j]);
+    }
+
+    // Dominated by any accepted point (released or held, from any shard):
+    // provably outside the global skyline. Domination is transitive, so
+    // stale dominator entries whose own candidate was later dropped still
+    // reject exactly the right arrivals.
+    bool dominated = false;
+    for (size_t d = 0; d + k <= dominators_.size(); d += k) {
+      if (DominatesMin(dominators_.data() + d, candidate.canon.data(), k_,
+                       &merge_counter_)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+
+    // The arrival may retroactively disprove held candidates' finality —
+    // they were never delivered, so dropping them here is exactly the
+    // merge-time re-validation (released candidates are unreachable by
+    // construction: their release proved no live shard could dominate
+    // them).
+    std::erase_if(held_, [&](const Candidate& held) {
+      return DominatesMin(candidate.canon.data(), held.canon.data(), k_,
+                          &merge_counter_);
+    });
+
+    dominators_.insert(dominators_.end(), candidate.canon.begin(),
+                       candidate.canon.end());
+    held_.push_back(std::move(candidate));
+  }
+}
+
+bool ShardedStream::GloballyFinal(const Candidate& candidate) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (static_cast<int>(s) == candidate.shard || shards_[s].exhausted) {
+      continue;
+    }
+    // Every future tuple y of shard s satisfies y >= bound componentwise,
+    // so y can strictly dominate the candidate only if the bound corner
+    // itself does.
+    if (DominatesMin(shards_[s].bound.data(), candidate.canon.data(), k_,
+                     &merge_counter_)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ShardedStream::RefreshBoundsAndRelease() {
+  for (SubShard& shard : shards_) {
+    if (shard.exhausted) continue;
+    if (!shard.session->RemainingLowerBound(&shard.bound)) {
+      shard.exhausted = true;
+    }
+  }
+  size_t kept = 0;
+  for (size_t i = 0; i < held_.size(); ++i) {
+    if (GloballyFinal(held_[i])) {
+      ready_.push_back(std::move(held_[i].tuple));
+    } else {
+      if (kept != i) held_[kept] = std::move(held_[i]);
+      ++kept;
+    }
+  }
+  held_.resize(kept);
+}
+
+size_t ShardedStream::NextBatch(size_t max_results, size_t max_pairs,
+                                std::vector<ResultTuple>* out) {
+  out->clear();
+  if (closed_ || CapReached()) return 0;
+  if (ready_pos_ >= ready_.size()) {
+    // Reclaim the delivered (moved-out) prefix before refilling.
+    ready_.clear();
+    ready_pos_ = 0;
+  }
+  size_t budget = max_pairs;
+  while (ready_pos_ >= ready_.size() && !AllExhausted()) {
+    size_t runnable = 0;
+    for (const SubShard& shard : shards_) {
+      if (!shard.exhausted) ++runnable;
+    }
+    // Split the slice budget across the runnable shards; unbudgeted calls
+    // pump each shard to its next local emission instead.
+    const size_t per_shard =
+        max_pairs == 0 ? 0 : std::max<size_t>(1, budget / runnable);
+    const uint64_t used = PumpRound(per_shard);
+    RefreshBoundsAndRelease();
+    if (max_pairs != 0) {
+      budget = used >= budget ? 0 : budget - static_cast<size_t>(used);
+      if (budget == 0) break;  // possibly a yield: nothing globally final yet
+    }
+  }
+
+  size_t n = ready_.size() - ready_pos_;
+  if (max_results != 0) n = std::min(n, max_results);
+  if (cap_ != 0) n = std::min(n, cap_ - delivered_);
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(ready_[ready_pos_ + i]));
+  }
+  ready_pos_ += n;
+  delivered_ += n;
+  if (CapReached()) {
+    // Early termination, merge-level: the remaining shard work (and the
+    // held candidates) can never be delivered — release the engines (and
+    // their worker threads) now.
+    for (SubShard& shard : shards_) shard.session->Close();
+    held_.clear();
+    dominators_.clear();
+  }
+  return n;
+}
+
+void ShardedStream::Close() {
+  if (closed_) return;
+  closed_ = true;
+  for (SubShard& shard : shards_) {
+    if (shard.session != nullptr) shard.session->Close();
+  }
+  held_.clear();
+  dominators_.clear();
+  ready_.clear();
+  ready_pos_ = 0;
+}
+
+bool ShardedStream::Finished() const {
+  if (closed_ || CapReached()) return true;
+  return ready_pos_ >= ready_.size() && held_.empty() && AllExhausted();
+}
+
+const ProgXeStats& ShardedStream::stats() const {
+  agg_stats_ = ProgXeStats{};
+  for (const SubShard& shard : shards_) {
+    AddStats(&agg_stats_, shard.session->stats());
+  }
+  return agg_stats_;
+}
+
+Result<std::unique_ptr<ProgXeStream>> OpenProgXeStream(
+    const SkyMapJoinQuery& query, ProgXeOptions options,
+    const ShardOptions& shards) {
+  if (shards.num_shards <= 1) {
+    PROGXE_ASSIGN_OR_RETURN(std::unique_ptr<ProgXeSession> session,
+                            ProgXeSession::Open(query, std::move(options)));
+    return std::unique_ptr<ProgXeStream>(std::move(session));
+  }
+  PROGXE_ASSIGN_OR_RETURN(
+      std::unique_ptr<ShardedStream> stream,
+      ShardedStream::Open(query, std::move(options), shards));
+  return std::unique_ptr<ProgXeStream>(std::move(stream));
+}
+
+}  // namespace progxe

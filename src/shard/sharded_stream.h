@@ -1,0 +1,136 @@
+// ShardedStream: the sharded implementation of ProgXeStream.
+//
+// The planner hash-partitions both sources by join key into K disjoint
+// shards (shard/shard_planner.h), one ProgXeSession per shard. Each pump
+// round splits the caller's pair budget across the runnable shards and
+// funnels their locally-final outputs into a merge sink that re-validates
+// finality *globally* before emitting:
+//
+//   * A per-shard "final" certificate only covers that shard's own join
+//     pairs — a tuple a shard proved undominated locally may still be
+//     dominated by another shard's output, so nothing a sub-session emits
+//     may pass through unchecked.
+//   * The merge sink therefore keeps every accepted candidate as a
+//     dominator: a new arrival strictly dominated by any earlier candidate
+//     is discarded (it is provably not in the global skyline), and held
+//     candidates a new arrival dominates are dropped before they ever reach
+//     the caller.
+//   * A held candidate is released only once no *other* unfinished shard
+//     can still dominate it. Each sub-session exposes its remaining-output
+//     frontier (ProgXeSession::RemainingLowerBound — the canonical
+//     lower-bound corner of everything it may still deliver); if that
+//     corner does not strictly dominate the candidate, no future tuple from
+//     that shard can either. The candidate's own shard needs no check: the
+//     engine's progressive guarantee already covers it.
+//
+// Together these give the sharded stream the same contract as a session:
+// every delivered tuple is final (no retractions) and the union of all
+// deliveries is exactly the unsharded skyline. ProgXeStats are the
+// per-shard engine counters summed elementwise, so per-shard work remains
+// auditable through the standard counters.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "mapping/canonical.h"
+#include "prefs/dominance.h"
+#include "progxe/session.h"
+#include "progxe/stream.h"
+#include "shard/shard_planner.h"
+
+namespace progxe {
+
+class ShardedStream : public ProgXeStream {
+ public:
+  /// Plans the shards and opens one sub-session per shard (each runs
+  /// PreparePhase over its slice). `options.max_results` is enforced at the
+  /// merge sink, not per shard. The relations behind `query` must outlive
+  /// the stream; the shard slices are owned by it.
+  static Result<std::unique_ptr<ShardedStream>> Open(
+      const SkyMapJoinQuery& query, ProgXeOptions options,
+      const ShardOptions& shards);
+
+  ~ShardedStream() override;
+
+  size_t NextBatch(size_t max_results, size_t max_pairs,
+                   std::vector<ResultTuple>* out) override;
+  void Close() override;
+  bool Finished() const override;
+
+  /// Elementwise sum of the sub-sessions' counters (doubles add, flags OR).
+  const ProgXeStats& stats() const override;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Candidates currently held back by the global finality check
+  /// (diagnostic; 0 once Finished()).
+  size_t held_candidates() const { return held_.size(); }
+
+  /// Dominance comparisons performed by the merge sink itself (dominator
+  /// filtering + finality checks). Kept *out* of stats().dominance_
+  /// comparisons, which is by contract the additive sum of the per-shard
+  /// engine counters; benches report both.
+  uint64_t merge_comparisons() const { return merge_counter_.comparisons; }
+
+ private:
+  struct SubShard {
+    QueryShard slice;
+    std::unique_ptr<ProgXeSession> session;
+    /// Canonical remaining-output frontier corner; meaningful while
+    /// `!exhausted`.
+    std::vector<double> bound;
+    /// True once the session delivered everything: it constrains nothing.
+    bool exhausted = false;
+  };
+
+  /// One locally-final tuple awaiting the global finality check.
+  struct Candidate {
+    ResultTuple tuple;          // original row ids, user-space values
+    std::vector<double> canon;  // canonical (minimize-all) values
+    int shard = 0;
+  };
+
+  ShardedStream() = default;
+
+  bool AllExhausted() const;
+  bool CapReached() const {
+    return cap_ != 0 && delivered_ >= cap_;
+  }
+  /// Advances every runnable shard by its slice of `per_shard` pairs and
+  /// ingests what it produced. Returns the pairs actually consumed.
+  uint64_t PumpRound(size_t per_shard);
+  /// Filters a sub-session batch through the dominator set and adds the
+  /// survivors to the held set.
+  void Ingest(size_t shard_idx, const std::vector<ResultTuple>& batch);
+  /// Re-reads every runnable shard's frontier, then moves the held
+  /// candidates no unfinished foreign shard can still dominate into the
+  /// ready queue.
+  void RefreshBoundsAndRelease();
+  bool GloballyFinal(const Candidate& candidate);
+
+  std::vector<SubShard> shards_;
+  CanonicalMapper mapper_;
+  int k_ = 0;
+  size_t cap_ = 0;  // options.max_results, merge-level
+  size_t delivered_ = 0;
+  bool closed_ = false;
+
+  /// Canonical vectors (k_ per entry) of every accepted candidate, released
+  /// or held. Dominated arrivals never enter; dominated *held* entries stay
+  /// listed, which is harmless — their dominator kills anything they would.
+  std::vector<double> dominators_;
+  std::vector<Candidate> held_;
+
+  /// Released results not yet handed to the caller:
+  /// [ready_pos_, ready_.size()).
+  std::vector<ResultTuple> ready_;
+  size_t ready_pos_ = 0;
+
+  mutable ProgXeStats agg_stats_;
+  DomCounter merge_counter_;
+  std::vector<ResultTuple> pump_scratch_;
+};
+
+}  // namespace progxe

@@ -1,0 +1,309 @@
+// Serving-layer hardening tests: per-query deadlines (running and
+// waiting-room expiry, exactly one OnDone), the SchedulerStats snapshot,
+// scheduler-served sharded queries, and the enum name round-trips.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "equivalence_common.h"
+#include "progxe/session.h"
+#include "service/scheduler.h"
+
+namespace progxe {
+namespace {
+
+using test::Config;
+using test::MakeConfig;
+
+using IdSet = std::vector<std::pair<RowId, RowId>>;
+
+/// Minimal recording sink: delivered pairs, lifecycle, exactly-one OnDone.
+class RecordingSink : public QuerySink {
+ public:
+  void OnBatch(const std::vector<ResultTuple>& batch) override {
+    std::lock_guard<std::mutex> lock(mtx_);
+    for (const ResultTuple& res : batch) seq_.emplace_back(res.r_id, res.t_id);
+  }
+  void OnDone(QueryState state, const Status& status,
+              const ProgXeStats& stats) override {
+    std::lock_guard<std::mutex> lock(mtx_);
+    EXPECT_FALSE(done_) << "OnDone must fire exactly once";
+    done_ = true;
+    final_state_ = state;
+    final_status_ = status;
+    stats_ = stats;
+  }
+  bool done() const { return done_; }
+  const IdSet& seq() const { return seq_; }
+  QueryState final_state() const { return final_state_; }
+  const Status& final_status() const { return final_status_; }
+  const ProgXeStats& stats() const { return stats_; }
+
+ private:
+  std::mutex mtx_;
+  IdSet seq_;
+  bool done_ = false;
+  QueryState final_state_ = QueryState::kQueued;
+  Status final_status_;
+  ProgXeStats stats_;
+};
+
+IdSet SoloReference(const Config& cfg, const ProgXeOptions& options,
+                    ProgXeStats* stats) {
+  IdSet seq;
+  auto session = ProgXeSession::Open(cfg.query(), options);
+  EXPECT_TRUE(session.ok());
+  std::vector<ResultTuple> batch;
+  while ((*session)->NextBatch(0, &batch) > 0) {
+    for (const ResultTuple& res : batch) seq.emplace_back(res.r_id, res.t_id);
+  }
+  *stats = (*session)->stats();
+  return seq;
+}
+
+// A running query whose deadline passes mid-stream must terminate with
+// kDeadlineExceeded at a slice boundary: one OnDone, a strict prefix of the
+// solo stream, handle state matching. The sink stalls past the deadline to
+// make expiry deterministic.
+TEST(Deadline, RunningQueryExpiresAtSliceBoundary) {
+  Rng rng(0xdead11);
+  const Config cfg = MakeConfig(&rng, false, true);
+  ProgXeStats solo_stats;
+  const IdSet solo = SoloReference(cfg, ProgXeOptions(), &solo_stats);
+  // The query must need more than one slice, or it could finish before the
+  // stalled deadline check.
+  ASSERT_GT(solo_stats.join_pairs_generated, 64u);
+
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  sopts.batch_budget = 64;
+  QueryScheduler scheduler(sopts);
+
+  struct StallingSink : RecordingSink {
+    void OnBatch(const std::vector<ResultTuple>& batch) override {
+      RecordingSink::OnBatch(batch);
+      // Outlives the 100ms deadline; the next slice check must expire.
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  };
+  StallingSink sink;
+  SubmitOptions submit;
+  submit.deadline = std::chrono::milliseconds(100);
+  auto handle = scheduler.Submit(cfg.query(), ProgXeOptions(), &sink, submit);
+  ASSERT_TRUE(handle.ok());
+  handle->Wait();
+
+  EXPECT_EQ(handle->state(), QueryState::kDeadlineExceeded);
+  EXPECT_TRUE(sink.done());
+  EXPECT_EQ(sink.final_state(), QueryState::kDeadlineExceeded);
+  EXPECT_TRUE(sink.final_status().ok());
+  EXPECT_LT(sink.seq().size(), solo.size())
+      << "expired query delivered everything";
+  for (size_t i = 0; i < sink.seq().size(); ++i) {
+    EXPECT_EQ(sink.seq()[i], solo[i]) << "not a prefix at " << i;
+  }
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.finished, 0u);
+}
+
+// A queued query whose deadline passes in the waiting room must expire
+// without ever opening a stream — noticed by the timed worker wait, with no
+// other scheduler activity to piggyback on.
+TEST(Deadline, WaitingRoomExpiryNeedsNoActivity) {
+  Rng rng(0xdead22);
+  const Config cfg = MakeConfig(&rng, false, false);
+
+  ServiceOptions sopts;
+  sopts.num_workers = 2;  // one gets stuck in the holder, one sleeps idle
+  sopts.max_concurrent = 1;
+  QueryScheduler scheduler(sopts);
+
+  struct BlockUntilReleased : QuerySink {
+    std::mutex mtx;
+    std::condition_variable cv;
+    bool release = false;
+    void OnBatch(const std::vector<ResultTuple>&) override {
+      std::unique_lock<std::mutex> lock(mtx);
+      cv.wait(lock, [&] { return release; });
+    }
+    void OnDone(QueryState, const Status&, const ProgXeStats&) override {}
+  };
+  BlockUntilReleased holder;
+  RecordingSink expired;
+  auto h1 = scheduler.Submit(cfg.query(), ProgXeOptions(), &holder);
+  ASSERT_TRUE(h1.ok());
+  SubmitOptions submit;
+  submit.deadline = std::chrono::milliseconds(50);
+  auto h2 = scheduler.Submit(cfg.query(), ProgXeOptions(), &expired, submit);
+  ASSERT_TRUE(h2.ok());
+
+  // The only admission slot stays blocked; h2 must still expire.
+  h2->Wait();
+  EXPECT_EQ(h2->state(), QueryState::kDeadlineExceeded);
+  EXPECT_TRUE(expired.done());
+  EXPECT_TRUE(expired.seq().empty());
+  EXPECT_EQ(expired.stats().results_emitted, 0u);
+
+  {
+    std::lock_guard<std::mutex> lock(holder.mtx);
+    holder.release = true;
+    holder.cv.notify_all();
+  }
+  scheduler.Drain();
+}
+
+// ServiceOptions::default_deadline applies to submissions that carry no
+// per-query override.
+TEST(Deadline, DefaultDeadlineInherited) {
+  Rng rng(0xdead33);
+  const Config cfg = MakeConfig(&rng, false, true);
+  ProgXeStats solo_stats;
+  SoloReference(cfg, ProgXeOptions(), &solo_stats);
+  ASSERT_GT(solo_stats.join_pairs_generated, 64u);
+
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  sopts.batch_budget = 64;
+  sopts.default_deadline = std::chrono::milliseconds(100);
+  QueryScheduler scheduler(sopts);
+
+  struct StallingSink : RecordingSink {
+    void OnBatch(const std::vector<ResultTuple>& batch) override {
+      RecordingSink::OnBatch(batch);
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  };
+  StallingSink sink;
+  auto handle = scheduler.Submit(cfg.query(), ProgXeOptions(), &sink);
+  ASSERT_TRUE(handle.ok());
+  handle->Wait();
+  EXPECT_EQ(handle->state(), QueryState::kDeadlineExceeded);
+}
+
+// SchedulerStats: gauges drain to zero, outcome counters and served-work
+// counters add up against ground truth.
+TEST(SchedulerStatsTest, SnapshotMatchesServedWork) {
+  Rng rng(0x57a75);
+  constexpr int kQueries = 3;
+  std::vector<Config> configs;
+  for (int i = 0; i < kQueries; ++i) {
+    configs.push_back(MakeConfig(&rng, false, false));
+  }
+
+  ServiceOptions sopts;
+  sopts.num_workers = 2;
+  sopts.batch_budget = 128;
+  QueryScheduler scheduler(sopts);
+  EXPECT_EQ(scheduler.stats().submitted, 0u);
+
+  std::vector<RecordingSink> sinks(kQueries);
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < kQueries; ++i) {
+    auto handle =
+        scheduler.Submit(configs[static_cast<size_t>(i)].query(),
+                         ProgXeOptions(), &sinks[static_cast<size_t>(i)]);
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(*handle);
+  }
+  scheduler.Drain();
+
+  uint64_t expected_results = 0;
+  uint64_t expected_pairs = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    const RecordingSink& sink = sinks[static_cast<size_t>(i)];
+    EXPECT_EQ(sink.final_state(), QueryState::kFinished);
+    expected_results += sink.seq().size();
+    expected_pairs += sink.stats().join_pairs_generated;
+  }
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(stats.finished, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.results, expected_results);
+  EXPECT_EQ(stats.sliced_pairs, expected_pairs);
+  EXPECT_GE(stats.slices, static_cast<uint64_t>(kQueries));
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+// A sharded query behind one QueryHandle: the scheduler-served stream must
+// deliver exactly the unsharded result set (as a set — the merge order is
+// scheduling-dependent) with additive counters, through the same Submit
+// path as everything else.
+TEST(ShardedServing, SchedulerServesShardedQueryAsOneHandle) {
+  Rng rng(0x51a8d);
+  const Config cfg = MakeConfig(&rng, true, true);
+  ProgXeStats solo_stats;
+  IdSet reference = SoloReference(cfg, ProgXeOptions(), &solo_stats);
+  std::sort(reference.begin(), reference.end());
+
+  for (int num_shards : {2, 4}) {
+    ServiceOptions sopts;
+    sopts.num_workers = 2;
+    sopts.batch_budget = 64;
+    QueryScheduler scheduler(sopts);
+    RecordingSink sink;
+    SubmitOptions submit;
+    submit.shards.num_shards = num_shards;
+    auto handle =
+        scheduler.Submit(cfg.query(), ProgXeOptions(), &sink, submit);
+    ASSERT_TRUE(handle.ok());
+    handle->Wait();
+    EXPECT_EQ(handle->state(), QueryState::kFinished);
+
+    IdSet served = sink.seq();
+    std::sort(served.begin(), served.end());
+    EXPECT_EQ(served, reference) << "K=" << num_shards;
+    // The aggregate counters are summed per-shard *engine* emissions: every
+    // global result was emitted by its shard's local skyline, so the sum is
+    // bounded below by the merged count (local skylines may hold more).
+    EXPECT_GE(sink.stats().results_emitted, reference.size());
+    EXPECT_GT(sink.stats().join_pairs_generated, 0u);
+  }
+}
+
+TEST(Names, FairnessPolicyRoundTrips) {
+  for (FairnessPolicy policy :
+       {FairnessPolicy::kRoundRobin, FairnessPolicy::kWeightedFair}) {
+    FairnessPolicy parsed;
+    ASSERT_TRUE(FairnessPolicyFromName(FairnessPolicyName(policy), &parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  FairnessPolicy parsed;
+  EXPECT_TRUE(FairnessPolicyFromName("rr", &parsed));
+  EXPECT_EQ(parsed, FairnessPolicy::kRoundRobin);
+  EXPECT_TRUE(FairnessPolicyFromName("wf", &parsed));
+  EXPECT_EQ(parsed, FairnessPolicy::kWeightedFair);
+  EXPECT_FALSE(FairnessPolicyFromName("fifo", &parsed));
+  EXPECT_FALSE(FairnessPolicyFromName("", &parsed));
+}
+
+TEST(Names, QueryStateRoundTrips) {
+  for (QueryState state :
+       {QueryState::kQueued, QueryState::kRunning, QueryState::kFinished,
+        QueryState::kCancelled, QueryState::kFailed,
+        QueryState::kDeadlineExceeded}) {
+    QueryState parsed;
+    ASSERT_TRUE(QueryStateFromName(QueryStateName(state), &parsed))
+        << QueryStateName(state);
+    EXPECT_EQ(parsed, state);
+  }
+  QueryState parsed;
+  EXPECT_FALSE(QueryStateFromName("exploded", &parsed));
+  EXPECT_TRUE(IsTerminal(QueryState::kDeadlineExceeded));
+}
+
+}  // namespace
+}  // namespace progxe

@@ -1,0 +1,326 @@
+// ShardedStream tests: serving a query through K hash-partitioned engine
+// shards must deliver exactly the unsharded result *set* — only
+// guaranteed-final tuples, no retractions, no duplicates — with the
+// aggregate ProgXeStats equal to the per-shard counters summed, for any
+// K, consumption granularity, pair budget and thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "equivalence_common.h"
+#include "progxe/session.h"
+#include "progxe/stream.h"
+#include "shard/shard_planner.h"
+#include "shard/sharded_stream.h"
+
+namespace progxe {
+namespace {
+
+using test::Config;
+using test::ExpectSameStats;
+using test::MakeConfig;
+
+using IdSet = std::vector<std::pair<RowId, RowId>>;
+
+IdSet SortedIds(const std::vector<ResultTuple>& results) {
+  IdSet ids;
+  ids.reserve(results.size());
+  for (const ResultTuple& res : results) ids.emplace_back(res.r_id, res.t_id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Worker threads for the threaded sweep configs; PROGXE_TEST_THREADS
+/// overrides (the TSan CI job runs with 4).
+int TestThreads() {
+  const char* env = std::getenv("PROGXE_TEST_THREADS");
+  return env != nullptr ? std::atoi(env) : 2;
+}
+
+/// Drains a stream through the abstract interface. With a budget, counts
+/// the yields (0-result non-final calls); without one, a 0 return means
+/// Finished.
+std::vector<ResultTuple> DrainStream(ProgXeStream* stream, size_t max_results,
+                                     size_t max_pairs,
+                                     size_t* yields = nullptr) {
+  std::vector<ResultTuple> all;
+  std::vector<ResultTuple> batch;
+  while (!stream->Finished()) {
+    const size_t n = stream->NextBatch(max_results, max_pairs, &batch);
+    EXPECT_EQ(n, batch.size());
+    if (max_results != 0) {
+      EXPECT_LE(n, max_results);
+    }
+    if (n == 0) {
+      if (max_pairs == 0) break;
+      if (!stream->Finished() && yields != nullptr) ++*yields;
+      continue;
+    }
+    for (ResultTuple& res : batch) all.push_back(std::move(res));
+  }
+  EXPECT_TRUE(stream->Finished());
+  EXPECT_EQ(stream->NextBatch(0, 0, &batch), 0u);
+  return all;
+}
+
+/// Counter sum mirroring the stream's additive aggregation, restricted to
+/// the fields ExpectSameStats guards.
+void AddCounters(ProgXeStats* agg, const ProgXeStats& s) {
+  agg->join_pairs_generated += s.join_pairs_generated;
+  agg->tuples_discarded_marked += s.tuples_discarded_marked;
+  agg->tuples_discarded_frontier += s.tuples_discarded_frontier;
+  agg->tuples_dominated_on_insert += s.tuples_dominated_on_insert;
+  agg->tuples_evicted += s.tuples_evicted;
+  agg->dominance_comparisons += s.dominance_comparisons;
+  agg->results_emitted += s.results_emitted;
+  agg->results_emitted_early += s.results_emitted_early;
+  agg->regions_processed += s.regions_processed;
+  agg->regions_discarded_runtime += s.regions_discarded_runtime;
+  agg->cells_flushed += s.cells_flushed;
+}
+
+/// Unsharded reference: full result set + stats through a plain session.
+IdSet UnshardedReference(const Config& cfg, const ProgXeOptions& options,
+                         ProgXeStats* stats) {
+  auto session = ProgXeSession::Open(cfg.query(), options);
+  EXPECT_TRUE(session.ok());
+  std::vector<ResultTuple> all = DrainStream(session->get(), 0, 0);
+  *stats = (*session)->stats();
+  return SortedIds(all);
+}
+
+/// Per-shard solo runs (each shard drained alone, unsliced), counters
+/// summed — the "summed per-shard counters" side of the additivity check.
+ProgXeStats SumOfSoloShardRuns(const Config& cfg,
+                               const ProgXeOptions& options, int num_shards) {
+  ProgXeStats sum;
+  for (QueryShard& shard : PlanShards(cfg.r, cfg.t, num_shards)) {
+    auto session = ProgXeSession::Open(shard.Query(cfg.query()), options);
+    EXPECT_TRUE(session.ok());
+    DrainStream(session->get(), 0, 0);
+    AddCounters(&sum, (*session)->stats());
+  }
+  return sum;
+}
+
+class ShardedEquivalenceSweep : public ::testing::TestWithParam<int> {};
+
+// The acceptance criterion: for K in {1, 2, 4, 8} over seeded configs
+// (incl. ties, high sigma and per-shard worker pools), the sharded stream
+// emits exactly the unsharded result set with additive ProgXeStats.
+TEST_P(ShardedEquivalenceSweep, ShardedSetEqualsUnsharded) {
+  const int param = GetParam();
+  Rng rng(0x51a2d + static_cast<uint64_t>(param));
+  const Config cfg = MakeConfig(&rng, param % 5 == 0, param % 4 == 0);
+
+  ProgXeOptions options;
+  options.seed = 0xfeed + static_cast<uint64_t>(param);
+  if (param % 3 == 1) options.num_threads = TestThreads();
+  // Push-through stacks a second id remap (pruned -> shard -> original).
+  if (param % 4 == 2) options.push_through = true;
+
+  ProgXeStats unsharded_stats;
+  const IdSet reference = UnshardedReference(cfg, options, &unsharded_stats);
+
+  for (int num_shards : {1, 2, 4, 8}) {
+    ShardOptions shard_options;
+    shard_options.num_shards = num_shards;
+    auto stream = OpenProgXeStream(cfg.query(), options, shard_options);
+    ASSERT_TRUE(stream.ok()) << "K=" << num_shards;
+    const IdSet sharded = SortedIds(DrainStream(stream->get(), 0, 0));
+
+    // Exactly the unsharded set: nothing lost, nothing extra, no
+    // duplicates (a duplicate would break the sorted-set equality).
+    EXPECT_EQ(sharded, reference)
+        << "K=" << num_shards << ", param=" << param;
+
+    // Additive stats: the aggregate equals the per-shard solo counters
+    // summed (slice boundaries never change engine counters).
+    ProgXeStats expected;
+    if (num_shards == 1) {
+      expected = unsharded_stats;
+    } else {
+      expected = SumOfSoloShardRuns(cfg, options, num_shards);
+    }
+    ExpectSameStats(expected, (*stream)->stats(), "sharded aggregate");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedEquivalenceSweep,
+                         ::testing::Range(0, 12));
+
+class ShardedBudgetSweep : public ::testing::TestWithParam<int> {};
+
+// Budgeted, capped consumption through the interface: any slicing of the
+// sharded stream delivers the same set, and small budgets actually yield.
+TEST_P(ShardedBudgetSweep, BudgetedConsumptionDeliversSameSet) {
+  const int param = GetParam();
+  Rng rng(0xb1a5 + static_cast<uint64_t>(param));
+  const Config cfg = MakeConfig(&rng, param % 3 == 0, param % 2 == 0);
+
+  ProgXeOptions options;
+  options.seed = 0xfeed;
+  if (param % 2 == 1) options.num_threads = TestThreads();
+
+  ProgXeStats unsharded_stats;
+  const IdSet reference = UnshardedReference(cfg, options, &unsharded_stats);
+
+  size_t total_yields = 0;
+  for (size_t max_pairs : {size_t{16}, size_t{256}}) {
+    ShardOptions shard_options;
+    shard_options.num_shards = 4;
+    auto stream = OpenProgXeStream(cfg.query(), options, shard_options);
+    ASSERT_TRUE(stream.ok());
+    size_t yields = 0;
+    const IdSet sharded =
+        SortedIds(DrainStream(stream->get(), 5, max_pairs, &yields));
+    EXPECT_EQ(sharded, reference)
+        << "max_pairs=" << max_pairs << ", param=" << param;
+    total_yields += yields;
+  }
+  // A 16-pair budget over a non-trivial join must pause without a globally
+  // final result at least once; otherwise the yield path is dead code.
+  if (unsharded_stats.join_pairs_generated > 200) {
+    EXPECT_GT(total_yields, 0u) << "param=" << param;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedBudgetSweep, ::testing::Range(0, 6));
+
+// options.max_results is enforced at the merge sink: the capped sharded
+// stream delivers exactly min(cap, |skyline|) distinct members of the full
+// skyline (the *which* prefix is scheduling-dependent, membership is not).
+TEST(ShardedStream, MaxResultsCapsAtMergeWithOnlyFinalTuples) {
+  Rng rng(0xca95);
+  const Config cfg = MakeConfig(&rng, false, true);
+
+  ProgXeOptions options;
+  options.seed = 0xfeed;
+  ProgXeStats unsharded_stats;
+  const IdSet full = UnshardedReference(cfg, options, &unsharded_stats);
+  ASSERT_GT(full.size(), 3u) << "config too small to exercise the cap";
+
+  for (size_t cap : {size_t{1}, size_t{3}, full.size() + 10}) {
+    ProgXeOptions capped = options;
+    capped.max_results = cap;
+    ShardOptions shard_options;
+    shard_options.num_shards = 4;
+    auto stream = OpenProgXeStream(cfg.query(), capped, shard_options);
+    ASSERT_TRUE(stream.ok());
+    const IdSet got = SortedIds(DrainStream(stream->get(), 0, 128));
+    EXPECT_EQ(got.size(), std::min(cap, full.size())) << "cap=" << cap;
+    EXPECT_TRUE(std::adjacent_find(got.begin(), got.end()) == got.end())
+        << "duplicate delivery, cap=" << cap;
+    for (const auto& id : got) {
+      EXPECT_TRUE(std::binary_search(full.begin(), full.end(), id))
+          << "non-final tuple delivered (r=" << id.first
+          << ", t=" << id.second << "), cap=" << cap;
+    }
+  }
+}
+
+// Every intermediate delivery is already final: a prefix of the sharded
+// stream is always a subset of the full skyline, so nothing would ever
+// need retracting.
+TEST(ShardedStream, ProgressiveDeliveriesAreFinal) {
+  Rng rng(0xf17a1);
+  const Config cfg = MakeConfig(&rng, false, true);
+  ProgXeOptions options;
+  options.seed = 0xfeed;
+  ProgXeStats unsharded_stats;
+  const IdSet full = UnshardedReference(cfg, options, &unsharded_stats);
+
+  ShardOptions shard_options;
+  shard_options.num_shards = 4;
+  auto opened = ShardedStream::Open(cfg.query(), options, shard_options);
+  ASSERT_TRUE(opened.ok());
+  ShardedStream* stream = opened->get();
+  std::vector<ResultTuple> batch;
+  size_t delivered = 0;
+  while (!stream->Finished()) {
+    const size_t n = stream->NextBatch(3, 64, &batch);
+    delivered += n;
+    for (const ResultTuple& res : batch) {
+      EXPECT_TRUE(std::binary_search(full.begin(), full.end(),
+                                     std::make_pair(res.r_id, res.t_id)))
+          << "delivered tuple outside the final skyline";
+    }
+    if (n == 0 && stream->Finished()) break;
+  }
+  EXPECT_EQ(delivered, full.size());
+  EXPECT_EQ(stream->held_candidates(), 0u);
+}
+
+// Planner invariants: shards partition both sources exactly (every row in
+// exactly one shard) and group whole join-key classes.
+TEST(ShardPlanner, DisjointCompleteKeyPartition) {
+  Rng rng(0x9a27);
+  const Config cfg = MakeConfig(&rng, false, false);
+  constexpr int kShards = 4;
+  const std::vector<QueryShard> shards = PlanShards(cfg.r, cfg.t, kShards);
+  ASSERT_EQ(shards.size(), static_cast<size_t>(kShards));
+
+  std::vector<int> r_owner(cfg.r.size(), -1);
+  for (int s = 0; s < kShards; ++s) {
+    const QueryShard& shard = shards[static_cast<size_t>(s)];
+    ASSERT_EQ(shard.r.size(), shard.r_orig_ids.size());
+    for (size_t i = 0; i < shard.r.size(); ++i) {
+      const RowId orig = shard.r_orig_ids[i];
+      EXPECT_EQ(r_owner[orig], -1) << "row in two shards";
+      r_owner[orig] = s;
+      // Attribute payload and key survive the move intact, and the row's
+      // key hashes to this shard.
+      const RowId local = static_cast<RowId>(i);
+      EXPECT_EQ(shard.r.join_key(local), cfg.r.join_key(orig));
+      EXPECT_EQ(ShardOfKey(shard.r.join_key(local), kShards), s);
+    }
+  }
+  for (int owner : r_owner) EXPECT_NE(owner, -1) << "row lost";
+}
+
+TEST(ShardedStream, CloseMidStreamReleasesAndFinishes) {
+  Rng rng(0xc1053);
+  const Config cfg = MakeConfig(&rng, false, true);
+  ProgXeOptions options;
+  options.num_threads = TestThreads();  // worker teardown mid-shard
+  ShardOptions shard_options;
+  shard_options.num_shards = 4;
+  auto stream = OpenProgXeStream(cfg.query(), options, shard_options);
+  ASSERT_TRUE(stream.ok());
+  std::vector<ResultTuple> batch;
+  (*stream)->NextBatch(0, /*max_pairs=*/8, &batch);
+  (*stream)->Close();
+  EXPECT_TRUE((*stream)->Finished());
+  EXPECT_EQ((*stream)->NextBatch(0, 0, &batch), 0u);
+  // Counters stay readable after Close.
+  EXPECT_GT((*stream)->stats().r_rows, 0u);
+}
+
+TEST(ShardedStream, InvalidQueryFailsOpenAndEmptySourcesFinish) {
+  Config bad;
+  bad.r = Relation(Schema::Anonymous(2));
+  bad.t = Relation(Schema::Anonymous(2));
+  bad.map = MapSpec::PairwiseSum(2);
+  bad.pref = Preference::AllLowest(3);  // dimensionality mismatch
+  ShardOptions shard_options;
+  shard_options.num_shards = 4;
+  EXPECT_TRUE(OpenProgXeStream(bad.query(), ProgXeOptions(), shard_options)
+                  .status()
+                  .IsInvalidArgument());
+
+  Config empty = std::move(bad);
+  empty.pref = Preference::AllLowest(2);
+  auto stream =
+      OpenProgXeStream(empty.query(), ProgXeOptions(), shard_options);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_TRUE((*stream)->Finished());
+  std::vector<ResultTuple> batch;
+  EXPECT_EQ((*stream)->NextBatch(0, 0, &batch), 0u);
+}
+
+}  // namespace
+}  // namespace progxe

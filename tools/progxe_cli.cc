@@ -15,6 +15,9 @@
 //   --kd               use the kd-tree partitioner for ProgXe variants
 //   --num_threads=<w>  join->map worker threads for ProgXe variants
 //                      (default 1; results are identical at any count)
+//   --shards=<K>       hash-partition the join across K engine shards
+//                      (ProgXe variants; default 1 = unsharded, the result
+//                      set is identical at any K)
 //   --csv=<path>       append per-emission series rows to a CSV file
 //   --series=<k>       print at most k series samples (default 10)
 //
@@ -26,6 +29,8 @@
 //   --budget=<pairs>      join pairs per NextBatch slice   (default 4096)
 //   --policy=rr|wf        round-robin | weighted-fair      (default rr)
 //   --max_concurrent=<n>  admission slots, 0 = unbounded   (default 0)
+// --shards also applies here: each query is served as one sharded stream
+// behind its QueryHandle.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -50,6 +55,7 @@ struct CliArgs {
   std::string algo = "ProgXe";
   bool kd = false;
   int num_threads = 1;
+  int shards = 1;
   std::string csv_path;
   int series_samples = 10;
 
@@ -93,6 +99,12 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
         std::fprintf(stderr, "--num_threads must be >= 1\n");
         return false;
       }
+    } else if (const char* v = value("--shards=")) {
+      args->shards = std::atoi(v);
+      if (args->shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return false;
+      }
     } else if (const char* v = value("--series=")) {
       args->series_samples = std::atoi(v);
     } else if (const char* v = value("--queries=")) {
@@ -130,7 +142,17 @@ int RunOne(Algo algo, const Workload& workload, const CliArgs& args,
   ProgXeOptions tuning;
   if (args.kd) tuning.partitioning = PartitioningScheme::kKdTree;
   tuning.num_threads = args.num_threads;
-  auto run = RunAlgorithm(algo, workload, tuning);
+  ShardOptions shards;
+  shards.num_shards = args.shards;
+  if (args.shards > 1 && !IsProgXeVariant(algo)) {
+    // Keeps --algo=all --shards=K usable: ProgXe variants run sharded,
+    // baselines (which have no shard path) run as-is.
+    std::fprintf(stderr, "%s: --shards applies to ProgXe variants only; "
+                 "running unsharded\n",
+                 AlgoName(algo));
+    shards.num_shards = 1;
+  }
+  auto run = RunAlgorithm(algo, workload, tuning, shards);
   if (!run.ok()) {
     std::fprintf(stderr, "%s failed: %s\n", AlgoName(algo),
                  run.status().ToString().c_str());
@@ -236,18 +258,22 @@ int RunMultiQuery(Algo algo, const CliArgs& args) {
   sopts.max_concurrent = args.max_concurrent;
   sopts.policy = args.policy;
 
-  std::printf("serving %zu x %s: workers=%d budget=%zu policy=%s\n",
+  std::printf("serving %zu x %s: workers=%d budget=%zu policy=%s shards=%d\n",
               args.queries, AlgoName(algo), sopts.num_workers,
-              sopts.batch_budget, FairnessPolicyName(sopts.policy));
+              sopts.batch_budget, FairnessPolicyName(sopts.policy),
+              args.shards);
 
   std::vector<CliSink> sinks(args.queries);
   Stopwatch watch;
   QueryScheduler scheduler(sopts);
+  SubmitOptions submit;
+  submit.shards.num_shards = args.shards;
   for (size_t i = 0; i < args.queries; ++i) {
     sinks[i].index = i;
     sinks[i].watch = &watch;
     auto handle = scheduler.Submit(workloads[i]->query(),
-                                   OptionsForAlgo(algo, tuning), &sinks[i]);
+                                   OptionsForAlgo(algo, tuning), &sinks[i],
+                                   submit);
     if (!handle.ok()) {
       std::fprintf(stderr, "submit %zu: %s\n", i,
                    handle.status().ToString().c_str());

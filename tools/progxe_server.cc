@@ -12,21 +12,30 @@
 //   --policy=rr|wf        round-robin | weighted-fair       (default rr)
 //   --max_concurrent=<n>  admission slots, 0 = unbounded    (default 8)
 //   --max_queue=<n>       waiting-room bound, 0 = unbounded (default 0)
+//   --deadline_ms=<ms>    default per-query deadline, 0 = none (default 0)
 //   --echo_results        print each result tuple's id pair
 //
 // Protocol (one command per line; tokens are key=value or bare words):
 //   submit [dist=independent|correlated|anticorrelated] [n=10000] [dims=4]
 //          [sigma=0.001] [seed=42] [threads=1] [max_results=0] [weight=1]
+//          [shards=1] [deadline_ms=0]
 //          [algo=ProgXe|ProgXe+|ProgXe-NoOrder|ProgXe+-NoOrder] [kd]
 //     -> "ok id=<id>"; then asynchronously:
 //        "batch id=<id> n=<k> total=<total> t=<sec>"      (per delivery)
 //        "result id=<id> r=<rid> t=<tid>"                 (--echo_results)
 //        "done id=<id> state=<state> results=<n> pairs=<n> cmps=<n> t=<sec>"
+//     shards=K > 1 serves the query through the sharded executor (one
+//     sub-session per shard behind the handle); deadline_ms > 0 overrides
+//     the server-wide default and expires the query with
+//     state=deadline_exceeded.
 //   cancel <id>     cooperative cancellation
 //   stats <id>      one "stat ..." line (live state, final stats if done)
+//   stats           one "sched ..." line: the SchedulerStats snapshot
+//                   (queue depth, running, slices, sliced pairs, outcomes)
 //   list            one "stat ..." line per submitted query
 //   quit            drain nothing further; cancel outstanding and exit
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -55,7 +64,7 @@ void Emit(const std::string& line) {
 }
 
 /// One served query: owns the workload (the relations must outlive the
-/// session) and the printing sink.
+/// stream) and the printing sink.
 struct ServedQuery : QuerySink {
   uint64_t id = 0;
   bool echo_results = false;
@@ -88,7 +97,7 @@ struct ServedQuery : QuerySink {
 
   void OnDone(QueryState state, const Status& status,
               const ProgXeStats& stats) override {
-    // The session is already closed: nothing references the relations
+    // The stream is already closed: nothing references the relations
     // anymore (and no other thread touches `workload` after submit), so a
     // long-lived server drops them now; the map entry stays for
     // stats/list.
@@ -111,7 +120,7 @@ struct ServedQuery : QuerySink {
 struct SubmitSpec {
   WorkloadParams params;
   ProgXeOptions options;
-  double weight = 1.0;
+  SubmitOptions submit;
   Algo algo = Algo::kProgXe;
 };
 
@@ -151,7 +160,16 @@ bool ParseSubmit(const std::vector<std::string>& tokens, SubmitSpec* spec,
       spec->options.max_results =
           static_cast<size_t>(std::atoll(val.c_str()));
     } else if (key == "weight") {
-      spec->weight = std::atof(val.c_str());
+      spec->submit.weight = std::atof(val.c_str());
+    } else if (key == "shards") {
+      spec->submit.shards.num_shards = std::atoi(val.c_str());
+      if (spec->submit.shards.num_shards < 1) {
+        *error = "shards must be >= 1";
+        return false;
+      }
+    } else if (key == "deadline_ms") {
+      spec->submit.deadline =
+          std::chrono::milliseconds(std::atoll(val.c_str()));
     } else if (key == "algo") {
       Algo algo;
       if (!AlgoFromName(val, &algo) || !IsProgXeVariant(algo)) {
@@ -202,6 +220,8 @@ int main(int argc, char** argv) {
       sopts.max_concurrent = static_cast<size_t>(std::atoll(arg + 17));
     } else if (std::strncmp(arg, "--max_queue=", 12) == 0) {
       sopts.max_queue = static_cast<size_t>(std::atoll(arg + 12));
+    } else if (std::strncmp(arg, "--deadline_ms=", 14) == 0) {
+      sopts.default_deadline = std::chrono::milliseconds(std::atoll(arg + 14));
     } else if (std::strcmp(arg, "--echo_results") == 0) {
       echo_results = true;
     } else if (std::strcmp(arg, "--help") == 0) {
@@ -273,7 +293,7 @@ int main(int argc, char** argv) {
       Emit("ok id=" + std::to_string(query->id));
       auto handle = scheduler.Submit(query->workload->query(),
                                      OptionsForAlgo(spec.algo, spec.options),
-                                     query.get(), spec.weight);
+                                     query.get(), spec.submit);
       if (!handle.ok()) {
         Emit("err id=" + std::to_string(query->id) + " " +
              handle.status().ToString());
@@ -281,6 +301,21 @@ int main(int argc, char** argv) {
       }
       query->handle = *handle;
       queries.emplace(query->id, std::move(query));
+      continue;
+    }
+
+    if (cmd == "stats" && tokens.size() == 1) {
+      const SchedulerStats stats = scheduler.stats();
+      std::ostringstream line;
+      line << "sched queued=" << stats.queued << " running=" << stats.running
+           << " submitted=" << stats.submitted
+           << " finished=" << stats.finished
+           << " cancelled=" << stats.cancelled << " failed=" << stats.failed
+           << " deadline_exceeded=" << stats.deadline_exceeded
+           << " slices=" << stats.slices
+           << " sliced_pairs=" << stats.sliced_pairs
+           << " batches=" << stats.batches << " results=" << stats.results;
+      Emit(line.str());
       continue;
     }
 

@@ -3,8 +3,9 @@
 # root: Fig-10/13-style per-config total time, time-to-first-result and
 # dominance-comparison counts, the thread-scaling sweep of the parallel
 # join->map pipeline (bench_scaling_threads), the multi-query serving-layer
-# sweep (bench_multiquery), plus the insert-path and CombineBatch
-# microbenchmark throughput when google-benchmark is available.
+# sweep (bench_multiquery), the shard-count sweep of the sharded executor
+# (bench_sharded), plus the insert-path and CombineBatch microbenchmark
+# throughput when google-benchmark is available.
 #
 # Usage: tools/run_bench.sh [build_dir] [extra bench_json_summary flags...]
 #   tools/run_bench.sh                 # uses ./build, CI-scale sizes
@@ -21,6 +22,7 @@ if [[ ! -x "$build_dir/bench_json_summary" ]]; then
   cmake --build "$build_dir" -j --target bench_json_summary >/dev/null
   cmake --build "$build_dir" -j --target bench_scaling_threads >/dev/null
   cmake --build "$build_dir" -j --target bench_multiquery >/dev/null
+  cmake --build "$build_dir" -j --target bench_sharded >/dev/null
   cmake --build "$build_dir" -j --target bench_micro_components >/dev/null 2>&1 || true
 fi
 
@@ -43,6 +45,14 @@ if [[ -x "$build_dir/bench_multiquery" ]]; then
   rm -f "$out.multiquery.tmp"
 fi
 
+sharded_json=""
+if [[ -x "$build_dir/bench_sharded" ]]; then
+  echo "running sharded-execution bench ..."
+  "$build_dir/bench_sharded" --json="$out.sharded.tmp" "$@"
+  sharded_json="$(cat "$out.sharded.tmp")"
+  rm -f "$out.sharded.tmp"
+fi
+
 micro_json=""
 if [[ -x "$build_dir/bench_micro_components" ]]; then
   echo "running insert-path microbenchmark ..."
@@ -51,10 +61,11 @@ if [[ -x "$build_dir/bench_micro_components" ]]; then
       --benchmark_format=json 2>/dev/null)"
 fi
 
-# Merge the thread-scaling, multi-query and micro results (if any) into the
-# summary JSON.
+# Merge the thread-scaling, multi-query, sharded and micro results (if any)
+# into the summary JSON.
 MICRO_JSON="$micro_json" THREADS_JSON="$threads_json" \
-MULTIQUERY_JSON="$multiquery_json" python3 - "$out.tmp" "$out" <<'EOF'
+MULTIQUERY_JSON="$multiquery_json" SHARDED_JSON="$sharded_json" \
+python3 - "$out.tmp" "$out" <<'EOF'
 import json, os, sys
 summary = json.load(open(sys.argv[1]))
 threads_raw = os.environ.get("THREADS_JSON", "")
@@ -63,6 +74,9 @@ if threads_raw.strip():
 multiquery_raw = os.environ.get("MULTIQUERY_JSON", "")
 if multiquery_raw.strip():
     summary["multiquery"] = json.loads(multiquery_raw)
+sharded_raw = os.environ.get("SHARDED_JSON", "")
+if sharded_raw.strip():
+    summary["sharded"] = json.loads(sharded_raw)
 micro_raw = os.environ.get("MICRO_JSON", "")
 if micro_raw.strip():
     micro = json.loads(micro_raw)
