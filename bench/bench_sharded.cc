@@ -36,6 +36,8 @@ struct ShardRun {
   uint64_t join_pairs = 0;
   uint64_t comparisons = 0;        // per-shard engine counters, summed
   uint64_t merge_comparisons = 0;  // merge-sink filtering/finality checks
+  size_t held_peak = 0;            // merge-sink held-queue high-water mark
+  double merge_time = 0.0;         // seconds spent inside the merge sink
 };
 
 using IdSet = std::vector<std::pair<RowId, RowId>>;
@@ -90,6 +92,8 @@ int main(int argc, char** argv) {
     if (const auto* sharded =
             dynamic_cast<const ShardedStream*>(stream->get())) {
       run.merge_comparisons = sharded->merge_comparisons();
+      run.held_peak = sharded->held_peak();
+      run.merge_time = sharded->merge_seconds();
     }
 
     std::sort(ids.begin(), ids.end());
@@ -106,11 +110,13 @@ int main(int argc, char** argv) {
 
     std::printf(
         "  K=%-2d makespan=%8.4fs t_first=%8.4fs results=%-7zu "
-        "pairs=%-10llu cmps=%-10llu merge_cmps=%llu\n",
+        "pairs=%-10llu cmps=%-10llu merge_cmps=%-9llu held_peak=%-6zu "
+        "merge_t=%.4fs\n",
         run.num_shards, run.makespan, run.t_first, run.results,
         static_cast<unsigned long long>(run.join_pairs),
         static_cast<unsigned long long>(run.comparisons),
-        static_cast<unsigned long long>(run.merge_comparisons));
+        static_cast<unsigned long long>(run.merge_comparisons),
+        run.held_peak, run.merge_time);
   }
 
   if (!json_path.empty()) {
@@ -131,11 +137,13 @@ int main(int argc, char** argv) {
                    "    {\"shards\": %d, \"makespan_s\": %.6f, "
                    "\"t_first_s\": %.6f, \"results\": %zu, "
                    "\"join_pairs\": %llu, \"comparisons\": %llu, "
-                   "\"merge_comparisons\": %llu}%s\n",
+                   "\"merge_comparisons\": %llu, \"held_peak\": %zu, "
+                   "\"merge_time_s\": %.6f}%s\n",
                    r.num_shards, r.makespan, r.t_first, r.results,
                    static_cast<unsigned long long>(r.join_pairs),
                    static_cast<unsigned long long>(r.comparisons),
                    static_cast<unsigned long long>(r.merge_comparisons),
+                   r.held_peak, r.merge_time,
                    i + 1 == runs.size() ? "" : ",");
     }
     std::fprintf(out, "  ]\n}\n");

@@ -22,6 +22,17 @@ GridGeometry::GridGeometry(std::vector<Interval> bounds, int cells_per_dim)
     inv_width_.push_back(static_cast<double>(cells_per_dim_) / b.width());
     total_cells_ *= cells_per_dim_;
   }
+  stride_.resize(bounds_.size());
+  CellIndex s = 1;
+  for (size_t d = bounds_.size(); d-- > 0;) {
+    stride_[d] = s;
+    s *= cells_per_dim_;
+  }
+}
+
+int AutoCellsPerDim(int k, double budget, int lo, int hi) {
+  const double per_dim = std::pow(budget, 1.0 / static_cast<double>(k));
+  return std::clamp(static_cast<int>(per_dim), lo, hi);
 }
 
 CellCoord GridGeometry::CoordOf(int dim, double value) const {

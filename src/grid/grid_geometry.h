@@ -67,7 +67,11 @@ class GridGeometry {
                   CellCoord* hi_out) const;
 
   /// Iterates every cell index in the inclusive coordinate box
-  /// [lo, hi] (per dimension), invoking fn(CellIndex).
+  /// [lo, hi] (per dimension), invoking fn(CellIndex) in row-major order.
+  /// The linear index is maintained incrementally by the per-dimension
+  /// strides instead of re-linearizing every cell (this sits under every
+  /// coverage box walk, so the per-cell IndexOf was a top-two profile
+  /// entry).
   template <typename Fn>
   void ForEachCellInBox(const CellCoord* lo, const CellCoord* hi,
                         Fn&& fn) const {
@@ -78,11 +82,17 @@ class GridGeometry {
       assert(lo[i] <= hi[i]);
       cur[static_cast<size_t>(i)] = lo[i];
     }
+    CellIndex idx = IndexOf(lo);
     for (;;) {
-      fn(IndexOf(cur.data()));
+      fn(idx);
       int dim = dims - 1;
       while (dim >= 0) {
-        if (++cur[static_cast<size_t>(dim)] <= hi[dim]) break;
+        const CellIndex st = stride_[static_cast<size_t>(dim)];
+        if (++cur[static_cast<size_t>(dim)] <= hi[dim]) {
+          idx += st;
+          break;
+        }
+        idx -= st * (hi[dim] - lo[dim]);
         cur[static_cast<size_t>(dim)] = lo[dim];
         --dim;
       }
@@ -104,8 +114,17 @@ class GridGeometry {
  private:
   std::vector<Interval> bounds_;
   std::vector<double> inv_width_;  // cells_per_dim / domain width, per dim
+  // Row-major linearization factor per dimension (dimension 0 slowest):
+  // stride_[d] = cells_per_dim ^ (dims - 1 - d).
+  std::vector<CellIndex> stride_;
   int cells_per_dim_ = 0;
   CellIndex total_cells_ = 0;
 };
+
+/// Picks the largest per-dimension cell count whose k-dimensional total
+/// stays under `budget`, clamped to [lo, hi] — the auto-sizing rule shared
+/// by the engine's grids (progxe/prepare.cc) and the sharded merge sink's
+/// canonical-cell index, so the two cannot drift apart.
+int AutoCellsPerDim(int k, double budget, int lo, int hi);
 
 }  // namespace progxe

@@ -7,44 +7,6 @@
 
 namespace progxe {
 
-namespace {
-
-/// coords a <= b in every dimension.
-inline bool CoordsLeq(const CellCoord* a, const CellCoord* b, int k) {
-  for (int i = 0; i < k; ++i) {
-    if (a[i] > b[i]) return false;
-  }
-  return true;
-}
-
-/// coords a < b in every dimension.
-inline bool CoordsStrictlyBelow(const CellCoord* a, const CellCoord* b,
-                                int k) {
-  for (int i = 0; i < k; ++i) {
-    if (a[i] >= b[i]) return false;
-  }
-  return true;
-}
-
-/// Enumerates ascending entry indices whose bit is set in the AND of the
-/// `k` bitmaps in `ptrs` (each at least `min_words` words). `fn(p)`
-/// returns false to stop the sweep early.
-template <typename Fn>
-inline void SweepAnd(const uint64_t* const* ptrs, int k, size_t min_words,
-                     Fn&& fn) {
-  for (size_t w = 0; w < min_words; ++w) {
-    uint64_t m = ptrs[0][w];
-    for (int d = 1; d < k; ++d) m &= ptrs[d][w];
-    while (m != 0) {
-      const size_t p = (w << 6) + static_cast<size_t>(__builtin_ctzll(m));
-      m &= m - 1;
-      if (!fn(p)) return;
-    }
-  }
-}
-
-}  // namespace
-
 void OutputTable::CellData::Compact(int k) {
   if (dead_count == 0) return;
   const size_t kk = static_cast<size_t>(k);
@@ -73,64 +35,7 @@ OutputTable::OutputTable(GridGeometry geometry, std::vector<uint8_t> marked,
   emitted_.assign(total, 0);
   cell_slot_.assign(total, -1);
   scratch_coords_.resize(static_cast<size_t>(k_));
-  sweep_ptrs_.resize(static_cast<size_t>(k_));
-  le_bits_.resize(static_cast<size_t>(k_));
-  ge_bits_.resize(static_cast<size_t>(k_));
-  for (int d = 0; d < k_; ++d) {
-    le_bits_[static_cast<size_t>(d)].resize(
-        static_cast<size_t>(geometry_.cells_per_dim()));
-    ge_bits_[static_cast<size_t>(d)].resize(
-        static_cast<size_t>(geometry_.cells_per_dim()));
-  }
-}
-
-void OutputTable::SetPopBits(size_t i, const CellCoord* coords, bool value) {
-  const size_t word = i >> 6;
-  const uint64_t bit = uint64_t{1} << (i & 63);
-  const int cpd = geometry_.cells_per_dim();
-  for (int d = 0; d < k_; ++d) {
-    auto& le = le_bits_[static_cast<size_t>(d)];
-    auto& ge = ge_bits_[static_cast<size_t>(d)];
-    for (CellCoord v = coords[d]; v < cpd; ++v) {
-      auto& w = le[static_cast<size_t>(v)];
-      if (w.size() <= word) {
-        if (!value) continue;  // an unset bit needs no storage
-        w.resize(word + 1, 0);
-      }
-      if (value) {
-        w[word] |= bit;
-      } else {
-        w[word] &= ~bit;
-      }
-    }
-    for (CellCoord v = 0; v <= coords[d]; ++v) {
-      auto& w = ge[static_cast<size_t>(v)];
-      if (w.size() <= word) {
-        if (!value) continue;
-        w.resize(word + 1, 0);
-      }
-      if (value) {
-        w[word] |= bit;
-      } else {
-        w[word] &= ~bit;
-      }
-    }
-  }
-}
-
-size_t OutputTable::GatherSweep(bool ge, const CellCoord* coords,
-                                CellCoord offset) {
-  const int cpd = geometry_.cells_per_dim();
-  size_t min_words = SIZE_MAX;
-  for (int d = 0; d < k_; ++d) {
-    const CellCoord v = coords[d] + offset;
-    if (v < 0 || v >= cpd) return 0;  // empty candidate set
-    const auto& bits = (ge ? ge_bits_ : le_bits_)[static_cast<size_t>(d)]
-                                                 [static_cast<size_t>(v)];
-    sweep_ptrs_[static_cast<size_t>(d)] = bits.data();
-    min_words = std::min(min_words, bits.size());
-  }
-  return min_words == SIZE_MAX ? 0 : min_words;
+  pop_index_ = DominanceIndex(k_, geometry_.cells_per_dim());
 }
 
 void OutputTable::InitCoverage(const std::vector<Region>& regions) {
@@ -172,11 +77,10 @@ size_t OutputTable::AliveCount(CellIndex c) const {
 }
 
 bool OutputTable::FrontierStrictlyDominates(const CellCoord* coords) const {
-  const size_t kk = static_cast<size_t>(k_);
-  for (size_t f = 0; f + kk <= frontier_.size(); f += kk) {
-    if (CoordsStrictlyBelow(frontier_.data() + f, coords, k_)) return true;
-  }
-  return false;
+  // Equivalent to scanning the frontier: a populated cell's index entry is
+  // removed only when a strictly-lower populated cell exists (eager kill /
+  // frontier kill), so a frontier dominator always implies a live one.
+  return pop_index_.AnyLiveStrictlyBelow(coords);
 }
 
 bool OutputTable::RegionDominatedByFrontier(const Region& region) const {
@@ -185,37 +89,7 @@ bool OutputTable::RegionDominatedByFrontier(const Region& region) const {
 
 bool OutputTable::FrontierDominatesSince(const CellCoord* coords,
                                          uint64_t since_epoch) const {
-  const size_t kk = static_cast<size_t>(k_);
-  for (size_t f = static_cast<size_t>(since_epoch) * kk;
-       f + kk <= frontier_log_.size(); f += kk) {
-    if (CoordsStrictlyBelow(frontier_log_.data() + f, coords, k_)) {
-      return true;
-    }
-  }
-  return false;
-}
-
-void OutputTable::UpdateFrontier(const CellCoord* coords) {
-  const size_t kk = static_cast<size_t>(k_);
-  // Redundant if an existing frontier cell is <= coords everywhere.
-  for (size_t f = 0; f + kk <= frontier_.size(); f += kk) {
-    if (CoordsLeq(frontier_.data() + f, coords, k_)) return;
-  }
-  // Remove frontier entries that the new cell covers.
-  const size_t w = CompactParallel(
-      frontier_.size() / kk,
-      [this, coords, kk](size_t f) {
-        return !CoordsLeq(coords, frontier_.data() + f * kk, k_);
-      },
-      [this, kk](size_t from, size_t to) {
-        std::copy(frontier_.begin() + static_cast<ptrdiff_t>(from * kk),
-                  frontier_.begin() + static_cast<ptrdiff_t>((from + 1) * kk),
-                  frontier_.begin() + static_cast<ptrdiff_t>(to * kk));
-      });
-  frontier_.resize(w * kk);
-  frontier_.insert(frontier_.end(), coords, coords + k_);
-  frontier_log_.insert(frontier_log_.end(), coords, coords + k_);
-  ++frontier_epoch_;
+  return pop_index_.FrontierDominatesSince(coords, since_epoch);
 }
 
 OutputTable::CellData* OutputTable::EnsureCell(CellIndex c,
@@ -246,71 +120,32 @@ void OutputTable::KillCell(CellIndex c) {
     // Tombstone the populated-cell index entry: a marked cell never
     // receives tuples again, so it can never re-populate.
     if (cell.pop_pos >= 0) {
-      SetPopBits(static_cast<size_t>(cell.pop_pos), cell.coords.data(),
-                 false);
-      pop_slots_[static_cast<size_t>(cell.pop_pos)] = -1;
+      pop_index_.Remove(cell.pop_pos);
       cell.pop_pos = -1;
-      ++pop_tombstones_;
     }
   }
 }
 
 void OutputTable::MaybeCompactPopulated() {
-  if (pop_tombstones_ * 2 <= pop_slots_.size() || pop_slots_.size() < 64) {
-    return;
-  }
-  const size_t kk = static_cast<size_t>(k_);
-  const size_t w = CompactParallel(
-      pop_slots_.size(), [this](size_t i) { return pop_slots_[i] >= 0; },
-      [this, kk](size_t from, size_t to) {
-        std::copy(pop_coords_.begin() + static_cast<ptrdiff_t>(from * kk),
-                  pop_coords_.begin() + static_cast<ptrdiff_t>((from + 1) * kk),
-                  pop_coords_.begin() + static_cast<ptrdiff_t>(to * kk));
-        pop_slots_[to] = pop_slots_[from];
-      });
-  for (size_t i = 0; i < w; ++i) {
-    cells_[static_cast<size_t>(pop_slots_[i])].pop_pos =
-        static_cast<int32_t>(i);
-  }
-  pop_coords_.resize(w * kk);
-  pop_slots_.resize(w);
-  pop_tombstones_ = 0;
-  // Rebuild the coordinate bitmaps for the compacted index.
-  const size_t words = (w + 63) >> 6;
-  for (int d = 0; d < k_; ++d) {
-    for (auto& bits : le_bits_[static_cast<size_t>(d)]) {
-      bits.assign(words, 0);
-    }
-    for (auto& bits : ge_bits_[static_cast<size_t>(d)]) {
-      bits.assign(words, 0);
-    }
-  }
-  for (size_t i = 0; i < w; ++i) {
-    SetPopBits(i, pop_coords_.data() + i * kk, true);
-  }
+  pop_index_.MaybeCompact([this](int32_t cell_slot, int32_t pos) {
+    cells_[static_cast<size_t>(cell_slot)].pop_pos = pos;
+  });
 }
 
 void OutputTable::OnCellPopulated(CellIndex c, const CellCoord* coords) {
   CellData& self = cells_[static_cast<size_t>(slot(c))];
   if (self.pop_pos < 0) {
-    self.pop_pos = static_cast<int32_t>(pop_slots_.size());
-    pop_coords_.insert(pop_coords_.end(), coords, coords + k_);
-    pop_slots_.push_back(slot(c));
-    SetPopBits(static_cast<size_t>(self.pop_pos), coords, true);
+    self.pop_pos = pop_index_.Add(coords, slot(c));
   }
-  UpdateFrontier(coords);
+  pop_index_.NoteFrontier(coords);
   // Eager kill: every populated cell strictly above `coords` is now wholly
   // dominated (any tuple here dominates all of its tuples, half-open
   // cells). Candidates have coord[d] >= coords[d] + 1 in every dimension.
-  const size_t words = GatherSweep(/*ge=*/true, coords, 1);
-  SweepAnd(sweep_ptrs_.data(), k_, words, [this](size_t p) {
-    const int32_t s = pop_slots_[p];
-    if (s >= 0) {  // else: tombstone (stale bit within this word)
-      CellData& other = cells_[static_cast<size_t>(s)];
-      const CellIndex oc = other.index;
-      if (other.alive_count != 0 && !emitted_[static_cast<size_t>(oc)]) {
-        KillCell(oc);
-      }
+  pop_index_.SweepGe(coords, 1, [this](size_t p) {
+    CellData& other = cells_[static_cast<size_t>(pop_index_.payload(p))];
+    const CellIndex oc = other.index;
+    if (other.alive_count != 0 && !emitted_[static_cast<size_t>(oc)]) {
+      KillCell(oc);
     }
     return true;
   });
@@ -423,16 +258,14 @@ InsertOutcome OutputTable::InsertAlive(const double* values, RowId r_id,
   // dimensions in query relaxation) linear instead of quadratic.
   bool found_equal_alive = false;
   bool dominated = false;
-  size_t words = GatherSweep(/*ge=*/false, coords, 0);
-  SweepAnd(sweep_ptrs_.data(), k_, words, [&](size_t p) {
-    const CellCoord* pc = pop_coords_.data() + p * kk;
+  pop_index_.SweepLe(coords, [&](size_t p) {
+    const CellCoord* pc = pop_index_.entry_coords(p);
     // Strictly-below populated cells cannot exist here (the frontier
     // test ran first); skipping them keeps the slice identical to the
     // paper's.
-    if (CoordsStrictlyBelow(pc, coords, k_)) return true;
-    const int32_t s = pop_slots_[p];
-    if (s < 0) return true;  // tombstone (stale bit within this word)
-    const CellData& cell = cells_[static_cast<size_t>(s)];
+    if (DominanceIndex::CoordsStrictlyBelow(pc, coords, k_)) return true;
+    const CellData& cell =
+        cells_[static_cast<size_t>(pop_index_.payload(p))];
     if (cell.alive_count == 0) return true;
     const bool own_cell = cell.index == c;
     for (size_t i = 0; i < cell.ids.size(); ++i) {
@@ -465,16 +298,13 @@ InsertOutcome OutputTable::InsertAlive(const double* values, RowId r_id,
   // p >= coords in every dimension (again, sharing a coordinate; strictly
   // greater cells are killed wholesale when this cell first populates).
   if (!found_equal_alive) {
-    words = GatherSweep(/*ge=*/true, coords, 0);
-    SweepAnd(sweep_ptrs_.data(), k_, words, [&](size_t p) {
-      const CellCoord* pc = pop_coords_.data() + p * kk;
+    pop_index_.SweepGe(coords, 0, [&](size_t p) {
+      const CellCoord* pc = pop_index_.entry_coords(p);
       // Strictly-above cells are killed wholesale (and marked) when this
       // cell first populates; evicting their tuples here instead would
       // leave them unmarked and still accepting arrivals.
-      if (CoordsStrictlyBelow(coords, pc, k_)) return true;
-      const int32_t s = pop_slots_[p];
-      if (s < 0) return true;  // tombstone (stale bit within this word)
-      CellData& cell = cells_[static_cast<size_t>(s)];
+      if (DominanceIndex::CoordsStrictlyBelow(coords, pc, k_)) return true;
+      CellData& cell = cells_[static_cast<size_t>(pop_index_.payload(p))];
       if (cell.alive_count == 0) return true;
       if (emitted_[static_cast<size_t>(cell.index)]) return true;
       for (size_t i = 0; i < cell.ids.size(); ++i) {

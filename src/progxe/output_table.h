@@ -8,11 +8,12 @@
 // grid/grid_geometry.h): a populated cell strictly below another cell in
 // every coordinate dominates *all* of that cell's present and future tuples.
 //
-// Hot-path layout: populated cells are indexed by a compact
-// structure-of-arrays (coordinates flat, k per entry, plus a parallel slot
-// array) so the comparable-slice and eager-kill scans are linear sweeps
-// over contiguous memory; killed cells leave tombstones that are compacted
-// once they outnumber the live entries. The insert path is allocation-free
+// Hot-path layout: populated cells live in a shared DominanceIndex
+// (dominance/dominance_index.h — flat coordinates plus a parallel slot
+// payload, with per-dimension cumulative bitmaps) so the comparable-slice
+// and eager-kill scans are word-wise cone sweeps over contiguous memory;
+// killed cells leave tombstones that are compacted once they outnumber the
+// live entries. The insert path is allocation-free
 // in steady state — per-call coordinate buffers are member scratch — and
 // the batched entry point (InsertBatch) amortizes coordinate computation
 // and cell-level checks over runs of same-cell tuples while remaining
@@ -23,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dominance/dominance_index.h"
 #include "grid/grid_geometry.h"
 #include "outputspace/region.h"
 #include "prefs/dominance.h"
@@ -130,7 +132,7 @@ class OutputTable {
 
   /// Number of frontier insertions so far. Advances only when a new cell
   /// populates in a frontier-relevant position.
-  uint64_t frontier_epoch() const { return frontier_epoch_; }
+  uint64_t frontier_epoch() const { return pop_index_.frontier_epoch(); }
 
   /// True iff a frontier entry logged at epoch >= `since_epoch` strictly
   /// dominates `coords`. With `since_epoch` equal to the epoch of the last
@@ -187,21 +189,9 @@ class OutputTable {
   /// Kills a cell: drops its live tuples and marks it non-contributing.
   void KillCell(CellIndex c);
 
-  void UpdateFrontier(const CellCoord* coords);
-
   /// Squeezes tombstones out of the populated-cell index once they
   /// dominate it. Must only run outside the index sweeps.
   void MaybeCompactPopulated();
-
-  /// Appends entry `i` (== pop_slots_.size() - 1) to the coordinate
-  /// bitmaps, or clears it on kill.
-  void SetPopBits(size_t i, const CellCoord* coords, bool value);
-
-  /// Fills sweep_ptrs_ with the per-dimension bitmaps at coordinate
-  /// `coords[d] + offset` (from ge_bits_ when `ge`, le_bits_ otherwise)
-  /// and returns the common sweepable word count — 0 when any dimension's
-  /// candidate set is empty.
-  size_t GatherSweep(bool ge, const CellCoord* coords, CellCoord offset);
 
   /// Insert continuation once the cell-level marked/frontier checks have
   /// passed: slice dominance scan, eviction scan, and the append.
@@ -224,38 +214,21 @@ class OutputTable {
   std::vector<int32_t> cell_slot_;
   std::vector<CellData> cells_;
 
-  // Populated-cell index (structure of arrays): pop_coords_ holds k_
-  // coordinates per entry, pop_slots_ the matching slot into cells_ (-1 =
-  // tombstone of a killed cell). The dominance-slice and eager-kill scans
-  // run over this index instead of chasing per-dimension slab lists.
-  std::vector<CellCoord> pop_coords_;
-  std::vector<int32_t> pop_slots_;
-  size_t pop_tombstones_ = 0;
-
-  // Cumulative coordinate bitmaps over the index: bit i of
-  // le_bits_[d][v] is set iff entry i is live and its coord[d] <= v;
-  // ge_bits_ likewise for >=. The comparable-slice scans AND k of these
-  // word by word, so candidate enumeration costs O(n_pop / 64) words plus
-  // the true candidates — instead of a per-entry coordinate test.
-  std::vector<std::vector<std::vector<uint64_t>>> le_bits_;  // [k][cpd][w]
-  std::vector<std::vector<std::vector<uint64_t>>> ge_bits_;  // [k][cpd][w]
-
-  // Pareto-minimal coordinates of populated cells (flat, k_ per entry).
-  std::vector<CellCoord> frontier_;
-
-  // Append-only log behind frontier_epoch(); see above.
-  std::vector<CellCoord> frontier_log_;
-  uint64_t frontier_epoch_ = 0;
+  // Populated-cell index + cell frontier, shared machinery with the
+  // sharded merge sink (dominance/dominance_index.h): entry payload is the
+  // slot into cells_, entry position is cached in CellData::pop_pos. The
+  // dominance-slice and eager-kill scans run as cone sweeps over this
+  // index; the Pareto-minimal frontier and its append-only epoch log back
+  // FrontierStrictlyDominates / FrontierDominatesSince.
+  DominanceIndex pop_index_;
 
   std::vector<CellIndex> marked_events_;
 
-  // Reusable scratch: single-insert coordinates, the batch pipeline's
-  // per-block coordinate / cell-index buffers, and the sweep's per-
-  // dimension bitmap pointers.
+  // Reusable scratch: single-insert coordinates and the batch pipeline's
+  // per-block coordinate / cell-index buffers.
   std::vector<CellCoord> scratch_coords_;
   std::vector<CellCoord> batch_coords_;
   std::vector<CellIndex> batch_cells_;
-  std::vector<const uint64_t*> sweep_ptrs_;
 };
 
 }  // namespace progxe

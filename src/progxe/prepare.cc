@@ -13,16 +13,6 @@ namespace progxe {
 
 namespace {
 
-/// Picks the largest per-dimension cell count whose k-dim total stays under
-/// `budget`, clamped to [lo, hi]. Used when options leave grid sizes to the
-/// engine: the paper tunes its partition size delta per dimensionality
-/// (Section VI-B) and so do we.
-int AutoCellsPerDim(int k, double budget, int lo, int hi) {
-  const double per_dim = std::pow(budget, 1.0 / static_cast<double>(k));
-  const int cells = static_cast<int>(per_dim);
-  return std::clamp(cells, lo, hi);
-}
-
 /// Measured join selectivity via key histograms: sum over shared keys of
 /// cnt_R(k) * cnt_T(k), divided by |R| * |T|.
 double MeasureSigma(const Relation& r, const Relation& t) {

@@ -66,15 +66,49 @@ bool QueryStateFromName(std::string_view name, QueryState* out) {
   return false;
 }
 
-std::string SchedulerStats::ToString() const {
+size_t SchedulerStats::SliceLatencyBucket(uint64_t us) {
+  size_t bucket = 0;
+  while (us != 0 && bucket + 1 < kSliceLatencyBuckets) {
+    us >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+uint64_t SchedulerStats::SliceLatencyQuantileUs(double q) const {
+  uint64_t total = 0;
+  for (uint64_t c : slice_latency_us_log2) total += c;
+  if (total == 0) return 0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kSliceLatencyBuckets; ++b) {
+    seen += slice_latency_us_log2[b];
+    if (static_cast<double>(seen) >= rank) {
+      return uint64_t{1} << b;  // exclusive upper edge of bucket b
+    }
+  }
+  return uint64_t{1} << (kSliceLatencyBuckets - 1);
+}
+
+std::string SchedulerStats::FormatFields() const {
   std::ostringstream os;
-  os << "SchedulerStats{queued=" << queued << " running=" << running
+  os << "queued=" << queued << " running=" << running
      << " submitted=" << submitted << " finished=" << finished
      << " cancelled=" << cancelled << " failed=" << failed
      << " deadline_exceeded=" << deadline_exceeded << " slices=" << slices
      << " sliced_pairs=" << sliced_pairs << " batches=" << batches
-     << " results=" << results << "}";
+     << " results=" << results << " slice_p50_us<" << SliceLatencyQuantileUs(0.5)
+     << " slice_p99_us<" << SliceLatencyQuantileUs(0.99)
+     << " slice_lat_us_log2=[";
+  for (size_t b = 0; b < kSliceLatencyBuckets; ++b) {
+    os << (b == 0 ? "" : ",") << slice_latency_us_log2[b];
+  }
+  os << "]";
   return os.str();
+}
+
+std::string SchedulerStats::ToString() const {
+  return "SchedulerStats{" + FormatFields() + "}";
 }
 
 QuerySink::~QuerySink() = default;
@@ -158,6 +192,8 @@ struct SchedulerCore {
   uint64_t sliced_pairs = 0;
   uint64_t batches = 0;
   uint64_t results = 0;
+  std::array<uint64_t, SchedulerStats::kSliceLatencyBuckets>
+      slice_latency_us_log2{};
 };
 
 namespace {
@@ -382,14 +418,21 @@ void WorkerLoop(const std::shared_ptr<SchedulerCore>& core) {
     lock.unlock();
     uint64_t pairs = 0;
     uint64_t delivered = 0;
+    const Clock::time_point slice_start = Clock::now();
     const QueryState outcome =
         RunSlice(core.get(), rec, &batch, &pairs, &delivered);
+    const uint64_t slice_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              slice_start)
+            .count());
     lock.lock();
     // Cancel/deadline short-circuits never advanced the stream: not a
     // served slice.
     if (outcome == QueryState::kRunning || outcome == QueryState::kFinished) {
       ++core->slices;
       core->sliced_pairs += pairs;
+      ++core->slice_latency_us_log2[SchedulerStats::SliceLatencyBucket(
+          slice_us)];
     }
     if (delivered > 0) {
       ++core->batches;
@@ -559,6 +602,7 @@ SchedulerStats QueryScheduler::stats() const {
   stats.sliced_pairs = core_->sliced_pairs;
   stats.batches = core_->batches;
   stats.results = core_->results;
+  stats.slice_latency_us_log2 = core_->slice_latency_us_log2;
   return stats;
 }
 

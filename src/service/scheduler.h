@@ -33,6 +33,7 @@
 //     destruction.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -139,6 +140,13 @@ struct SubmitOptions {
 /// A point-in-time snapshot of scheduler-wide counters
 /// (QueryScheduler::stats()).
 struct SchedulerStats {
+  /// Slice-latency histogram resolution: fixed log-scale buckets where
+  /// bucket 0 counts sub-microsecond slices and bucket i (i >= 1) counts
+  /// slices with wall-clock latency in [2^(i-1), 2^i) microseconds; the
+  /// last bucket is open-ended, absorbing everything from 2^17 us
+  /// (~0.13 s) up.
+  static constexpr size_t kSliceLatencyBuckets = 19;
+
   // Gauges (instantaneous).
   size_t queued = 0;   ///< Waiting-room depth.
   size_t running = 0;  ///< Admitted queries holding a slot.
@@ -153,6 +161,25 @@ struct SchedulerStats {
   uint64_t sliced_pairs = 0;       ///< Join pairs processed across slices.
   uint64_t batches = 0;            ///< Non-empty OnBatch deliveries.
   uint64_t results = 0;            ///< Result tuples delivered to sinks.
+
+  /// Wall-clock latency distribution of served slices (one entry per
+  /// NextBatch counted in `slices`). Sum of all buckets == slices.
+  std::array<uint64_t, kSliceLatencyBuckets> slice_latency_us_log2{};
+
+  /// Histogram bucket index for a slice latency in microseconds.
+  static size_t SliceLatencyBucket(uint64_t us);
+
+  /// Upper edge (exclusive, microseconds) of the bucket holding the
+  /// q-quantile slice, for q in [0, 1] — a conservative p50/p99 readout at
+  /// log2 resolution, except when the quantile lands in the open-ended
+  /// last bucket, whose returned edge (2^18 us) understates slices slower
+  /// than that. Returns 0 when no slice was served.
+  uint64_t SliceLatencyQuantileUs(double q) const;
+
+  /// Space-separated `name=value` rendering of every field, histogram
+  /// included — the one formatter behind ToString() and the server's
+  /// `stats` line.
+  std::string FormatFields() const;
 
   std::string ToString() const;
 };

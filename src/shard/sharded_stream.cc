@@ -1,9 +1,12 @@
 #include "shard/sharded_stream.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 #include "common/macros.h"
+#include "common/stopwatch.h"
+#include "mapping/interval.h"
 #include "prefs/dominance.h"
 
 namespace progxe {
@@ -39,6 +42,31 @@ void AddStats(ProgXeStats* agg, const ProgXeStats& s) {
   agg->cells_flushed += s.cells_flushed;
   agg->results_emitted_early += s.results_emitted_early;
 }
+
+/// Per-attribute value hull of a relation (empty vector for an empty one).
+std::vector<Interval> AttributeHull(const Relation& rel) {
+  std::vector<Interval> hull;
+  if (rel.empty()) return hull;
+  const int width = rel.num_attributes();
+  hull.reserve(static_cast<size_t>(width));
+  for (int a = 0; a < width; ++a) {
+    hull.push_back(Interval::Point(rel.attr(0, a)));
+  }
+  for (size_t i = 1; i < rel.size(); ++i) {
+    for (int a = 0; a < width; ++a) {
+      Interval& iv = hull[static_cast<size_t>(a)];
+      const double v = rel.attr(static_cast<RowId>(i), a);
+      iv.lo = std::min(iv.lo, v);
+      iv.hi = std::max(iv.hi, v);
+    }
+  }
+  return hull;
+}
+
+/// Merge-grid resolution: same budget rule and constants as the engine's
+/// auto-sized output grid (prepare.cc), so the accepted-frontier index
+/// stays cache-resident.
+int MergeCellsPerDim(int k) { return AutoCellsPerDim(k, 60000.0, 4, 24); }
 
 }  // namespace
 
@@ -77,6 +105,30 @@ Result<std::unique_ptr<ShardedStream>> ShardedStream::Open(
   }
   stream->mapper_ = CanonicalMapper(query.map, query.pref);
   stream->k_ = stream->mapper_.output_dimensions();
+
+  // Canonical output hull for the accepted-frontier index: interval
+  // arithmetic over the full attribute boxes, exactly the enclosure the
+  // look-ahead uses per input partition. Every canonical output lands
+  // inside it; and since the index only relies on quantization
+  // monotonicity, even an edge clamp could not cost correctness.
+  const size_t kk = static_cast<size_t>(stream->k_);
+  std::vector<Interval> out_hull(kk, Interval(0.0, 0.0));
+  const std::vector<Interval> r_hull = AttributeHull(*query.r);
+  const std::vector<Interval> t_hull = AttributeHull(*query.t);
+  if (!r_hull.empty() && !t_hull.empty()) {
+    std::vector<Interval> r_contrib(kk);
+    std::vector<Interval> t_contrib(kk);
+    stream->mapper_.ContributionBounds(Side::kR, r_hull, r_contrib.data());
+    stream->mapper_.ContributionBounds(Side::kT, t_hull, t_contrib.data());
+    stream->mapper_.CombineBounds(r_contrib.data(), t_contrib.data(),
+                                  out_hull.data());
+  }
+  const int cpd = MergeCellsPerDim(stream->k_);
+  stream->merge_grid_ = GridGeometry(std::move(out_hull), cpd);
+  stream->accepted_ = DominanceIndex(stream->k_, cpd);
+  stream->canon_scratch_.resize(kk);
+  stream->coord_scratch_.resize(kk);
+
   // Shards that prepared to provably-empty joins constrain nothing.
   stream->RefreshBoundsAndRelease();
   return stream;
@@ -104,62 +156,111 @@ uint64_t ShardedStream::PumpRound(size_t per_shard) {
   return used;
 }
 
+void ShardedStream::DropAccepted(int32_t acc_id) {
+  accepted_.Remove(acc_pos_[static_cast<size_t>(acc_id)]);
+  acc_pos_[static_cast<size_t>(acc_id)] = -1;
+  const int32_t h = acc_held_[static_cast<size_t>(acc_id)];
+  // Released entries are unreachable here: their release proved no live
+  // shard could dominate them, and any later arrival is such a tuple.
+  assert(h >= 0 && "a released candidate can never be dominated");
+  acc_held_[static_cast<size_t>(acc_id)] = -1;
+  const size_t last = held_.size() - 1;
+  if (static_cast<size_t>(h) != last) {
+    held_[static_cast<size_t>(h)] = std::move(held_[last]);
+    acc_held_[static_cast<size_t>(held_[static_cast<size_t>(h)].acc_id)] = h;
+  }
+  held_.pop_back();
+}
+
 void ShardedStream::Ingest(size_t shard_idx,
                            const std::vector<ResultTuple>& batch) {
+  if (batch.empty()) return;
+  Stopwatch watch;
   const QueryShard& slice = shards_[shard_idx].slice;
   const size_t k = static_cast<size_t>(k_);
   for (const ResultTuple& local : batch) {
+    double* canon = canon_scratch_.data();
+    for (size_t j = 0; j < k; ++j) {
+      canon[j] = mapper_.Canonicalize(static_cast<int>(j), local.values[j]);
+    }
+    CellCoord* coords = coord_scratch_.data();
+    merge_grid_.CoordsOf(canon, coords);
+
+    // Dominated by any accepted point (released or held, from any shard):
+    // provably outside the global skyline. A dominator's canonical cell
+    // must lie in the arrival's <= cone, so the cone sweep visits only the
+    // real candidates instead of the whole accepted set.
+    bool dominated = false;
+    accepted_.SweepLe(coords, [&](size_t pos) {
+      const double* a =
+          acc_canon_.data() +
+          static_cast<size_t>(accepted_.payload(pos)) * k;
+      if (DominatesMin(a, canon, k_, &merge_counter_)) {
+        dominated = true;
+        return false;
+      }
+      return true;
+    });
+    if (dominated) continue;
+
+    // The arrival may retroactively disprove held candidates' finality —
+    // they were never delivered, so dropping them here is exactly the
+    // merge-time re-validation (and it is what keeps the index the Pareto
+    // frontier: the arrival rejects at least as much as every entry it
+    // removes). Released entries cannot appear: nothing can dominate them
+    // (see DropAccepted).
+    accepted_.SweepGe(coords, 0, [&](size_t pos) {
+      const int32_t id = accepted_.payload(pos);
+      if (DominatesMin(canon,
+                       acc_canon_.data() + static_cast<size_t>(id) * k, k_,
+                       &merge_counter_)) {
+        DropAccepted(id);
+      }
+      return true;
+    });
+
+    // Admit: enter the accepted frontier and the held queue.
+    const int32_t acc_id = static_cast<int32_t>(acc_pos_.size());
+    acc_canon_.insert(acc_canon_.end(), canon, canon + k);
+    acc_pos_.push_back(accepted_.Add(coords, acc_id));
+    acc_held_.push_back(static_cast<int32_t>(held_.size()));
     Candidate candidate;
     candidate.tuple = local;
     candidate.tuple.r_id = slice.r_orig_ids[local.r_id];
     candidate.tuple.t_id = slice.t_orig_ids[local.t_id];
     candidate.shard = static_cast<int>(shard_idx);
-    candidate.canon.resize(k);
-    for (size_t j = 0; j < k; ++j) {
-      candidate.canon[j] =
-          mapper_.Canonicalize(static_cast<int>(j), local.values[j]);
-    }
-
-    // Dominated by any accepted point (released or held, from any shard):
-    // provably outside the global skyline. Domination is transitive, so
-    // stale dominator entries whose own candidate was later dropped still
-    // reject exactly the right arrivals.
-    bool dominated = false;
-    for (size_t d = 0; d + k <= dominators_.size(); d += k) {
-      if (DominatesMin(dominators_.data() + d, candidate.canon.data(), k_,
-                       &merge_counter_)) {
-        dominated = true;
-        break;
-      }
-    }
-    if (dominated) continue;
-
-    // The arrival may retroactively disprove held candidates' finality —
-    // they were never delivered, so dropping them here is exactly the
-    // merge-time re-validation (released candidates are unreachable by
-    // construction: their release proved no live shard could dominate
-    // them).
-    std::erase_if(held_, [&](const Candidate& held) {
-      return DominatesMin(candidate.canon.data(), held.canon.data(), k_,
-                          &merge_counter_);
-    });
-
-    dominators_.insert(dominators_.end(), candidate.canon.begin(),
-                       candidate.canon.end());
+    candidate.acc_id = acc_id;
     held_.push_back(std::move(candidate));
+    held_peak_ = std::max(held_peak_, held_.size());
+    accepted_.MaybeCompact([this](int32_t id, int32_t pos) {
+      acc_pos_[static_cast<size_t>(id)] = pos;
+    });
   }
+  merge_seconds_ += watch.ElapsedSeconds();
 }
 
-bool ShardedStream::GloballyFinal(const Candidate& candidate) {
+bool ShardedStream::GloballyFinal(Candidate* candidate) {
+  const double* canon =
+      acc_canon_.data() +
+      static_cast<size_t>(candidate->acc_id) * static_cast<size_t>(k_);
+  // Cheapest first: the shard that blocked the last check usually still
+  // does, so a still-held candidate costs one comparison per re-check.
+  const int cached = candidate->blocker;
+  if (cached >= 0 && !shards_[static_cast<size_t>(cached)].exhausted &&
+      DominatesMin(shards_[static_cast<size_t>(cached)].bound.data(), canon,
+                   k_, &merge_counter_)) {
+    return false;
+  }
   for (size_t s = 0; s < shards_.size(); ++s) {
-    if (static_cast<int>(s) == candidate.shard || shards_[s].exhausted) {
+    if (static_cast<int>(s) == candidate->shard ||
+        static_cast<int>(s) == cached || shards_[s].exhausted) {
       continue;
     }
     // Every future tuple y of shard s satisfies y >= bound componentwise,
     // so y can strictly dominate the candidate only if the bound corner
     // itself does.
-    if (DominatesMin(shards_[s].bound.data(), candidate.canon.data(), k_,
-                     &merge_counter_)) {
+    if (DominatesMin(shards_[s].bound.data(), canon, k_, &merge_counter_)) {
+      candidate->blocker = static_cast<int>(s);
       return false;
     }
   }
@@ -167,22 +268,48 @@ bool ShardedStream::GloballyFinal(const Candidate& candidate) {
 }
 
 void ShardedStream::RefreshBoundsAndRelease() {
+  Stopwatch watch;
+  bool advanced = false;
   for (SubShard& shard : shards_) {
     if (shard.exhausted) continue;
-    if (!shard.session->RemainingLowerBound(&shard.bound)) {
+    if (!shard.session->RemainingLowerBound(&bound_scratch_)) {
       shard.exhausted = true;
+      advanced = true;
+    } else if (bound_scratch_ != shard.bound) {
+      shard.bound = bound_scratch_;
+      advanced = true;
     }
   }
-  size_t kept = 0;
-  for (size_t i = 0; i < held_.size(); ++i) {
-    if (GloballyFinal(held_[i])) {
-      ready_.push_back(std::move(held_[i].tuple));
-    } else {
-      if (kept != i) held_[kept] = std::move(held_[i]);
-      ++kept;
+  if (advanced) ++bounds_version_;
+  size_t i = 0;
+  while (i < held_.size()) {
+    Candidate& candidate = held_[i];
+    // Blocked at the current bound set already: nothing changed that could
+    // unblock it, skip without comparisons. (New candidates carry version
+    // 0 < bounds_version_, so they are always checked once.)
+    if (candidate.checked_version == bounds_version_) {
+      ++i;
+      continue;
     }
+    if (!GloballyFinal(&candidate)) {
+      candidate.checked_version = bounds_version_;
+      ++i;
+      continue;
+    }
+    // Release: the tuple is globally final. Its index entry stays — a
+    // released candidate keeps rejecting dominated arrivals forever.
+    ready_.push_back(std::move(candidate.tuple));
+    acc_held_[static_cast<size_t>(candidate.acc_id)] = -1;
+    const size_t last = held_.size() - 1;
+    if (i != last) {
+      held_[i] = std::move(held_[last]);
+      acc_held_[static_cast<size_t>(held_[i].acc_id)] =
+          static_cast<int32_t>(i);
+    }
+    held_.pop_back();
+    // Re-examine the swapped-in candidate at position i.
   }
-  held_.resize(kept);
+  merge_seconds_ += watch.ElapsedSeconds();
 }
 
 size_t ShardedStream::NextBatch(size_t max_results, size_t max_pairs,
@@ -201,7 +328,10 @@ size_t ShardedStream::NextBatch(size_t max_results, size_t max_pairs,
       if (!shard.exhausted) ++runnable;
     }
     // Split the slice budget across the runnable shards; unbudgeted calls
-    // pump each shard to its next local emission instead.
+    // pump each shard to its next local emission instead. Release checks
+    // run once per pump batch (not per candidate): every shard first
+    // ingests its whole batch, then a single refresh re-reads the frontier
+    // corners and drains everything they cleared.
     const size_t per_shard =
         max_pairs == 0 ? 0 : std::max<size_t>(1, budget / runnable);
     const uint64_t used = PumpRound(per_shard);
@@ -226,10 +356,18 @@ size_t ShardedStream::NextBatch(size_t max_results, size_t max_pairs,
     // held candidates) can never be delivered — release the engines (and
     // their worker threads) now.
     for (SubShard& shard : shards_) shard.session->Close();
-    held_.clear();
-    dominators_.clear();
+    ReleaseMergeState();
   }
   return n;
+}
+
+void ShardedStream::ReleaseMergeState() {
+  held_.clear();
+  accepted_ = DominanceIndex(k_, merge_grid_.cells_per_dim());
+  acc_canon_.clear();
+  acc_canon_.shrink_to_fit();
+  acc_pos_.clear();
+  acc_held_.clear();
 }
 
 void ShardedStream::Close() {
@@ -238,8 +376,7 @@ void ShardedStream::Close() {
   for (SubShard& shard : shards_) {
     if (shard.session != nullptr) shard.session->Close();
   }
-  held_.clear();
-  dominators_.clear();
+  ReleaseMergeState();
   ready_.clear();
   ready_pos_ = 0;
 }

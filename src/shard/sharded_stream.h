@@ -10,30 +10,41 @@
 //     pairs — a tuple a shard proved undominated locally may still be
 //     dominated by another shard's output, so nothing a sub-session emits
 //     may pass through unchecked.
-//   * The merge sink therefore keeps every accepted candidate as a
-//     dominator: a new arrival strictly dominated by any earlier candidate
-//     is discarded (it is provably not in the global skyline), and held
-//     candidates a new arrival dominates are dropped before they ever reach
-//     the caller.
+//   * The merge sink keeps the accepted candidates — released or held — as
+//     the *dominator frontier*. They are indexed by canonical output cell
+//     in a DominanceIndex (dominance/dominance_index.h), the same bitmap
+//     cone-sweep structure OutputTable uses, so a new arrival is tested
+//     only against accepted entries whose cell lies in its dominator cone
+//     instead of the whole accepted list: arrivals any of them strictly
+//     dominates are discarded (provably not in the global skyline), and
+//     held candidates the arrival dominates are pruned from both the held
+//     queue and the index (their dominator now rejects at least as much,
+//     so the index stays exactly the Pareto frontier of accepted outputs).
 //   * A held candidate is released only once no *other* unfinished shard
 //     can still dominate it. Each sub-session exposes its remaining-output
 //     frontier (ProgXeSession::RemainingLowerBound — the canonical
 //     lower-bound corner of everything it may still deliver); if that
 //     corner does not strictly dominate the candidate, no future tuple from
 //     that shard can either. The candidate's own shard needs no check: the
-//     engine's progressive guarantee already covers it.
+//     engine's progressive guarantee already covers it. Release checks run
+//     once per pump batch and are version-gated: a candidate re-tests only
+//     after some shard's frontier corner actually advanced, starting with
+//     the shard that blocked it last time.
 //
 // Together these give the sharded stream the same contract as a session:
 // every delivered tuple is final (no retractions) and the union of all
 // deliveries is exactly the unsharded skyline. ProgXeStats are the
 // per-shard engine counters summed elementwise, so per-shard work remains
-// auditable through the standard counters.
+// auditable through the standard counters; the merge sink's own work is
+// reported separately (merge_comparisons, merge_seconds, held peak).
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "common/status.h"
+#include "dominance/dominance_index.h"
+#include "grid/grid_geometry.h"
 #include "mapping/canonical.h"
 #include "prefs/dominance.h"
 #include "progxe/session.h"
@@ -68,11 +79,18 @@ class ShardedStream : public ProgXeStream {
   /// (diagnostic; 0 once Finished()).
   size_t held_candidates() const { return held_.size(); }
 
+  /// High-water mark of the held queue over the stream's lifetime.
+  size_t held_peak() const { return held_peak_; }
+
   /// Dominance comparisons performed by the merge sink itself (dominator
   /// filtering + finality checks). Kept *out* of stats().dominance_
   /// comparisons, which is by contract the additive sum of the per-shard
   /// engine counters; benches report both.
   uint64_t merge_comparisons() const { return merge_counter_.comparisons; }
+
+  /// Wall-clock seconds spent inside the merge sink (candidate ingest +
+  /// release checks), excluding the sub-sessions' own work.
+  double merge_seconds() const { return merge_seconds_; }
 
  private:
   struct SubShard {
@@ -85,11 +103,17 @@ class ShardedStream : public ProgXeStream {
     bool exhausted = false;
   };
 
-  /// One locally-final tuple awaiting the global finality check.
+  /// One locally-final tuple awaiting the global finality check. Its
+  /// canonical vector lives in acc_canon_ at `acc_id`.
   struct Candidate {
-    ResultTuple tuple;          // original row ids, user-space values
-    std::vector<double> canon;  // canonical (minimize-all) values
+    ResultTuple tuple;  // original row ids, user-space values
     int shard = 0;
+    int32_t acc_id = 0;
+    /// Shard whose frontier corner blocked the last finality check, or -1.
+    int blocker = -1;
+    /// bounds_version_ at the last failed finality check; the candidate is
+    /// re-tested only once some shard's bound advanced past it.
+    uint64_t checked_version = 0;
   };
 
   ShardedStream() = default;
@@ -101,14 +125,19 @@ class ShardedStream : public ProgXeStream {
   /// Advances every runnable shard by its slice of `per_shard` pairs and
   /// ingests what it produced. Returns the pairs actually consumed.
   uint64_t PumpRound(size_t per_shard);
-  /// Filters a sub-session batch through the dominator set and adds the
-  /// survivors to the held set.
+  /// Filters a sub-session batch through the accepted-frontier index and
+  /// admits the survivors into the held queue.
   void Ingest(size_t shard_idx, const std::vector<ResultTuple>& batch);
+  /// Removes a (necessarily held) accepted entry that a new arrival
+  /// strictly dominates from the index and the held queue.
+  void DropAccepted(int32_t acc_id);
   /// Re-reads every runnable shard's frontier, then moves the held
   /// candidates no unfinished foreign shard can still dominate into the
-  /// ready queue.
+  /// ready queue. Runs once per pump batch.
   void RefreshBoundsAndRelease();
-  bool GloballyFinal(const Candidate& candidate);
+  bool GloballyFinal(Candidate* candidate);
+  /// Drops all merge-sink state (cap reached / Close).
+  void ReleaseMergeState();
 
   std::vector<SubShard> shards_;
   CanonicalMapper mapper_;
@@ -117,11 +146,26 @@ class ShardedStream : public ProgXeStream {
   size_t delivered_ = 0;
   bool closed_ = false;
 
-  /// Canonical vectors (k_ per entry) of every accepted candidate, released
-  /// or held. Dominated arrivals never enter; dominated *held* entries stay
-  /// listed, which is harmless — their dominator kills anything they would.
-  std::vector<double> dominators_;
+  /// Canonical-cell quantization of the accepted set: a uniform grid over
+  /// the query's canonical output hull (interval arithmetic over the full
+  /// attribute boxes). Only monotonicity of the quantization is relied on,
+  /// so edge clamping cannot cost correctness.
+  GridGeometry merge_grid_;
+
+  /// The accepted Pareto frontier, indexed by canonical cell. Entry
+  /// payloads are acc ids; dominated held entries are removed on arrival of
+  /// their dominator, so every live entry is released or held.
+  DominanceIndex accepted_;
+  std::vector<double> acc_canon_;   // k_ doubles per acc id, append-only
+  std::vector<int32_t> acc_pos_;    // acc id -> index position (-1 pruned)
+  std::vector<int32_t> acc_held_;   // acc id -> held_ position (-1 if not held)
+
   std::vector<Candidate> held_;
+  size_t held_peak_ = 0;
+
+  /// Monotone version of the per-shard bound set; bumped whenever any
+  /// shard's frontier corner changes or a shard exhausts.
+  uint64_t bounds_version_ = 1;
 
   /// Released results not yet handed to the caller:
   /// [ready_pos_, ready_.size()).
@@ -130,7 +174,11 @@ class ShardedStream : public ProgXeStream {
 
   mutable ProgXeStats agg_stats_;
   DomCounter merge_counter_;
+  double merge_seconds_ = 0.0;
   std::vector<ResultTuple> pump_scratch_;
+  std::vector<double> canon_scratch_;
+  std::vector<CellCoord> coord_scratch_;
+  std::vector<double> bound_scratch_;
 };
 
 }  // namespace progxe

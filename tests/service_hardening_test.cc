@@ -236,6 +236,38 @@ TEST(SchedulerStatsTest, SnapshotMatchesServedWork) {
   EXPECT_GE(stats.slices, static_cast<uint64_t>(kQueries));
   EXPECT_GT(stats.batches, 0u);
   EXPECT_FALSE(stats.ToString().empty());
+
+  // Slice-latency histogram: exactly one bucket entry per served slice,
+  // and the quantile readout is a real bucket edge covering that mass.
+  uint64_t bucketed = 0;
+  for (uint64_t c : stats.slice_latency_us_log2) bucketed += c;
+  EXPECT_EQ(bucketed, stats.slices);
+  EXPECT_GT(stats.SliceLatencyQuantileUs(0.5), 0u);
+  EXPECT_LE(stats.SliceLatencyQuantileUs(0.5),
+            stats.SliceLatencyQuantileUs(1.0));
+  // The histogram is exported through the human-readable snapshot too
+  // (the server's bare `stats` command prints exactly this string).
+  EXPECT_NE(stats.ToString().find("slice_lat_us_log2"), std::string::npos);
+}
+
+TEST(SchedulerStatsTest, SliceLatencyBucketEdges) {
+  EXPECT_EQ(SchedulerStats::SliceLatencyBucket(0), 0u);
+  EXPECT_EQ(SchedulerStats::SliceLatencyBucket(1), 1u);
+  EXPECT_EQ(SchedulerStats::SliceLatencyBucket(2), 2u);
+  EXPECT_EQ(SchedulerStats::SliceLatencyBucket(3), 2u);
+  EXPECT_EQ(SchedulerStats::SliceLatencyBucket(4), 3u);
+  EXPECT_EQ(SchedulerStats::SliceLatencyBucket(1023), 10u);
+  EXPECT_EQ(SchedulerStats::SliceLatencyBucket(1024), 11u);
+  // Overflow clamps into the last bucket instead of indexing past it.
+  EXPECT_EQ(SchedulerStats::SliceLatencyBucket(UINT64_MAX),
+            SchedulerStats::kSliceLatencyBuckets - 1);
+
+  SchedulerStats stats;
+  EXPECT_EQ(stats.SliceLatencyQuantileUs(0.5), 0u);  // nothing served yet
+  stats.slice_latency_us_log2[3] = 9;
+  stats.slice_latency_us_log2[7] = 1;
+  EXPECT_EQ(stats.SliceLatencyQuantileUs(0.5), uint64_t{1} << 3);
+  EXPECT_EQ(stats.SliceLatencyQuantileUs(0.99), uint64_t{1} << 7);
 }
 
 // A sharded query behind one QueryHandle: the scheduler-served stream must

@@ -255,6 +255,58 @@ TEST(ShardedStream, ProgressiveDeliveriesAreFinal) {
   EXPECT_EQ(stream->held_candidates(), 0u);
 }
 
+// Adversarial high-K config: K far above the useful shard count, two of
+// three output dimensions tied to constants (every join result collides on
+// them, so the accepted set is dominated by point-equal ties) and a tiny
+// join selectivity (most shards see a handful of keys, exhausting at very
+// different times — maximal pressure on the release gate). The sharded set
+// must still equal the unsharded skyline exactly: accepted-frontier
+// pruning may only ever drop candidates a surviving entry dominates, so a
+// lost non-dominated result here would be a pruning soundness bug.
+TEST(ShardedStream, HighShardCountHeavyTiesTinySigma) {
+  Rng rng(0xad5e);
+  Config cfg;
+  const int src_dims = 3;
+  GeneratorOptions gen;
+  gen.distribution = Distribution::kAntiCorrelated;
+  gen.cardinality = 400;
+  gen.num_attributes = src_dims;
+  gen.join_selectivity = 0.004;  // ~a couple of rows per key class
+  gen.seed = rng.Next();
+  cfg.r = GenerateRelation(gen).MoveValue();
+  gen.seed = rng.Next();
+  cfg.t = GenerateRelation(gen).MoveValue();
+
+  // Dimensions 0 and 1 are constants (weight-0 terms): heavy ties.
+  std::vector<MapFunc> funcs;
+  funcs.push_back(MapFunc({MapTerm{Side::kR, 0, 0.0}}, 1.0));
+  funcs.push_back(MapFunc({MapTerm{Side::kT, 0, 0.0}}, 2.0));
+  funcs.push_back(MapFunc({MapTerm{Side::kR, 1, 1.0}, MapTerm{Side::kT, 1, 1.0}},
+                          0.0));
+  cfg.map = MapSpec(std::move(funcs));
+  cfg.pref = Preference::AllLowest(3);
+
+  ProgXeOptions options;
+  options.seed = 0xfeed;
+  ProgXeStats unsharded_stats;
+  const IdSet reference = UnshardedReference(cfg, options, &unsharded_stats);
+  ASSERT_GT(reference.size(), 0u);
+
+  for (int num_shards : {1, 16}) {
+    ShardOptions shard_options;
+    shard_options.num_shards = num_shards;
+    auto opened = ShardedStream::Open(cfg.query(), options, shard_options);
+    ASSERT_TRUE(opened.ok()) << "K=" << num_shards;
+    ShardedStream* stream = opened->get();
+    const IdSet sharded = SortedIds(DrainStream(stream, 0, 0));
+    EXPECT_EQ(sharded, reference) << "K=" << num_shards;
+    // Nothing may be stranded in the merge: a candidate held forever would
+    // mean the frontier pruning or the release gate dropped/blocked a
+    // non-dominated result.
+    EXPECT_EQ(stream->held_candidates(), 0u) << "K=" << num_shards;
+  }
+}
+
 // Planner invariants: shards partition both sources exactly (every row in
 // exactly one shard) and group whole join-key classes.
 TEST(ShardPlanner, DisjointCompleteKeyPartition) {

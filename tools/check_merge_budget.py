@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""CI gate on the sharded merge sink's dominance-comparison counter.
+
+The merge sink's work is measured by a deterministic counter
+(`merge_comparisons` in the `bench_sharded` JSON), so unlike a timing
+threshold this gate is stable across runners: a regression back toward the
+flat O(accepted x arrivals) scan multiplies the counter by orders of
+magnitude and trips the budget regardless of machine speed.
+
+Accepts either a bare bench_sharded JSON ({"runs": [...]}) or a full
+BENCH_progxe.json (takes its "sharded" key).
+
+Usage: check_merge_budget.py <json> [--shards=4] [--budget=200000]
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    path = None
+    shards = 4
+    budget = 200000
+    for arg in argv[1:]:
+        if arg.startswith("--shards="):
+            shards = int(arg.split("=", 1)[1])
+        elif arg.startswith("--budget="):
+            budget = int(arg.split("=", 1)[1])
+        elif path is None:
+            path = arg
+        else:
+            raise SystemExit(f"unexpected argument: {arg}")
+    if path is None:
+        raise SystemExit(__doc__)
+
+    with open(path) as f:
+        data = json.load(f)
+    if "runs" not in data:
+        data = data.get("sharded", {})
+    runs = {run["shards"]: run for run in data.get("runs", [])}
+    if shards not in runs:
+        raise SystemExit(f"{path}: no K={shards} run recorded")
+    run = runs[shards]
+    cmps = run["merge_comparisons"]
+    print(f"K={shards}: merge_comparisons={cmps} budget={budget}")
+    if cmps > budget:
+        raise SystemExit(
+            f"FAIL: merge_comparisons at K={shards} exceeded the budget "
+            f"({cmps} > {budget}) — the merge sink is scanning instead of "
+            f"using the dominance index")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

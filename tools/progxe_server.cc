@@ -305,17 +305,9 @@ int main(int argc, char** argv) {
     }
 
     if (cmd == "stats" && tokens.size() == 1) {
-      const SchedulerStats stats = scheduler.stats();
-      std::ostringstream line;
-      line << "sched queued=" << stats.queued << " running=" << stats.running
-           << " submitted=" << stats.submitted
-           << " finished=" << stats.finished
-           << " cancelled=" << stats.cancelled << " failed=" << stats.failed
-           << " deadline_exceeded=" << stats.deadline_exceeded
-           << " slices=" << stats.slices
-           << " sliced_pairs=" << stats.sliced_pairs
-           << " batches=" << stats.batches << " results=" << stats.results;
-      Emit(line.str());
+      // Same field formatter as SchedulerStats::ToString, so every counter
+      // added to the snapshot lands in both outputs at once.
+      Emit("sched " + scheduler.stats().FormatFields());
       continue;
     }
 
