@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "progxe/stream.h"
 #include "shard/sharded_stream.h"
@@ -41,6 +42,25 @@ struct ShardRun {
 };
 
 using IdSet = std::vector<std::pair<RowId, RowId>>;
+
+/// ns/call of the *disabled* fault-injection hook — the price every
+/// NextBatch/open site pays in a production (injector-free) build. The
+/// contract is "one predicted branch": CI gates this number so a future
+/// refactor can't silently put a rule-table scan on the hot path.
+double MeasureDisabledHookNs() {
+  constexpr int kCalls = 1 << 22;
+  // Volatile load per call: real sites read the injector from options, so a
+  // literal nullptr here would let the compiler fold the whole loop away.
+  FaultInjector* volatile no_injector = nullptr;
+  size_t ok = 0;
+  Stopwatch watch;
+  for (int i = 0; i < kCalls; ++i) {
+    ok += MaybeInjectFault(no_injector, fault_sites::kShardNextBatch, i).ok();
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  if (ok != static_cast<size_t>(kCalls)) std::abort();  // keep the loop live
+  return elapsed * 1e9 / static_cast<double>(kCalls);
+}
 
 }  // namespace
 
@@ -119,6 +139,9 @@ int main(int argc, char** argv) {
         run.held_peak, run.merge_time);
   }
 
+  const double hook_ns = MeasureDisabledHookNs();
+  std::printf("  fault_hook(disabled)=%.3fns/call\n", hook_ns);
+
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
     if (out == nullptr) {
@@ -128,9 +151,10 @@ int main(int argc, char** argv) {
     std::fprintf(out,
                  "{\n  \"bench\": \"sharded\",\n  \"n\": %zu,\n"
                  "  \"dims\": %d,\n  \"sigma\": %g,\n  \"seed\": %llu,\n"
+                 "  \"fault_hook_ns_per_call\": %.3f,\n"
                  "  \"runs\": [\n",
                  params.cardinality, params.dims, params.sigma,
-                 static_cast<unsigned long long>(params.seed));
+                 static_cast<unsigned long long>(params.seed), hook_ns);
     for (size_t i = 0; i < runs.size(); ++i) {
       const ShardRun& r = runs[i];
       std::fprintf(out,

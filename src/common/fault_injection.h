@@ -1,0 +1,132 @@
+// Deterministic, site-keyed fault injection.
+//
+// A FaultInjector is a small registry of rules, each bound to a named call
+// site in the engine ("shard.open", "shard.next_batch", ...). Code on a
+// fallible path asks the injector whether this particular call should fail:
+//
+//   PROGXE_RETURN_NOT_OK(MaybeInjectFault(faults, fault_sites::kShardOpen,
+//                                         shard_index));
+//
+// and receives a non-OK Status (kUnavailable by default) when a rule fires.
+// Firing decisions are a pure function of (seed, site, instance, per-rule
+// call number), so a given spec + seed produces the same fault schedule on
+// every run, at any thread count — which is what makes recovery testable:
+// the suite can replay the exact same crash pattern and assert the repaired
+// result set bit-identical to the fault-free one.
+//
+// Rules come from a spec string, either programmatic
+// (ProgXeOptions::faults) or ambient (the PROGXE_FAULT_SITES environment
+// variable, parsed once per process — see FromEnv):
+//
+//   spec    := rule (';' rule)*
+//   rule    := site (':' field (',' field)*)?
+//   field   := 'p=' probability   — fire chance per call, default 1
+//            | 'max=' n           — stop after n fires, default unlimited
+//            | 'skip=' n          — pass the first n calls, default 0
+//            | 'shard=' i         — only this instance (shard/query id)
+//            | 'code=' token      — StatusCodeToken to fire, default
+//                                   unavailable
+//
+//   "shard.open:p=1,max=2"                        fail the first two opens
+//   "shard.next_batch:p=0.05;shard.open:shard=1"  soak + one sick shard
+//
+// Disabled injection is free: MaybeInjectFault is an inline null-pointer
+// test, no rule table is consulted (bench_sharded measures this and CI
+// gates it).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace progxe {
+
+/// Canonical site names. Keep docs/ARCHITECTURE.md's fault-site table in
+/// sync when adding one.
+namespace fault_sites {
+/// ShardedStream (re-)opening one per-shard sub-session; instance = shard.
+inline constexpr const char kShardOpen[] = "shard.open";
+/// ShardedStream pumping one sub-session; instance = shard.
+inline constexpr const char kShardNextBatch[] = "shard.next_batch";
+/// ShardedStream's merge release pass; a fault here is not shard-local and
+/// fails the whole stream (no retry).
+inline constexpr const char kMergeRelease[] = "merge.release";
+/// ProgXeSession::NextBatch, inside the engine; instance =
+/// ProgXeOptions::fault_instance. Only fired by an explicit
+/// ProgXeOptions::faults injector, never by the process-wide env one, so a
+/// soak run perturbs the sharded/serving layers without failing every
+/// plain-session test in the same process.
+inline constexpr const char kSessionNextBatch[] = "session.next_batch";
+/// QueryScheduler worker about to run a slice; instance = query id.
+inline constexpr const char kSchedulerSlice[] = "scheduler.slice";
+}  // namespace fault_sites
+
+/// One parsed spec rule. See the grammar above.
+struct FaultRule {
+  std::string site;
+  double probability = 1.0;
+  int64_t max_fires = -1;  ///< < 0: unlimited.
+  int64_t skip = 0;
+  int instance = -1;  ///< < 0: any instance.
+  StatusCode code = StatusCode::kUnavailable;
+
+  std::string ToString() const;
+};
+
+/// A compiled, thread-safe fault schedule. Immutable after Parse except for
+/// the per-rule call/fire counters (atomics), so one injector may be shared
+/// across sub-sessions, scheduler workers and option copies — sharing is
+/// what makes `max=` a budget over the whole run rather than per copy.
+class FaultInjector {
+ public:
+  /// Compiles `spec` (grammar above). Fails with InvalidArgument on any
+  /// malformed rule, naming the offending fragment.
+  static Result<std::shared_ptr<FaultInjector>> Parse(std::string_view spec,
+                                                      uint64_t seed = 0);
+
+  /// The process-wide injector from PROGXE_FAULT_SITES (seeded by
+  /// PROGXE_FAULT_SEED), or nullptr when the variable is unset/empty. The
+  /// environment is read and parsed exactly once, on first call; a
+  /// malformed spec aborts loudly rather than silently soaking nothing.
+  /// The returned pointer has process lifetime.
+  static FaultInjector* FromEnv();
+
+  /// Decides whether this call fails. Returns OK or the rule's Status.
+  Status Check(std::string_view site, int instance = 0);
+
+  /// Total faults fired so far, across all rules.
+  int64_t fires() const;
+
+  uint64_t seed() const { return seed_; }
+  const std::vector<FaultRule>& rules() const { return rules_; }
+  std::string ToString() const;
+
+ private:
+  FaultInjector(std::vector<FaultRule> rules, uint64_t seed);
+
+  /// Counters live apart from the (immutable) rules, one slot per rule.
+  struct Counters {
+    std::atomic<uint64_t> calls{0};
+    std::atomic<int64_t> fired{0};
+  };
+
+  std::vector<FaultRule> rules_;
+  std::unique_ptr<Counters[]> counters_;
+  uint64_t seed_ = 0;
+};
+
+/// The hot-path hook: free when no injector is installed (one predicted
+/// branch, no Status allocation).
+inline Status MaybeInjectFault(FaultInjector* injector, std::string_view site,
+                               int instance = 0) {
+  if (PROGXE_PREDICT_TRUE(injector == nullptr)) return Status::OK();
+  return injector->Check(site, instance);
+}
+
+}  // namespace progxe

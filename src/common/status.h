@@ -6,6 +6,7 @@
 #include <cassert>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -23,6 +24,9 @@ enum class StatusCode : int {
   kInternal = 5,
   kNotImplemented = 6,
   kIOError = 7,
+  kUnavailable = 8,        ///< Transient: the operation may succeed if retried.
+  kResourceExhausted = 9,  ///< A quota/limit was hit; may clear over time.
+  kCancelled = 10,         ///< The caller (or a scheduler) abandoned the work.
 };
 
 /// Returns a short human-readable name for a StatusCode ("OK",
@@ -45,8 +49,70 @@ inline const char* StatusCodeName(StatusCode code) {
       return "Not implemented";
     case StatusCode::kIOError:
       return "IO error";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
+}
+
+/// Stable machine-readable token for a StatusCode ("ok", "invalid_argument",
+/// ...), used by wire formats (fault specs, the server line protocol).
+inline const char* StatusCodeToken(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kNotImplemented:
+      return "not_implemented";
+    case StatusCode::kIOError:
+      return "io_error";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+/// Inverse of StatusCodeToken (also accepts the StatusCodeName display
+/// forms). Round-trips every enumerator; returns false on an unknown name.
+inline bool StatusCodeFromName(std::string_view name, StatusCode* out) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kAlreadyExists,
+        StatusCode::kInternal, StatusCode::kNotImplemented,
+        StatusCode::kIOError, StatusCode::kUnavailable,
+        StatusCode::kResourceExhausted, StatusCode::kCancelled}) {
+    if (name == StatusCodeToken(code) || name == StatusCodeName(code)) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True for transient failure classes a caller may reasonably retry
+/// (kUnavailable, kResourceExhausted, kIOError). Everything else — including
+/// kCancelled, which records a *decision*, not a fault — is terminal.
+inline bool IsRetryableStatusCode(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kIOError;
 }
 
 /// Outcome of an operation: either OK, or an error code plus message.
@@ -87,6 +153,15 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return state_ == nullptr; }
@@ -116,6 +191,15 @@ class Status {
   bool IsNotImplemented() const {
     return code() == StatusCode::kNotImplemented;
   }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+
+  /// True iff the code marks a transient failure (IsRetryableStatusCode).
+  bool IsRetryable() const { return IsRetryableStatusCode(code()); }
 
  private:
   struct State {

@@ -135,7 +135,9 @@ Result<ExperimentRun> RunAlgorithm(Algo algo, const Workload& workload,
       while (stream->NextBatch(0, &batch) > 0) {
         for (const ResultTuple& r : batch) emit(r);
       }
+      PROGXE_RETURN_NOT_OK(stream->last_status());
       recorder.OnFinish();
+      run.coverage = stream->coverage();
       run.dominance_comparisons = stream->stats().dominance_comparisons;
       run.join_pairs = stream->stats().join_pairs_generated;
       break;

@@ -48,6 +48,10 @@ struct ExperimentRun {
   uint64_t join_pairs = 0;
   /// SSMJ only: early batch-1 results later found dominated.
   size_t early_false_positives = 0;
+  /// ProgXe stream path only: per-shard coverage of the delivered set —
+  /// `!complete()` when ShardOptions::allow_partial let a run finish with
+  /// abandoned shards. Default-complete for the baselines.
+  ShardCoverage coverage;
   /// The emitted results (final skyline; SSMJ false positives excluded).
   std::vector<ResultTuple> results;
 };

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,8 @@
 #include "grid/signature.h"
 
 namespace progxe {
+
+class FaultInjector;  // common/fault_injection.h
 
 /// Input-space partitioning scheme (Section III: grid by default; the
 /// paper notes other space partitionings apply "with some modifications").
@@ -78,6 +81,19 @@ struct ProgXeOptions {
 
   /// Hard cap on dense output-cell state.
   int64_t max_output_cells = 8 * 1000 * 1000;
+
+  /// Programmatic fault injection (common/fault_injection.h). When set,
+  /// engine call sites consult this injector; when null, they fall back to
+  /// the process-wide PROGXE_FAULT_SITES injector for the shard/service
+  /// sites (the in-engine "session.next_batch" site fires only from here).
+  /// Shared, not owned: per-shard option copies keep one schedule and one
+  /// set of fire budgets.
+  std::shared_ptr<FaultInjector> faults;
+
+  /// Instance id reported to the injector by in-engine sites — the sharded
+  /// stream stamps each sub-session with its shard index so a rule can
+  /// target one sick shard (`shard=i`).
+  int fault_instance = 0;
 
   /// Stop after emitting this many results (0 = run to completion). The
   /// progressive pipeline makes this an *early-termination* feature: the

@@ -48,7 +48,9 @@ Status ProgXeExecutor::Run(const EmitFn& emit) {
     for (const ResultTuple& result : batch) emit(result);
   }
   stats_ = (*stream)->stats();
-  return Status::OK();
+  // A stream that died (injected fault, retry exhaustion) drains to empty
+  // just like a completed one; the error channel is the only difference.
+  return (*stream)->last_status();
 }
 
 Result<std::vector<ResultTuple>> RunProgXe(const SkyMapJoinQuery& query,

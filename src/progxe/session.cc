@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
 
 namespace progxe {
@@ -29,6 +30,18 @@ ProgXeSession::~ProgXeSession() { Close(); }
 size_t ProgXeSession::NextBatch(size_t max_results, size_t max_pairs,
                                 std::vector<ResultTuple>* out) {
   out->clear();
+  // The in-engine fault site. Deliberately scoped to the programmatic
+  // injector only (never the PROGXE_FAULT_SITES one): an ambient soak spec
+  // targets the recovery layers above, not every plain session in the
+  // process. Fires only while work remains — a drained session cannot fail.
+  if (options_.faults != nullptr && !closed_ && !Finished()) {
+    Status fault = options_.faults->Check(fault_sites::kSessionNextBatch,
+                                          options_.fault_instance);
+    if (PROGXE_PREDICT_FALSE(!fault.ok())) {
+      Fail(std::move(fault));
+      return 0;
+    }
+  }
   size_t budget = max_pairs;
   while (pending_pos_ >= pending_.size() && loop_ != nullptr &&
          !loop_->done()) {
@@ -52,6 +65,19 @@ size_t ProgXeSession::NextBatch(size_t max_results, size_t max_pairs,
   }
   pending_pos_ += n;
   return n;
+}
+
+void ProgXeSession::Fail(Status status) {
+  assert(!status.ok());
+  status_ = std::move(status);
+  // Same teardown as Close (workers joined, undelivered results dropped)
+  // but the session stays "open": closed() remains false, the caller
+  // distinguishes death from completion through last_status().
+  loop_.reset();
+  prep_.reset();
+  pending_.clear();
+  pending_.shrink_to_fit();
+  pending_pos_ = 0;
 }
 
 void ProgXeSession::Close() {

@@ -69,12 +69,19 @@ class ProgXeSession : public ProgXeStream {
   void Close() override;
 
   /// True once every result has been delivered (the run completed, hit
-  /// options.max_results, or the query was provably empty) or the session
-  /// was closed.
+  /// options.max_results, or the query was provably empty), the session
+  /// failed, or it was closed.
   bool Finished() const override;
 
   /// Live counters; final once Finished() is true.
   const ProgXeStats& stats() const override { return stats_; }
+
+  /// OK while healthy. A NextBatch failure (today: an injected
+  /// "session.next_batch" fault from ProgXeOptions::faults) tears the
+  /// engine state down, drops undelivered results and parks the session in
+  /// a terminal error state — Finished() true, stats() readable, every
+  /// further NextBatch empty — with the failure held here.
+  Status last_status() const override { return status_; }
 
   /// The session's remaining-output frontier: fills `lo[0..k)` (resized)
   /// with a canonical-space componentwise lower bound on every result this
@@ -94,11 +101,16 @@ class ProgXeSession : public ProgXeStream {
  private:
   ProgXeSession() = default;
 
+  /// Moves to the terminal error state: engine state freed (workers
+  /// joined), undelivered results dropped, `status_` set.
+  void Fail(Status status);
+
   ProgXeOptions options_;
   ProgXeStats stats_;
   std::unique_ptr<PreparedQuery> prep_;
   std::unique_ptr<RegionLoop> loop_;  // null for trivially-empty queries
   bool closed_ = false;
+  Status status_;  // non-OK once failed
 
   /// Flushed-but-undelivered results: [pending_pos_, pending_.size()).
   std::vector<ResultTuple> pending_;

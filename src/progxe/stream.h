@@ -20,7 +20,10 @@
 // result set.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -35,6 +38,45 @@ namespace progxe {
 /// lands whole in one shard), each served by its own sub-session.
 struct ShardOptions {
   int num_shards = 1;
+
+  /// Fault containment (sharded stream only). A retryable sub-session
+  /// failure quarantines just that shard; the stream re-opens it after an
+  /// exponential backoff and replays it from scratch — safe because shards
+  /// are deterministic and the merge sink deduplicates replayed deliveries,
+  /// so the delivered set stays bit-identical to a fault-free run. This is
+  /// the number of *consecutive* failures tolerated per shard before the
+  /// retry budget is exhausted (a successful pump resets it); 0 disables
+  /// retry. The PROGXE_FAULT_RETRIES environment variable, when set,
+  /// overrides this — the CI soak uses it to make random fault schedules
+  /// survivable without touching per-test options.
+  int max_retries = 2;
+
+  /// Backoff before the first re-open; doubles per consecutive failure
+  /// (capped at 64x). During backoff a budgeted NextBatch yields (returns
+  /// 0) so a scheduler can keep checking cancel/deadline; an unbudgeted
+  /// call sleeps.
+  std::chrono::milliseconds retry_backoff{1};
+
+  /// What retry exhaustion means: false (default) fails the whole stream
+  /// with the shard's error; true abandons the shard and lets the stream
+  /// finish with partial coverage — the delivered set is then exactly the
+  /// skyline of the *covered* shards' data (see ProgXeStream::coverage).
+  bool allow_partial = false;
+};
+
+/// Which shards of a (possibly sharded) stream actually contributed to the
+/// delivered result set. `complete()` on a healthy run; `abandoned > 0`
+/// only under ShardOptions::allow_partial after a shard exhausted retries.
+struct ShardCoverage {
+  int shards = 1;      ///< Sub-streams planned.
+  int completed = 0;   ///< Delivered everything.
+  int abandoned = 0;   ///< Dropped after retry exhaustion (allow_partial).
+  uint64_t retries = 0;  ///< Shard re-opens performed over the stream's life.
+  std::vector<int> abandoned_shards;  ///< Indices of the dropped shards.
+
+  bool complete() const { return abandoned == 0; }
+  /// "completed/shards" plus retry and abandonment detail.
+  std::string ToString() const;
 };
 
 /// Abstract budgeted pull stream over one SkyMapJoin query.
@@ -68,6 +110,21 @@ class ProgXeStream {
   /// Live counters; final once Finished() is true. For a sharded stream
   /// these are the per-shard engine counters summed elementwise.
   virtual const ProgXeStats& stats() const = 0;
+
+  /// The stream's error channel. OK while healthy; once a failure is not
+  /// containable (a session fault, or a sharded stream out of retries
+  /// without allow_partial) the stream moves to a *terminal error state*:
+  /// Finished() is true, NextBatch delivers nothing more, and this returns
+  /// the real failure — NextBatch's size_t alone cannot distinguish "done"
+  /// from "died". Everything delivered before the failure remains valid
+  /// (final results are final).
+  virtual Status last_status() const = 0;
+
+  /// Per-shard coverage of the delivered set. The base implementation
+  /// (single session) reports one sub-stream, completed iff the stream
+  /// finished healthy; ShardedStream reports real per-shard accounting.
+  /// `!complete()` is exactly the partial-results case.
+  virtual ShardCoverage coverage() const;
 };
 
 /// Opens the stream implementation `shards` selects: a plain ProgXeSession

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+
+#include "common/fault_injection.h"
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -49,6 +51,8 @@ const char* QueryStateName(QueryState state) {
       return "failed";
     case QueryState::kDeadlineExceeded:
       return "deadline_exceeded";
+    case QueryState::kPartial:
+      return "partial";
   }
   return "?";
 }
@@ -57,7 +61,7 @@ bool QueryStateFromName(std::string_view name, QueryState* out) {
   for (QueryState state :
        {QueryState::kQueued, QueryState::kRunning, QueryState::kFinished,
         QueryState::kCancelled, QueryState::kFailed,
-        QueryState::kDeadlineExceeded}) {
+        QueryState::kDeadlineExceeded, QueryState::kPartial}) {
     if (name == QueryStateName(state)) {
       *out = state;
       return true;
@@ -95,9 +99,12 @@ std::string SchedulerStats::FormatFields() const {
   os << "queued=" << queued << " running=" << running
      << " submitted=" << submitted << " finished=" << finished
      << " cancelled=" << cancelled << " failed=" << failed
-     << " deadline_exceeded=" << deadline_exceeded << " slices=" << slices
+     << " deadline_exceeded=" << deadline_exceeded << " partial=" << partial
+     << " slices=" << slices
      << " sliced_pairs=" << sliced_pairs << " batches=" << batches
-     << " results=" << results << " slice_p50_us<" << SliceLatencyQuantileUs(0.5)
+     << " results=" << results << " shard_retries=" << shard_retries
+     << " shards_abandoned=" << shards_abandoned
+     << " slice_p50_us<" << SliceLatencyQuantileUs(0.5)
      << " slice_p99_us<" << SliceLatencyQuantileUs(0.99)
      << " slice_lat_us_log2=[";
   for (size_t b = 0; b < kSliceLatencyBuckets; ++b) {
@@ -149,6 +156,7 @@ struct QueryRecord {
   /// (acquire).
   Status status;
   ProgXeStats final_stats;
+  ShardCoverage final_coverage;
 
   std::unique_ptr<ProgXeStream> stream;  // open while kRunning
 
@@ -188,10 +196,13 @@ struct SchedulerCore {
   uint64_t cancelled = 0;
   uint64_t failed = 0;
   uint64_t deadline_exceeded = 0;
+  uint64_t partial = 0;
   uint64_t slices = 0;
   uint64_t sliced_pairs = 0;
   uint64_t batches = 0;
   uint64_t results = 0;
+  uint64_t shard_retries = 0;
+  uint64_t shards_abandoned = 0;
   std::array<uint64_t, SchedulerStats::kSliceLatencyBuckets>
       slice_latency_us_log2{};
 };
@@ -247,6 +258,9 @@ void CountTerminal(SchedulerCore* core, QueryState state) {
     case QueryState::kDeadlineExceeded:
       ++core->deadline_exceeded;
       break;
+    case QueryState::kPartial:
+      ++core->partial;
+      break;
     default:
       assert(false && "non-terminal state");
   }
@@ -263,6 +277,7 @@ void FinishQuery(SchedulerCore* core, const RecordPtr& rec, QueryState state,
   lock->unlock();
   if (rec->stream != nullptr) {
     rec->final_stats = rec->stream->stats();
+    rec->final_coverage = rec->stream->coverage();
     rec->stream->Close();
     rec->stream.reset();
   }
@@ -272,6 +287,9 @@ void FinishQuery(SchedulerCore* core, const RecordPtr& rec, QueryState state,
   }
   rec->state.store(state, std::memory_order_release);
   lock->lock();
+  core->shard_retries += rec->final_coverage.retries;
+  core->shards_abandoned +=
+      static_cast<uint64_t>(rec->final_coverage.abandoned);
   assert(core->live > 0);
   --core->live;
   core->done_cv.notify_all();
@@ -281,10 +299,11 @@ void FinishQuery(SchedulerCore* core, const RecordPtr& rec, QueryState state,
 
 /// Runs one slice of `rec` (unlocked). Returns the terminal state, or
 /// kRunning if the query should be requeued. `*pairs`/`*delivered` receive
-/// the slice's join-pair and result counts for the scheduler counters.
+/// the slice's join-pair and result counts for the scheduler counters;
+/// `*failure` the stream's error when the returned state is kFailed.
 QueryState RunSlice(SchedulerCore* core, const RecordPtr& rec,
                     std::vector<ResultTuple>* batch, uint64_t* pairs,
-                    uint64_t* delivered) {
+                    uint64_t* delivered, Status* failure) {
   *pairs = 0;
   *delivered = 0;
   if (rec->cancel.load(std::memory_order_acquire)) {
@@ -293,14 +312,34 @@ QueryState RunSlice(SchedulerCore* core, const RecordPtr& rec,
   if (rec->Expired(Clock::now())) {
     return QueryState::kDeadlineExceeded;
   }
+  // The serving-layer fault site: a worker failing to serve this slice at
+  // all (instance = query id). Not shard-local, so it fails the query.
+  FaultInjector* injector = rec->options.faults != nullptr
+                                ? rec->options.faults.get()
+                                : FaultInjector::FromEnv();
+  Status fault = MaybeInjectFault(injector, fault_sites::kSchedulerSlice,
+                                  static_cast<int>(rec->id));
+  if (PROGXE_PREDICT_FALSE(!fault.ok())) {
+    *failure = std::move(fault);
+    return QueryState::kFailed;
+  }
   const uint64_t before = rec->stream->stats().join_pairs_generated;
   rec->stream->NextBatch(core->options.max_batch_results,
                          core->options.batch_budget, batch);
   *pairs = rec->stream->stats().join_pairs_generated - before;
   *delivered = batch->size();
   if (!batch->empty()) rec->sink->OnBatch(*batch);
-  return rec->stream->Finished() ? QueryState::kFinished
-                                 : QueryState::kRunning;
+  // The stream's error channel: a dead stream also reports Finished(), so
+  // check the status first — kFailed must carry the real error, not
+  // masquerade as completion.
+  Status stream_status = rec->stream->last_status();
+  if (PROGXE_PREDICT_FALSE(!stream_status.ok())) {
+    *failure = std::move(stream_status);
+    return QueryState::kFailed;
+  }
+  if (!rec->stream->Finished()) return QueryState::kRunning;
+  return rec->stream->coverage().complete() ? QueryState::kFinished
+                                            : QueryState::kPartial;
 }
 
 /// Pulls every cancelled or deadline-expired record out of the waiting
@@ -418,9 +457,10 @@ void WorkerLoop(const std::shared_ptr<SchedulerCore>& core) {
     lock.unlock();
     uint64_t pairs = 0;
     uint64_t delivered = 0;
+    Status failure;
     const Clock::time_point slice_start = Clock::now();
     const QueryState outcome =
-        RunSlice(core.get(), rec, &batch, &pairs, &delivered);
+        RunSlice(core.get(), rec, &batch, &pairs, &delivered, &failure);
     const uint64_t slice_us = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                               slice_start)
@@ -428,7 +468,8 @@ void WorkerLoop(const std::shared_ptr<SchedulerCore>& core) {
     lock.lock();
     // Cancel/deadline short-circuits never advanced the stream: not a
     // served slice.
-    if (outcome == QueryState::kRunning || outcome == QueryState::kFinished) {
+    if (outcome == QueryState::kRunning || outcome == QueryState::kFinished ||
+        outcome == QueryState::kPartial) {
       ++core->slices;
       core->sliced_pairs += pairs;
       ++core->slice_latency_us_log2[SchedulerStats::SliceLatencyBucket(
@@ -443,7 +484,7 @@ void WorkerLoop(const std::shared_ptr<SchedulerCore>& core) {
       EnqueueReady(core.get(), std::move(rec));
     } else {
       --core->active;
-      FinishQuery(core.get(), rec, outcome, Status::OK(), &lock);
+      FinishQuery(core.get(), rec, outcome, std::move(failure), &lock);
     }
   }
 }
@@ -489,6 +530,11 @@ const ProgXeStats& QueryHandle::stats() const {
 Status QueryHandle::status() const {
   assert(query_ != nullptr && IsTerminal(state()));
   return query_->status;
+}
+
+const ShardCoverage& QueryHandle::coverage() const {
+  assert(query_ != nullptr && IsTerminal(state()));
+  return query_->final_coverage;
 }
 
 QueryScheduler::QueryScheduler(ServiceOptions options)
@@ -541,6 +587,7 @@ Result<QueryHandle> QueryScheduler::Submit(const SkyMapJoinQuery& query,
   rec->spec = query;
   rec->options = std::move(options);
   rec->shards = submit.shards;
+  if (submit.allow_partial) rec->shards.allow_partial = true;
   rec->sink = sink;
   const double w = std::clamp(submit.weight, 1.0 / 16.0, 1024.0);
   rec->stride = std::max<uint64_t>(
@@ -598,10 +645,13 @@ SchedulerStats QueryScheduler::stats() const {
   stats.cancelled = core_->cancelled;
   stats.failed = core_->failed;
   stats.deadline_exceeded = core_->deadline_exceeded;
+  stats.partial = core_->partial;
   stats.slices = core_->slices;
   stats.sliced_pairs = core_->sliced_pairs;
   stats.batches = core_->batches;
   stats.results = core_->results;
+  stats.shard_retries = core_->shard_retries;
+  stats.shards_abandoned = core_->shards_abandoned;
   stats.slice_latency_us_log2 = core_->slice_latency_us_log2;
   return stats;
 }

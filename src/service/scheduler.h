@@ -107,8 +107,12 @@ enum class QueryState : uint8_t {
   kRunning,           ///< Stream open; receiving slices.
   kFinished,          ///< All results delivered.
   kCancelled,         ///< Cancel() (or scheduler teardown) took effect.
-  kFailed,            ///< Open/validation failed; see QueryHandle::status().
+  kFailed,            ///< Open, validation or the stream itself failed; see
+                      ///< QueryHandle::status() for the real error.
   kDeadlineExceeded,  ///< Per-query deadline expired before completion.
+  kPartial,           ///< Completed with shards abandoned after retry
+                      ///< exhaustion (SubmitOptions::allow_partial); the
+                      ///< delivered set covers QueryHandle::coverage().
 };
 
 const char* QueryStateName(QueryState state);
@@ -120,7 +124,8 @@ bool QueryStateFromName(std::string_view name, QueryState* out);
 inline bool IsTerminal(QueryState state) {
   return state == QueryState::kFinished || state == QueryState::kCancelled ||
          state == QueryState::kFailed ||
-         state == QueryState::kDeadlineExceeded;
+         state == QueryState::kDeadlineExceeded ||
+         state == QueryState::kPartial;
 }
 
 /// Per-submission knobs beyond the engine options.
@@ -134,7 +139,16 @@ struct SubmitOptions {
   std::chrono::milliseconds deadline{0};
   /// Engine sharding: num_shards > 1 serves the query through a
   /// ShardedStream (one sub-session per shard behind this one handle).
+  /// `shards.max_retries` / `shards.retry_backoff` bound the per-shard
+  /// fault recovery.
   ShardOptions shards;
+
+  /// Graceful degradation: when a shard exhausts its retries, `false`
+  /// (default) fails the query (kFailed, real Status), `true` lets it
+  /// complete as kPartial with the per-shard coverage report on the handle.
+  /// Convenience alias for shards.allow_partial — either being true
+  /// enables it.
+  bool allow_partial = false;
 };
 
 /// A point-in-time snapshot of scheduler-wide counters
@@ -157,10 +171,13 @@ struct SchedulerStats {
   uint64_t cancelled = 0;          ///< Queries ended kCancelled.
   uint64_t failed = 0;             ///< Queries ended kFailed.
   uint64_t deadline_exceeded = 0;  ///< Queries ended kDeadlineExceeded.
+  uint64_t partial = 0;            ///< Queries ended kPartial.
   uint64_t slices = 0;             ///< NextBatch slices served.
   uint64_t sliced_pairs = 0;       ///< Join pairs processed across slices.
   uint64_t batches = 0;            ///< Non-empty OnBatch deliveries.
   uint64_t results = 0;            ///< Result tuples delivered to sinks.
+  uint64_t shard_retries = 0;      ///< Shard re-opens across terminal queries.
+  uint64_t shards_abandoned = 0;   ///< Shards dropped across terminal queries.
 
   /// Wall-clock latency distribution of served slices (one entry per
   /// NextBatch counted in `slices`). Sum of all buckets == slices.
@@ -222,8 +239,12 @@ class QueryHandle {
   void Wait();
   /// Final counters; valid once state() is terminal.
   const ProgXeStats& stats() const;
-  /// Failure status for kFailed; OK otherwise.
+  /// Failure status for kFailed — the stream's real error (open failure,
+  /// injected fault, retry exhaustion); OK otherwise.
   Status status() const;
+  /// Per-shard coverage of the delivered set; valid once state() is
+  /// terminal. `!complete()` exactly for kPartial.
+  const ShardCoverage& coverage() const;
 
  private:
   friend class QueryScheduler;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/macros.h"
@@ -12,6 +15,30 @@
 namespace progxe {
 
 ProgXeStream::~ProgXeStream() = default;
+
+ShardCoverage ProgXeStream::coverage() const {
+  // Base implementation for single-instance streams: one sub-stream,
+  // completed iff it drained healthy. Always complete() — partial coverage
+  // is a sharded-stream concept.
+  ShardCoverage cov;
+  cov.shards = 1;
+  cov.completed = Finished() && last_status().ok() ? 1 : 0;
+  return cov;
+}
+
+std::string ShardCoverage::ToString() const {
+  std::ostringstream os;
+  os << completed << "/" << shards << " shards";
+  if (retries > 0) os << " retries=" << retries;
+  if (abandoned > 0) {
+    os << " abandoned=[";
+    for (size_t i = 0; i < abandoned_shards.size(); ++i) {
+      os << (i == 0 ? "" : ",") << abandoned_shards[i];
+    }
+    os << "]";
+  }
+  return os.str();
+}
 
 namespace {
 
@@ -80,11 +107,23 @@ Result<std::unique_ptr<ShardedStream>> ShardedStream::Open(
   }
   std::unique_ptr<ShardedStream> stream(new ShardedStream());
   stream->cap_ = options.max_results;
+  stream->query_ = query;
+  stream->shard_options_ = shard_options;
+  if (const char* env = std::getenv("PROGXE_FAULT_RETRIES")) {
+    // Soak override: a randomized ambient fault schedule must not exhaust
+    // the per-test retry budget, or every suite would need fault-aware
+    // options. Only ever raises the budget.
+    stream->shard_options_.max_retries =
+        std::max(stream->shard_options_.max_retries, std::atoi(env));
+  }
   // The cap is a property of the merged stream: a shard must not stop at
   // max_results of its *local* skyline, which is unrelated to the first
   // max_results global results.
-  ProgXeOptions sub_options = std::move(options);
-  sub_options.max_results = 0;
+  stream->sub_options_ = std::move(options);
+  stream->sub_options_.max_results = 0;
+  stream->faults_ = stream->sub_options_.faults != nullptr
+                        ? stream->sub_options_.faults.get()
+                        : FaultInjector::FromEnv();
 
   std::vector<QueryShard> slices =
       PlanShards(*query.r, *query.t, shard_options.num_shards);
@@ -96,12 +135,18 @@ Result<std::unique_ptr<ShardedStream>> ShardedStream::Open(
     stream->shards_.emplace_back();
     stream->shards_.back().slice = std::move(slice);
   }
-  for (SubShard& shard : stream->shards_) {
+  for (size_t i = 0; i < stream->shards_.size(); ++i) {
     // Validation runs per shard before the empty-source short-circuit, so
     // an invalid query fails here even when every shard is empty.
-    PROGXE_ASSIGN_OR_RETURN(
-        shard.session,
-        ProgXeSession::Open(shard.slice.Query(query), sub_options));
+    Status st = stream->OpenShard(i);
+    if (!st.ok()) {
+      // A non-retryable open failure (validation) fails Open itself; a
+      // retryable one is a containable fault even here — quarantine the
+      // shard and let the pump retry it, unless the budget is already gone.
+      if (!IsRetryableStatusCode(st.code())) return st;
+      stream->OnShardFailure(i, std::move(st));
+      if (stream->failed_) return stream->status_;
+    }
   }
   stream->mapper_ = CanonicalMapper(query.map, query.pref);
   stream->k_ = stream->mapper_.output_dimensions();
@@ -138,19 +183,117 @@ ShardedStream::~ShardedStream() { Close(); }
 
 bool ShardedStream::AllExhausted() const {
   for (const SubShard& shard : shards_) {
-    if (!shard.exhausted) return false;
+    if (!shard.exhausted && !shard.abandoned) return false;
   }
   return true;
+}
+
+Status ShardedStream::OpenShard(size_t i) {
+  SubShard& shard = shards_[i];
+  PROGXE_RETURN_NOT_OK(MaybeInjectFault(faults_, fault_sites::kShardOpen,
+                                        static_cast<int>(i)));
+  ProgXeOptions opts = sub_options_;
+  opts.fault_instance = static_cast<int>(i);
+  PROGXE_ASSIGN_OR_RETURN(
+      shard.session,
+      ProgXeSession::Open(shard.slice.Query(query_), std::move(opts)));
+  return Status::OK();
+}
+
+void ShardedStream::OnShardFailure(size_t i, Status status) {
+  assert(!status.ok());
+  SubShard& shard = shards_[i];
+  if (shard.session != nullptr) {
+    // The incarnation is dead but its work happened: fold its counters into
+    // the shard's lost tally before dropping it (reset joins any workers).
+    AddStats(&shard.lost_stats, shard.session->stats());
+    shard.session.reset();
+  }
+  shard.last_error = status;
+  ++shard.consecutive_failures;
+  if (IsRetryableStatusCode(status.code()) &&
+      shard.consecutive_failures <= shard_options_.max_retries) {
+    // Quarantine: only this shard stops; everyone else keeps pumping and
+    // releasing against its frozen pre-failure bound. Exponential backoff,
+    // capped at 64x so a long retry fight stays responsive.
+    const int exp = std::min(shard.consecutive_failures - 1, 6);
+    shard.next_attempt =
+        Clock::now() + shard_options_.retry_backoff * (1 << exp);
+    shard.replayed = true;
+    return;
+  }
+  if (shard_options_.allow_partial) {
+    // Degrade: drop the shard from the merge like an exhausted one. Its
+    // already-delivered results stand (they are true skyline members); the
+    // rest of the stream completes as the skyline of the data actually
+    // observed, and coverage() reports the hole.
+    shard.abandoned = true;
+    shard.ingested.clear();
+    bounds_dirty_ = true;  // its bound no longer constrains releases
+    return;
+  }
+  FailStream(std::move(status));
+}
+
+void ShardedStream::FailStream(Status status) {
+  assert(!status.ok());
+  failed_ = true;
+  status_ = std::move(status);
+  // Close (not reset) the surviving sessions so stats() stays readable;
+  // dead incarnations are already folded into lost_stats.
+  for (SubShard& shard : shards_) {
+    if (shard.session != nullptr) shard.session->Close();
+  }
+  ReleaseMergeState();
+  ready_.clear();
+  ready_pos_ = 0;
+}
+
+ShardedStream::Clock::time_point ShardedStream::NextRetryAt() const {
+  Clock::time_point next = Clock::time_point::max();
+  for (const SubShard& shard : shards_) {
+    if (shard.exhausted || shard.abandoned || shard.session != nullptr) {
+      continue;
+    }
+    next = std::min(next, shard.next_attempt);
+  }
+  return next;
 }
 
 uint64_t ShardedStream::PumpRound(size_t per_shard) {
   uint64_t used = 0;
   for (size_t i = 0; i < shards_.size(); ++i) {
     SubShard& shard = shards_[i];
-    if (shard.exhausted) continue;
+    if (shard.exhausted || shard.abandoned) continue;
+    if (shard.session == nullptr) {
+      // Quarantined. Re-open once the backoff expires; the replay is
+      // idempotent (see Ingest), so the re-opened incarnation simply runs
+      // from the start.
+      if (Clock::now() < shard.next_attempt) continue;
+      ++total_retries_;
+      Status reopened = OpenShard(i);
+      if (!reopened.ok()) {
+        OnShardFailure(i, std::move(reopened));
+        if (failed_) return used;
+        continue;
+      }
+    }
     const uint64_t before = shard.session->stats().join_pairs_generated;
-    shard.session->NextBatch(/*max_results=*/0, per_shard, &pump_scratch_);
-    used += shard.session->stats().join_pairs_generated - before;
+    Status fault = MaybeInjectFault(faults_, fault_sites::kShardNextBatch,
+                                    static_cast<int>(i));
+    if (fault.ok()) {
+      shard.session->NextBatch(/*max_results=*/0, per_shard, &pump_scratch_);
+      used += shard.session->stats().join_pairs_generated - before;
+      // Engine-level failures (the "session.next_batch" site) surface
+      // through the sub-session's own error channel.
+      fault = shard.session->last_status();
+    }
+    if (PROGXE_PREDICT_FALSE(!fault.ok())) {
+      OnShardFailure(i, std::move(fault));
+      if (failed_) return used;
+      continue;
+    }
+    shard.consecutive_failures = 0;  // a healthy pump re-arms the budget
     Ingest(i, pump_scratch_);
   }
   return used;
@@ -176,9 +319,24 @@ void ShardedStream::Ingest(size_t shard_idx,
                            const std::vector<ResultTuple>& batch) {
   if (batch.empty()) return;
   Stopwatch watch;
-  const QueryShard& slice = shards_[shard_idx].slice;
+  SubShard& owner = shards_[shard_idx];
+  const QueryShard& slice = owner.slice;
+  // Replay dedup is only needed when a re-open can happen at all.
+  const bool track_replay = shard_options_.max_retries > 0;
   const size_t k = static_cast<size_t>(k_);
   for (const ResultTuple& local : batch) {
+    const RowId orig_r = slice.r_orig_ids[local.r_id];
+    const RowId orig_t = slice.t_orig_ids[local.t_id];
+    if (track_replay) {
+      // Each (shard, pair) is merged at most once *ever*, across
+      // incarnations. Without this, a replayed delivery would be
+      // point-equal to its accepted twin — which strict dominance cannot
+      // filter — and the stream would emit a duplicate. RowId is 32-bit,
+      // so the pair packs losslessly.
+      const uint64_t key =
+          (static_cast<uint64_t>(orig_r) << 32) | static_cast<uint64_t>(orig_t);
+      if (!owner.ingested.insert(key).second) continue;
+    }
     double* canon = canon_scratch_.data();
     for (size_t j = 0; j < k; ++j) {
       canon[j] = mapper_.Canonicalize(static_cast<int>(j), local.values[j]);
@@ -226,8 +384,8 @@ void ShardedStream::Ingest(size_t shard_idx,
     acc_held_.push_back(static_cast<int32_t>(held_.size()));
     Candidate candidate;
     candidate.tuple = local;
-    candidate.tuple.r_id = slice.r_orig_ids[local.r_id];
-    candidate.tuple.t_id = slice.t_orig_ids[local.t_id];
+    candidate.tuple.r_id = orig_r;
+    candidate.tuple.t_id = orig_t;
     candidate.shard = static_cast<int>(shard_idx);
     candidate.acc_id = acc_id;
     held_.push_back(std::move(candidate));
@@ -244,22 +402,31 @@ bool ShardedStream::GloballyFinal(Candidate* candidate) {
       acc_canon_.data() +
       static_cast<size_t>(candidate->acc_id) * static_cast<size_t>(k_);
   // Cheapest first: the shard that blocked the last check usually still
-  // does, so a still-held candidate costs one comparison per re-check.
+  // does, so a still-held candidate costs one comparison per re-check. A
+  // shard with an *empty* bound (quarantined before it ever published a
+  // frontier) blocks everything: it may still emit anything.
   const int cached = candidate->blocker;
-  if (cached >= 0 && !shards_[static_cast<size_t>(cached)].exhausted &&
-      DominatesMin(shards_[static_cast<size_t>(cached)].bound.data(), canon,
-                   k_, &merge_counter_)) {
-    return false;
+  if (cached >= 0) {
+    const SubShard& blocker = shards_[static_cast<size_t>(cached)];
+    if (!blocker.exhausted && !blocker.abandoned &&
+        (blocker.bound.empty() ||
+         DominatesMin(blocker.bound.data(), canon, k_, &merge_counter_))) {
+      return false;
+    }
   }
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (static_cast<int>(s) == candidate->shard ||
-        static_cast<int>(s) == cached || shards_[s].exhausted) {
+        static_cast<int>(s) == cached || shards_[s].exhausted ||
+        shards_[s].abandoned) {
       continue;
     }
     // Every future tuple y of shard s satisfies y >= bound componentwise,
     // so y can strictly dominate the candidate only if the bound corner
-    // itself does.
-    if (DominatesMin(shards_[s].bound.data(), canon, k_, &merge_counter_)) {
+    // itself does. (The candidate's own shard needs no check even across a
+    // replay: a shard's outputs are its local skyline, whose members never
+    // strictly dominate each other.)
+    if (shards_[s].bound.empty() ||
+        DominatesMin(shards_[s].bound.data(), canon, k_, &merge_counter_)) {
       candidate->blocker = static_cast<int>(s);
       return false;
     }
@@ -268,13 +435,40 @@ bool ShardedStream::GloballyFinal(Candidate* candidate) {
 }
 
 void ShardedStream::RefreshBoundsAndRelease() {
+  // A fault in the merge release pass is not attributable to any one shard,
+  // so there is nothing to quarantine: it fails the stream.
+  Status fault = MaybeInjectFault(faults_, fault_sites::kMergeRelease);
+  if (PROGXE_PREDICT_FALSE(!fault.ok())) {
+    FailStream(std::move(fault));
+    return;
+  }
   Stopwatch watch;
-  bool advanced = false;
+  bool advanced = bounds_dirty_;
+  bounds_dirty_ = false;
   for (SubShard& shard : shards_) {
-    if (shard.exhausted) continue;
+    if (shard.exhausted || shard.abandoned) continue;
+    // Quarantined: the pre-failure bound stays frozen. It is still valid —
+    // everything the dead incarnation delivered is already merged, so the
+    // shard's remaining *new* outputs are a subset of what the old frontier
+    // bounded.
+    if (shard.session == nullptr) continue;
     if (!shard.session->RemainingLowerBound(&bound_scratch_)) {
       shard.exhausted = true;
       advanced = true;
+    } else if (shard.bound.empty()) {
+      shard.bound = bound_scratch_;
+      advanced = true;
+    } else if (shard.replayed) {
+      // A shard that has ever been replayed ratchets componentwise: the
+      // replaying incarnation's frontier restarts below the pre-failure
+      // bound while it re-covers old ground, and both bounds are valid, so
+      // the effective bound is their max.
+      for (size_t j = 0; j < shard.bound.size(); ++j) {
+        if (bound_scratch_[j] > shard.bound[j]) {
+          shard.bound[j] = bound_scratch_[j];
+          advanced = true;
+        }
+      }
     } else if (bound_scratch_ != shard.bound) {
       shard.bound = bound_scratch_;
       advanced = true;
@@ -315,17 +509,29 @@ void ShardedStream::RefreshBoundsAndRelease() {
 size_t ShardedStream::NextBatch(size_t max_results, size_t max_pairs,
                                 std::vector<ResultTuple>* out) {
   out->clear();
-  if (closed_ || CapReached()) return 0;
+  if (closed_ || failed_ || CapReached()) return 0;
   if (ready_pos_ >= ready_.size()) {
     // Reclaim the delivered (moved-out) prefix before refilling.
     ready_.clear();
     ready_pos_ = 0;
   }
   size_t budget = max_pairs;
-  while (ready_pos_ >= ready_.size() && !AllExhausted()) {
+  while (ready_pos_ >= ready_.size() && !AllExhausted() && !failed_) {
     size_t runnable = 0;
+    const Clock::time_point now = Clock::now();
     for (const SubShard& shard : shards_) {
-      if (!shard.exhausted) ++runnable;
+      if (shard.exhausted || shard.abandoned) continue;
+      if (shard.session != nullptr || now >= shard.next_attempt) ++runnable;
+    }
+    if (runnable == 0) {
+      // Every live shard is parked in retry backoff. A budgeted call
+      // yields (returns 0 with !Finished()) so a scheduler keeps checking
+      // cancel/deadline between slices instead of a worker sleeping inside
+      // the stream; an unbudgeted caller has nothing better to do than
+      // wait out the earliest backoff.
+      if (max_pairs != 0) return 0;
+      std::this_thread::sleep_until(NextRetryAt());
+      continue;
     }
     // Split the slice budget across the runnable shards; unbudgeted calls
     // pump each shard to its next local emission instead. Release checks
@@ -335,12 +541,14 @@ size_t ShardedStream::NextBatch(size_t max_results, size_t max_pairs,
     const size_t per_shard =
         max_pairs == 0 ? 0 : std::max<size_t>(1, budget / runnable);
     const uint64_t used = PumpRound(per_shard);
-    RefreshBoundsAndRelease();
+    if (!failed_) RefreshBoundsAndRelease();
+    if (failed_) break;
     if (max_pairs != 0) {
       budget = used >= budget ? 0 : budget - static_cast<size_t>(used);
       if (budget == 0) break;  // possibly a yield: nothing globally final yet
     }
   }
+  if (failed_) return 0;
 
   size_t n = ready_.size() - ready_pos_;
   if (max_results != 0) n = std::min(n, max_results);
@@ -355,7 +563,9 @@ size_t ShardedStream::NextBatch(size_t max_results, size_t max_pairs,
     // Early termination, merge-level: the remaining shard work (and the
     // held candidates) can never be delivered — release the engines (and
     // their worker threads) now.
-    for (SubShard& shard : shards_) shard.session->Close();
+    for (SubShard& shard : shards_) {
+      if (shard.session != nullptr) shard.session->Close();
+    }
     ReleaseMergeState();
   }
   return n;
@@ -382,16 +592,34 @@ void ShardedStream::Close() {
 }
 
 bool ShardedStream::Finished() const {
-  if (closed_ || CapReached()) return true;
+  if (closed_ || failed_ || CapReached()) return true;
   return ready_pos_ >= ready_.size() && held_.empty() && AllExhausted();
 }
 
 const ProgXeStats& ShardedStream::stats() const {
   agg_stats_ = ProgXeStats{};
   for (const SubShard& shard : shards_) {
-    AddStats(&agg_stats_, shard.session->stats());
+    // Dead incarnations of retried shards first, then whatever is live.
+    AddStats(&agg_stats_, shard.lost_stats);
+    if (shard.session != nullptr) AddStats(&agg_stats_, shard.session->stats());
   }
   return agg_stats_;
+}
+
+ShardCoverage ShardedStream::coverage() const {
+  ShardCoverage cov;
+  cov.shards = static_cast<int>(shards_.size());
+  cov.completed = 0;
+  cov.retries = total_retries_;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].abandoned) {
+      ++cov.abandoned;
+      cov.abandoned_shards.push_back(static_cast<int>(i));
+    } else if (shards_[i].exhausted) {
+      ++cov.completed;
+    }
+  }
+  return cov;
 }
 
 Result<std::unique_ptr<ProgXeStream>> OpenProgXeStream(

@@ -31,6 +31,20 @@
 //     after some shard's frontier corner actually advanced, starting with
 //     the shard that blocked it last time.
 //
+// Fault containment rides on the same structure. A retryable sub-session
+// failure quarantines only that shard: its session is torn down and
+// re-opened after exponential backoff (ShardOptions::max_retries /
+// retry_backoff), and because a shard is a deterministic function of its
+// slice + options, the replay re-delivers the same local skyline — a
+// per-shard dedup set plus the accepted-frontier filtering make the replay
+// idempotent, so the merged delivered set stays bit-identical to a
+// fault-free run with zero retractions. The quarantined shard's last
+// published frontier corner remains a valid bound on anything *new* it may
+// still contribute, so the other shards keep releasing results while it
+// recovers. Retry exhaustion either fails the stream (last_status) or,
+// under ShardOptions::allow_partial, abandons the shard and completes with
+// an honest coverage() report.
+//
 // Together these give the sharded stream the same contract as a session:
 // every delivered tuple is final (no retractions) and the union of all
 // deliveries is exactly the unsharded skyline. ProgXeStats are the
@@ -39,9 +53,12 @@
 // reported separately (merge_comparisons, merge_seconds, held peak).
 #pragma once
 
+#include <chrono>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/status.h"
 #include "dominance/dominance_index.h"
 #include "grid/grid_geometry.h"
@@ -70,8 +87,21 @@ class ShardedStream : public ProgXeStream {
   void Close() override;
   bool Finished() const override;
 
-  /// Elementwise sum of the sub-sessions' counters (doubles add, flags OR).
+  /// Elementwise sum of the sub-sessions' counters (doubles add, flags OR),
+  /// including the work done by failed incarnations of retried shards.
   const ProgXeStats& stats() const override;
+
+  /// OK while healthy. A retryable sub-session fault quarantines that shard
+  /// and replays it (see ShardOptions::max_retries); only retry exhaustion
+  /// without allow_partial — or a non-shard-local merge fault — moves the
+  /// stream here: a terminal error state holding the shard's failure.
+  Status last_status() const override { return status_; }
+
+  /// Real per-shard accounting: completed vs abandoned shards and the
+  /// total re-opens performed. `!complete()` iff a shard was abandoned
+  /// under allow_partial; the delivered set is then exactly the skyline of
+  /// the covered shards' data.
+  ShardCoverage coverage() const override;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
@@ -93,14 +123,45 @@ class ShardedStream : public ProgXeStream {
   double merge_seconds() const { return merge_seconds_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct SubShard {
     QueryShard slice;
+    /// Null while quarantined (between a fault and the retry re-open).
     std::unique_ptr<ProgXeSession> session;
     /// Canonical remaining-output frontier corner; meaningful while
-    /// `!exhausted`.
+    /// `!exhausted`. Empty means "no bound yet" — it blocks every release
+    /// (a shard that failed before publishing a frontier may still emit
+    /// anything). During quarantine the pre-failure bound stays valid: a
+    /// replay re-delivers a subset of what the dead incarnation already
+    /// delivered before producing anything new, so the remaining *new*
+    /// outputs are bounded by the old frontier; after re-open the bound
+    /// only ratchets up componentwise.
     std::vector<double> bound;
     /// True once the session delivered everything: it constrains nothing.
     bool exhausted = false;
+    /// Retry budget exhausted under allow_partial: dropped from the merge
+    /// like an exhausted shard, recorded in coverage().
+    bool abandoned = false;
+    /// Consecutive (unrecovered) failures; reset by a successful pump.
+    int consecutive_failures = 0;
+    /// True once this shard has ever been quarantined: its published bound
+    /// then ratchets (componentwise max) instead of being replaced, since a
+    /// replaying incarnation's frontier restarts below the frozen one.
+    bool replayed = false;
+    /// Earliest re-open time while quarantined (session == nullptr).
+    Clock::time_point next_attempt{};
+    /// Last failure that quarantined/abandoned this shard.
+    Status last_error;
+    /// Counters of failed incarnations, summed — stats() adds these to the
+    /// live session's so retried work stays auditable.
+    ProgXeStats lost_stats;
+    /// Replay dedup: packed original (r_id << 32 | t_id) of every tuple
+    /// this shard already ingested into the merge, across incarnations. A
+    /// replayed duplicate is point-*equal* to its accepted twin, which
+    /// strict dominance would not filter — this set is what makes replay
+    /// idempotent. Only populated when retries are enabled.
+    std::unordered_set<uint64_t> ingested;
   };
 
   /// One locally-final tuple awaiting the global finality check. Its
@@ -122,8 +183,23 @@ class ShardedStream : public ProgXeStream {
   bool CapReached() const {
     return cap_ != 0 && delivered_ >= cap_;
   }
+  /// (Re-)opens shard `i`'s sub-session over its slice; fires the
+  /// "shard.open" fault site first.
+  Status OpenShard(size_t i);
+  /// Containment: snapshots the dead incarnation's counters, tears it down
+  /// and either quarantines the shard for retry (exponential backoff),
+  /// abandons it (retry budget gone, allow_partial) or fails the whole
+  /// stream (budget gone, fail-fast; or a non-retryable error).
+  void OnShardFailure(size_t i, Status status);
+  /// Moves the stream to the terminal error state: sub-sessions closed,
+  /// merge state dropped, `status` held for last_status().
+  void FailStream(Status status);
+  /// Earliest quarantined shard re-open time (Clock::time_point::max() if
+  /// none are quarantined).
+  Clock::time_point NextRetryAt() const;
   /// Advances every runnable shard by its slice of `per_shard` pairs and
-  /// ingests what it produced. Returns the pairs actually consumed.
+  /// ingests what it produced; re-opens quarantined shards whose backoff
+  /// expired. Returns the pairs actually consumed.
   uint64_t PumpRound(size_t per_shard);
   /// Filters a sub-session batch through the accepted-frontier index and
   /// admits the survivors into the held queue.
@@ -140,11 +216,29 @@ class ShardedStream : public ProgXeStream {
   void ReleaseMergeState();
 
   std::vector<SubShard> shards_;
+  /// Retained for retry re-opens (the relations outlive the stream by the
+  /// Open contract; the slices live in shards_).
+  SkyMapJoinQuery query_;
+  /// The per-shard engine options (cap stripped); OpenShard stamps
+  /// fault_instance per shard.
+  ProgXeOptions sub_options_;
+  ShardOptions shard_options_;
+  /// Effective injector for the shard.*/merge.* sites: the programmatic
+  /// one when set, else the process-wide env one, else null. Not owned
+  /// (sub_options_.faults or process lifetime).
+  FaultInjector* faults_ = nullptr;
   CanonicalMapper mapper_;
   int k_ = 0;
   size_t cap_ = 0;  // options.max_results, merge-level
   size_t delivered_ = 0;
   bool closed_ = false;
+  bool failed_ = false;
+  Status status_;  // non-OK once failed_
+  uint64_t total_retries_ = 0;
+  /// Set when a shard exhausts or is abandoned outside
+  /// RefreshBoundsAndRelease, so the next release pass re-checks held
+  /// candidates even if no surviving bound moved.
+  bool bounds_dirty_ = false;
 
   /// Canonical-cell quantization of the accepted set: a uniform grid over
   /// the query's canonical output hull (interval arithmetic over the full

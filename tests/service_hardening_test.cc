@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "equivalence_common.h"
 #include "progxe/session.h"
 #include "service/scheduler.h"
@@ -326,7 +327,7 @@ TEST(Names, QueryStateRoundTrips) {
   for (QueryState state :
        {QueryState::kQueued, QueryState::kRunning, QueryState::kFinished,
         QueryState::kCancelled, QueryState::kFailed,
-        QueryState::kDeadlineExceeded}) {
+        QueryState::kDeadlineExceeded, QueryState::kPartial}) {
     QueryState parsed;
     ASSERT_TRUE(QueryStateFromName(QueryStateName(state), &parsed))
         << QueryStateName(state);
@@ -335,6 +336,98 @@ TEST(Names, QueryStateRoundTrips) {
   QueryState parsed;
   EXPECT_FALSE(QueryStateFromName("exploded", &parsed));
   EXPECT_TRUE(IsTerminal(QueryState::kDeadlineExceeded));
+  EXPECT_TRUE(IsTerminal(QueryState::kPartial));
+}
+
+/// A query whose shards fail every pump and retry with a long backoff: it
+/// yields empty slices (runnable == 0 inside the budget window) without
+/// ever finishing on its own — the scaffold for racing lifecycle events
+/// against an in-flight retry.
+SubmitOptions StuckRetrySubmit() {
+  SubmitOptions submit;
+  submit.shards.num_shards = 2;
+  submit.shards.max_retries = 1000;
+  submit.shards.retry_backoff = std::chrono::seconds(10);
+  return submit;
+}
+
+ProgXeOptions AlwaysFaulting() {
+  ProgXeOptions options;
+  auto injector = FaultInjector::Parse("shard.next_batch:p=1", 0);
+  EXPECT_TRUE(injector.ok());
+  options.faults = injector.MoveValue();
+  return options;
+}
+
+// Scheduler destruction while a query sits in retry backoff: the destructor
+// must cancel it promptly (not wait out the 10s backoff window) and fire
+// exactly one OnDone.
+TEST(FaultLifecycle, DestructionMidRetryCancelsPromptly) {
+  Rng rng(0xfa271);
+  const Config cfg = MakeConfig(&rng, false, false);
+  RecordingSink sink;
+  const auto start = std::chrono::steady_clock::now();
+  {
+    ServiceOptions sopts;
+    sopts.num_workers = 1;
+    sopts.batch_budget = 64;  // budgeted slices: backoff becomes a yield
+    QueryScheduler scheduler(sopts);
+    auto handle =
+        scheduler.Submit(cfg.query(), AlwaysFaulting(), &sink,
+                         StuckRetrySubmit());
+    ASSERT_TRUE(handle.ok());
+    // Give the worker time to take the first (faulting) slice.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(sink.done());
+  EXPECT_EQ(sink.final_state(), QueryState::kCancelled);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5))
+      << "teardown waited out the retry backoff";
+}
+
+// Cancel racing an in-flight retry: the cancel must win at the next slice
+// boundary — one OnDone, state kCancelled, Drain returns.
+TEST(FaultLifecycle, CancelRacesRetryWithoutWedging) {
+  Rng rng(0xfa272);
+  const Config cfg = MakeConfig(&rng, false, false);
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  sopts.batch_budget = 64;
+  QueryScheduler scheduler(sopts);
+  RecordingSink sink;
+  auto handle = scheduler.Submit(cfg.query(), AlwaysFaulting(), &sink,
+                                 StuckRetrySubmit());
+  ASSERT_TRUE(handle.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  handle->Cancel();
+  handle->Wait();
+  EXPECT_EQ(handle->state(), QueryState::kCancelled);
+  EXPECT_TRUE(sink.done());
+  EXPECT_EQ(sink.final_state(), QueryState::kCancelled);
+  scheduler.Drain();
+}
+
+// A deadline expiring during retry backoff: the empty yield slices keep the
+// deadline check running, so the query expires instead of sleeping through
+// its own deadline inside the stream.
+TEST(FaultLifecycle, DeadlineExpiresDuringBackoff) {
+  Rng rng(0xfa273);
+  const Config cfg = MakeConfig(&rng, false, false);
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  sopts.batch_budget = 64;
+  QueryScheduler scheduler(sopts);
+  RecordingSink sink;
+  SubmitOptions submit = StuckRetrySubmit();
+  submit.deadline = std::chrono::milliseconds(50);
+  auto handle =
+      scheduler.Submit(cfg.query(), AlwaysFaulting(), &sink, submit);
+  ASSERT_TRUE(handle.ok());
+  handle->Wait();
+  EXPECT_EQ(handle->state(), QueryState::kDeadlineExceeded);
+  EXPECT_TRUE(sink.done());
+  EXPECT_EQ(sink.final_state(), QueryState::kDeadlineExceeded);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "equivalence_common.h"
 #include "progxe/session.h"
 #include "progxe/stream.h"
@@ -139,14 +140,19 @@ TEST_P(ShardedEquivalenceSweep, ShardedSetEqualsUnsharded) {
         << "K=" << num_shards << ", param=" << param;
 
     // Additive stats: the aggregate equals the per-shard solo counters
-    // summed (slice boundaries never change engine counters).
-    ProgXeStats expected;
-    if (num_shards == 1) {
-      expected = unsharded_stats;
-    } else {
-      expected = SumOfSoloShardRuns(cfg, options, num_shards);
+    // summed (slice boundaries never change engine counters). Under an
+    // ambient PROGXE_FAULT_SITES soak the delivered *set* above must still
+    // match exactly — that is the recovery guarantee — but replayed shard
+    // incarnations redo work, so counter additivity only holds fault-free.
+    if (FaultInjector::FromEnv() == nullptr) {
+      ProgXeStats expected;
+      if (num_shards == 1) {
+        expected = unsharded_stats;
+      } else {
+        expected = SumOfSoloShardRuns(cfg, options, num_shards);
+      }
+      ExpectSameStats(expected, (*stream)->stats(), "sharded aggregate");
     }
-    ExpectSameStats(expected, (*stream)->stats(), "sharded aggregate");
   }
 }
 
@@ -353,6 +359,11 @@ TEST(ShardedStream, CloseMidStreamReleasesAndFinishes) {
 }
 
 TEST(ShardedStream, InvalidQueryFailsOpenAndEmptySourcesFinish) {
+  if (FaultInjector::FromEnv() != nullptr) {
+    GTEST_SKIP() << "ambient fault injection turns open-time errors into "
+                    "quarantine/retry; open-failure semantics are covered "
+                    "fault-free";
+  }
   Config bad;
   bad.r = Relation(Schema::Anonymous(2));
   bad.t = Relation(Schema::Anonymous(2));

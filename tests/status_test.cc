@@ -40,6 +40,54 @@ TEST(Status, CopyIsCheapAndShared) {
 TEST(Status, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "Not found");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "Resource exhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+}
+
+TEST(Status, RetryableFactories) {
+  Status st = Status::Unavailable("shard down");
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(st.ToString(), "Unavailable: shard down");
+  EXPECT_TRUE(st.IsRetryable());
+
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsRetryable());
+  EXPECT_TRUE(Status::IOError("x").IsRetryable());
+
+  // Cancellation is a decision, not a transient: retrying it would undo the
+  // caller's intent.
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_FALSE(Status::Cancelled("x").IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+}
+
+TEST(Status, TokenRoundTripsEveryCode) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,   StatusCode::kNotImplemented,
+      StatusCode::kInternal,     StatusCode::kIOError,
+      StatusCode::kUnavailable,  StatusCode::kResourceExhausted,
+      StatusCode::kCancelled,
+  };
+  for (StatusCode code : codes) {
+    StatusCode parsed;
+    // The snake_case token round-trips...
+    ASSERT_TRUE(StatusCodeFromName(StatusCodeToken(code), &parsed))
+        << StatusCodeToken(code);
+    EXPECT_EQ(parsed, code);
+    // ...and so does the display name.
+    ASSERT_TRUE(StatusCodeFromName(StatusCodeName(code), &parsed))
+        << StatusCodeName(code);
+    EXPECT_EQ(parsed, code);
+  }
+  StatusCode parsed;
+  EXPECT_FALSE(StatusCodeFromName("definitely_not_a_code", &parsed));
+  EXPECT_FALSE(StatusCodeFromName("", &parsed));
 }
 
 TEST(Result, HoldsValue) {

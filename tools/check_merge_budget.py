@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""CI gate on the sharded merge sink's dominance-comparison counter.
+"""CI gate on the sharded merge sink's dominance-comparison counter and the
+disabled fault-injection hook's overhead.
 
 The merge sink's work is measured by a deterministic counter
 (`merge_comparisons` in the `bench_sharded` JSON), so unlike a timing
@@ -7,10 +8,16 @@ threshold this gate is stable across runners: a regression back toward the
 flat O(accepted x arrivals) scan multiplies the counter by orders of
 magnitude and trips the budget regardless of machine speed.
 
+`fault_hook_ns_per_call` (when present in the JSON) is additionally held
+under a per-call nanosecond budget: the disabled MaybeInjectFault hook is
+contractually one predicted branch, and a regression that consults the rule
+table on the hot path costs 10-100x, far above runner jitter.
+
 Accepts either a bare bench_sharded JSON ({"runs": [...]}) or a full
 BENCH_progxe.json (takes its "sharded" key).
 
 Usage: check_merge_budget.py <json> [--shards=4] [--budget=200000]
+                                    [--hook_budget_ns=15]
 """
 
 import json
@@ -21,11 +28,14 @@ def main(argv):
     path = None
     shards = 4
     budget = 200000
+    hook_budget_ns = 15.0
     for arg in argv[1:]:
         if arg.startswith("--shards="):
             shards = int(arg.split("=", 1)[1])
         elif arg.startswith("--budget="):
             budget = int(arg.split("=", 1)[1])
+        elif arg.startswith("--hook_budget_ns="):
+            hook_budget_ns = float(arg.split("=", 1)[1])
         elif path is None:
             path = arg
         else:
@@ -48,6 +58,15 @@ def main(argv):
             f"FAIL: merge_comparisons at K={shards} exceeded the budget "
             f"({cmps} > {budget}) — the merge sink is scanning instead of "
             f"using the dominance index")
+
+    hook_ns = data.get("fault_hook_ns_per_call")
+    if hook_ns is not None:
+        print(f"fault_hook_ns_per_call={hook_ns} budget={hook_budget_ns}")
+        if hook_ns > hook_budget_ns:
+            raise SystemExit(
+                f"FAIL: the disabled fault-injection hook costs {hook_ns}ns "
+                f"per call (> {hook_budget_ns}ns) — it must stay a single "
+                f"predicted branch when no injector is installed")
     print("OK")
 
 

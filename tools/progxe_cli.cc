@@ -21,6 +21,17 @@
 //   --csv=<path>       append per-emission series rows to a CSV file
 //   --series=<k>       print at most k series samples (default 10)
 //
+// Fault tolerance (ProgXe variants; see common/fault_injection.h):
+//   --faults=<spec>        inject deterministic faults, e.g.
+//                          "shard.open:p=1,max=2" fails the first two
+//                          shard opens (then recovery retries them)
+//   --fault_seed=<s>       seed for probabilistic fault rules (default 0)
+//   --max_retries=<n>      consecutive per-shard failures tolerated
+//                          (default 2)
+//   --retry_backoff_ms=<ms> base shard re-open backoff (default 1)
+//   --allow_partial        complete with reduced coverage instead of
+//                          failing when a shard exhausts its retries
+//
 // Multi-query serving (ProgXe variants only): with --queries=N > 1 the
 // workloads (seeds seed..seed+N-1) are served concurrently through the
 // QueryScheduler and per-query stats are printed as each one finishes.
@@ -31,6 +42,7 @@
 //   --max_concurrent=<n>  admission slots, 0 = unbounded   (default 0)
 // --shards also applies here: each query is served as one sharded stream
 // behind its QueryHandle.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -38,6 +50,7 @@
 #include <vector>
 
 #include "common/csv_writer.h"
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "harness/experiment.h"
 #include "service/scheduler.h"
@@ -58,6 +71,13 @@ struct CliArgs {
   int shards = 1;
   std::string csv_path;
   int series_samples = 10;
+
+  // Fault tolerance.
+  std::string faults;
+  uint64_t fault_seed = 0;
+  int max_retries = 2;
+  int retry_backoff_ms = 1;
+  bool allow_partial = false;
 
   // Multi-query serving.
   size_t queries = 1;
@@ -107,6 +127,24 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       }
     } else if (const char* v = value("--series=")) {
       args->series_samples = std::atoi(v);
+    } else if (const char* v = value("--faults=")) {
+      args->faults = v;
+    } else if (const char* v = value("--fault_seed=")) {
+      args->fault_seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--max_retries=")) {
+      args->max_retries = std::atoi(v);
+      if (args->max_retries < 0) {
+        std::fprintf(stderr, "--max_retries must be >= 0\n");
+        return false;
+      }
+    } else if (const char* v = value("--retry_backoff_ms=")) {
+      args->retry_backoff_ms = std::atoi(v);
+      if (args->retry_backoff_ms < 0) {
+        std::fprintf(stderr, "--retry_backoff_ms must be >= 0\n");
+        return false;
+      }
+    } else if (std::strcmp(arg, "--allow_partial") == 0) {
+      args->allow_partial = true;
     } else if (const char* v = value("--queries=")) {
       args->queries = static_cast<size_t>(std::atoll(v));
       if (args->queries < 1) {
@@ -137,6 +175,24 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
   return true;
 }
 
+/// Compiles the --faults/--max_retries/--allow_partial flags into the
+/// engine and shard options. False (with a message) on a malformed spec.
+bool ApplyFaultArgs(const CliArgs& args, ProgXeOptions* tuning,
+                    ShardOptions* shards) {
+  shards->max_retries = args.max_retries;
+  shards->retry_backoff = std::chrono::milliseconds(args.retry_backoff_ms);
+  shards->allow_partial = args.allow_partial;
+  if (args.faults.empty()) return true;
+  auto injector = FaultInjector::Parse(args.faults, args.fault_seed);
+  if (!injector.ok()) {
+    std::fprintf(stderr, "--faults: %s\n",
+                 injector.status().ToString().c_str());
+    return false;
+  }
+  tuning->faults = injector.MoveValue();
+  return true;
+}
+
 int RunOne(Algo algo, const Workload& workload, const CliArgs& args,
            CsvWriter* csv) {
   ProgXeOptions tuning;
@@ -144,6 +200,7 @@ int RunOne(Algo algo, const Workload& workload, const CliArgs& args,
   tuning.num_threads = args.num_threads;
   ShardOptions shards;
   shards.num_shards = args.shards;
+  if (!ApplyFaultArgs(args, &tuning, &shards)) return 2;
   if (args.shards > 1 && !IsProgXeVariant(algo)) {
     // Keeps --algo=all --shards=K usable: ProgXe variants run sharded,
     // baselines (which have no shard path) run as-is.
@@ -165,6 +222,10 @@ int RunOne(Algo algo, const Workload& workload, const CliArgs& args,
               run->metrics.total_time,
               static_cast<unsigned long long>(run->dominance_comparisons),
               static_cast<unsigned long long>(run->join_pairs));
+  if (run->coverage.retries > 0 || !run->coverage.complete()) {
+    std::printf("  coverage: %s%s\n", run->coverage.ToString().c_str(),
+                run->coverage.complete() ? "" : " (PARTIAL result set)");
+  }
   if (args.series_samples > 0 && !run->series.empty()) {
     std::vector<SeriesPoint> pts = run->series;
     const size_t max_pts = static_cast<size_t>(args.series_samples);
@@ -240,6 +301,9 @@ int RunMultiQuery(Algo algo, const CliArgs& args) {
   ProgXeOptions tuning;
   if (args.kd) tuning.partitioning = PartitioningScheme::kKdTree;
   tuning.num_threads = args.num_threads;
+  SubmitOptions submit;
+  submit.shards.num_shards = args.shards;
+  if (!ApplyFaultArgs(args, &tuning, &submit.shards)) return 2;
 
   std::vector<std::unique_ptr<Workload>> workloads;
   for (size_t i = 0; i < args.queries; ++i) {
@@ -264,10 +328,9 @@ int RunMultiQuery(Algo algo, const CliArgs& args) {
               args.shards);
 
   std::vector<CliSink> sinks(args.queries);
+  std::vector<QueryHandle> handles(args.queries);
   Stopwatch watch;
   QueryScheduler scheduler(sopts);
-  SubmitOptions submit;
-  submit.shards.num_shards = args.shards;
   for (size_t i = 0; i < args.queries; ++i) {
     sinks[i].index = i;
     sinks[i].watch = &watch;
@@ -279,6 +342,7 @@ int RunMultiQuery(Algo algo, const CliArgs& args) {
                    handle.status().ToString().c_str());
       return 1;
     }
+    handles[i] = *handle;
   }
   scheduler.Drain();
   const double makespan = watch.ElapsedSeconds();
@@ -298,7 +362,16 @@ int RunMultiQuery(Algo algo, const CliArgs& args) {
                     sink.stats.join_pairs_generated),
                 static_cast<unsigned long long>(
                     sink.stats.dominance_comparisons));
-    if (sink.final_state != QueryState::kFinished) rc = 1;
+    const ShardCoverage& coverage = handles[sink.index].coverage();
+    if (coverage.retries > 0 || !coverage.complete()) {
+      std::printf("    coverage: %s\n", coverage.ToString().c_str());
+    }
+    // A partial completion is a success exactly when the caller opted into
+    // degraded coverage.
+    const bool ok_state =
+        sink.final_state == QueryState::kFinished ||
+        (args.allow_partial && sink.final_state == QueryState::kPartial);
+    if (!ok_state) rc = 1;
     total_results += sink.results;
     if (sink.t_first > worst_first) worst_first = sink.t_first;
   }

@@ -20,6 +20,8 @@
 //          [sigma=0.001] [seed=42] [threads=1] [max_results=0] [weight=1]
 //          [shards=1] [deadline_ms=0]
 //          [algo=ProgXe|ProgXe+|ProgXe-NoOrder|ProgXe+-NoOrder] [kd]
+//          [faults=<spec>] [fault_seed=0] [max_retries=2]
+//          [retry_backoff_ms=1] [allow_partial]
 //     -> "ok id=<id>"; then asynchronously:
 //        "batch id=<id> n=<k> total=<total> t=<sec>"      (per delivery)
 //        "result id=<id> r=<rid> t=<tid>"                 (--echo_results)
@@ -27,16 +29,28 @@
 //     shards=K > 1 serves the query through the sharded executor (one
 //     sub-session per shard behind the handle); deadline_ms > 0 overrides
 //     the server-wide default and expires the query with
-//     state=deadline_exceeded.
+//     state=deadline_exceeded. faults= compiles a fault-injection spec
+//     (common/fault_injection.h grammar, seeded by fault_seed=) into the
+//     query; max_retries=/retry_backoff_ms= bound the per-shard recovery,
+//     and allow_partial lets a query whose shard exhausts its retries
+//     complete as state=partial instead of failed.
 //   cancel <id>     cooperative cancellation
-//   stats <id>      one "stat ..." line (live state, final stats if done)
+//   stats <id>      one "stat ..." line (live state, final stats if done;
+//                   a partial query also reports its shard coverage)
 //   stats           one "sched ..." line: the SchedulerStats snapshot
 //                   (queue depth, running, slices, sliced pairs, outcomes)
 //   list            one "stat ..." line per submitted query
 //   quit            drain nothing further; cancel outstanding and exit
+//
+// Every malformed command — unknown key, non-numeric or out-of-range
+// value, over-limit workload — is answered with an explicit "err ..."
+// line; the server never guesses (atoi-style zero-on-garbage) and never
+// dies on bad input.
 #include <atomic>
+#include <charconv>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -45,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "harness/experiment.h"
 #include "harness/workload.h"
@@ -53,6 +68,53 @@
 using namespace progxe;
 
 namespace {
+
+// Submit-side guardrails: a line-protocol endpoint may face untrusted
+// input, so a single command cannot ask for an absurd workload. Over-limit
+// values get an explicit err reply, not a silent clamp.
+constexpr size_t kMaxCardinality = 20'000'000;
+constexpr int kMaxDims = 16;
+constexpr int kMaxShards = 64;
+constexpr int kMaxThreads = 128;
+constexpr int kMaxRetries = 1000;
+
+/// Strict full-token numeric parsers: the whole string must be consumed
+/// ("12x", "", "-3" for unsigned all fail), unlike atoi/atof which return
+/// 0 on garbage and would silently run a default workload.
+bool ParseU64(const std::string& s, uint64_t* out) {
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, *out);
+  return ec == std::errc() && ptr == end && !s.empty();
+}
+
+bool ParseI64(const std::string& s, int64_t* out) {
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, *out);
+  return ec == std::errc() && ptr == end && !s.empty();
+}
+
+bool ParseI32(const std::string& s, int* out) {
+  int64_t wide;
+  if (!ParseI64(s, &wide) || wide < INT32_MIN || wide > INT32_MAX) {
+    return false;
+  }
+  *out = static_cast<int>(wide);
+  return true;
+}
+
+bool ParseSize(const std::string& s, size_t* out) {
+  uint64_t wide;
+  if (!ParseU64(s, &wide) || wide > SIZE_MAX) return false;
+  *out = static_cast<size_t>(wide);
+  return true;
+}
+
+bool ParseF64(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
 
 std::mutex g_out_mtx;
 
@@ -126,6 +188,8 @@ struct SubmitSpec {
 
 bool ParseSubmit(const std::vector<std::string>& tokens, SubmitSpec* spec,
                  std::string* error) {
+  std::string faults_spec;
+  uint64_t fault_seed = 0;
   for (size_t i = 1; i < tokens.size(); ++i) {
     const std::string& tok = tokens[i];
     const size_t eq = tok.find('=');
@@ -134,11 +198,19 @@ bool ParseSubmit(const std::vector<std::string>& tokens, SubmitSpec* spec,
         spec->options.partitioning = PartitioningScheme::kKdTree;
         continue;
       }
+      if (tok == "allow_partial") {
+        spec->submit.allow_partial = true;
+        continue;
+      }
       *error = "unknown token: " + tok;
       return false;
     }
     const std::string key = tok.substr(0, eq);
     const std::string val = tok.substr(eq + 1);
+    auto bad_value = [&] {
+      *error = "bad value for " + key + ": " + val;
+      return false;
+    };
     if (key == "dist") {
       auto dist = ParseDistribution(val);
       if (!dist.ok()) {
@@ -147,29 +219,76 @@ bool ParseSubmit(const std::vector<std::string>& tokens, SubmitSpec* spec,
       }
       spec->params.distribution = *dist;
     } else if (key == "n") {
-      spec->params.cardinality = static_cast<size_t>(std::atoll(val.c_str()));
+      if (!ParseSize(val, &spec->params.cardinality)) return bad_value();
+      if (spec->params.cardinality < 1 ||
+          spec->params.cardinality > kMaxCardinality) {
+        *error = "n out of range [1, " + std::to_string(kMaxCardinality) +
+                 "]: " + val;
+        return false;
+      }
     } else if (key == "dims") {
-      spec->params.dims = std::atoi(val.c_str());
+      if (!ParseI32(val, &spec->params.dims)) return bad_value();
+      if (spec->params.dims < 2 || spec->params.dims > kMaxDims) {
+        *error = "dims out of range [2, " + std::to_string(kMaxDims) +
+                 "]: " + val;
+        return false;
+      }
     } else if (key == "sigma") {
-      spec->params.sigma = std::atof(val.c_str());
+      if (!ParseF64(val, &spec->params.sigma)) return bad_value();
+      if (!(spec->params.sigma > 0.0) || spec->params.sigma > 1.0) {
+        *error = "sigma out of range (0, 1]: " + val;
+        return false;
+      }
     } else if (key == "seed") {
-      spec->params.seed = static_cast<uint64_t>(std::atoll(val.c_str()));
+      if (!ParseU64(val, &spec->params.seed)) return bad_value();
     } else if (key == "threads") {
-      spec->options.num_threads = std::atoi(val.c_str());
+      if (!ParseI32(val, &spec->options.num_threads)) return bad_value();
+      if (spec->options.num_threads < 1 ||
+          spec->options.num_threads > kMaxThreads) {
+        *error = "threads out of range [1, " + std::to_string(kMaxThreads) +
+                 "]: " + val;
+        return false;
+      }
     } else if (key == "max_results") {
-      spec->options.max_results =
-          static_cast<size_t>(std::atoll(val.c_str()));
+      if (!ParseSize(val, &spec->options.max_results)) return bad_value();
     } else if (key == "weight") {
-      spec->submit.weight = std::atof(val.c_str());
+      if (!ParseF64(val, &spec->submit.weight)) return bad_value();
+      if (!(spec->submit.weight > 0.0)) {
+        *error = "weight must be > 0: " + val;
+        return false;
+      }
     } else if (key == "shards") {
-      spec->submit.shards.num_shards = std::atoi(val.c_str());
-      if (spec->submit.shards.num_shards < 1) {
-        *error = "shards must be >= 1";
+      if (!ParseI32(val, &spec->submit.shards.num_shards)) return bad_value();
+      if (spec->submit.shards.num_shards < 1 ||
+          spec->submit.shards.num_shards > kMaxShards) {
+        *error = "shards out of range [1, " + std::to_string(kMaxShards) +
+                 "]: " + val;
         return false;
       }
     } else if (key == "deadline_ms") {
-      spec->submit.deadline =
-          std::chrono::milliseconds(std::atoll(val.c_str()));
+      int64_t ms;
+      if (!ParseI64(val, &ms)) return bad_value();
+      spec->submit.deadline = std::chrono::milliseconds(ms);
+    } else if (key == "max_retries") {
+      int retries;
+      if (!ParseI32(val, &retries)) return bad_value();
+      if (retries < 0 || retries > kMaxRetries) {
+        *error = "max_retries out of range [0, " +
+                 std::to_string(kMaxRetries) + "]: " + val;
+        return false;
+      }
+      spec->submit.shards.max_retries = retries;
+    } else if (key == "retry_backoff_ms") {
+      int64_t ms;
+      if (!ParseI64(val, &ms) || ms < 0) return bad_value();
+      spec->submit.shards.retry_backoff = std::chrono::milliseconds(ms);
+    } else if (key == "allow_partial") {
+      if (val != "0" && val != "1") return bad_value();
+      spec->submit.allow_partial = val == "1";
+    } else if (key == "faults") {
+      faults_spec = val;
+    } else if (key == "fault_seed") {
+      if (!ParseU64(val, &fault_seed)) return bad_value();
     } else if (key == "algo") {
       Algo algo;
       if (!AlgoFromName(val, &algo) || !IsProgXeVariant(algo)) {
@@ -181,6 +300,14 @@ bool ParseSubmit(const std::vector<std::string>& tokens, SubmitSpec* spec,
       *error = "unknown key: " + key;
       return false;
     }
+  }
+  if (!faults_spec.empty()) {
+    auto injector = FaultInjector::Parse(faults_spec, fault_seed);
+    if (!injector.ok()) {
+      *error = injector.status().ToString();
+      return false;
+    }
+    spec->options.faults = injector.MoveValue();
   }
   return true;
 }
@@ -195,6 +322,17 @@ void PrintStat(const ServedQuery& query) {
     line << " results=" << stats.results_emitted
          << " pairs=" << stats.join_pairs_generated
          << " cmps=" << stats.dominance_comparisons;
+    const ShardCoverage& coverage = query.handle.coverage();
+    if (coverage.retries > 0 || !coverage.complete()) {
+      line << " covered=" << coverage.completed << "/" << coverage.shards
+           << " retries=" << coverage.retries;
+      if (!coverage.complete()) {
+        line << " abandoned=";
+        for (size_t i = 0; i < coverage.abandoned_shards.size(); ++i) {
+          line << (i == 0 ? "" : ",") << coverage.abandoned_shards[i];
+        }
+      }
+    }
   }
   Emit(line.str());
 }
@@ -207,21 +345,29 @@ int main(int argc, char** argv) {
   bool echo_results = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    auto flag_err = [arg] {
+      std::fprintf(stderr, "bad flag value: %s\n", arg);
+      return 2;
+    };
+    int64_t i64 = 0;
     if (std::strncmp(arg, "--workers=", 10) == 0) {
-      sopts.num_workers = std::atoi(arg + 10);
+      if (!ParseI32(arg + 10, &sopts.num_workers) || sopts.num_workers < 1) {
+        return flag_err();
+      }
     } else if (std::strncmp(arg, "--budget=", 9) == 0) {
-      sopts.batch_budget = static_cast<size_t>(std::atoll(arg + 9));
+      if (!ParseSize(arg + 9, &sopts.batch_budget)) return flag_err();
     } else if (std::strncmp(arg, "--policy=", 9) == 0) {
       if (!FairnessPolicyFromName(arg + 9, &sopts.policy)) {
         std::fprintf(stderr, "--policy must be rr or wf\n");
         return 2;
       }
     } else if (std::strncmp(arg, "--max_concurrent=", 17) == 0) {
-      sopts.max_concurrent = static_cast<size_t>(std::atoll(arg + 17));
+      if (!ParseSize(arg + 17, &sopts.max_concurrent)) return flag_err();
     } else if (std::strncmp(arg, "--max_queue=", 12) == 0) {
-      sopts.max_queue = static_cast<size_t>(std::atoll(arg + 12));
+      if (!ParseSize(arg + 12, &sopts.max_queue)) return flag_err();
     } else if (std::strncmp(arg, "--deadline_ms=", 14) == 0) {
-      sopts.default_deadline = std::chrono::milliseconds(std::atoll(arg + 14));
+      if (!ParseI64(arg + 14, &i64) || i64 < 0) return flag_err();
+      sopts.default_deadline = std::chrono::milliseconds(i64);
     } else if (std::strcmp(arg, "--echo_results") == 0) {
       echo_results = true;
     } else if (std::strcmp(arg, "--help") == 0) {
@@ -316,8 +462,11 @@ int main(int argc, char** argv) {
         Emit("err usage: " + cmd + " <id>");
         continue;
       }
-      const uint64_t id =
-          static_cast<uint64_t>(std::atoll(tokens[1].c_str()));
+      uint64_t id = 0;
+      if (!ParseU64(tokens[1], &id)) {
+        Emit("err bad id: " + tokens[1]);
+        continue;
+      }
       auto it = queries.find(id);
       if (it == queries.end()) {
         Emit("err no such query: " + tokens[1]);
