@@ -192,6 +192,12 @@ void BM_CombineBatch(benchmark::State& state) {
   // The parallel pipeline's worker-side map stage: one CombineBatch call
   // per chunk. Transform arg 0 = identity pairwise sums, 1 = rotating
   // log1p/sqrt (realistic Q1-style expressions).
+  //
+  // Hoisting the transform dispatch out of the pair loop (one switch per
+  // dimension driving a specialized inner loop, identity skipping the sign
+  // folds outright) moved this machine from 9454 ns / 108.9M items/s (/0)
+  // and 35516 ns / 29.8M items/s (/1) to 5052 ns / 207.8M items/s and
+  // 30067 ns / 34.8M items/s respectively.
   const int d = 4;
   const bool transformed = state.range(0) != 0;
   const size_t n_rows = 4096;

@@ -69,6 +69,124 @@ struct Scenario {
   int workers;
 };
 
+/// Sink for the refinement-burst runs: timing plus an order-insensitive
+/// hash of the delivered id pairs, so cold and warm (cache + seeded) runs
+/// can be checked for identical result sets.
+class CollectSink : public QuerySink {
+ public:
+  void Reset(const Stopwatch* watch) {
+    watch_ = watch;
+    t_first_ = 0.0;
+    pairs_.clear();
+  }
+  void OnBatch(const std::vector<ResultTuple>& batch) override {
+    if (pairs_.empty()) t_first_ = watch_->ElapsedSeconds();
+    for (const ResultTuple& res : batch) pairs_.emplace_back(res.r_id, res.t_id);
+  }
+  void OnDone(QueryState state, const Status& status,
+              const ProgXeStats&) override {
+    if (state != QueryState::kFinished) {
+      std::fprintf(stderr, "reuse query ended %s: %s\n", QueryStateName(state),
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  double t_first() const { return t_first_; }
+  size_t results() const { return pairs_.size(); }
+  /// FNV-1a over the sorted id pairs: equal iff the result *sets* match.
+  uint64_t Hash() const {
+    std::vector<std::pair<RowId, RowId>> sorted = pairs_;
+    std::sort(sorted.begin(), sorted.end());
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+      for (int b = 0; b < 64; b += 8) {
+        h = (h ^ ((v >> b) & 0xff)) * 1099511628211ull;
+      }
+    };
+    for (const auto& [r, t] : sorted) {
+      mix(static_cast<uint64_t>(r));
+      mix(static_cast<uint64_t>(t));
+    }
+    return h;
+  }
+
+ private:
+  const Stopwatch* watch_ = nullptr;
+  double t_first_ = 0.0;
+  std::vector<std::pair<RowId, RowId>> pairs_;
+};
+
+constexpr size_t kBurstChildren = 8;
+
+struct BurstResult {
+  double makespan = 0.0;
+  double child_ttfr_mean = 0.0;
+  std::vector<uint64_t> hashes;
+  uint64_t prepare_hits = 0;
+  uint64_t prepare_misses = 0;
+};
+
+/// One refinement burst: a parent query over `workload` runs to completion,
+/// then kBurstChildren refinements of it are served concurrently. Warm runs
+/// engage cross-query reuse (prepared-state cache + frontier seeding);
+/// cold runs disable the cache and submit plain independent queries. The
+/// children perturb serving-side parameters only (weight), so the result
+/// sets must match the cold run's exactly.
+BurstResult RunBurst(const Workload& workload, bool warm, int workers,
+                     size_t budget) {
+  ServiceOptions sopts;
+  sopts.num_workers = workers;
+  sopts.batch_budget = budget;
+  if (!warm) sopts.prepare_cache_entries = 0;  // reuse fully disabled
+
+  QueryScheduler scheduler(sopts);
+  Stopwatch parent_watch;
+  CollectSink parent_sink;
+  parent_sink.Reset(&parent_watch);
+  SubmitOptions parent_submit;
+  parent_submit.retain_results = warm;
+  auto parent = scheduler.Submit(workload.query(), ProgXeOptions(),
+                                 &parent_sink, parent_submit);
+  if (!parent.ok()) {
+    std::fprintf(stderr, "parent submit: %s\n",
+                 parent.status().ToString().c_str());
+    std::exit(1);
+  }
+  parent->Wait();  // children refine a frozen frontier
+
+  std::vector<CollectSink> sinks(kBurstChildren);
+  Stopwatch watch;  // burst clock: child TTFR measured from here
+  for (size_t i = 0; i < kBurstChildren; ++i) {
+    sinks[i].Reset(&watch);
+    SubmitOptions submit;
+    submit.weight = 1.0 + static_cast<double>(i);  // perturbed serving knob
+    if (warm) {
+      submit.parent = *parent;
+      submit.seed_from_parent = true;
+    }
+    auto handle = scheduler.Submit(workload.query(), ProgXeOptions(),
+                                   &sinks[i], submit);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "child submit: %s\n",
+                   handle.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  scheduler.Drain();
+
+  BurstResult result;
+  result.makespan = watch.ElapsedSeconds();
+  for (const CollectSink& sink : sinks) {
+    result.child_ttfr_mean += sink.t_first();
+    result.hashes.push_back(sink.Hash());
+  }
+  result.child_ttfr_mean /= static_cast<double>(kBurstChildren);
+  const SchedulerStats stats = scheduler.stats();
+  result.prepare_hits = stats.prepare_hits;
+  result.prepare_misses = stats.prepare_misses;
+  return result;
+}
+
 struct ScenarioResult {
   Scenario scenario;
   double makespan = 0.0;
@@ -211,6 +329,44 @@ int main(int argc, char** argv) {
         result.light_ttfr_worst);
   }
 
+  // Refinement burst: one parent + kBurstChildren refinements of the same
+  // query, cold (reuse off) vs warm (prepared-state cache + frontier
+  // seeding). The headline number is the mean per-child time-to-first-
+  // result; identical result hashes are a hard correctness gate. The burst
+  // workload is prepare-heavy (large correlated inputs: push-through and
+  // the skyline leave little join work, so validation/sort/grid/look-ahead
+  // dominate time-to-first-result) — the interactive-refinement shape
+  // cross-query reuse exists for.
+  WorkloadParams burst_params;
+  burst_params.distribution = Distribution::kIndependent;
+  burst_params.cardinality = heavy_n * 5;
+  burst_params.dims = dims;
+  burst_params.sigma = sigma / 40.0;  // sparse join: prepare-bound serving
+  burst_params.seed = args.seed + 100;
+  const Workload burst_workload = MustMakeWorkload(burst_params);
+  const int burst_workers = std::max(workers, 4);
+  const BurstResult cold =
+      RunBurst(burst_workload, /*warm=*/false, burst_workers, 4096);
+  const BurstResult warm =
+      RunBurst(burst_workload, /*warm=*/true, burst_workers, 4096);
+  bool reuse_match = cold.hashes == warm.hashes;
+  const double ttfr_speedup =
+      warm.child_ttfr_mean > 0.0 ? cold.child_ttfr_mean / warm.child_ttfr_mean
+                                 : 0.0;
+  std::printf(
+      "  reuse_burst   workers=%d children=%zu cold_ttfr=%.4fs "
+      "warm_ttfr=%.4fs speedup=%.2fx prepare_skipped=%llu match=%s\n",
+      burst_workers, kBurstChildren, cold.child_ttfr_mean,
+      warm.child_ttfr_mean, ttfr_speedup,
+      static_cast<unsigned long long>(warm.prepare_hits),
+      reuse_match ? "yes" : "NO");
+  if (!reuse_match) {
+    std::fprintf(stderr,
+                 "FATAL: warm refinement burst served a different result set "
+                 "than the cold run\n");
+    return 1;
+  }
+
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
     if (out == nullptr) {
@@ -236,7 +392,20 @@ int main(int argc, char** argv) {
           r.ttfr_p99, r.light_ttfr_p50, r.light_ttfr_worst, r.results_total,
           i + 1 == results.size() ? "" : ",");
     }
-    std::fprintf(out, "  ]\n}\n");
+    std::fprintf(out, "  ],\n");
+    std::fprintf(
+        out,
+        "  \"reuse\": {\"children\": %zu, \"workers\": %d, "
+        "\"cold_makespan_s\": %.6f, \"warm_makespan_s\": %.6f, "
+        "\"cold_child_ttfr_mean_s\": %.6f, \"warm_child_ttfr_mean_s\": %.6f, "
+        "\"child_ttfr_speedup\": %.4f, \"prepare_skipped\": %llu, "
+        "\"prepare_misses\": %llu, \"results_match\": %s}\n",
+        kBurstChildren, burst_workers, cold.makespan, warm.makespan,
+        cold.child_ttfr_mean, warm.child_ttfr_mean, ttfr_speedup,
+        static_cast<unsigned long long>(warm.prepare_hits),
+        static_cast<unsigned long long>(warm.prepare_misses),
+        reuse_match ? "true" : "false");
+    std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("wrote %s\n", json_path.c_str());
   }

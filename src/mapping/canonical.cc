@@ -1,8 +1,52 @@
 #include "mapping/canonical.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace progxe {
+
+namespace {
+
+/// Compile-time specialization of ApplyTransform: the same arithmetic as
+/// the runtime switch in map_expr.cc (bit-identical results), with the
+/// dispatch resolved at template-instantiation time so the per-element
+/// call/switch disappears from CombineBatch's inner loop.
+template <Transform kTf>
+inline double ApplyTransformFast(double v) {
+  if constexpr (kTf == Transform::kIdentity) {
+    return v;
+  } else if constexpr (kTf == Transform::kLog1p) {
+    return std::log1p(std::max(v, 0.0));
+  } else if constexpr (kTf == Transform::kSqrt) {
+    return std::sqrt(std::max(v, 0.0));
+  } else {
+    static_assert(kTf == Transform::kSaturating);
+    const double nn = std::max(v, 0.0);
+    return nn / (1.0 + nn);
+  }
+}
+
+/// One dimension of CombineBatch with the transform fixed at compile time.
+/// The identity case also skips the sign un-fold/re-fold: s * (s * x) == x
+/// exactly for s = ±1, so `rc + tc` is bit-identical to the folded form.
+template <Transform kTf>
+void CombineDimension(const RowIdPair* pairs, size_t n, const double* r_flat,
+                      const double* t_flat, double s, size_t kk, size_t jj,
+                      double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const double rc = r_flat[static_cast<size_t>(pairs[i].r) * kk + jj];
+    const double tc = t_flat[static_cast<size_t>(pairs[i].t) * kk + jj];
+    if constexpr (kTf == Transform::kIdentity) {
+      out[i * kk + jj] = rc + tc;
+    } else {
+      const double raw = s * (rc + tc);
+      out[i * kk + jj] = s * ApplyTransformFast<kTf>(raw);
+    }
+  }
+}
+
+}  // namespace
 
 CanonicalMapper::CanonicalMapper(MapSpec spec, Preference pref)
     : spec_(std::move(spec)), pref_(std::move(pref)) {
@@ -48,18 +92,30 @@ void CanonicalMapper::CombineBatch(const RowIdPair* pairs, size_t n,
                                    double* out) const {
   const int k = spec_.output_dimensions();
   const size_t kk = static_cast<size_t>(k);
-  // Dimension-outer: sign and transform are loop invariants, and the inner
-  // loop is a strided gather-map-store over the whole block.
+  // Dimension-outer: sign and transform are loop invariants. The transform
+  // dispatch is a single switch per dimension (not per element), and each
+  // arm runs a specialized inner loop — same un-fold / re-fold arithmetic
+  // as Combine, bit-identical to the per-element dispatch it replaces.
   for (int j = 0; j < k; ++j) {
     const double s = sign_[static_cast<size_t>(j)];
-    const Transform tf = spec_.func(j).transform();
     const size_t jj = static_cast<size_t>(j);
-    for (size_t i = 0; i < n; ++i) {
-      const double rc = r_flat[static_cast<size_t>(pairs[i].r) * kk + jj];
-      const double tc = t_flat[static_cast<size_t>(pairs[i].t) * kk + jj];
-      // Same un-fold / re-fold as Combine (see above).
-      const double raw = s * (rc + tc);
-      out[i * kk + jj] = s * ApplyTransform(tf, raw);
+    switch (spec_.func(j).transform()) {
+      case Transform::kIdentity:
+        CombineDimension<Transform::kIdentity>(pairs, n, r_flat, t_flat, s,
+                                               kk, jj, out);
+        break;
+      case Transform::kLog1p:
+        CombineDimension<Transform::kLog1p>(pairs, n, r_flat, t_flat, s, kk,
+                                            jj, out);
+        break;
+      case Transform::kSqrt:
+        CombineDimension<Transform::kSqrt>(pairs, n, r_flat, t_flat, s, kk,
+                                           jj, out);
+        break;
+      case Transform::kSaturating:
+        CombineDimension<Transform::kSaturating>(pairs, n, r_flat, t_flat, s,
+                                                 kk, jj, out);
+        break;
     }
   }
 }

@@ -13,6 +13,24 @@
 namespace progxe {
 
 class FaultInjector;  // common/fault_injection.h
+class PrepareCache;   // progxe/prepare_cache.h
+
+/// Accepted output points of a finished (or partially finished) query,
+/// canonicalized under the *consuming* query's mapper. Used to seed a
+/// refined query's region loop: any genuine output point of the same
+/// (sources, mapping) pair is a sound discard witness — if it strictly
+/// dominates a region's best corner, some skyline member dominates every
+/// output that region could produce, so the region holds no skyline
+/// members and can be dropped before any join work (see region_loop.cc).
+struct RefinementSeed {
+  /// Output dimensionality; `canonical` holds points() rows of k values.
+  int k = 0;
+  std::vector<double> canonical;
+
+  size_t points() const {
+    return k > 0 ? canonical.size() / static_cast<size_t>(k) : 0;
+  }
+};
 
 /// Input-space partitioning scheme (Section III: grid by default; the
 /// paper notes other space partitionings apply "with some modifications").
@@ -95,6 +113,21 @@ struct ProgXeOptions {
   /// target one sick shard (`shard=i`).
   int fault_instance = 0;
 
+  /// Cross-query prepared-state cache (progxe/prepare_cache.h). When set,
+  /// ProgXeSession::Open fingerprints the query and reuses a cached
+  /// PreparedInputs on hit (skipping the prepare phase) or populates the
+  /// cache on miss. Shared, not owned: the service layer hands every
+  /// submitted query the scheduler-wide cache, and the sharded stream
+  /// passes it through so per-shard slices cache independently.
+  std::shared_ptr<PrepareCache> prepare_cache;
+
+  /// Refinement seeding (see RefinementSeed). When set, the region loop
+  /// discards up front every region whose best corner a seed point
+  /// strictly dominates — the parent's frontier re-proves those regions
+  /// empty without a single join pair. Pick order stays ProgOrder's.
+  /// Changes cost only (discard timing), never the result set.
+  std::shared_ptr<const RefinementSeed> refinement_seed;
+
   /// Stop after emitting this many results (0 = run to completion). The
   /// progressive pipeline makes this an *early-termination* feature: the
   /// emitted prefix is a set of guaranteed final-skyline members and the
@@ -136,6 +169,9 @@ struct ProgXeStats {
   bool elgraph_disabled = false;
   size_t regions_processed = 0;
   size_t regions_discarded_runtime = 0;
+  /// Regions dropped up front because a refinement seed point strictly
+  /// dominates their best corner (zero unless refinement_seed is set).
+  size_t regions_discarded_seed = 0;
   size_t pq_reorderings = 0;
 
   // Tuple-level processing.

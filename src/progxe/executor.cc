@@ -16,6 +16,7 @@ std::string ProgXeStats::ToString() const {
      << partition_pairs_skipped << " regions=" << regions_created
      << " pruned=" << regions_pruned_lookahead
      << " discarded=" << regions_discarded_runtime
+     << " seed_discarded=" << regions_discarded_seed
      << " processed=" << regions_processed
      << " cells_marked=" << cells_marked_lookahead
      << " join_pairs=" << join_pairs_generated

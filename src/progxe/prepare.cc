@@ -31,10 +31,46 @@ double MeasureSigma(const Relation& r, const Relation& t) {
          (static_cast<double>(r.size()) * static_cast<double>(t.size()));
 }
 
+size_t RelationBytes(const Relation& rel) {
+  return rel.size() * (rel.num_attributes() * sizeof(double) +
+                       sizeof(JoinKey));
+}
+
+size_t PartitioningBytes(const InputPartitioning* grid) {
+  if (grid == nullptr) return 0;
+  size_t bytes = 0;
+  for (const InputPartition& p : grid->partitions()) {
+    bytes += p.rows.capacity() * sizeof(RowId);
+    bytes += p.bounds.capacity() * sizeof(Interval);
+    bytes += p.coords.capacity() * sizeof(CellCoord);
+    bytes += sizeof(InputPartition);
+  }
+  return bytes;
+}
+
 }  // namespace
 
-Status PreparePhase(const SkyMapJoinQuery& query, ProgXeOptions* options,
-                    ProgXeStats* stats, PreparedQuery* out) {
+size_t PreparedInputs::ApproxBytes() const {
+  size_t bytes = sizeof(PreparedInputs);
+  bytes += RelationBytes(r_store) + RelationBytes(t_store);
+  bytes += (r_orig_ids.capacity() + t_orig_ids.capacity()) * sizeof(RowId);
+  if (r_contrib) bytes += r_contrib->flat().size() * sizeof(double);
+  if (t_contrib) bytes += t_contrib->flat().size() * sizeof(double);
+  bytes += PartitioningBytes(r_grid.get()) + PartitioningBytes(t_grid.get());
+  bytes += lookahead.regions.capacity() * sizeof(Region);
+  for (const Region& region : lookahead.regions) {
+    bytes += region.bounds.capacity() * sizeof(Interval);
+    bytes += (region.lo_cell.capacity() + region.hi_cell.capacity()) *
+             sizeof(CellCoord);
+  }
+  bytes += lookahead.marked.capacity() * sizeof(uint8_t);
+  bytes += lookahead.guaranteed_upper_frontier.capacity() * sizeof(double);
+  return bytes;
+}
+
+Status BuildPreparedInputs(const SkyMapJoinQuery& query,
+                           const ProgXeOptions& options, bool own_sources,
+                           PreparedInputs* out) {
   if (query.r == nullptr || query.t == nullptr) {
     return Status::InvalidArgument("query sources must be non-null");
   }
@@ -45,13 +81,16 @@ Status PreparePhase(const SkyMapJoinQuery& query, ProgXeOptions* options,
   PROGXE_RETURN_NOT_OK(
       query.map.Validate(query.r->num_attributes(),
                          query.t->num_attributes()));
-  if (options->input_cells_per_dim < 0 || options->output_cells_per_dim < 0) {
+  if (options.input_cells_per_dim < 0 || options.output_cells_per_dim < 0) {
     return Status::InvalidArgument("grid cell counts must be >= 0");
   }
-  if (options->output_cells_per_dim == 0) {
+  ProgXeStats* stats = &out->prepare_stats;
+  out->resolved_input_cells_per_dim = options.input_cells_per_dim;
+  out->resolved_output_cells_per_dim = options.output_cells_per_dim;
+  if (out->resolved_output_cells_per_dim == 0) {
     const int k_out = query.map.output_dimensions();
     // ~60K output cells keeps the dense per-cell state cache-resident.
-    options->output_cells_per_dim = AutoCellsPerDim(k_out, 60000.0, 4, 24);
+    out->resolved_output_cells_per_dim = AutoCellsPerDim(k_out, 60000.0, 4, 24);
   }
 
   const Relation& r_full = *query.r;
@@ -71,7 +110,7 @@ Status PreparePhase(const SkyMapJoinQuery& query, ProgXeOptions* options,
   // separable monotone maps (see skyline/group_skyline.h).
   out->r_rel = &r_full;
   out->t_rel = &t_full;
-  if (options->push_through) {
+  if (options.push_through) {
     ContributionTable r_full_contrib(r_full, out->mapper, Side::kR);
     ContributionTable t_full_contrib(t_full, out->mapper, Side::kT);
     DomCounter push_counter;
@@ -80,21 +119,28 @@ Status PreparePhase(const SkyMapJoinQuery& query, ProgXeOptions* options,
     std::vector<RowId> t_keep =
         PushThroughPrune(t_full, t_full_contrib, &push_counter);
     stats->dominance_comparisons += push_counter.comparisons;
-    out->r_pruned = r_full.Select(r_keep, &out->r_orig_ids);
-    out->t_pruned = t_full.Select(t_keep, &out->t_orig_ids);
-    out->r_rel = &out->r_pruned;
-    out->t_rel = &out->t_pruned;
+    out->r_store = r_full.Select(r_keep, &out->r_orig_ids);
+    out->t_store = t_full.Select(t_keep, &out->t_orig_ids);
+    out->r_rel = &out->r_store;
+    out->t_rel = &out->t_store;
   } else {
     out->r_orig_ids.resize(r_full.size());
     std::iota(out->r_orig_ids.begin(), out->r_orig_ids.end(), 0u);
     out->t_orig_ids.resize(t_full.size());
     std::iota(out->t_orig_ids.begin(), out->t_orig_ids.end(), 0u);
+    if (own_sources) {
+      // Cache entries outlive the submitter's relations: take full copies.
+      out->r_store = r_full;
+      out->t_store = t_full;
+      out->r_rel = &out->r_store;
+      out->t_rel = &out->t_store;
+    }
   }
   stats->r_rows_after_push_through = out->r_rel->size();
   stats->t_rows_after_push_through = out->t_rel->size();
 
   // --- Sigma for the benefit/cost models ---------------------------------
-  out->sigma = options->sigma_hint;
+  out->sigma = options.sigma_hint;
   if (out->sigma <= 0.0) out->sigma = MeasureSigma(*out->r_rel, *out->t_rel);
   if (out->sigma <= 0.0) {  // provably empty join
     out->trivially_empty = true;
@@ -102,7 +148,7 @@ Status PreparePhase(const SkyMapJoinQuery& query, ProgXeOptions* options,
   }
   stats->sigma_used = out->sigma;
 
-  if (options->input_cells_per_dim == 0) {
+  if (out->resolved_input_cells_per_dim == 0) {
     // Pick the input resolution so each region's expected join work
     // amortizes its bookkeeping (EL-Graph edge, coverage box, discard
     // checks): aim for >= ~200 join pairs per region, i.e. at most
@@ -112,7 +158,7 @@ Status PreparePhase(const SkyMapJoinQuery& query, ProgXeOptions* options,
         std::min(out->r_rel->size(), out->t_rel->size()));
     const double work_cap = n_min * std::sqrt(out->sigma / 200.0);
     const double budget = std::clamp(work_cap, 4.0, 120.0);
-    options->input_cells_per_dim =
+    out->resolved_input_cells_per_dim =
         AutoCellsPerDim(query.map.output_dimensions(), budget, 2, 8);
   }
 
@@ -121,12 +167,12 @@ Status PreparePhase(const SkyMapJoinQuery& query, ProgXeOptions* options,
                                                        out->mapper, Side::kR);
   out->t_contrib = std::make_unique<ContributionTable>(*out->t_rel,
                                                        out->mapper, Side::kT);
-  if (options->partitioning == PartitioningScheme::kUniformGrid) {
+  if (options.partitioning == PartitioningScheme::kUniformGrid) {
     InputGridOptions grid_options;
-    grid_options.cells_per_dim = options->input_cells_per_dim;
-    grid_options.signature_mode = options->signature_mode;
-    grid_options.bloom_bits = options->bloom_bits;
-    grid_options.bloom_hashes = options->bloom_hashes;
+    grid_options.cells_per_dim = out->resolved_input_cells_per_dim;
+    grid_options.signature_mode = options.signature_mode;
+    grid_options.bloom_bits = options.bloom_bits;
+    grid_options.bloom_hashes = options.bloom_hashes;
     out->r_grid = std::make_unique<InputGrid>(*out->r_rel, *out->r_contrib,
                                               grid_options);
     out->t_grid = std::make_unique<InputGrid>(*out->t_rel, *out->t_contrib,
@@ -136,13 +182,13 @@ Status PreparePhase(const SkyMapJoinQuery& query, ProgXeOptions* options,
     // Same partition budget the uniform grid would get.
     double leaves = 1.0;
     for (int j = 0; j < out->k; ++j) {
-      leaves *= static_cast<double>(options->input_cells_per_dim);
+      leaves *= static_cast<double>(out->resolved_input_cells_per_dim);
     }
     kd_options.max_partitions =
         static_cast<size_t>(std::clamp(leaves, 1.0, 4096.0));
-    kd_options.signature_mode = options->signature_mode;
-    kd_options.bloom_bits = options->bloom_bits;
-    kd_options.bloom_hashes = options->bloom_hashes;
+    kd_options.signature_mode = options.signature_mode;
+    kd_options.bloom_bits = options.bloom_bits;
+    kd_options.bloom_hashes = options.bloom_hashes;
     out->r_grid = std::make_unique<KdPartitioner>(*out->r_rel, *out->r_contrib,
                                                   kd_options);
     out->t_grid = std::make_unique<KdPartitioner>(*out->t_rel, *out->t_contrib,
@@ -151,8 +197,8 @@ Status PreparePhase(const SkyMapJoinQuery& query, ProgXeOptions* options,
 
   // --- Output-space look-ahead -------------------------------------------
   LookaheadOptions la_options;
-  la_options.output_cells_per_dim = options->output_cells_per_dim;
-  la_options.max_output_cells = options->max_output_cells;
+  la_options.output_cells_per_dim = out->resolved_output_cells_per_dim;
+  la_options.max_output_cells = options.max_output_cells;
   PROGXE_ASSIGN_OR_RETURN(
       out->lookahead,
       OutputSpaceLookahead(*out->r_grid, *out->t_grid, out->mapper,
@@ -163,6 +209,48 @@ Status PreparePhase(const SkyMapJoinQuery& query, ProgXeOptions* options,
   stats->regions_created = out->lookahead.stats.regions_created;
   stats->regions_pruned_lookahead = out->lookahead.stats.regions_pruned;
   stats->cells_marked_lookahead = out->lookahead.stats.cells_marked;
+  return Status::OK();
+}
+
+void AdoptPreparedInputs(std::shared_ptr<const PreparedInputs> inputs,
+                         ProgXeOptions* options, ProgXeStats* stats,
+                         PreparedQuery* out) {
+  // Replay the prepare-side counters exactly as the cold build wrote them:
+  // the session's stats are zeroed at open, so += reproduces the original
+  // assignments bit for bit (dominance_comparisons genuinely accumulates —
+  // push-through runs before any runtime comparison).
+  const ProgXeStats& p = inputs->prepare_stats;
+  stats->r_rows = p.r_rows;
+  stats->t_rows = p.t_rows;
+  stats->r_rows_after_push_through = p.r_rows_after_push_through;
+  stats->t_rows_after_push_through = p.t_rows_after_push_through;
+  stats->sigma_used = p.sigma_used;
+  stats->dominance_comparisons += p.dominance_comparisons;
+  stats->partition_pairs_total = p.partition_pairs_total;
+  stats->partition_pairs_skipped = p.partition_pairs_skipped;
+  stats->regions_created = p.regions_created;
+  stats->regions_pruned_lookahead = p.regions_pruned_lookahead;
+  stats->cells_marked_lookahead = p.cells_marked_lookahead;
+  // Mirror the grid resolutions the build resolved, so cost models and any
+  // caller inspecting the options see the same values as on the cold path.
+  if (inputs->resolved_input_cells_per_dim > 0) {
+    options->input_cells_per_dim = inputs->resolved_input_cells_per_dim;
+  }
+  if (inputs->resolved_output_cells_per_dim > 0) {
+    options->output_cells_per_dim = inputs->resolved_output_cells_per_dim;
+  }
+  out->trivially_empty = inputs->trivially_empty;
+  out->lookahead = inputs->lookahead;  // private mutable copy
+  out->inputs = std::move(inputs);
+}
+
+Status PreparePhase(const SkyMapJoinQuery& query, ProgXeOptions* options,
+                    ProgXeStats* stats, PreparedQuery* out) {
+  auto inputs = std::make_shared<PreparedInputs>();
+  PROGXE_RETURN_NOT_OK(
+      BuildPreparedInputs(query, *options, /*own_sources=*/false,
+                          inputs.get()));
+  AdoptPreparedInputs(std::move(inputs), options, stats, out);
   return Status::OK();
 }
 

@@ -15,9 +15,10 @@ RegionLoop::RegionLoop(PreparedQuery* prep, const ProgXeOptions& options,
       table_(prep->lookahead.output_grid, std::move(prep->lookahead.marked),
              stats),
       determine_(&table_),
-      pipeline_(&prep->mapper, prep->r_contrib->flat().data(),
-                prep->t_contrib->flat().data(), &table_.geometry(),
+      pipeline_(&prep->inputs->mapper, prep->inputs->r_contrib->flat().data(),
+                prep->inputs->t_contrib->flat().data(), &table_.geometry(),
                 options.insert_batch_size, options.num_threads) {
+  const PreparedInputs& inputs = *prep->inputs;
   table_.InitCoverage(*regions_);
 
   if (options_.ordering == OrderingMode::kProgOrder) {
@@ -27,14 +28,14 @@ RegionLoop::RegionLoop(PreparedQuery* prep, const ProgXeOptions& options,
   }
 
   CostModelParams cost_params;
-  cost_params.sigma = prep->sigma;
+  cost_params.sigma = inputs.sigma;
   cost_params.cells_per_dim = options_.output_cells_per_dim;
-  cost_params.dims = prep->k;
+  cost_params.dims = inputs.k;
 
   std::vector<size_t> r_sizes;
-  for (const auto& p : prep->r_grid->partitions()) r_sizes.push_back(p.size());
+  for (const auto& p : inputs.r_grid->partitions()) r_sizes.push_back(p.size());
   std::vector<size_t> t_sizes;
-  for (const auto& p : prep->t_grid->partitions()) t_sizes.push_back(p.size());
+  for (const auto& p : inputs.t_grid->partitions()) t_sizes.push_back(p.size());
 
   order_ = std::make_unique<ProgOrder>(
       regions_, el_graph_.get(), &table_, cost_params, std::move(r_sizes),
@@ -44,7 +45,44 @@ RegionLoop::RegionLoop(PreparedQuery* prep, const ProgXeOptions& options,
     if (region.Active()) ++active_regions_;
   }
   removed_.assign(regions_->size(), 0);
-  result_.values.resize(static_cast<size_t>(prep->k));
+  result_.values.resize(static_cast<size_t>(inputs.k));
+
+  // Classify regions against the refinement seed (if any): a region whose
+  // best corner a seed point strictly dominates on *every* dimension can
+  // emit no skyline member (the seed point is a genuine output of the same
+  // sources+mapping, so some skyline member is at least as good as it —
+  // and strictly better than everything the region could produce). The
+  // strict all-dims test means a point never discards its own containing
+  // region. Seeding only *removes* regions; the pick order stays
+  // ProgOrder's, whose cost model is what progressiveness is tuned on.
+  const RefinementSeed* seed = options_.refinement_seed.get();
+  if (seed != nullptr && seed->k == inputs.k && seed->points() > 0) {
+    const GridGeometry& geom = table_.geometry();
+    const size_t kd = static_cast<size_t>(inputs.k);
+    std::vector<double> lower(kd);
+    for (const Region& region : *regions_) {
+      if (!region.Active()) continue;
+      for (size_t j = 0; j < kd; ++j) {
+        lower[j] =
+            geom.CellLower(static_cast<int>(j), region.lo_cell[j]);
+      }
+      for (size_t p = 0; p < seed->points(); ++p) {
+        const double* pt = seed->canonical.data() + p * kd;
+        bool dom = true;
+        for (size_t j = 0; j < kd; ++j) {
+          if (!(pt[j] < lower[j])) {
+            dom = false;
+            break;
+          }
+        }
+        if (dom) {
+          seed_discard_.push_back(region.id);  // ascending region id
+          break;
+        }
+      }
+    }
+  }
+  seed_applied_ = seed_discard_.empty();
 
   // Bucket the active regions by lo_cell for the runtime discard sweep.
   std::unordered_map<CellIndex, size_t> bucket_of;
@@ -68,7 +106,7 @@ bool RegionLoop::ReachedLimit() const {
 
 void RegionLoop::EmitCells(const std::vector<CellIndex>& cells,
                            std::vector<ResultTuple>* pending) {
-  const int k = prep_->k;
+  const int k = prep_->inputs->k;
   for (CellIndex c : cells) {
     if (ReachedLimit()) return;
     flush_values_.clear();
@@ -76,10 +114,11 @@ void RegionLoop::EmitCells(const std::vector<CellIndex>& cells,
     table_.FlushCell(c, &flush_values_, &flush_ids_);
     ++stats_->cells_flushed;
     for (size_t i = 0; i < flush_ids_.size(); ++i) {
-      result_.r_id = prep_->r_orig_ids[flush_ids_[i].r];
-      result_.t_id = prep_->t_orig_ids[flush_ids_[i].t];
+      result_.r_id = prep_->inputs->r_orig_ids[flush_ids_[i].r];
+      result_.t_id = prep_->inputs->t_orig_ids[flush_ids_[i].t];
       for (int j = 0; j < k; ++j) {
-        result_.values[static_cast<size_t>(j)] = prep_->mapper.Decanonicalize(
+        result_.values[static_cast<size_t>(j)] =
+            prep_->inputs->mapper.Decanonicalize(
             j, flush_values_[i * static_cast<size_t>(k) +
                              static_cast<size_t>(j)]);
       }
@@ -193,8 +232,26 @@ void RegionLoop::RemainingLowerBound(std::vector<double>* lo) const {
   }
 }
 
+void RegionLoop::ApplySeedDiscards(std::vector<ResultTuple>* pending) {
+  // Ascending region id (seed_discard_ is built in region order), mirroring
+  // the runtime discard sweep so flush/emission order is deterministic.
+  seed_applied_ = true;
+  for (int32_t id : seed_discard_) {
+    Region& region = (*regions_)[static_cast<size_t>(id)];
+    if (!region.Active()) continue;
+    region.discarded = true;
+    ++stats_->regions_discarded_seed;
+    RemoveRegion(region, pending);
+  }
+  seed_discard_.clear();
+  seed_discard_.shrink_to_fit();
+}
+
 bool RegionLoop::Step(std::vector<ResultTuple>* pending, size_t max_pairs) {
   if (done_) return false;
+  // Seed discards apply lazily on the first Step so their flushed results
+  // land in a caller-visible pending vector.
+  if (!seed_applied_) ApplySeedDiscards(pending);
   for (;;) {
     if (current_region_ < 0) {
       if (ReachedLimit()) {  // early termination (max_results)
@@ -215,9 +272,9 @@ bool RegionLoop::Step(std::vector<ResultTuple>* pending, size_t max_pairs) {
       if (!picked.Active()) continue;
 
       const InputPartition& pa =
-          prep_->r_grid->partitions()[static_cast<size_t>(picked.a)];
+          prep_->inputs->r_grid->partitions()[static_cast<size_t>(picked.a)];
       const InputPartition& pb =
-          prep_->t_grid->partitions()[static_cast<size_t>(picked.b)];
+          prep_->inputs->t_grid->partitions()[static_cast<size_t>(picked.b)];
       if (max_pairs == 0) {
         // Whole-region fast path: join the partition pair, map, insert —
         // via the (optionally parallel) pipeline, which preserves the

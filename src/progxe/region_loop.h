@@ -54,6 +54,10 @@ class RegionLoop {
 
  private:
   bool ReachedLimit() const;
+  /// First-Step application of options.refinement_seed: removes the regions
+  /// whose best corner a seed point strictly dominates (they provably hold
+  /// no skyline members), in ascending region id.
+  void ApplySeedDiscards(std::vector<ResultTuple>* pending);
   /// Post-join bookkeeping shared by the whole-region and sliced paths:
   /// marked-event drain, region removal, discard sweep.
   void FinishRegion(Region& region, std::vector<ResultTuple>* pending);
@@ -85,6 +89,13 @@ class RegionLoop {
 
   /// Marks a region removed exactly once across all removal paths.
   std::vector<uint8_t> removed_;
+
+  // Refinement seeding (options.refinement_seed): regions a seed point
+  // strictly dominates, discarded up front — lazily on the first Step so
+  // their flushes land in that Step's pending vector. Cost-only: the
+  // result set is unchanged, like an ordering-mode change.
+  std::vector<int32_t> seed_discard_;
+  bool seed_applied_ = false;
 
   // Incremental runtime region discard (Algorithm 1, line 9): active
   // regions bucketed by lo_cell — the discard test depends only on it — and

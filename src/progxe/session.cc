@@ -6,6 +6,7 @@
 
 #include "common/fault_injection.h"
 #include "common/macros.h"
+#include "progxe/prepare_cache.h"
 
 namespace progxe {
 
@@ -16,13 +17,51 @@ Result<std::unique_ptr<ProgXeSession>> ProgXeSession::Open(
   std::unique_ptr<ProgXeSession> session(new ProgXeSession());
   session->options_ = std::move(options);
   session->prep_ = std::make_unique<PreparedQuery>();
-  PROGXE_RETURN_NOT_OK(PreparePhase(query, &session->options_,
-                                    &session->stats_, session->prep_.get()));
-  if (!session->prep_->trivially_empty) {
-    session->loop_ = std::make_unique<RegionLoop>(
-        session->prep_.get(), session->options_, &session->stats_);
+  if (session->options_.prepare_cache != nullptr) {
+    PrepareCache& cache = *session->options_.prepare_cache;
+    const std::string key =
+        PrepareCache::Fingerprint(query, session->options_);
+    std::shared_ptr<const PreparedInputs> inputs = cache.Lookup(key);
+    if (inputs == nullptr) {
+      // Cold miss: build a self-contained entry (owns source copies, so it
+      // stays valid after the submitter frees its relations) and publish
+      // it. On an insert race the first writer's entry wins for the cache,
+      // but *this* session keeps the inputs it just built — both are
+      // equivalent by construction.
+      auto built = std::make_shared<PreparedInputs>();
+      PROGXE_RETURN_NOT_OK(BuildPreparedInputs(
+          query, session->options_, /*own_sources=*/true, built.get()));
+      cache.Insert(key, built);
+      inputs = std::move(built);
+    }
+    AdoptPreparedInputs(std::move(inputs), &session->options_,
+                        &session->stats_, session->prep_.get());
+  } else {
+    PROGXE_RETURN_NOT_OK(PreparePhase(query, &session->options_,
+                                      &session->stats_, session->prep_.get()));
   }
+  session->StartLoop();
   return session;
+}
+
+Result<std::unique_ptr<ProgXeSession>> ProgXeSession::OpenPrepared(
+    std::shared_ptr<const PreparedInputs> inputs, ProgXeOptions options) {
+  if (inputs == nullptr) {
+    return Status::InvalidArgument("OpenPrepared requires prepared inputs");
+  }
+  std::unique_ptr<ProgXeSession> session(new ProgXeSession());
+  session->options_ = std::move(options);
+  session->prep_ = std::make_unique<PreparedQuery>();
+  AdoptPreparedInputs(std::move(inputs), &session->options_,
+                      &session->stats_, session->prep_.get());
+  session->StartLoop();
+  return session;
+}
+
+void ProgXeSession::StartLoop() {
+  if (!prep_->trivially_empty) {
+    loop_ = std::make_unique<RegionLoop>(prep_.get(), options_, &stats_);
+  }
 }
 
 ProgXeSession::~ProgXeSession() { Close(); }
@@ -99,15 +138,15 @@ bool ProgXeSession::Finished() const {
 
 bool ProgXeSession::RemainingLowerBound(std::vector<double>* lo) const {
   if (Finished()) return false;
-  const size_t k = static_cast<size_t>(prep_->k);
+  const size_t k = static_cast<size_t>(prep_->inputs->k);
   lo->assign(k, std::numeric_limits<double>::infinity());
   // Flushed-but-undelivered results, recanonicalized (the sign fold is an
   // involution, so Canonicalize undoes what EmitCells applied).
   for (size_t i = pending_pos_; i < pending_.size(); ++i) {
     for (size_t j = 0; j < k; ++j) {
       (*lo)[j] = std::min(
-          (*lo)[j], prep_->mapper.Canonicalize(static_cast<int>(j),
-                                               pending_[i].values[j]));
+          (*lo)[j], prep_->inputs->mapper.Canonicalize(static_cast<int>(j),
+                                                       pending_[i].values[j]));
     }
   }
   // Everything the engine itself may still flush: live tuples in unsettled

@@ -33,9 +33,22 @@ class ProgXeSession : public ProgXeStream {
  public:
   /// Validates the query and runs PreparePhase (push-through, contribution
   /// tables, grids, look-ahead). No join pair is generated yet. The
-  /// relations behind `query` must outlive the session.
+  /// relations behind `query` must outlive the session — unless the
+  /// prepared state came from options.prepare_cache, whose entries own
+  /// source copies. With a cache set, Open fingerprints the query first: a
+  /// hit skips the prepare phase entirely (stats and resolved options are
+  /// replayed bit-identically from the cached build), a miss builds a
+  /// self-contained entry and publishes it.
   static Result<std::unique_ptr<ProgXeSession>> Open(
       const SkyMapJoinQuery& query, ProgXeOptions options);
+
+  /// Opens directly over previously built prepared state, skipping the
+  /// prepare phase. Used by the sharded stream to re-open a quarantined
+  /// shard without re-running push-through/grids/look-ahead, and by anyone
+  /// holding a cache entry. The inputs' sources must stay alive for the
+  /// session's lifetime (guaranteed when `inputs` owns its copies).
+  static Result<std::unique_ptr<ProgXeSession>> OpenPrepared(
+      std::shared_ptr<const PreparedInputs> inputs, ProgXeOptions options);
 
   ProgXeSession(const ProgXeSession&) = delete;
   ProgXeSession& operator=(const ProgXeSession&) = delete;
@@ -95,11 +108,22 @@ class ProgXeSession : public ProgXeStream {
 
   const ProgXeOptions& options() const { return options_; }
 
+  /// The immutable prepared state backing this session (null after Close or
+  /// failure). Capture it to re-open an equivalent session via OpenPrepared
+  /// without paying the prepare phase again.
+  std::shared_ptr<const PreparedInputs> prepared_inputs() const {
+    return prep_ != nullptr ? prep_->inputs : nullptr;
+  }
+
   /// True iff Close() has run (explicitly or via early teardown).
   bool closed() const { return closed_; }
 
  private:
   ProgXeSession() = default;
+
+  /// Shared tail of Open/OpenPrepared: builds the region loop over the
+  /// adopted prepared state.
+  void StartLoop();
 
   /// Moves to the terminal error state: engine state freed (workers
   /// joined), undelivered results dropped, `status_` set.

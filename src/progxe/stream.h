@@ -57,6 +57,21 @@ struct ShardOptions {
   /// call sleeps.
   std::chrono::milliseconds retry_backoff{1};
 
+  /// Seeded jitter applied to each backoff as a ±fraction (0.25 = ±25%),
+  /// derived deterministically from (options.seed, shard, failure count) so
+  /// K simultaneously-sick shards spread their re-opens instead of
+  /// synchronizing — and so a given seed always reproduces the same
+  /// schedule. 0 disables jitter (exact exponential backoff).
+  double retry_jitter = 0.25;
+
+  /// Stream-wide retry budget: the total number of shard re-opens the
+  /// stream may *commit to* across all shards and incarnations (each
+  /// quarantine decision consumes one). Once spent, further failures are
+  /// treated as retry exhaustion (abandon under allow_partial, else fail
+  /// the stream) even if the per-shard max_retries budget remains.
+  /// 0 = unlimited (per-shard budgets only).
+  uint64_t max_total_retries = 0;
+
   /// What retry exhaustion means: false (default) fails the whole stream
   /// with the shard's error; true abandons the shard and lets the stream
   /// finish with partial coverage — the delivered set is then exactly the

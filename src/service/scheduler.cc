@@ -13,6 +13,9 @@
 #include <thread>
 #include <utility>
 
+#include "mapping/canonical.h"
+#include "progxe/prepare_cache.h"
+
 namespace progxe {
 
 const char* FairnessPolicyName(FairnessPolicy policy) {
@@ -104,6 +107,11 @@ std::string SchedulerStats::FormatFields() const {
      << " sliced_pairs=" << sliced_pairs << " batches=" << batches
      << " results=" << results << " shard_retries=" << shard_retries
      << " shards_abandoned=" << shards_abandoned
+     << " prepare_hits=" << prepare_hits
+     << " prepare_misses=" << prepare_misses
+     << " prepare_evictions=" << prepare_evictions
+     << " prepare_cache_entries=" << prepare_cache_entries
+     << " prepare_cache_bytes=" << prepare_cache_bytes
      << " slice_p50_us<" << SliceLatencyQuantileUs(0.5)
      << " slice_p99_us<" << SliceLatencyQuantileUs(0.99)
      << " slice_lat_us_log2=[";
@@ -158,6 +166,17 @@ struct QueryRecord {
   ProgXeStats final_stats;
   ShardCoverage final_coverage;
 
+  /// Cross-query reuse: when `retain_results`, every delivered batch is
+  /// also appended to `retained` so later submissions can seed from this
+  /// query's accepted frontier. Written only by the slicing worker; a
+  /// child's admission reads it only after observing this record's
+  /// terminal state (acquire), pairing with the release in FinishQuery.
+  bool retain_results = false;
+  std::vector<ResultTuple> retained;
+  /// Frontier donor; set iff `seed_from_parent`, dropped at admission.
+  std::shared_ptr<QueryRecord> parent;
+  bool seed_from_parent = false;
+
   std::unique_ptr<ProgXeStream> stream;  // open while kRunning
 
   bool Expired(Clock::time_point now) const {
@@ -169,6 +188,9 @@ using RecordPtr = std::shared_ptr<QueryRecord>;
 
 struct SchedulerCore {
   ServiceOptions options;
+  /// Cross-query prepared-state cache; null when either budget is 0.
+  /// Internally synchronized — never touched under `mtx` except stats().
+  std::shared_ptr<PrepareCache> prepare_cache;
 
   std::mutex mtx;
   std::condition_variable work_cv;  // workers: new work / freed slot / stop
@@ -213,6 +235,64 @@ namespace {
 /// the weighted-fair pick is deterministic.
 bool PassGreater(const RecordPtr& a, const RecordPtr& b) {
   return a->pass != b->pass ? a->pass > b->pass : a->id > b->id;
+}
+
+/// Structural equality of two map specs: same output dimensionality and,
+/// per dimension, the same constant, transform and ordered term list.
+/// Pointer-identical sources plus this check are what make a parent's
+/// accepted frontier a set of genuine output points of the child query —
+/// and therefore sound discard witnesses (preference directions may
+/// differ; the seed is folded with the child's own mapper).
+bool SameMapSpec(const MapSpec& a, const MapSpec& b) {
+  if (a.output_dimensions() != b.output_dimensions()) return false;
+  for (int j = 0; j < a.output_dimensions(); ++j) {
+    const MapFunc& fa = a.func(j);
+    const MapFunc& fb = b.func(j);
+    if (fa.constant() != fb.constant() || fa.transform() != fb.transform() ||
+        fa.terms().size() != fb.terms().size()) {
+      return false;
+    }
+    for (size_t i = 0; i < fa.terms().size(); ++i) {
+      const MapTerm& ta = fa.terms()[i];
+      const MapTerm& tb = fb.terms()[i];
+      if (ta.side != tb.side || ta.attr_index != tb.attr_index ||
+          ta.weight != tb.weight) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Classifying regions against the seed costs O(regions x points) at the
+/// child's open; past a few hundred witnesses the extra discard power is
+/// negligible while the scan cost keeps growing, so large frontiers are
+/// thinned by an even deterministic stride (any subset of genuine outputs
+/// is equally sound).
+constexpr size_t kMaxSeedPoints = 256;
+
+/// Folds a donor query's retained (user-space) results into the child's
+/// canonical space for region seeding.
+std::shared_ptr<const RefinementSeed> BuildRefinementSeed(
+    const SkyMapJoinQuery& spec, const std::vector<ResultTuple>& retained) {
+  const CanonicalMapper mapper(spec.map, spec.pref);
+  const int k = mapper.output_dimensions();
+  auto seed = std::make_shared<RefinementSeed>();
+  seed->k = k;
+  const size_t stride =
+      retained.size() > kMaxSeedPoints
+          ? (retained.size() + kMaxSeedPoints - 1) / kMaxSeedPoints
+          : 1;
+  seed->canonical.reserve((retained.size() / stride + 1) *
+                          static_cast<size_t>(k));
+  for (size_t i = 0; i < retained.size(); i += stride) {
+    const ResultTuple& tuple = retained[i];
+    for (int j = 0; j < k; ++j) {
+      seed->canonical.push_back(
+          mapper.Canonicalize(j, tuple.values[static_cast<size_t>(j)]));
+    }
+  }
+  return seed;
 }
 
 bool HasFreeSlot(const SchedulerCore& core) {
@@ -328,7 +408,12 @@ QueryState RunSlice(SchedulerCore* core, const RecordPtr& rec,
                          core->options.batch_budget, batch);
   *pairs = rec->stream->stats().join_pairs_generated - before;
   *delivered = batch->size();
-  if (!batch->empty()) rec->sink->OnBatch(*batch);
+  if (!batch->empty()) {
+    rec->sink->OnBatch(*batch);
+    if (rec->retain_results) {
+      rec->retained.insert(rec->retained.end(), batch->begin(), batch->end());
+    }
+  }
   // The stream's error channel: a dead stream also reports Finished(), so
   // check the status first — kFailed must carry the real error, not
   // masquerade as completion.
@@ -435,6 +520,17 @@ void WorkerLoop(const std::shared_ptr<SchedulerCore>& core) {
       }
       ++core->active;  // hold the slot while PreparePhase runs
       lock.unlock();
+      // Refinement seeding: if the donor is already terminal, its retained
+      // frontier is frozen (the terminal acquire pairs with FinishQuery's
+      // release, which follows the last retained append). A parent still
+      // in flight — or retained-empty — yields a plain unseeded run.
+      if (rec->seed_from_parent && rec->parent != nullptr &&
+          IsTerminal(rec->parent->state.load(std::memory_order_acquire)) &&
+          !rec->parent->retained.empty()) {
+        rec->options.refinement_seed =
+            BuildRefinementSeed(rec->spec, rec->parent->retained);
+      }
+      rec->parent.reset();  // drop the donor either way
       auto stream = OpenProgXeStream(rec->spec, rec->options, rec->shards);
       lock.lock();
       if (!stream.ok()) {
@@ -541,6 +637,10 @@ QueryScheduler::QueryScheduler(ServiceOptions options)
     : options_(options), core_(std::make_shared<SchedulerCore>()) {
   if (options_.num_workers < 1) options_.num_workers = 1;
   core_->options = options_;
+  if (options_.prepare_cache_entries > 0 && options_.prepare_cache_bytes > 0) {
+    core_->prepare_cache = std::make_shared<PrepareCache>(
+        options_.prepare_cache_entries, options_.prepare_cache_bytes);
+  }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back(service_internal::WorkerLoop, core_);
@@ -583,12 +683,47 @@ Result<QueryHandle> QueryScheduler::Submit(const SkyMapJoinQuery& query,
   if (!(submit.weight > 0.0)) {
     return Status::InvalidArgument("Submit: weight must be positive");
   }
+  if (submit.seed_from_parent) {
+    if (submit.parent.query_ == nullptr) {
+      return Status::InvalidArgument(
+          "Submit: seed_from_parent requires a parent handle");
+    }
+    if (submit.parent.core_ != core_) {
+      return Status::InvalidArgument(
+          "Submit: parent handle was issued by a different scheduler");
+    }
+    if (submit.parent.query_->spec.r != query.r ||
+        submit.parent.query_->spec.t != query.t) {
+      return Status::InvalidArgument(
+          "Submit: seed_from_parent requires the parent's exact source "
+          "relations");
+    }
+    if (!service_internal::SameMapSpec(submit.parent.query_->spec.map,
+                                       query.map)) {
+      return Status::InvalidArgument(
+          "Submit: seed_from_parent requires an identical mapping");
+    }
+    if (!submit.parent.query_->retain_results) {
+      return Status::InvalidArgument(
+          "Submit: parent was not submitted with retain_results");
+    }
+  }
   auto rec = std::make_shared<QueryRecord>();
   rec->spec = query;
   rec->options = std::move(options);
   rec->shards = submit.shards;
   if (submit.allow_partial) rec->shards.allow_partial = true;
   rec->sink = sink;
+  rec->retain_results = submit.retain_results;
+  if (submit.seed_from_parent) {
+    rec->parent = submit.parent.query_;
+    rec->seed_from_parent = true;
+  }
+  // Stamp the service-wide prepared-state cache unless the caller brought
+  // their own (or the cache is disabled — stamping null is a no-op).
+  if (rec->options.prepare_cache == nullptr) {
+    rec->options.prepare_cache = core_->prepare_cache;
+  }
   const double w = std::clamp(submit.weight, 1.0 / 16.0, 1024.0);
   rec->stride = std::max<uint64_t>(
       1, static_cast<uint64_t>(service_internal::kStrideScale / w));
@@ -653,6 +788,14 @@ SchedulerStats QueryScheduler::stats() const {
   stats.shard_retries = core_->shard_retries;
   stats.shards_abandoned = core_->shards_abandoned;
   stats.slice_latency_us_log2 = core_->slice_latency_us_log2;
+  if (core_->prepare_cache != nullptr) {
+    const PrepareCache::Stats cache = core_->prepare_cache->stats();
+    stats.prepare_hits = cache.hits;
+    stats.prepare_misses = cache.misses;
+    stats.prepare_evictions = cache.evictions;
+    stats.prepare_cache_entries = cache.entries;
+    stats.prepare_cache_bytes = cache.bytes;
+  }
   return stats;
 }
 

@@ -99,6 +99,15 @@ struct ServiceOptions {
   /// boundary (or in the waiting room, without ever opening a stream) and
   /// its sink still receives exactly one OnDone.
   std::chrono::milliseconds default_deadline{0};
+
+  /// Cross-query prepared-state cache (progxe/prepare_cache.h) budgets.
+  /// Every submitted query whose options carry no cache of their own is
+  /// stamped with the scheduler-wide instance: repeated submissions of the
+  /// same (sources, mapping, quantization) skip the prepare phase entirely
+  /// on a hit. Entries are LRU-evicted past either budget; setting either
+  /// to 0 disables the cache.
+  size_t prepare_cache_entries = 8;
+  size_t prepare_cache_bytes = 64ull * 1024 * 1024;
 };
 
 /// Lifecycle of a submitted query.
@@ -128,29 +137,6 @@ inline bool IsTerminal(QueryState state) {
          state == QueryState::kPartial;
 }
 
-/// Per-submission knobs beyond the engine options.
-struct SubmitOptions {
-  /// Relative slice share under kWeightedFair (clamped to [1/16, 1024]);
-  /// ignored by kRoundRobin.
-  double weight = 1.0;
-  /// Wall-clock deadline measured from Submit; zero inherits
-  /// ServiceOptions::default_deadline, negative opts out of the deadline
-  /// even when a default exists.
-  std::chrono::milliseconds deadline{0};
-  /// Engine sharding: num_shards > 1 serves the query through a
-  /// ShardedStream (one sub-session per shard behind this one handle).
-  /// `shards.max_retries` / `shards.retry_backoff` bound the per-shard
-  /// fault recovery.
-  ShardOptions shards;
-
-  /// Graceful degradation: when a shard exhausts its retries, `false`
-  /// (default) fails the query (kFailed, real Status), `true` lets it
-  /// complete as kPartial with the per-shard coverage report on the handle.
-  /// Convenience alias for shards.allow_partial — either being true
-  /// enables it.
-  bool allow_partial = false;
-};
-
 /// A point-in-time snapshot of scheduler-wide counters
 /// (QueryScheduler::stats()).
 struct SchedulerStats {
@@ -178,6 +164,13 @@ struct SchedulerStats {
   uint64_t results = 0;            ///< Result tuples delivered to sinks.
   uint64_t shard_retries = 0;      ///< Shard re-opens across terminal queries.
   uint64_t shards_abandoned = 0;   ///< Shards dropped across terminal queries.
+
+  // Prepared-state cache (zeroes when ServiceOptions disabled the cache).
+  uint64_t prepare_hits = 0;       ///< Opens that skipped the prepare phase.
+  uint64_t prepare_misses = 0;     ///< Opens that built (and cached) anew.
+  uint64_t prepare_evictions = 0;  ///< Entries LRU-evicted past a budget.
+  size_t prepare_cache_entries = 0;  ///< Gauge: entries resident now.
+  size_t prepare_cache_bytes = 0;    ///< Gauge: approx bytes resident now.
 
   /// Wall-clock latency distribution of served slices (one entry per
   /// NextBatch counted in `slices`). Sum of all buckets == slices.
@@ -250,6 +243,49 @@ class QueryHandle {
   friend class QueryScheduler;
   std::shared_ptr<service_internal::SchedulerCore> core_;
   std::shared_ptr<service_internal::QueryRecord> query_;
+};
+
+/// Per-submission knobs beyond the engine options.
+struct SubmitOptions {
+  /// Relative slice share under kWeightedFair (clamped to [1/16, 1024]);
+  /// ignored by kRoundRobin.
+  double weight = 1.0;
+  /// Wall-clock deadline measured from Submit; zero inherits
+  /// ServiceOptions::default_deadline, negative opts out of the deadline
+  /// even when a default exists.
+  std::chrono::milliseconds deadline{0};
+  /// Engine sharding: num_shards > 1 serves the query through a
+  /// ShardedStream (one sub-session per shard behind this one handle).
+  /// `shards.max_retries` / `shards.retry_backoff` bound the per-shard
+  /// fault recovery.
+  ShardOptions shards;
+
+  /// Graceful degradation: when a shard exhausts its retries, `false`
+  /// (default) fails the query (kFailed, real Status), `true` lets it
+  /// complete as kPartial with the per-shard coverage report on the handle.
+  /// Convenience alias for shards.allow_partial — either being true
+  /// enables it.
+  bool allow_partial = false;
+
+  /// Retain this query's delivered results on its record so later
+  /// submissions can seed from them (`parent`/`seed_from_parent`). Costs
+  /// one extra copy of every delivered tuple for the record's lifetime;
+  /// required on any query named as a refinement parent.
+  bool retain_results = false;
+
+  /// Refinement parent: a handle from a previous Submit on this same
+  /// scheduler, over pointer-identical sources and an identical mapping
+  /// (preference/serving knobs may differ). Only consulted when
+  /// `seed_from_parent` is true.
+  QueryHandle parent;
+
+  /// Seed this query's region ordering and up-front discards from the
+  /// parent's retained results (see ProgXeOptions::refinement_seed).
+  /// Validated at Submit: the parent must come from this scheduler, share
+  /// sources and mapping, and have been submitted with retain_results. If
+  /// the parent is not yet terminal when this query is admitted, the query
+  /// simply runs unseeded — seeding changes cost, never results.
+  bool seed_from_parent = false;
 };
 
 class QueryScheduler {

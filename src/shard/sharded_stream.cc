@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <thread>
@@ -58,6 +59,7 @@ void AddStats(ProgXeStats* agg, const ProgXeStats& s) {
   agg->elgraph_disabled = agg->elgraph_disabled || s.elgraph_disabled;
   agg->regions_processed += s.regions_processed;
   agg->regions_discarded_runtime += s.regions_discarded_runtime;
+  agg->regions_discarded_seed += s.regions_discarded_seed;
   agg->pq_reorderings += s.pq_reorderings;
   agg->join_pairs_generated += s.join_pairs_generated;
   agg->tuples_discarded_marked += s.tuples_discarded_marked;
@@ -95,7 +97,34 @@ std::vector<Interval> AttributeHull(const Relation& rel) {
 /// stays cache-resident.
 int MergeCellsPerDim(int k) { return AutoCellsPerDim(k, 60000.0, 4, 24); }
 
+/// splitmix64 finalizer (same mixer as shard_planner's key hash).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
+
+std::chrono::nanoseconds JitteredRetryBackoff(const ShardOptions& opts,
+                                              uint64_t seed, int shard,
+                                              int consecutive_failures) {
+  const int exp = std::min(std::max(consecutive_failures, 1) - 1, 6);
+  const auto base = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        opts.retry_backoff) *
+                    (1 << exp);
+  if (opts.retry_jitter == 0.0 || base.count() == 0) return base;
+  // One uniform draw in [0, 1) per (seed, shard, attempt) triple; the top
+  // 53 bits give an exact double.
+  const uint64_t h =
+      Mix64(seed ^ Mix64(static_cast<uint64_t>(shard) * 0x9e3779b97f4a7c15ULL +
+                         static_cast<uint64_t>(consecutive_failures)));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  const double factor = std::max(0.0, 1.0 + opts.retry_jitter * (2.0 * u - 1.0));
+  return std::chrono::nanoseconds(static_cast<int64_t>(
+      std::llround(static_cast<double>(base.count()) * factor)));
+}
 
 Result<std::unique_ptr<ShardedStream>> ShardedStream::Open(
     const SkyMapJoinQuery& query, ProgXeOptions options,
@@ -194,9 +223,23 @@ Status ShardedStream::OpenShard(size_t i) {
                                         static_cast<int>(i)));
   ProgXeOptions opts = sub_options_;
   opts.fault_instance = static_cast<int>(i);
+  if (shard.prepared != nullptr) {
+    // Retry re-open: adopt the first incarnation's prepared state instead
+    // of re-running the prepare phase over the slice.
+    PROGXE_ASSIGN_OR_RETURN(
+        shard.session,
+        ProgXeSession::OpenPrepared(shard.prepared, std::move(opts)));
+    return Status::OK();
+  }
   PROGXE_ASSIGN_OR_RETURN(
       shard.session,
       ProgXeSession::Open(shard.slice.Query(query_), std::move(opts)));
+  if (shard_options_.max_retries > 0) {
+    // Capture for possible re-opens. The prepared state aliases the slice's
+    // relations (which live in shards_ for the stream's lifetime), so
+    // sharing it across incarnations is safe.
+    shard.prepared = shard.session->prepared_inputs();
+  }
   return Status::OK();
 }
 
@@ -212,13 +255,20 @@ void ShardedStream::OnShardFailure(size_t i, Status status) {
   shard.last_error = status;
   ++shard.consecutive_failures;
   if (IsRetryableStatusCode(status.code()) &&
-      shard.consecutive_failures <= shard_options_.max_retries) {
+      shard.consecutive_failures <= shard_options_.max_retries &&
+      (shard_options_.max_total_retries == 0 ||
+       retries_committed_ < shard_options_.max_total_retries)) {
     // Quarantine: only this shard stops; everyone else keeps pumping and
-    // releasing against its frozen pre-failure bound. Exponential backoff,
-    // capped at 64x so a long retry fight stays responsive.
-    const int exp = std::min(shard.consecutive_failures - 1, 6);
+    // releasing against its frozen pre-failure bound. Exponential backoff
+    // (capped at 64x so a long retry fight stays responsive) with seeded
+    // ±retry_jitter so simultaneously-sick shards desynchronize. The
+    // stream-wide budget is committed here, not at the re-open, so shards
+    // quarantining in the same round cannot collectively overdraw it.
+    ++retries_committed_;
     shard.next_attempt =
-        Clock::now() + shard_options_.retry_backoff * (1 << exp);
+        Clock::now() + JitteredRetryBackoff(shard_options_, sub_options_.seed,
+                                            static_cast<int>(i),
+                                            shard.consecutive_failures);
     shard.replayed = true;
     return;
   }

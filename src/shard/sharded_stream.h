@@ -70,6 +70,17 @@
 
 namespace progxe {
 
+/// The deterministic jittered backoff before re-opening a quarantined
+/// shard: retry_backoff doubled per consecutive failure (capped at 64x),
+/// scaled by a factor in [1 - retry_jitter, 1 + retry_jitter) drawn from
+/// a splitmix64 mix of (seed, shard, consecutive_failures). Pure function
+/// of its arguments — the same seed always reproduces the same schedule —
+/// while distinct shards (and successive attempts of one shard) land on
+/// different offsets, so simultaneously-sick shards desynchronize.
+std::chrono::nanoseconds JitteredRetryBackoff(const ShardOptions& opts,
+                                              uint64_t seed, int shard,
+                                              int consecutive_failures);
+
 class ShardedStream : public ProgXeStream {
  public:
   /// Plans the shards and opens one sub-session per shard (each runs
@@ -129,6 +140,13 @@ class ShardedStream : public ProgXeStream {
     QueryShard slice;
     /// Null while quarantined (between a fault and the retry re-open).
     std::unique_ptr<ProgXeSession> session;
+    /// The first healthy incarnation's immutable prepared state, captured
+    /// only when retries are enabled: a re-open adopts it directly
+    /// (ProgXeSession::OpenPrepared) instead of re-running push-through /
+    /// grids / look-ahead over the slice. Identical by construction — a
+    /// shard is a deterministic function of its slice + options — so the
+    /// replay contract is unchanged.
+    std::shared_ptr<const PreparedInputs> prepared;
     /// Canonical remaining-output frontier corner; meaningful while
     /// `!exhausted`. Empty means "no bound yet" — it blocks every release
     /// (a shard that failed before publishing a frontier may still emit
@@ -235,6 +253,12 @@ class ShardedStream : public ProgXeStream {
   bool failed_ = false;
   Status status_;  // non-OK once failed_
   uint64_t total_retries_ = 0;
+  /// Re-opens committed to (counted at the quarantine decision, before the
+  /// re-open happens) against ShardOptions::max_total_retries. Separate
+  /// from total_retries_ — the re-opens actually performed, reported in
+  /// coverage() — so K shards quarantining in one round cannot all slip
+  /// under the budget before any of them re-opens.
+  uint64_t retries_committed_ = 0;
   /// Set when a shard exhausts or is abandoned outside
   /// RefreshBoundsAndRelease, so the next release pass re-checks held
   /// candidates even if no surviving bound moved.

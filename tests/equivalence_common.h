@@ -97,6 +97,7 @@ inline void ExpectSameStats(const ProgXeStats& a, const ProgXeStats& b,
   EXPECT_EQ(a.regions_processed, b.regions_processed) << label;
   EXPECT_EQ(a.regions_discarded_runtime, b.regions_discarded_runtime)
       << label;
+  EXPECT_EQ(a.regions_discarded_seed, b.regions_discarded_seed) << label;
   EXPECT_EQ(a.cells_flushed, b.cells_flushed) << label;
 }
 

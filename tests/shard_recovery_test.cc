@@ -426,5 +426,103 @@ TEST(ShardRecovery, SchedulerServedRetriesAreExactAndCounted) {
   EXPECT_EQ(scheduler.stats().shards_abandoned, 0u);
 }
 
+// The backoff schedule is a pure function of (options, seed, shard,
+// consecutive_failures): the same seed reproduces the same schedule bit for
+// bit, every delay stays inside the documented ±retry_jitter envelope
+// around the capped exponential base, and distinct shards land on distinct
+// offsets so simultaneously-sick shards desynchronize their re-opens.
+TEST(ShardRecovery, JitteredBackoffIsDeterministicAndBounded) {
+  ShardOptions opts;
+  opts.retry_backoff = std::chrono::milliseconds(10);
+  opts.retry_jitter = 0.25;
+
+  std::vector<std::chrono::nanoseconds> first_attempts;
+  for (uint64_t seed : {uint64_t{0}, uint64_t{42}, uint64_t{0xfeed}}) {
+    for (int shard = 0; shard < 4; ++shard) {
+      for (int failures = 1; failures <= 10; ++failures) {
+        const auto delay = JitteredRetryBackoff(opts, seed, shard, failures);
+        // Deterministic: the same arguments always yield the same delay.
+        EXPECT_EQ(delay, JitteredRetryBackoff(opts, seed, shard, failures));
+        // Bounded: base * [1 - jitter, 1 + jitter], base doubling per
+        // failure and capped at 64x the configured backoff.
+        const auto base =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                opts.retry_backoff) *
+            (1 << std::min(failures - 1, 6));
+        EXPECT_GE(delay, base * 3 / 4)
+            << "seed=" << seed << " shard=" << shard << " cf=" << failures;
+        EXPECT_LE(delay, base * 5 / 4)
+            << "seed=" << seed << " shard=" << shard << " cf=" << failures;
+        if (seed == 0 && failures == 1) first_attempts.push_back(delay);
+      }
+    }
+  }
+  // Desynchronization: four shards' first re-opens must not collapse onto
+  // one instant (at least two distinct offsets under a shared seed).
+  std::sort(first_attempts.begin(), first_attempts.end());
+  const auto distinct =
+      std::unique(first_attempts.begin(), first_attempts.end()) -
+      first_attempts.begin();
+  EXPECT_GT(distinct, 1);
+
+  // jitter = 0 restores the exact exponential schedule, including the cap.
+  opts.retry_jitter = 0.0;
+  EXPECT_EQ(JitteredRetryBackoff(opts, 7, 2, 1),
+            std::chrono::nanoseconds(std::chrono::milliseconds(10)));
+  EXPECT_EQ(JitteredRetryBackoff(opts, 7, 2, 4),
+            std::chrono::nanoseconds(std::chrono::milliseconds(80)));
+  EXPECT_EQ(JitteredRetryBackoff(opts, 7, 2, 20),
+            std::chrono::nanoseconds(std::chrono::milliseconds(640)));
+
+  // A zero base backoff stays zero regardless of jitter.
+  opts.retry_jitter = 0.25;
+  opts.retry_backoff = std::chrono::milliseconds(0);
+  EXPECT_EQ(JitteredRetryBackoff(opts, 7, 2, 3).count(), 0);
+}
+
+// The stream-wide retry budget (ShardOptions::max_total_retries) caps the
+// total re-opens across all shards even when the per-shard budget would
+// allow many more: against a persistent fault the stream commits exactly
+// max_total_retries re-opens and then degrades (allow_partial) or fails —
+// and either way Drain() returns with the exact spend in coverage().
+TEST(ShardRecovery, TotalRetryBudgetCapsRecovery) {
+  Rng rng(0x5eed3);
+  const Config cfg = MakeConfig(&rng, true, false);
+
+  for (bool allow_partial : {false, true}) {
+    ServiceOptions sopts;
+    sopts.num_workers = 2;
+    sopts.batch_budget = 64;
+    QueryScheduler scheduler(sopts);
+
+    ProgXeOptions faulty;
+    faulty.faults = MustParse("shard.open:p=1,shard=0", 0);
+    SubmitOptions submit;
+    submit.shards.num_shards = 4;
+    submit.shards.max_retries = 50;       // ample per-shard budget...
+    submit.shards.max_total_retries = 3;  // ...capped stream-wide
+    submit.shards.retry_backoff = std::chrono::milliseconds(0);
+    submit.allow_partial = allow_partial;
+
+    PartialSink sink;
+    auto handle = scheduler.Submit(cfg.query(), faulty, &sink, submit);
+    ASSERT_TRUE(handle.ok());
+    scheduler.Drain();
+    ASSERT_TRUE(sink.done());
+
+    const ShardCoverage& coverage = handle->coverage();
+    EXPECT_EQ(coverage.retries, 3u);
+    if (allow_partial) {
+      EXPECT_EQ(handle->state(), QueryState::kPartial);
+      EXPECT_TRUE(sink.status().ok());
+      EXPECT_EQ(coverage.completed, 3);
+      EXPECT_EQ(coverage.abandoned, 1);
+    } else {
+      EXPECT_EQ(handle->state(), QueryState::kFailed);
+      EXPECT_TRUE(handle->status().IsUnavailable());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace progxe

@@ -13,8 +13,18 @@ under a per-call nanosecond budget: the disabled MaybeInjectFault hook is
 contractually one predicted branch, and a regression that consults the rule
 table on the hot path costs 10-100x, far above runner jitter.
 
-Accepts either a bare bench_sharded JSON ({"runs": [...]}) or a full
-BENCH_progxe.json (takes its "sharded" key).
+The cross-query reuse burst (the `reuse` key, written by bench_multiquery)
+is gated on two machine-independent booleans: the warm run must have hit
+the prepared-state cache at least once (`prepare_skipped >= 1` — zero
+means fingerprinting broke and every refinement silently re-prepares) and
+the warm children's result hashes must equal the cold run's
+(`results_match` — reuse must never change what a query returns).
+
+Accepts a bare bench_sharded JSON ({"runs": [...]}), a full
+BENCH_progxe.json (takes its "sharded" key, plus "reuse" when present),
+or a bare bench_multiquery JSON (no sharded runs — only the "reuse" gate
+applies; missing sharded data is an error only when there is no reuse
+section either).
 
 Usage: check_merge_budget.py <json> [--shards=4] [--budget=200000]
                                     [--hook_budget_ns=15]
@@ -44,20 +54,27 @@ def main(argv):
         raise SystemExit(__doc__)
 
     with open(path) as f:
-        data = json.load(f)
+        doc = json.load(f)
+    data = doc
     if "runs" not in data:
         data = data.get("sharded", {})
-    runs = {run["shards"]: run for run in data.get("runs", [])}
-    if shards not in runs:
+    runs = {run["shards"]: run
+            for run in data.get("runs", []) if "shards" in run}
+    reuse = doc.get("reuse")
+    if reuse is None and isinstance(doc.get("multiquery"), dict):
+        reuse = doc["multiquery"].get("reuse")
+
+    if shards in runs:
+        run = runs[shards]
+        cmps = run["merge_comparisons"]
+        print(f"K={shards}: merge_comparisons={cmps} budget={budget}")
+        if cmps > budget:
+            raise SystemExit(
+                f"FAIL: merge_comparisons at K={shards} exceeded the budget "
+                f"({cmps} > {budget}) — the merge sink is scanning instead "
+                f"of using the dominance index")
+    elif reuse is None:
         raise SystemExit(f"{path}: no K={shards} run recorded")
-    run = runs[shards]
-    cmps = run["merge_comparisons"]
-    print(f"K={shards}: merge_comparisons={cmps} budget={budget}")
-    if cmps > budget:
-        raise SystemExit(
-            f"FAIL: merge_comparisons at K={shards} exceeded the budget "
-            f"({cmps} > {budget}) — the merge sink is scanning instead of "
-            f"using the dominance index")
 
     hook_ns = data.get("fault_hook_ns_per_call")
     if hook_ns is not None:
@@ -67,6 +84,21 @@ def main(argv):
                 f"FAIL: the disabled fault-injection hook costs {hook_ns}ns "
                 f"per call (> {hook_budget_ns}ns) — it must stay a single "
                 f"predicted branch when no injector is installed")
+
+    if reuse is not None:
+        skipped = reuse.get("prepare_skipped", 0)
+        match = reuse.get("results_match", False)
+        print(f"reuse: prepare_skipped={skipped} results_match={match}")
+        if skipped < 1:
+            raise SystemExit(
+                "FAIL: the warm refinement burst never hit the "
+                "prepared-state cache (prepare_skipped < 1) — every "
+                "refinement is silently re-running the prepare phase")
+        if not match:
+            raise SystemExit(
+                "FAIL: the warm refinement burst served a different result "
+                "set than the cold run — cross-query reuse must never "
+                "change query results")
     print("OK")
 
 

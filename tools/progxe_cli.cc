@@ -40,6 +40,13 @@
 //   --budget=<pairs>      join pairs per NextBatch slice   (default 4096)
 //   --policy=rr|wf        round-robin | weighted-fair      (default rr)
 //   --max_concurrent=<n>  admission slots, 0 = unbounded   (default 0)
+//   --reuse               cross-query reuse demo: all N queries serve ONE
+//                         shared workload; query 0 runs first and retains
+//                         its results, queries 1..N-1 are then submitted
+//                         as refinements of it (the prepared-state cache
+//                         skips their prepare phase and their region loops
+//                         are seeded from query 0's accepted frontier).
+//                         Prints the scheduler's cache counters at the end.
 // --shards also applies here: each query is served as one sharded stream
 // behind its QueryHandle.
 #include <chrono>
@@ -85,6 +92,7 @@ struct CliArgs {
   size_t budget = 4096;
   size_t max_concurrent = 0;
   FairnessPolicy policy = FairnessPolicy::kRoundRobin;
+  bool reuse = false;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -162,6 +170,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
         std::fprintf(stderr, "--policy must be rr or wf\n");
         return false;
       }
+    } else if (std::strcmp(arg, "--reuse") == 0) {
+      args->reuse = true;
     } else if (std::strcmp(arg, "--kd") == 0) {
       args->kd = true;
     } else if (std::strcmp(arg, "--help") == 0) {
@@ -305,8 +315,12 @@ int RunMultiQuery(Algo algo, const CliArgs& args) {
   submit.shards.num_shards = args.shards;
   if (!ApplyFaultArgs(args, &tuning, &submit.shards)) return 2;
 
+  // --reuse serves one shared workload (pointer-identical sources are what
+  // let the prepared-state cache and frontier seeding engage); otherwise
+  // each query gets its own seed-offset workload.
+  const size_t distinct_workloads = args.reuse ? 1 : args.queries;
   std::vector<std::unique_ptr<Workload>> workloads;
-  for (size_t i = 0; i < args.queries; ++i) {
+  for (size_t i = 0; i < distinct_workloads; ++i) {
     auto workload = Workload::Make(MakeParams(args, i));
     if (!workload.ok()) {
       std::fprintf(stderr, "workload %zu: %s\n", i,
@@ -334,15 +348,29 @@ int RunMultiQuery(Algo algo, const CliArgs& args) {
   for (size_t i = 0; i < args.queries; ++i) {
     sinks[i].index = i;
     sinks[i].watch = &watch;
-    auto handle = scheduler.Submit(workloads[i]->query(),
+    const Workload& workload = args.reuse ? *workloads[0] : *workloads[i];
+    SubmitOptions qsubmit = submit;
+    if (args.reuse) {
+      if (i == 0) {
+        qsubmit.retain_results = true;
+      } else {
+        qsubmit.parent = handles[0];
+        qsubmit.seed_from_parent = true;
+      }
+    }
+    auto handle = scheduler.Submit(workload.query(),
                                    OptionsForAlgo(algo, tuning), &sinks[i],
-                                   submit);
+                                   qsubmit);
     if (!handle.ok()) {
       std::fprintf(stderr, "submit %zu: %s\n", i,
                    handle.status().ToString().c_str());
       return 1;
     }
     handles[i] = *handle;
+    // Let the parent finish before submitting refinements: children seed
+    // from a frozen frontier (a still-running parent would just mean an
+    // unseeded child).
+    if (args.reuse && i == 0) handles[0].Wait();
   }
   scheduler.Drain();
   const double makespan = watch.ElapsedSeconds();
@@ -355,7 +383,8 @@ int RunMultiQuery(Algo algo, const CliArgs& args) {
                 "batches=%-5zu t_first=%.6fs t_done=%.6fs pairs=%llu "
                 "cmps=%llu\n",
                 sink.index,
-                static_cast<unsigned long long>(args.seed + sink.index),
+                static_cast<unsigned long long>(
+                    args.seed + (args.reuse ? 0 : sink.index)),
                 QueryStateName(sink.final_state), sink.results, sink.batches,
                 sink.t_first, sink.t_done,
                 static_cast<unsigned long long>(
@@ -377,6 +406,15 @@ int RunMultiQuery(Algo algo, const CliArgs& args) {
   }
   std::printf("aggregate: results=%zu makespan=%.6fs worst_t_first=%.6fs\n",
               total_results, makespan, worst_first);
+  if (args.reuse) {
+    const SchedulerStats sstats = scheduler.stats();
+    std::printf("reuse: prepare_hits=%llu prepare_misses=%llu "
+                "prepare_evictions=%llu cache_entries=%zu cache_bytes=%zu\n",
+                static_cast<unsigned long long>(sstats.prepare_hits),
+                static_cast<unsigned long long>(sstats.prepare_misses),
+                static_cast<unsigned long long>(sstats.prepare_evictions),
+                sstats.prepare_cache_entries, sstats.prepare_cache_bytes);
+  }
   return rc;
 }
 

@@ -21,7 +21,7 @@
 //          [shards=1] [deadline_ms=0]
 //          [algo=ProgXe|ProgXe+|ProgXe-NoOrder|ProgXe+-NoOrder] [kd]
 //          [faults=<spec>] [fault_seed=0] [max_retries=2]
-//          [retry_backoff_ms=1] [allow_partial]
+//          [retry_backoff_ms=1] [allow_partial] [reuse=0|1] [parent=<id>]
 //     -> "ok id=<id>"; then asynchronously:
 //        "batch id=<id> n=<k> total=<total> t=<sec>"      (per delivery)
 //        "result id=<id> r=<rid> t=<tid>"                 (--echo_results)
@@ -33,7 +33,14 @@
 //     (common/fault_injection.h grammar, seeded by fault_seed=) into the
 //     query; max_retries=/retry_backoff_ms= bound the per-shard recovery,
 //     and allow_partial lets a query whose shard exhausts its retries
-//     complete as state=partial instead of failed.
+//     complete as state=partial instead of failed. reuse=1 keeps the
+//     query's workload and accepted results alive after it finishes so
+//     later refinements can build on it; parent=<id> submits a refinement
+//     of a reuse=1 query: it serves the parent's exact relations (so the
+//     prepared-state cache hits) and seeds region pruning from the
+//     parent's accepted frontier. A parent= submit must not restate
+//     workload-shaping keys (dist/n/dims/sigma/seed) — the workload is the
+//     parent's by definition.
 //   cancel <id>     cooperative cancellation
 //   stats <id>      one "stat ..." line (live state, final stats if done;
 //                   a partial query also reports its shard coverage)
@@ -130,8 +137,12 @@ void Emit(const std::string& line) {
 struct ServedQuery : QuerySink {
   uint64_t id = 0;
   bool echo_results = false;
+  /// reuse=1: keep the workload after OnDone so parent= refinements can
+  /// share it (pointer-identical sources are what let the prepared-state
+  /// cache and frontier seeding engage).
+  bool reuse = false;
   Stopwatch watch;  // started at submit
-  std::unique_ptr<Workload> workload;
+  std::shared_ptr<Workload> workload;
   QueryHandle handle;
 
   /// Written by scheduler workers, read by the stdin thread (stats/list).
@@ -161,9 +172,10 @@ struct ServedQuery : QuerySink {
               const ProgXeStats& stats) override {
     // The stream is already closed: nothing references the relations
     // anymore (and no other thread touches `workload` after submit), so a
-    // long-lived server drops them now; the map entry stays for
-    // stats/list.
-    workload.reset();
+    // long-lived server drops its reference now — unless reuse=1 pinned
+    // the workload for later parent= refinements. Children sharing it keep
+    // it alive regardless; the map entry stays for stats/list.
+    if (!reuse) workload.reset();
     char buf[256];
     std::snprintf(buf, sizeof buf,
                   "done id=%llu state=%s results=%zu pairs=%llu cmps=%llu "
@@ -184,6 +196,12 @@ struct SubmitSpec {
   ProgXeOptions options;
   SubmitOptions submit;
   Algo algo = Algo::kProgXe;
+  bool reuse = false;
+  bool has_parent = false;
+  uint64_t parent_id = 0;
+  /// True once any workload-shaping key (dist/n/dims/sigma/seed) appears;
+  /// such keys conflict with parent= and get an explicit err.
+  bool shaped = false;
 };
 
 bool ParseSubmit(const std::vector<std::string>& tokens, SubmitSpec* spec,
@@ -218,6 +236,7 @@ bool ParseSubmit(const std::vector<std::string>& tokens, SubmitSpec* spec,
         return false;
       }
       spec->params.distribution = *dist;
+      spec->shaped = true;
     } else if (key == "n") {
       if (!ParseSize(val, &spec->params.cardinality)) return bad_value();
       if (spec->params.cardinality < 1 ||
@@ -226,6 +245,7 @@ bool ParseSubmit(const std::vector<std::string>& tokens, SubmitSpec* spec,
                  "]: " + val;
         return false;
       }
+      spec->shaped = true;
     } else if (key == "dims") {
       if (!ParseI32(val, &spec->params.dims)) return bad_value();
       if (spec->params.dims < 2 || spec->params.dims > kMaxDims) {
@@ -233,14 +253,17 @@ bool ParseSubmit(const std::vector<std::string>& tokens, SubmitSpec* spec,
                  "]: " + val;
         return false;
       }
+      spec->shaped = true;
     } else if (key == "sigma") {
       if (!ParseF64(val, &spec->params.sigma)) return bad_value();
       if (!(spec->params.sigma > 0.0) || spec->params.sigma > 1.0) {
         *error = "sigma out of range (0, 1]: " + val;
         return false;
       }
+      spec->shaped = true;
     } else if (key == "seed") {
       if (!ParseU64(val, &spec->params.seed)) return bad_value();
+      spec->shaped = true;
     } else if (key == "threads") {
       if (!ParseI32(val, &spec->options.num_threads)) return bad_value();
       if (spec->options.num_threads < 1 ||
@@ -285,6 +308,12 @@ bool ParseSubmit(const std::vector<std::string>& tokens, SubmitSpec* spec,
     } else if (key == "allow_partial") {
       if (val != "0" && val != "1") return bad_value();
       spec->submit.allow_partial = val == "1";
+    } else if (key == "reuse") {
+      if (val != "0" && val != "1") return bad_value();
+      spec->reuse = val == "1";
+    } else if (key == "parent") {
+      if (!ParseU64(val, &spec->parent_id)) return bad_value();
+      spec->has_parent = true;
     } else if (key == "faults") {
       faults_spec = val;
     } else if (key == "fault_seed") {
@@ -423,15 +452,42 @@ int main(int argc, char** argv) {
         Emit("err " + error);
         continue;
       }
-      auto workload = Workload::Make(spec.params);
-      if (!workload.ok()) {
-        Emit("err " + workload.status().ToString());
-        continue;
+      std::shared_ptr<Workload> workload;
+      if (spec.has_parent) {
+        // A refinement serves the parent's exact workload: restating
+        // shaping keys would silently describe a different one.
+        if (spec.shaped) {
+          Emit("err parent= conflicts with dist/n/dims/sigma/seed");
+          continue;
+        }
+        auto parent_it = queries.find(spec.parent_id);
+        if (parent_it == queries.end()) {
+          Emit("err no such parent: " + std::to_string(spec.parent_id));
+          continue;
+        }
+        if (!parent_it->second->reuse ||
+            parent_it->second->workload == nullptr) {
+          Emit("err parent " + std::to_string(spec.parent_id) +
+               " was not submitted with reuse=1");
+          continue;
+        }
+        workload = parent_it->second->workload;
+        spec.submit.parent = parent_it->second->handle;
+        spec.submit.seed_from_parent = true;
+      } else {
+        auto made = Workload::Make(spec.params);
+        if (!made.ok()) {
+          Emit("err " + made.status().ToString());
+          continue;
+        }
+        workload = std::make_shared<Workload>(made.MoveValue());
       }
+      spec.submit.retain_results = spec.reuse;
       auto query = std::make_unique<ServedQuery>();
       query->id = next_id++;
       query->echo_results = echo_results;
-      query->workload = std::make_unique<Workload>(workload.MoveValue());
+      query->reuse = spec.reuse;
+      query->workload = std::move(workload);
       query->watch.Start();
       // The ok line must precede the query's asynchronous batch/done
       // events, so emit it before the scheduler can start slicing; a

@@ -74,6 +74,10 @@ if threads_raw.strip():
 multiquery_raw = os.environ.get("MULTIQUERY_JSON", "")
 if multiquery_raw.strip():
     summary["multiquery"] = json.loads(multiquery_raw)
+    # Cross-query reuse headline (refinement burst): lifted to the top
+    # level so the CI gate and trend tooling find it without digging.
+    if isinstance(summary["multiquery"], dict) and "reuse" in summary["multiquery"]:
+        summary["reuse"] = summary["multiquery"]["reuse"]
 sharded_raw = os.environ.get("SHARDED_JSON", "")
 if sharded_raw.strip():
     summary["sharded"] = json.loads(sharded_raw)
