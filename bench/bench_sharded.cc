@@ -21,6 +21,7 @@
 #include "bench_common.h"
 #include "common/fault_injection.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 #include "progxe/stream.h"
 #include "shard/sharded_stream.h"
 
@@ -59,6 +60,26 @@ double MeasureDisabledHookNs() {
   }
   const double elapsed = watch.ElapsedSeconds();
   if (ok != static_cast<size_t>(kCalls)) std::abort();  // keep the loop live
+  return elapsed * 1e9 / static_cast<double>(kCalls);
+}
+
+/// ns/call of a *disabled* trace span — construct + destruct with tracing
+/// off, the price every instrumented site pays when no trace is being
+/// recorded. Same "one predicted branch" contract (and the same CI gate)
+/// as the fault hook above.
+double MeasureDisabledTraceHookNs() {
+  constexpr int kCalls = 1 << 22;
+  // Volatile name per call: a compile-time-constant argument would let the
+  // whole span pair fold away instead of exercising the active() check.
+  const char* volatile name = "bench.disabled";
+  size_t live = 0;
+  Stopwatch watch;
+  for (int i = 0; i < kCalls; ++i) {
+    TraceSpan span(trace_cats::kSched, name);
+    live += name != nullptr;
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  if (live != static_cast<size_t>(kCalls)) std::abort();  // keep the loop live
   return elapsed * 1e9 / static_cast<double>(kCalls);
 }
 
@@ -141,6 +162,8 @@ int main(int argc, char** argv) {
 
   const double hook_ns = MeasureDisabledHookNs();
   std::printf("  fault_hook(disabled)=%.3fns/call\n", hook_ns);
+  const double trace_ns = MeasureDisabledTraceHookNs();
+  std::printf("  trace_hook(disabled)=%.3fns/call\n", trace_ns);
 
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
@@ -152,9 +175,11 @@ int main(int argc, char** argv) {
                  "{\n  \"bench\": \"sharded\",\n  \"n\": %zu,\n"
                  "  \"dims\": %d,\n  \"sigma\": %g,\n  \"seed\": %llu,\n"
                  "  \"fault_hook_ns_per_call\": %.3f,\n"
+                 "  \"trace_hook_ns_per_call\": %.3f,\n"
                  "  \"runs\": [\n",
                  params.cardinality, params.dims, params.sigma,
-                 static_cast<unsigned long long>(params.seed), hook_ns);
+                 static_cast<unsigned long long>(params.seed), hook_ns,
+                 trace_ns);
     for (size_t i = 0; i < runs.size(); ++i) {
       const ShardRun& r = runs[i];
       std::fprintf(out,

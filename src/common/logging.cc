@@ -1,13 +1,32 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace progxe {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+int InitialLevel() {
+  const char* env = std::getenv("PROGXE_LOG_LEVEL");
+  LogLevel level = LogLevel::kInfo;
+  if (env != nullptr && *env != '\0' && !ParseLogLevel(env, &level)) {
+    std::fprintf(stderr,
+                 "[WARN ] unrecognized PROGXE_LOG_LEVEL \"%s\" "
+                 "(want debug|info|warn|error or 0-3); using info\n",
+                 env);
+  }
+  return static_cast<int>(level);
+}
+
+std::atomic<int>& Level() {
+  static std::atomic<int> level{InitialLevel()};
+  return level;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -28,26 +47,74 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+// Touch the origin during static initialization so "process start" is as
+// early as the first static initializer, not the first log line.
+const std::chrono::steady_clock::time_point g_origin_init = ProcessStart();
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  Level().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(Level().load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning" || lower == "2") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int LogThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+double LogMonotonicSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       ProcessStart())
+      .count();
 }
 
 namespace internal {
 
+std::string FormatLogPrefix(LogLevel level, const char* file, int line) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "[%s +%.6fs tid=%d %s:%d] ",
+                LevelTag(level), LogMonotonicSeconds(), LogThreadId(),
+                Basename(file), line);
+  return std::string(buf);
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >=
-               g_level.load(std::memory_order_relaxed)),
+               Level().load(std::memory_order_relaxed)),
       level_(level) {
-  if (enabled_) {
-    stream_ << "[" << LevelTag(level_) << " " << Basename(file) << ":" << line
-            << "] ";
-  }
+  if (enabled_) stream_ << FormatLogPrefix(level_, file, line);
 }
 
 LogMessage::~LogMessage() {

@@ -1,19 +1,52 @@
 // Minimal leveled logging. Benchmarks and examples log at INFO; the library
-// itself only logs at DEBUG (off by default) so query paths stay quiet.
+// itself logs at DEBUG (off by default) on query paths and at WARN/ERROR for
+// state changes an operator should see (shard quarantine/abandonment,
+// deadline expiry, stream failure).
+//
+// The minimum emitted level defaults to kInfo and can be set either
+// programmatically (SetLogLevel) or via the PROGXE_LOG_LEVEL environment
+// variable ("debug" | "info" | "warn" | "error", case-insensitive, or the
+// numeric 0-3), read once on first use.
+//
+// One line per message, machine-grippable:
+//
+//   [WARN  +12.345678s tid=3 sharded_stream.cc:412] shard 2 quarantined ...
+//
+// `+seconds` is monotonic time since process start (steady clock — matches
+// trace timestamps), `tid` is a small process-wide thread id shared with the
+// span-tracing layer (obs/trace.h), so a log line can be correlated with
+// the same thread's track in a trace.
 #pragma once
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace progxe {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Sets the minimum level that is emitted (default kInfo).
+/// Sets the minimum level that is emitted (default kInfo, or
+/// PROGXE_LOG_LEVEL when set).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses "debug"/"info"/"warn"/"warning"/"error" (any case) or "0".."3".
+/// Returns false (and leaves *out untouched) on anything else.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
+
+/// Small dense id of the calling thread (0, 1, 2, ... in first-use order),
+/// stable for the thread's lifetime. Shared by log lines and trace exports.
+int LogThreadId();
+
+/// Monotonic seconds since process start (steady clock), the time base of
+/// every log line's `+seconds` field.
+double LogMonotonicSeconds();
+
 namespace internal {
+
+/// The "[LEVEL +secs tid=N file:line] " line prefix; exposed for tests.
+std::string FormatLogPrefix(LogLevel level, const char* file, int line);
 
 /// Accumulates one log line and flushes it to stderr on destruction if the
 /// level passes the global filter.

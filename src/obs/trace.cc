@@ -1,0 +1,245 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace progxe {
+namespace internal_trace {
+
+std::atomic<bool> g_trace_active{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One thread's ring of events. The owning thread is the only writer; the
+/// per-buffer mutex only contends when an exporter snapshots a live trace.
+struct ThreadBuffer {
+  std::mutex mtx;
+  std::vector<TraceEvent> ring;
+  size_t cap = 0;       ///< fixed ring size; ring never grows past this
+  uint64_t pushed = 0;  ///< total events ever pushed (dropped = pushed - kept)
+  uint32_t tid = 0;     ///< small per-session thread id, stable in the export
+};
+
+struct Registry {
+  std::mutex mtx;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  /// Bumped by Start(); a thread holding a buffer from an older generation
+  /// re-registers on its next Record.
+  std::atomic<uint64_t> generation{0};
+  size_t capacity = 1 << 16;  ///< ring slots per thread, power of two
+  Clock::time_point origin = Clock::now();
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: threads may outlive main
+  return *r;
+}
+
+/// Thread-local handle onto this thread's buffer for the current session.
+struct TlsSlot {
+  std::shared_ptr<ThreadBuffer> buffer;
+  uint64_t generation = ~uint64_t{0};
+};
+
+thread_local TlsSlot tls_slot;
+
+ThreadBuffer* CurrentBuffer() {
+  Registry& reg = GetRegistry();
+  if (tls_slot.buffer == nullptr ||
+      tls_slot.generation != reg.generation.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(reg.mtx);
+    auto buf = std::make_shared<ThreadBuffer>();
+    buf->cap = reg.capacity;
+    buf->ring.reserve(reg.capacity);
+    // The same small id log lines carry (`tid=N`), so a trace track and the
+    // log stream correlate by eyeball.
+    buf->tid = static_cast<uint32_t>(LogThreadId());
+    reg.buffers.push_back(buf);
+    tls_slot.buffer = std::move(buf);
+    tls_slot.generation = reg.generation.load(std::memory_order_relaxed);
+  }
+  return tls_slot.buffer.get();
+}
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 8;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+void AppendJsonEscaped(const char* s, std::string* out) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendEvent(const TraceEvent& ev, uint32_t tid, std::string* out) {
+  char buf[96];
+  out->append("{\"name\":\"");
+  AppendJsonEscaped(ev.name, out);
+  out->append("\",\"cat\":\"");
+  AppendJsonEscaped(ev.cat, out);
+  out->append("\",\"ph\":\"");
+  out->push_back(ev.phase);
+  out->push_back('"');
+  // Chrome trace timestamps are microseconds; emit fractional µs to keep
+  // full ns resolution.
+  std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", ev.ts_ns / 1000.0);
+  out->append(buf);
+  if (ev.phase == 'X') {
+    std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", ev.dur_ns / 1000.0);
+    out->append(buf);
+  } else {
+    out->append(",\"s\":\"t\"");  // instant scope: thread
+  }
+  std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%u", tid);
+  out->append(buf);
+  if (ev.num_args > 0) {
+    out->append(",\"args\":{");
+    for (uint8_t a = 0; a < ev.num_args; ++a) {
+      if (a > 0) out->push_back(',');
+      out->push_back('"');
+      AppendJsonEscaped(ev.arg_names[a], out);
+      std::snprintf(buf, sizeof(buf), "\":%lld",
+                    static_cast<long long>(ev.arg_vals[a]));
+      out->append(buf);
+    }
+    out->push_back('}');
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now() - GetRegistry().origin)
+          .count());
+}
+
+void Record(const TraceEvent& ev) {
+  ThreadBuffer* buf = CurrentBuffer();
+  std::lock_guard<std::mutex> lock(buf->mtx);
+  if (buf->ring.size() < buf->cap) {
+    buf->ring.push_back(ev);
+  } else {
+    // Drop-oldest: overwrite the ring slot the oldest event occupies.
+    buf->ring[buf->pushed % buf->cap] = ev;
+  }
+  ++buf->pushed;
+}
+
+}  // namespace internal_trace
+
+using internal_trace::GetRegistry;
+using internal_trace::Registry;
+using internal_trace::RoundUpPow2;
+
+void Tracing::Start(size_t events_per_thread) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mtx);
+  reg.buffers.clear();
+  reg.capacity = RoundUpPow2(events_per_thread);
+  reg.origin = std::chrono::steady_clock::now();
+  reg.generation.fetch_add(1, std::memory_order_release);
+  internal_trace::g_trace_active.store(true, std::memory_order_release);
+}
+
+void Tracing::Stop() {
+  internal_trace::g_trace_active.store(false, std::memory_order_release);
+}
+
+uint64_t Tracing::dropped() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mtx);
+  uint64_t total = 0;
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mtx);
+    total += buf->pushed - buf->ring.size();
+  }
+  return total;
+}
+
+uint64_t Tracing::buffered() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mtx);
+  uint64_t total = 0;
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mtx);
+    total += buf->ring.size();
+  }
+  return total;
+}
+
+void Tracing::RenderJson(std::string* out) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mtx);
+  out->clear();
+  uint64_t dropped_total = 0;
+  out->append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mtx);
+    // Thread-name metadata row so Perfetto labels tracks.
+    if (!first) out->push_back(',');
+    first = false;
+    char meta[128];
+    std::snprintf(meta, sizeof(meta),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"progxe-t%u\"}}",
+                  buf->tid, buf->tid);
+    out->append(meta);
+    const size_t n = buf->ring.size();
+    dropped_total += buf->pushed - n;
+    // Oldest-first ring order: once wrapped, the slot at pushed % cap is
+    // the oldest surviving event.
+    const size_t start = buf->pushed > n ? buf->pushed % n : 0;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(',');
+      internal_trace::AppendEvent(buf->ring[(start + i) % n], buf->tid, out);
+    }
+  }
+  out->append("],\"otherData\":{\"dropped_events\":");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(dropped_total));
+  out->append(buf);
+  out->append("}}");
+}
+
+Status Tracing::WriteJson(const std::string& path) {
+  std::string json;
+  RenderJson(&json);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("short write to trace output file: " + path);
+  }
+  PROGXE_LOG(Debug) << "trace written to " << path << " (" << json.size()
+                    << " bytes)";
+  return Status::OK();
+}
+
+}  // namespace progxe

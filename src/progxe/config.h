@@ -188,6 +188,11 @@ struct ProgXeStats {
   /// Results emitted strictly before the last region finished processing.
   size_t results_emitted_early = 0;
 
+  /// Elementwise counter sum (booleans OR, sigma adds) — the one aggregation
+  /// used everywhere stats from multiple runs combine: the sharded stream's
+  /// per-shard rollup, the server's process totals, the metrics export.
+  void Accumulate(const ProgXeStats& other);
+
   std::string ToString() const;
 };
 

@@ -30,6 +30,33 @@ std::string ProgXeStats::ToString() const {
   return os.str();
 }
 
+void ProgXeStats::Accumulate(const ProgXeStats& s) {
+  r_rows += s.r_rows;
+  t_rows += s.t_rows;
+  r_rows_after_push_through += s.r_rows_after_push_through;
+  t_rows_after_push_through += s.t_rows_after_push_through;
+  sigma_used += s.sigma_used;
+  partition_pairs_total += s.partition_pairs_total;
+  partition_pairs_skipped += s.partition_pairs_skipped;
+  regions_created += s.regions_created;
+  regions_pruned_lookahead += s.regions_pruned_lookahead;
+  cells_marked_lookahead += s.cells_marked_lookahead;
+  elgraph_disabled = elgraph_disabled || s.elgraph_disabled;
+  regions_processed += s.regions_processed;
+  regions_discarded_runtime += s.regions_discarded_runtime;
+  regions_discarded_seed += s.regions_discarded_seed;
+  pq_reorderings += s.pq_reorderings;
+  join_pairs_generated += s.join_pairs_generated;
+  tuples_discarded_marked += s.tuples_discarded_marked;
+  tuples_discarded_frontier += s.tuples_discarded_frontier;
+  tuples_dominated_on_insert += s.tuples_dominated_on_insert;
+  tuples_evicted += s.tuples_evicted;
+  dominance_comparisons += s.dominance_comparisons;
+  results_emitted += s.results_emitted;
+  cells_flushed += s.cells_flushed;
+  results_emitted_early += s.results_emitted_early;
+}
+
 ProgXeExecutor::ProgXeExecutor(SkyMapJoinQuery query, ProgXeOptions options)
     : query_(std::move(query)), options_(std::move(options)) {}
 

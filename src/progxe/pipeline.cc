@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace progxe {
 
 RegionJoinPipeline::RegionJoinPipeline(const CanonicalMapper* mapper,
@@ -254,7 +256,12 @@ void RegionJoinPipeline::WorkerLoop() {
     const size_t begin = c == 0 ? 0 : chunk_task_end_[c - 1];
     const size_t end = chunk_task_end_[c];
     lock.unlock();
-    FillChunk(begin, end, &slot);
+    {
+      TraceSpan span(trace_cats::kPipeline, "pipeline.chunk");
+      span.arg("chunk", static_cast<int64_t>(c));
+      FillChunk(begin, end, &slot);
+      span.arg("pairs", static_cast<int64_t>(slot.n));
+    }
     lock.lock();
     slot.filled = true;
     cv_driver_.notify_one();

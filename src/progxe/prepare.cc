@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "grid/input_grid.h"
 #include "grid/kd_partitioner.h"
+#include "obs/trace.h"
 
 namespace progxe {
 
@@ -78,6 +79,7 @@ Status BuildPreparedInputs(const SkyMapJoinQuery& query,
     return Status::InvalidArgument(
         "preference dimensionality must match the map output");
   }
+  TraceSpan prepare_span(trace_cats::kPrepare, "prepare.build");
   PROGXE_RETURN_NOT_OK(
       query.map.Validate(query.r->num_attributes(),
                          query.t->num_attributes()));
@@ -111,6 +113,7 @@ Status BuildPreparedInputs(const SkyMapJoinQuery& query,
   out->r_rel = &r_full;
   out->t_rel = &t_full;
   if (options.push_through) {
+    TraceSpan span(trace_cats::kPrepare, "prepare.push_through");
     ContributionTable r_full_contrib(r_full, out->mapper, Side::kR);
     ContributionTable t_full_contrib(t_full, out->mapper, Side::kT);
     DomCounter push_counter;
@@ -141,7 +144,10 @@ Status BuildPreparedInputs(const SkyMapJoinQuery& query,
 
   // --- Sigma for the benefit/cost models ---------------------------------
   out->sigma = options.sigma_hint;
-  if (out->sigma <= 0.0) out->sigma = MeasureSigma(*out->r_rel, *out->t_rel);
+  if (out->sigma <= 0.0) {
+    TraceSpan span(trace_cats::kPrepare, "prepare.sigma");
+    out->sigma = MeasureSigma(*out->r_rel, *out->t_rel);
+  }
   if (out->sigma <= 0.0) {  // provably empty join
     out->trivially_empty = true;
     return Status::OK();
@@ -163,39 +169,47 @@ Status BuildPreparedInputs(const SkyMapJoinQuery& query,
   }
 
   // --- Contribution tables and input partitioning ------------------------
-  out->r_contrib = std::make_unique<ContributionTable>(*out->r_rel,
-                                                       out->mapper, Side::kR);
-  out->t_contrib = std::make_unique<ContributionTable>(*out->t_rel,
-                                                       out->mapper, Side::kT);
-  if (options.partitioning == PartitioningScheme::kUniformGrid) {
-    InputGridOptions grid_options;
-    grid_options.cells_per_dim = out->resolved_input_cells_per_dim;
-    grid_options.signature_mode = options.signature_mode;
-    grid_options.bloom_bits = options.bloom_bits;
-    grid_options.bloom_hashes = options.bloom_hashes;
-    out->r_grid = std::make_unique<InputGrid>(*out->r_rel, *out->r_contrib,
-                                              grid_options);
-    out->t_grid = std::make_unique<InputGrid>(*out->t_rel, *out->t_contrib,
-                                              grid_options);
-  } else {
-    KdPartitionerOptions kd_options;
-    // Same partition budget the uniform grid would get.
-    double leaves = 1.0;
-    for (int j = 0; j < out->k; ++j) {
-      leaves *= static_cast<double>(out->resolved_input_cells_per_dim);
+  {
+    TraceSpan span(trace_cats::kPrepare, "prepare.partition");
+    out->r_contrib = std::make_unique<ContributionTable>(*out->r_rel,
+                                                         out->mapper,
+                                                         Side::kR);
+    out->t_contrib = std::make_unique<ContributionTable>(*out->t_rel,
+                                                         out->mapper,
+                                                         Side::kT);
+    if (options.partitioning == PartitioningScheme::kUniformGrid) {
+      InputGridOptions grid_options;
+      grid_options.cells_per_dim = out->resolved_input_cells_per_dim;
+      grid_options.signature_mode = options.signature_mode;
+      grid_options.bloom_bits = options.bloom_bits;
+      grid_options.bloom_hashes = options.bloom_hashes;
+      out->r_grid = std::make_unique<InputGrid>(*out->r_rel, *out->r_contrib,
+                                                grid_options);
+      out->t_grid = std::make_unique<InputGrid>(*out->t_rel, *out->t_contrib,
+                                                grid_options);
+    } else {
+      KdPartitionerOptions kd_options;
+      // Same partition budget the uniform grid would get.
+      double leaves = 1.0;
+      for (int j = 0; j < out->k; ++j) {
+        leaves *= static_cast<double>(out->resolved_input_cells_per_dim);
+      }
+      kd_options.max_partitions =
+          static_cast<size_t>(std::clamp(leaves, 1.0, 4096.0));
+      kd_options.signature_mode = options.signature_mode;
+      kd_options.bloom_bits = options.bloom_bits;
+      kd_options.bloom_hashes = options.bloom_hashes;
+      out->r_grid = std::make_unique<KdPartitioner>(*out->r_rel,
+                                                    *out->r_contrib,
+                                                    kd_options);
+      out->t_grid = std::make_unique<KdPartitioner>(*out->t_rel,
+                                                    *out->t_contrib,
+                                                    kd_options);
     }
-    kd_options.max_partitions =
-        static_cast<size_t>(std::clamp(leaves, 1.0, 4096.0));
-    kd_options.signature_mode = options.signature_mode;
-    kd_options.bloom_bits = options.bloom_bits;
-    kd_options.bloom_hashes = options.bloom_hashes;
-    out->r_grid = std::make_unique<KdPartitioner>(*out->r_rel, *out->r_contrib,
-                                                  kd_options);
-    out->t_grid = std::make_unique<KdPartitioner>(*out->t_rel, *out->t_contrib,
-                                                  kd_options);
   }
 
   // --- Output-space look-ahead -------------------------------------------
+  TraceSpan lookahead_span(trace_cats::kPrepare, "prepare.lookahead");
   LookaheadOptions la_options;
   la_options.output_cells_per_dim = out->resolved_output_cells_per_dim;
   la_options.max_output_cells = options.max_output_cells;
@@ -209,6 +223,8 @@ Status BuildPreparedInputs(const SkyMapJoinQuery& query,
   stats->regions_created = out->lookahead.stats.regions_created;
   stats->regions_pruned_lookahead = out->lookahead.stats.regions_pruned;
   stats->cells_marked_lookahead = out->lookahead.stats.cells_marked;
+  prepare_span.arg("regions",
+                   static_cast<int64_t>(stats->regions_created));
   return Status::OK();
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace progxe {
 
 RegionLoop::RegionLoop(PreparedQuery* prep, const ProgXeOptions& options,
@@ -149,6 +151,7 @@ void RegionLoop::DiscardSweep(std::vector<ResultTuple>* pending) {
   // is tested against the frontier entries logged since it last survived.
   const uint64_t epoch = table_.frontier_epoch();
   if (epoch == last_sweep_epoch_) return;
+  TraceSpan span(trace_cats::kRegion, "region.discard");
   discard_scratch_.clear();
   for (size_t bi = 0; bi < discard_buckets_.size();) {
     DiscardBucket& bucket = discard_buckets_[bi];
@@ -209,11 +212,15 @@ void RegionLoop::FinishRegion(Region& region,
   region.processed = true;
   ++stats_->regions_processed;
 
-  // Kill events produced during insertion must reach ProgDetermine
-  // before settle processing.
-  table_.DrainMarkedEvents(&marked_scratch_);
-  determine_.OnCellsMarked(marked_scratch_);
-  RemoveRegion(region, pending);
+  {
+    TraceSpan span(trace_cats::kRegion, "region.flush");
+    span.arg("region", region.id);
+    // Kill events produced during insertion must reach ProgDetermine
+    // before settle processing.
+    table_.DrainMarkedEvents(&marked_scratch_);
+    determine_.OnCellsMarked(marked_scratch_);
+    RemoveRegion(region, pending);
+  }
 
   DiscardSweep(pending);
 }
@@ -260,7 +267,12 @@ bool RegionLoop::Step(std::vector<ResultTuple>* pending, size_t max_pairs) {
         done_ = true;
         return false;
       }
-      const int32_t next = order_->PopNext();
+      int32_t next;
+      {
+        TraceSpan span(trace_cats::kRegion, "region.pick");
+        next = order_->PopNext();
+        span.arg("region", next);
+      }
       if (next < 0) {
         stats_->dominance_comparisons += table_.dom_counter()->comparisons;
         table_.dom_counter()->comparisons = 0;
@@ -279,8 +291,13 @@ bool RegionLoop::Step(std::vector<ResultTuple>* pending, size_t max_pairs) {
         // Whole-region fast path: join the partition pair, map, insert —
         // via the (optionally parallel) pipeline, which preserves the
         // sequential pair order and hence every counter.
-        stats_->join_pairs_generated +=
-            pipeline_.ProcessRegion(pa, pb, &table_);
+        {
+          TraceSpan span(trace_cats::kRegion, "region.pipeline");
+          span.arg("region", next);
+          const uint64_t pairs = pipeline_.ProcessRegion(pa, pb, &table_);
+          stats_->join_pairs_generated += pairs;
+          span.arg("pairs", static_cast<int64_t>(pairs));
+        }
         FinishRegion(picked, pending);
         return true;
       }
@@ -292,7 +309,11 @@ bool RegionLoop::Step(std::vector<ResultTuple>* pending, size_t max_pairs) {
     // once it is exhausted, so the table sees the identical insert stream.
     Region& region = (*regions_)[static_cast<size_t>(current_region_)];
     if (!pipeline_.RegionExhausted()) {
-      stats_->join_pairs_generated += pipeline_.ProcessSome(max_pairs, &table_);
+      TraceSpan span(trace_cats::kRegion, "region.pipeline");
+      span.arg("region", current_region_);
+      const uint64_t pairs = pipeline_.ProcessSome(max_pairs, &table_);
+      stats_->join_pairs_generated += pairs;
+      span.arg("pairs", static_cast<int64_t>(pairs));
       if (!pipeline_.RegionExhausted()) return true;  // yielded mid-region
     }
     current_region_ = -1;

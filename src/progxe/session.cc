@@ -6,6 +6,7 @@
 
 #include "common/fault_injection.h"
 #include "common/macros.h"
+#include "obs/trace.h"
 #include "progxe/prepare_cache.h"
 
 namespace progxe {
@@ -22,6 +23,13 @@ Result<std::unique_ptr<ProgXeSession>> ProgXeSession::Open(
     const std::string key =
         PrepareCache::Fingerprint(query, session->options_);
     std::shared_ptr<const PreparedInputs> inputs = cache.Lookup(key);
+    if (inputs != nullptr) {
+      TraceInstant(trace_cats::kCache, "cache.hit", "instance",
+                   session->options_.fault_instance);
+    } else {
+      TraceInstant(trace_cats::kCache, "cache.miss", "instance",
+                   session->options_.fault_instance);
+    }
     if (inputs == nullptr) {
       // Cold miss: build a self-contained entry (owns source copies, so it
       // stays valid after the submitter frees its relations) and publish

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "mapping/canonical.h"
+#include "obs/trace.h"
 #include "progxe/prepare_cache.h"
 
 namespace progxe {
@@ -126,6 +127,23 @@ std::string SchedulerStats::ToString() const {
   return "SchedulerStats{" + FormatFields() + "}";
 }
 
+std::string QueryProgress::ToString() const {
+  std::ostringstream os;
+  os << "QueryProgress{state=" << QueryStateName(state) << " phase=" << phase
+     << " regions=" << regions_done << "/" << regions_total
+     << " pairs=" << pairs_processed << " delivered=" << results_delivered
+     << " ttfr_s=";
+  if (ttfr_seconds < 0.0) {
+    os << "-";
+  } else {
+    os << ttfr_seconds;
+  }
+  os << " coverage=" << shards_completed << "/" << shards;
+  if (shards_abandoned > 0) os << " abandoned=" << shards_abandoned;
+  os << "}";
+  return os.str();
+}
+
 QuerySink::~QuerySink() = default;
 
 namespace service_internal {
@@ -178,6 +196,39 @@ struct QueryRecord {
   bool seed_from_parent = false;
 
   std::unique_ptr<ProgXeStream> stream;  // open while kRunning
+
+  /// Progress introspection (QueryHandle::progress()): relaxed snapshots
+  /// written only by the worker currently holding this record — at
+  /// admission, after every slice, and once more before the terminal state
+  /// publishes — and read concurrently by any handle thread.
+  Clock::time_point submit_time;
+  std::atomic<bool> preparing{false};  // admission open in flight
+  std::atomic<size_t> progress_regions_total{0};
+  std::atomic<size_t> progress_regions_done{0};
+  std::atomic<uint64_t> progress_pairs{0};
+  std::atomic<uint64_t> progress_results{0};
+  std::atomic<double> ttfr_seconds{-1.0};
+  std::atomic<size_t> progress_shards{0};
+  std::atomic<size_t> progress_shards_completed{0};
+  std::atomic<size_t> progress_shards_abandoned{0};
+
+  /// Refreshes the snapshot from live stream counters; the caller must be
+  /// the worker that owns the stream right now.
+  void UpdateProgress(const ProgXeStats& s, const ShardCoverage& cov) {
+    progress_regions_total.store(s.regions_created - s.regions_pruned_lookahead,
+                                 std::memory_order_relaxed);
+    progress_regions_done.store(s.regions_processed +
+                                    s.regions_discarded_runtime +
+                                    s.regions_discarded_seed,
+                                std::memory_order_relaxed);
+    progress_pairs.store(s.join_pairs_generated, std::memory_order_relaxed);
+    progress_shards.store(static_cast<size_t>(cov.shards),
+                          std::memory_order_relaxed);
+    progress_shards_completed.store(static_cast<size_t>(cov.completed),
+                                    std::memory_order_relaxed);
+    progress_shards_abandoned.store(static_cast<size_t>(cov.abandoned),
+                                    std::memory_order_relaxed);
+  }
 
   bool Expired(Clock::time_point now) const {
     return has_deadline && now >= deadline;
@@ -361,6 +412,11 @@ void FinishQuery(SchedulerCore* core, const RecordPtr& rec, QueryState state,
     rec->stream->Close();
     rec->stream.reset();
   }
+  // Freeze the progress snapshot on the final counters so progress() and
+  // stats()/coverage() agree once the terminal state publishes.
+  rec->UpdateProgress(rec->final_stats, rec->final_coverage);
+  TraceInstant(trace_cats::kSched, "sched.done", "query",
+               static_cast<int64_t>(rec->id));
   rec->status = std::move(status);
   if (rec->sink != nullptr) {
     rec->sink->OnDone(state, rec->status, rec->final_stats);
@@ -519,7 +575,10 @@ void WorkerLoop(const std::shared_ptr<SchedulerCore>& core) {
         continue;
       }
       ++core->active;  // hold the slot while PreparePhase runs
+      rec->preparing.store(true, std::memory_order_relaxed);
       lock.unlock();
+      TraceInstant(trace_cats::kSched, "sched.admit", "query",
+                   static_cast<int64_t>(rec->id));
       // Refinement seeding: if the donor is already terminal, its retained
       // frontier is frozen (the terminal acquire pairs with FinishQuery's
       // release, which follows the last retained append). A parent still
@@ -532,6 +591,7 @@ void WorkerLoop(const std::shared_ptr<SchedulerCore>& core) {
       }
       rec->parent.reset();  // drop the donor either way
       auto stream = OpenProgXeStream(rec->spec, rec->options, rec->shards);
+      rec->preparing.store(false, std::memory_order_relaxed);
       lock.lock();
       if (!stream.ok()) {
         --core->active;
@@ -555,12 +615,32 @@ void WorkerLoop(const std::shared_ptr<SchedulerCore>& core) {
     uint64_t delivered = 0;
     Status failure;
     const Clock::time_point slice_start = Clock::now();
-    const QueryState outcome =
-        RunSlice(core.get(), rec, &batch, &pairs, &delivered, &failure);
+    QueryState outcome;
+    {
+      TraceSpan span(trace_cats::kSched, "sched.slice");
+      span.arg("query", static_cast<int64_t>(rec->id));
+      outcome = RunSlice(core.get(), rec, &batch, &pairs, &delivered, &failure);
+      span.arg("pairs", static_cast<int64_t>(pairs));
+    }
+    const Clock::time_point slice_end = Clock::now();
     const uint64_t slice_us = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+        std::chrono::duration_cast<std::chrono::microseconds>(slice_end -
                                                               slice_start)
             .count());
+    // Refresh the live progress snapshot while this worker still owns the
+    // stream (FinishQuery re-freezes it from the final counters for
+    // terminal outcomes).
+    if (delivered > 0) {
+      rec->progress_results.fetch_add(delivered, std::memory_order_relaxed);
+      if (rec->ttfr_seconds.load(std::memory_order_relaxed) < 0.0) {
+        rec->ttfr_seconds.store(
+            std::chrono::duration<double>(slice_end - rec->submit_time).count(),
+            std::memory_order_relaxed);
+      }
+    }
+    if (rec->stream != nullptr) {
+      rec->UpdateProgress(rec->stream->stats(), rec->stream->coverage());
+    }
     lock.lock();
     // Cancel/deadline short-circuits never advanced the stream: not a
     // served slice.
@@ -631,6 +711,34 @@ Status QueryHandle::status() const {
 const ShardCoverage& QueryHandle::coverage() const {
   assert(query_ != nullptr && IsTerminal(state()));
   return query_->final_coverage;
+}
+
+QueryProgress QueryHandle::progress() const {
+  assert(query_ != nullptr);
+  QueryProgress p;
+  p.state = query_->state.load(std::memory_order_acquire);
+  if (IsTerminal(p.state)) {
+    p.phase = QueryStateName(p.state);
+  } else if (p.state == QueryState::kRunning) {
+    p.phase = "running";
+  } else {
+    p.phase = query_->preparing.load(std::memory_order_relaxed) ? "prepare"
+                                                                : "queued";
+  }
+  p.regions_total =
+      query_->progress_regions_total.load(std::memory_order_relaxed);
+  p.regions_done =
+      query_->progress_regions_done.load(std::memory_order_relaxed);
+  p.pairs_processed = query_->progress_pairs.load(std::memory_order_relaxed);
+  p.results_delivered =
+      query_->progress_results.load(std::memory_order_relaxed);
+  p.ttfr_seconds = query_->ttfr_seconds.load(std::memory_order_relaxed);
+  p.shards = query_->progress_shards.load(std::memory_order_relaxed);
+  p.shards_completed =
+      query_->progress_shards_completed.load(std::memory_order_relaxed);
+  p.shards_abandoned =
+      query_->progress_shards_abandoned.load(std::memory_order_relaxed);
+  return p;
 }
 
 QueryScheduler::QueryScheduler(ServiceOptions options)
@@ -709,6 +817,7 @@ Result<QueryHandle> QueryScheduler::Submit(const SkyMapJoinQuery& query,
     }
   }
   auto rec = std::make_shared<QueryRecord>();
+  rec->submit_time = service_internal::Clock::now();
   rec->spec = query;
   rec->options = std::move(options);
   rec->shards = submit.shards;

@@ -194,6 +194,36 @@ struct SchedulerStats {
   std::string ToString() const;
 };
 
+/// Point-in-time progress of one submitted query
+/// (QueryHandle::progress()). Readable at any moment from any thread —
+/// fields are relaxed snapshots updated by the slicing worker at slice
+/// boundaries, so mid-slice reads may lag by up to one slice. Once the
+/// query is terminal the snapshot is final and exact.
+struct QueryProgress {
+  QueryState state = QueryState::kQueued;
+  /// Coarse lifecycle phase: "queued", "prepare" (admission is running the
+  /// prepare phase / opening the stream), "running", or the terminal state
+  /// name ("finished", "cancelled", ...).
+  const char* phase = "queued";
+  /// Regions surviving look-ahead, summed across shards. 0 until the first
+  /// slice (the totals come from the stream's own counters).
+  size_t regions_total = 0;
+  /// Regions retired so far: processed + discarded at runtime + discarded
+  /// by refinement seeding.
+  size_t regions_done = 0;
+  uint64_t pairs_processed = 0;    ///< Join pairs generated so far.
+  uint64_t results_delivered = 0;  ///< Tuples delivered to the sink so far.
+  /// Submit-to-first-delivered-result wall clock; negative until the first
+  /// result lands.
+  double ttfr_seconds = -1.0;
+  // Shard coverage of the delivered set (1/1 for unsharded queries).
+  size_t shards = 0;
+  size_t shards_completed = 0;
+  size_t shards_abandoned = 0;
+
+  std::string ToString() const;
+};
+
 /// Receives one query's progressive output. Callbacks fire on scheduler
 /// worker threads, but never concurrently for the same query; a sink
 /// shared across queries must synchronize itself. Callbacks must not block
@@ -238,6 +268,8 @@ class QueryHandle {
   /// Per-shard coverage of the delivered set; valid once state() is
   /// terminal. `!complete()` exactly for kPartial.
   const ShardCoverage& coverage() const;
+  /// Live progress snapshot; callable in any state (see QueryProgress).
+  QueryProgress progress() const;
 
  private:
   friend class QueryScheduler;

@@ -8,9 +8,11 @@
 #include <thread>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "mapping/interval.h"
+#include "obs/trace.h"
 #include "prefs/dominance.h"
 
 namespace progxe {
@@ -42,35 +44,6 @@ std::string ShardCoverage::ToString() const {
 }
 
 namespace {
-
-/// Elementwise counter sum; booleans OR (a sharded run used the EL-Graph
-/// bypass iff any shard did).
-void AddStats(ProgXeStats* agg, const ProgXeStats& s) {
-  agg->r_rows += s.r_rows;
-  agg->t_rows += s.t_rows;
-  agg->r_rows_after_push_through += s.r_rows_after_push_through;
-  agg->t_rows_after_push_through += s.t_rows_after_push_through;
-  agg->sigma_used += s.sigma_used;
-  agg->partition_pairs_total += s.partition_pairs_total;
-  agg->partition_pairs_skipped += s.partition_pairs_skipped;
-  agg->regions_created += s.regions_created;
-  agg->regions_pruned_lookahead += s.regions_pruned_lookahead;
-  agg->cells_marked_lookahead += s.cells_marked_lookahead;
-  agg->elgraph_disabled = agg->elgraph_disabled || s.elgraph_disabled;
-  agg->regions_processed += s.regions_processed;
-  agg->regions_discarded_runtime += s.regions_discarded_runtime;
-  agg->regions_discarded_seed += s.regions_discarded_seed;
-  agg->pq_reorderings += s.pq_reorderings;
-  agg->join_pairs_generated += s.join_pairs_generated;
-  agg->tuples_discarded_marked += s.tuples_discarded_marked;
-  agg->tuples_discarded_frontier += s.tuples_discarded_frontier;
-  agg->tuples_dominated_on_insert += s.tuples_dominated_on_insert;
-  agg->tuples_evicted += s.tuples_evicted;
-  agg->dominance_comparisons += s.dominance_comparisons;
-  agg->results_emitted += s.results_emitted;
-  agg->cells_flushed += s.cells_flushed;
-  agg->results_emitted_early += s.results_emitted_early;
-}
 
 /// Per-attribute value hull of a relation (empty vector for an empty one).
 std::vector<Interval> AttributeHull(const Relation& rel) {
@@ -249,7 +222,7 @@ void ShardedStream::OnShardFailure(size_t i, Status status) {
   if (shard.session != nullptr) {
     // The incarnation is dead but its work happened: fold its counters into
     // the shard's lost tally before dropping it (reset joins any workers).
-    AddStats(&shard.lost_stats, shard.session->stats());
+    shard.lost_stats.Accumulate(shard.session->stats());
     shard.session.reset();
   }
   shard.last_error = status;
@@ -265,11 +238,19 @@ void ShardedStream::OnShardFailure(size_t i, Status status) {
     // stream-wide budget is committed here, not at the re-open, so shards
     // quarantining in the same round cannot collectively overdraw it.
     ++retries_committed_;
-    shard.next_attempt =
-        Clock::now() + JitteredRetryBackoff(shard_options_, sub_options_.seed,
-                                            static_cast<int>(i),
-                                            shard.consecutive_failures);
+    const std::chrono::nanoseconds backoff = JitteredRetryBackoff(
+        shard_options_, sub_options_.seed, static_cast<int>(i),
+        shard.consecutive_failures);
+    shard.next_attempt = Clock::now() + backoff;
     shard.replayed = true;
+    const int64_t backoff_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(backoff).count();
+    TraceInstant(trace_cats::kShard, "shard.retry_backoff", "shard",
+                 static_cast<int64_t>(i), "backoff_ms", backoff_ms);
+    PROGXE_LOG(Warn) << "shard " << i << " quarantined (failure "
+                     << shard.consecutive_failures << "/"
+                     << shard_options_.max_retries << ", retry in "
+                     << backoff_ms << "ms): " << status.ToString();
     return;
   }
   if (shard_options_.allow_partial) {
@@ -280,8 +261,16 @@ void ShardedStream::OnShardFailure(size_t i, Status status) {
     shard.abandoned = true;
     shard.ingested.clear();
     bounds_dirty_ = true;  // its bound no longer constrains releases
+    TraceInstant(trace_cats::kShard, "shard.abandon", "shard",
+                 static_cast<int64_t>(i));
+    PROGXE_LOG(Warn) << "shard " << i
+                     << " abandoned after retry exhaustion (allow_partial): "
+                     << status.ToString();
     return;
   }
+  PROGXE_LOG(Error) << "shard " << i
+                    << " out of retries; failing the stream: "
+                    << status.ToString();
   FailStream(std::move(status));
 }
 
@@ -332,8 +321,13 @@ uint64_t ShardedStream::PumpRound(size_t per_shard) {
     Status fault = MaybeInjectFault(faults_, fault_sites::kShardNextBatch,
                                     static_cast<int>(i));
     if (fault.ok()) {
+      TraceSpan span(trace_cats::kShard, "shard.pump");
+      span.arg("shard", static_cast<int64_t>(i));
       shard.session->NextBatch(/*max_results=*/0, per_shard, &pump_scratch_);
-      used += shard.session->stats().join_pairs_generated - before;
+      const uint64_t pumped =
+          shard.session->stats().join_pairs_generated - before;
+      used += pumped;
+      span.arg("pairs", static_cast<int64_t>(pumped));
       // Engine-level failures (the "session.next_batch" site) surface
       // through the sub-session's own error channel.
       fault = shard.session->last_status();
@@ -369,6 +363,9 @@ void ShardedStream::Ingest(size_t shard_idx,
                            const std::vector<ResultTuple>& batch) {
   if (batch.empty()) return;
   Stopwatch watch;
+  TraceSpan span(trace_cats::kShard, "shard.merge");
+  span.arg("shard", static_cast<int64_t>(shard_idx));
+  span.arg("batch", static_cast<int64_t>(batch.size()));
   SubShard& owner = shards_[shard_idx];
   const QueryShard& slice = owner.slice;
   // Replay dedup is only needed when a re-open can happen at all.
@@ -493,6 +490,8 @@ void ShardedStream::RefreshBoundsAndRelease() {
     return;
   }
   Stopwatch watch;
+  TraceSpan span(trace_cats::kShard, "shard.release");
+  const size_t ready_before = ready_.size();
   bool advanced = bounds_dirty_;
   bounds_dirty_ = false;
   for (SubShard& shard : shards_) {
@@ -553,6 +552,8 @@ void ShardedStream::RefreshBoundsAndRelease() {
     held_.pop_back();
     // Re-examine the swapped-in candidate at position i.
   }
+  span.arg("released", static_cast<int64_t>(ready_.size() - ready_before));
+  span.arg("held", static_cast<int64_t>(held_.size()));
   merge_seconds_ += watch.ElapsedSeconds();
 }
 
@@ -650,8 +651,8 @@ const ProgXeStats& ShardedStream::stats() const {
   agg_stats_ = ProgXeStats{};
   for (const SubShard& shard : shards_) {
     // Dead incarnations of retried shards first, then whatever is live.
-    AddStats(&agg_stats_, shard.lost_stats);
-    if (shard.session != nullptr) AddStats(&agg_stats_, shard.session->stats());
+    agg_stats_.Accumulate(shard.lost_stats);
+    if (shard.session != nullptr) agg_stats_.Accumulate(shard.session->stats());
   }
   return agg_stats_;
 }
@@ -661,11 +662,16 @@ ShardCoverage ShardedStream::coverage() const {
   cov.shards = static_cast<int>(shards_.size());
   cov.completed = 0;
   cov.retries = total_retries_;
+  // Early termination (max_results) closes the sub-sessions before they
+  // exhaust, but the delivered set is the complete requested answer: every
+  // surviving shard counts as covered, exactly as on a run-to-exhaustion
+  // finish. Without this a cap-finished query reported 0/K covered.
+  const bool finished_early = !failed_ && CapReached();
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (shards_[i].abandoned) {
       ++cov.abandoned;
       cov.abandoned_shards.push_back(static_cast<int>(i));
-    } else if (shards_[i].exhausted) {
+    } else if (shards_[i].exhausted || finished_early) {
       ++cov.completed;
     }
   }

@@ -1,6 +1,8 @@
 // Tests for leveled logging and a regression guard for the tie fast-path.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "data/relation.h"
@@ -25,6 +27,54 @@ TEST(Logging, StreamsArbitraryTypes) {
   PROGXE_LOG(Info) << "int=" << 1 << " double=" << 2.5 << " str="
                    << std::string("x");
   SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(Logging, ParseLogLevelAcceptsNamesAndNumbers) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("WARN", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("1", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("3", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  // Junk leaves *out untouched.
+  level = LogLevel::kDebug;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("4", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+}
+
+TEST(Logging, PrefixCarriesLevelTimestampThreadAndSite) {
+  const std::string prefix =
+      internal::FormatLogPrefix(LogLevel::kWarn, "sharded_stream.cc", 412);
+  EXPECT_NE(prefix.find("WARN"), std::string::npos) << prefix;
+  EXPECT_NE(prefix.find("tid="), std::string::npos) << prefix;
+  EXPECT_NE(prefix.find("+"), std::string::npos) << prefix;
+  EXPECT_NE(prefix.find("sharded_stream.cc:412"), std::string::npos) << prefix;
+}
+
+TEST(Logging, ThreadIdsAreSmallDenseAndStable) {
+  const int mine = LogThreadId();
+  EXPECT_GE(mine, 0);
+  EXPECT_EQ(mine, LogThreadId());  // stable across calls
+  int other = -1;
+  std::thread([&] { other = LogThreadId(); }).join();
+  EXPECT_GE(other, 0);
+  EXPECT_NE(other, mine);
+}
+
+TEST(Logging, MonotonicSecondsAdvances) {
+  const double a = LogMonotonicSeconds();
+  const double b = LogMonotonicSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
 }
 
 // Regression: workloads where a large fraction of join results are exactly

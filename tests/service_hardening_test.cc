@@ -307,6 +307,52 @@ TEST(ShardedServing, SchedulerServesShardedQueryAsOneHandle) {
   }
 }
 
+// A sharded query that stops at the result cap finishes with *complete*
+// coverage: every shard that reached the cap delivered everything it was
+// asked for, so `stat`/progress must not report it as a partial answer.
+// Regression guard for coverage() treating cap-finished shards as
+// incomplete, and for progress snapshots going stale after the terminal
+// transition.
+TEST(ShardedServing, CapReachedQueryReportsCompleteCoverageAndProgress) {
+  Rng rng(0x0c0ffee);
+  const Config cfg = MakeConfig(&rng, false, true);
+  ProgXeOptions options;
+  options.max_results = 25;
+
+  ServiceOptions sopts;
+  sopts.num_workers = 2;
+  sopts.batch_budget = 64;
+  QueryScheduler scheduler(sopts);
+  RecordingSink sink;
+  SubmitOptions submit;
+  submit.shards.num_shards = 2;
+  auto handle = scheduler.Submit(cfg.query(), options, &sink, submit);
+  ASSERT_TRUE(handle.ok());
+  handle->Wait();
+  ASSERT_EQ(handle->state(), QueryState::kFinished);
+
+  const ShardCoverage& cov = handle->coverage();
+  EXPECT_EQ(cov.shards, 2);
+  EXPECT_EQ(cov.completed, cov.shards)
+      << "cap-finished shards must count as covered: " << cov.ToString();
+  EXPECT_TRUE(cov.complete());
+  EXPECT_TRUE(cov.abandoned_shards.empty());
+
+  // The terminal progress snapshot must be frozen and self-consistent.
+  const QueryProgress progress = handle->progress();
+  EXPECT_EQ(progress.state, QueryState::kFinished);
+  EXPECT_STREQ(progress.phase, "finished");
+  EXPECT_EQ(progress.results_delivered, sink.seq().size());
+  EXPECT_GT(progress.results_delivered, 0u);
+  EXPECT_LE(progress.results_delivered, options.max_results);
+  EXPECT_GT(progress.pairs_processed, 0u);
+  EXPECT_GE(progress.ttfr_seconds, 0.0) << "TTFR unset on a delivering query";
+  EXPECT_EQ(progress.shards, 2u);
+  EXPECT_EQ(progress.shards_completed, 2u);
+  EXPECT_EQ(progress.shards_abandoned, 0u);
+  EXPECT_NE(progress.ToString().find("finished"), std::string::npos);
+}
+
 TEST(Names, FairnessPolicyRoundTrips) {
   for (FairnessPolicy policy :
        {FairnessPolicy::kRoundRobin, FairnessPolicy::kWeightedFair}) {

@@ -12,6 +12,9 @@ magnitude and trips the budget regardless of machine speed.
 under a per-call nanosecond budget: the disabled MaybeInjectFault hook is
 contractually one predicted branch, and a regression that consults the rule
 table on the hot path costs 10-100x, far above runner jitter.
+`trace_hook_ns_per_call` is gated the same way with its own budget: a
+disabled TraceSpan must stay one predicted branch, never a thread-local
+ring-buffer append.
 
 The cross-query reuse burst (the `reuse` key, written by bench_multiquery)
 is gated on two machine-independent booleans: the warm run must have hit
@@ -28,6 +31,7 @@ section either).
 
 Usage: check_merge_budget.py <json> [--shards=4] [--budget=200000]
                                     [--hook_budget_ns=15]
+                                    [--trace_budget_ns=15]
 """
 
 import json
@@ -39,6 +43,7 @@ def main(argv):
     shards = 4
     budget = 200000
     hook_budget_ns = 15.0
+    trace_budget_ns = 15.0
     for arg in argv[1:]:
         if arg.startswith("--shards="):
             shards = int(arg.split("=", 1)[1])
@@ -46,6 +51,8 @@ def main(argv):
             budget = int(arg.split("=", 1)[1])
         elif arg.startswith("--hook_budget_ns="):
             hook_budget_ns = float(arg.split("=", 1)[1])
+        elif arg.startswith("--trace_budget_ns="):
+            trace_budget_ns = float(arg.split("=", 1)[1])
         elif path is None:
             path = arg
         else:
@@ -84,6 +91,15 @@ def main(argv):
                 f"FAIL: the disabled fault-injection hook costs {hook_ns}ns "
                 f"per call (> {hook_budget_ns}ns) — it must stay a single "
                 f"predicted branch when no injector is installed")
+
+    trace_ns = data.get("trace_hook_ns_per_call")
+    if trace_ns is not None:
+        print(f"trace_hook_ns_per_call={trace_ns} budget={trace_budget_ns}")
+        if trace_ns > trace_budget_ns:
+            raise SystemExit(
+                f"FAIL: a disabled TraceSpan costs {trace_ns}ns per call "
+                f"(> {trace_budget_ns}ns) — with tracing off it must stay a "
+                f"single predicted branch, not touch the ring buffer")
 
     if reuse is not None:
         skipped = reuse.get("prepare_skipped", 0)

@@ -20,6 +20,10 @@
 //                      set is identical at any K)
 //   --csv=<path>       append per-emission series rows to a CSV file
 //   --series=<k>       print at most k series samples (default 10)
+//   --trace_out=<path> record a span trace of the whole run and write it
+//                      as Chrome trace_event JSON (load in Perfetto /
+//                      chrome://tracing); works for single runs and
+//                      multi-query serving alike
 //
 // Fault tolerance (ProgXe variants; see common/fault_injection.h):
 //   --faults=<spec>        inject deterministic faults, e.g.
@@ -60,6 +64,7 @@
 #include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "harness/experiment.h"
+#include "obs/trace.h"
 #include "service/scheduler.h"
 
 using namespace progxe;
@@ -77,6 +82,7 @@ struct CliArgs {
   int num_threads = 1;
   int shards = 1;
   std::string csv_path;
+  std::string trace_path;
   int series_samples = 10;
 
   // Fault tolerance.
@@ -121,6 +127,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->algo = v;
     } else if (const char* v = value("--csv=")) {
       args->csv_path = v;
+    } else if (const char* v = value("--trace_out=")) {
+      args->trace_path = v;
     } else if (const char* v = value("--num_threads=")) {
       args->num_threads = std::atoi(v);
       if (args->num_threads < 1) {
@@ -418,12 +426,9 @@ int RunMultiQuery(Algo algo, const CliArgs& args) {
   return rc;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliArgs args;
-  if (!ParseArgs(argc, argv, &args)) return 2;
-
+/// The whole CLI run behind one exit code, so main can wrap it with trace
+/// capture regardless of which path (single, all-algo, multi-query) runs.
+int RunCli(const CliArgs& args) {
   if (args.queries > 1) {
     Algo algo;
     if (!AlgoFromName(args.algo, &algo) || !IsProgXeVariant(algo)) {
@@ -473,5 +478,29 @@ int main(int argc, char** argv) {
     rc = RunOne(algo, *workload, args, csv.get());
   }
   if (csv != nullptr) csv->Close();
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  if (!args.trace_path.empty()) Tracing::Start();
+  int rc = RunCli(args);
+  if (!args.trace_path.empty()) {
+    Tracing::Stop();
+    Status st = Tracing::WriteJson(args.trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--trace_out: %s\n", st.ToString().c_str());
+      if (rc == 0) rc = 1;
+    } else {
+      std::printf("trace: wrote %s (%llu events, %llu dropped)\n",
+                  args.trace_path.c_str(),
+                  static_cast<unsigned long long>(Tracing::buffered()),
+                  static_cast<unsigned long long>(Tracing::dropped()));
+    }
+  }
   return rc;
 }

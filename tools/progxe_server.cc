@@ -42,10 +42,17 @@
 //     workload-shaping keys (dist/n/dims/sigma/seed) — the workload is the
 //     parent's by definition.
 //   cancel <id>     cooperative cancellation
-//   stats <id>      one "stat ..." line (live state, final stats if done;
-//                   a partial query also reports its shard coverage)
+//   stats <id>      one "stat ..." line: live progress (phase, regions
+//                   done/total, pairs, ttfr) in any state; a terminal query
+//                   additionally reports its final counters and shard
+//                   coverage (covered=i/K), partial or not
 //   stats           one "sched ..." line: the SchedulerStats snapshot
 //                   (queue depth, running, slices, sliced pairs, outcomes)
+//   metrics         the full Prometheus text exposition of the process
+//                   metrics registry (executor totals over terminal
+//                   queries, scheduler/cache/shard counters, slice-latency
+//                   histogram, trace + fault counters), terminated by an
+//                   "ok metrics" line
 //   list            one "stat ..." line per submitted query
 //   quit            drain nothing further; cancel outstanding and exit
 //
@@ -70,6 +77,7 @@
 #include "common/stopwatch.h"
 #include "harness/experiment.h"
 #include "harness/workload.h"
+#include "obs/metrics.h"
 #include "service/scheduler.h"
 
 using namespace progxe;
@@ -132,6 +140,20 @@ void Emit(const std::string& line) {
   std::fflush(stdout);
 }
 
+/// Multi-line output (the Prometheus exposition) written atomically with
+/// respect to concurrent batch/done event lines.
+void EmitRaw(const std::string& text) {
+  std::lock_guard<std::mutex> lock(g_out_mtx);
+  std::fputs(text.c_str(), stdout);
+  std::fflush(stdout);
+}
+
+/// Process-total executor counters: every terminal query's final stats,
+/// accumulated as its OnDone fires (scheduler worker threads) and read by
+/// the stdin thread's `metrics` command.
+std::mutex g_terminal_mtx;
+ProgXeStats g_terminal_stats;
+
 /// One served query: owns the workload (the relations must outlive the
 /// stream) and the printing sink.
 struct ServedQuery : QuerySink {
@@ -176,6 +198,10 @@ struct ServedQuery : QuerySink {
     // the workload for later parent= refinements. Children sharing it keep
     // it alive regardless; the map entry stays for stats/list.
     if (!reuse) workload.reset();
+    {
+      std::lock_guard<std::mutex> lock(g_terminal_mtx);
+      g_terminal_stats.Accumulate(stats);
+    }
     char buf[256];
     std::snprintf(buf, sizeof buf,
                   "done id=%llu state=%s results=%zu pairs=%llu cmps=%llu "
@@ -342,26 +368,38 @@ bool ParseSubmit(const std::vector<std::string>& tokens, SubmitSpec* spec,
 }
 
 void PrintStat(const ServedQuery& query) {
-  const QueryState state = query.handle.state();
+  const QueryProgress progress = query.handle.progress();
+  const QueryState state = progress.state;
   std::ostringstream line;
   line << "stat id=" << query.id << " state=" << QueryStateName(state)
-       << " delivered=" << query.total.load(std::memory_order_relaxed);
+       << " phase=" << progress.phase
+       << " delivered=" << query.total.load(std::memory_order_relaxed)
+       << " regions=" << progress.regions_done << "/"
+       << progress.regions_total << " pairs=" << progress.pairs_processed;
+  if (progress.ttfr_seconds >= 0.0) {
+    char ttfr[32];
+    std::snprintf(ttfr, sizeof ttfr, " ttfr=%.6f", progress.ttfr_seconds);
+    line << ttfr;
+  }
   if (IsTerminal(state)) {
     const ProgXeStats& stats = query.handle.stats();
     line << " results=" << stats.results_emitted
-         << " pairs=" << stats.join_pairs_generated
          << " cmps=" << stats.dominance_comparisons;
+    // Coverage is part of every terminal report — a finished query says
+    // covered=K/K rather than staying silent, so "did we see everything?"
+    // never needs a second command.
     const ShardCoverage& coverage = query.handle.coverage();
-    if (coverage.retries > 0 || !coverage.complete()) {
-      line << " covered=" << coverage.completed << "/" << coverage.shards
-           << " retries=" << coverage.retries;
-      if (!coverage.complete()) {
-        line << " abandoned=";
-        for (size_t i = 0; i < coverage.abandoned_shards.size(); ++i) {
-          line << (i == 0 ? "" : ",") << coverage.abandoned_shards[i];
-        }
+    line << " covered=" << coverage.completed << "/" << coverage.shards
+         << " retries=" << coverage.retries;
+    if (!coverage.complete()) {
+      line << " abandoned=";
+      for (size_t i = 0; i < coverage.abandoned_shards.size(); ++i) {
+        line << (i == 0 ? "" : ",") << coverage.abandoned_shards[i];
       }
     }
+  } else if (progress.shards > 0) {
+    line << " covered=" << progress.shards_completed << "/"
+         << progress.shards;
   }
   Emit(line.str());
 }
@@ -513,6 +551,35 @@ int main(int argc, char** argv) {
       continue;
     }
 
+    if (cmd == "metrics") {
+      // Fold a consistent snapshot into the process registry, then render
+      // the whole exposition. Executor totals cover terminal queries (the
+      // only ones whose counters are final); coverage sums every terminal
+      // handle's shard report.
+      MetricsRegistry& reg = GlobalMetrics();
+      {
+        std::lock_guard<std::mutex> lock(g_terminal_mtx);
+        FoldProgXeStats(g_terminal_stats, &reg);
+      }
+      ShardCoverage coverage_total;
+      coverage_total.shards = 0;
+      for (const auto& [id, query] : queries) {
+        if (!IsTerminal(query->handle.state())) continue;
+        const ShardCoverage& c = query->handle.coverage();
+        coverage_total.shards += c.shards;
+        coverage_total.completed += c.completed;
+        coverage_total.abandoned += c.abandoned;
+        coverage_total.retries += c.retries;
+      }
+      FoldSchedulerStats(scheduler.stats(), &reg);
+      FoldShardCoverage(coverage_total, &reg);
+      FoldObservability(&reg);
+      std::string text;
+      reg.RenderPrometheus(&text);
+      EmitRaw(text + "ok metrics\n");
+      continue;
+    }
+
     if (cmd == "cancel" || cmd == "stats") {
       if (tokens.size() != 2) {
         Emit("err usage: " + cmd + " <id>");
@@ -550,7 +617,7 @@ int main(int argc, char** argv) {
     }
 
     Emit("err unknown command: " + cmd +
-         " (try submit/cancel/stats/list/drain/quit)");
+         " (try submit/cancel/stats/metrics/list/drain/quit)");
   }
 
   // Scheduler destruction cancels whatever is still in flight; sinks (and

@@ -62,11 +62,13 @@ if [[ -x "$build_dir/bench_micro_components" ]]; then
 fi
 
 # Merge the thread-scaling, multi-query, sharded and micro results (if any)
-# into the summary JSON.
+# into the summary JSON, and carry forward the run history: each invocation
+# appends one timestamped headline entry to a bounded "history" array
+# instead of wiping the previous runs' trajectory.
 MICRO_JSON="$micro_json" THREADS_JSON="$threads_json" \
 MULTIQUERY_JSON="$multiquery_json" SHARDED_JSON="$sharded_json" \
 python3 - "$out.tmp" "$out" <<'EOF'
-import json, os, sys
+import datetime, json, os, sys
 summary = json.load(open(sys.argv[1]))
 threads_raw = os.environ.get("THREADS_JSON", "")
 if threads_raw.strip():
@@ -92,7 +94,42 @@ if micro_raw.strip():
         }
         for b in micro.get("benchmarks", [])
     ]
+
+# One compact headline per run: enough to plot a trend, small enough that
+# dozens of entries stay readable. The full per-run detail lives in the
+# top-level keys, which describe only the latest run.
+entry = {"timestamp":
+         datetime.datetime.now(datetime.timezone.utc)
+         .strftime("%Y-%m-%dT%H:%M:%SZ")}
+sharded = summary.get("sharded")
+if isinstance(sharded, dict):
+    for key in ("fault_hook_ns_per_call", "trace_hook_ns_per_call"):
+        if key in sharded:
+            entry[key] = sharded[key]
+    for run in sharded.get("runs", []):
+        if run.get("shards") == 4:
+            for key in ("merge_comparisons", "makespan_s", "t_first_s"):
+                if key in run:
+                    entry[f"k4_{key}"] = run[key]
+reuse = summary.get("reuse")
+if isinstance(reuse, dict):
+    for key in ("prepare_skipped", "results_match"):
+        if key in reuse:
+            entry[f"reuse_{key}"] = reuse[key]
+
+history = []
+if os.path.exists(sys.argv[2]):
+    try:
+        prev = json.load(open(sys.argv[2]))
+        history = prev.get("history", [])
+        if not isinstance(history, list):
+            history = []
+    except (ValueError, OSError):
+        history = []
+history.append(entry)
+summary["history"] = history[-100:]  # bound unbounded growth
+
 json.dump(summary, open(sys.argv[2], "w"), indent=2)
-print(f"wrote {sys.argv[2]}")
+print(f"wrote {sys.argv[2]} (history: {len(summary['history'])} entries)")
 EOF
 rm -f "$out.tmp"
