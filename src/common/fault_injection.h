@@ -65,6 +65,18 @@ inline constexpr const char kMergeRelease[] = "merge.release";
 inline constexpr const char kSessionNextBatch[] = "session.next_batch";
 /// QueryScheduler worker about to run a slice; instance = query id.
 inline constexpr const char kSchedulerSlice[] = "scheduler.slice";
+/// BuildPreparedInputs about to prepare a query (push-through, grids,
+/// look-ahead); instance = ProgXeOptions::fault_instance, which is the
+/// shard index inside a sharded stream — so a soak spec with `shard=N`
+/// (N >= 1) exercises shard-open recovery without failing unsharded
+/// sessions, whose instance is 0.
+inline constexpr const char kPrepareBuild[] = "prepare.build";
+/// RegionLoop about to drive the (possibly parallel) join->map->insert
+/// pipeline for one region chunk; instance = ProgXeOptions::fault_instance
+/// (same shard-targeting convention as prepare.build). Fires through the
+/// session's error channel mid-stream, exactly where a worker-thread crash
+/// would surface.
+inline constexpr const char kPipelineChunk[] = "pipeline.chunk";
 }  // namespace fault_sites
 
 /// One parsed spec rule. See the grammar above.

@@ -1,0 +1,63 @@
+// Process-wide transport counters for the distributed shard layer.
+//
+// Every frame the coordinator or a worker sends/receives is tallied here
+// (bytes + frames, relaxed atomics), and every coordinator RPC records its
+// round-trip time into a log2-microsecond histogram — the same bucket
+// scheme as the scheduler's slice-latency histogram, so both read the same
+// way. SnapshotNetStats() takes a consistent-enough point-in-time copy for
+// SchedulerStats and the server's `stats` line; FoldNetStats() folds the
+// snapshot into the MetricsRegistry as `progxe_net_*` Prometheus metrics.
+//
+// The totals are process-wide by design: a coordinator process reports its
+// client-side traffic, a worker process its serving-side traffic, and a
+// loopback test both — which is exactly what its operator wants on a
+// per-process scrape.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace progxe {
+
+class MetricsRegistry;  // obs/metrics.h
+
+/// RTT histogram resolution: bucket 0 counts sub-microsecond round trips,
+/// bucket i (i >= 1) counts RTTs in [2^(i-1), 2^i) microseconds, and the
+/// last bucket is open-ended from 2^17 us (~0.13 s) up.
+inline constexpr std::size_t kNetRttBuckets = 19;
+
+/// Histogram bucket for an RTT in microseconds.
+std::size_t NetRttBucket(uint64_t us);
+
+/// Tallies one sent frame (header + payload bytes on the wire).
+void NetRecordSend(uint64_t bytes);
+/// Tallies one received frame.
+void NetRecordRecv(uint64_t bytes);
+/// Records one coordinator RPC round trip.
+void NetRecordRtt(uint64_t us);
+
+/// Point-in-time copy of the process totals.
+struct NetStatsSnapshot {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t frames_received = 0;
+  uint64_t rtt_count = 0;
+  double rtt_sum_us = 0.0;
+  std::array<uint64_t, kNetRttBuckets> rtt_us_log2{};
+
+  /// Upper edge (exclusive, microseconds) of the bucket holding the
+  /// q-quantile RTT — a conservative p50/p99 readout at log2 resolution.
+  /// Returns 0 when no RPC completed yet.
+  uint64_t RttQuantileUs(double q) const;
+};
+
+NetStatsSnapshot SnapshotNetStats();
+
+/// Folds the current totals into `progxe_net_bytes_sent_total`,
+/// `progxe_net_bytes_received_total`, `progxe_net_frames_*_total` and the
+/// `progxe_net_rtt_seconds` histogram.
+void FoldNetStats(MetricsRegistry* reg);
+
+}  // namespace progxe

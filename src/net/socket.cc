@@ -1,0 +1,242 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "common/macros.h"
+#include "net/net_stats.h"
+#include "obs/trace.h"
+
+namespace progxe {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Unavailable(std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+/// Remaining milliseconds until `deadline` (clamped at 0); the poll()
+/// timeout argument.
+int MsUntil(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 1'000'000'000) return 1'000'000'000;
+  return static_cast<int>(left.count());
+}
+
+/// Reads exactly `n` bytes or fails; `deadline` bounds the whole read.
+Status RecvAll(int fd, char* buf, size_t n,
+               std::chrono::steady_clock::time_point deadline) {
+  size_t done = 0;
+  while (done < n) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int timeout = MsUntil(deadline);
+    if (timeout == 0) {
+      return Status::Unavailable("net recv deadline missed (peer silent)");
+    }
+    const int rv = ::poll(&pfd, 1, timeout);
+    if (rv < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (rv == 0) {
+      return Status::Unavailable("net recv deadline missed (peer silent)");
+    }
+    const ssize_t got = ::recv(fd, buf + done, n - done, 0);
+    if (got == 0) return Status::Unavailable("connection closed by peer");
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+Status SendAll(int fd, const char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t sent =
+        ::send(fd, buf + done, n - done, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    done += static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseEndpoint(std::string_view endpoint, std::string* host,
+                     int* port) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument("worker endpoint must be host:port, got '" +
+                                   std::string(endpoint) + "'");
+  }
+  const std::string_view port_sv = endpoint.substr(colon + 1);
+  int p = 0;
+  const auto [ptr, ec] =
+      std::from_chars(port_sv.data(), port_sv.data() + port_sv.size(), p);
+  if (ec != std::errc() || ptr != port_sv.data() + port_sv.size() || p <= 0 ||
+      p > 65535) {
+    return Status::InvalidArgument("invalid worker port in '" +
+                                   std::string(endpoint) + "'");
+  }
+  *host = std::string(endpoint.substr(0, colon));
+  if (host->empty()) *host = "127.0.0.1";
+  *port = p;
+  return Status::OK();
+}
+
+Result<int> DialTcp(const std::string& endpoint,
+                    std::chrono::milliseconds timeout) {
+  std::string host;
+  int port = 0;
+  PROGXE_RETURN_NOT_OK(ParseEndpoint(endpoint, &host, &port));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (host == "localhost") host = "127.0.0.1";
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("worker host must be an IPv4 address: '" +
+                                   host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  // Non-blocking connect so the timeout is honored, then back to blocking
+  // (frame I/O does its own poll-based deadlines).
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status st = Status::Unavailable("connect to " + endpoint + " failed: " +
+                                    std::strerror(errno));
+    CloseFd(fd);
+    return st;
+  }
+  tv.tv_sec = 0;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<ListenSocket> ListenTcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Errno("bind");
+    CloseFd(fd);
+    return st;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status st = Errno("listen");
+    CloseFd(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    Status st = Errno("getsockname");
+    CloseFd(fd);
+    return st;
+  }
+  ListenSocket out;
+  out.fd = fd;
+  out.port = static_cast<int>(ntohs(addr.sin_port));
+  return out;
+}
+
+Result<int> AcceptTcp(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+Status SendFrame(int fd, MsgType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds kMaxFramePayload");
+  }
+  TraceSpan span(trace_cats::kNet, "net.send");
+  span.arg("bytes", static_cast<int64_t>(payload.size() + 5));
+  char header[5];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  header[0] = static_cast<char>(len & 0xff);
+  header[1] = static_cast<char>((len >> 8) & 0xff);
+  header[2] = static_cast<char>((len >> 16) & 0xff);
+  header[3] = static_cast<char>((len >> 24) & 0xff);
+  header[4] = static_cast<char>(type);
+  PROGXE_RETURN_NOT_OK(SendAll(fd, header, sizeof(header)));
+  if (!payload.empty()) {
+    PROGXE_RETURN_NOT_OK(SendAll(fd, payload.data(), payload.size()));
+  }
+  NetRecordSend(payload.size() + sizeof(header));
+  return Status::OK();
+}
+
+Status RecvFrame(int fd, MsgType* type, std::string* payload,
+                 std::chrono::milliseconds deadline) {
+  TraceSpan span(trace_cats::kNet, "net.recv");
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  char header[5];
+  PROGXE_RETURN_NOT_OK(RecvAll(fd, header, sizeof(header), until));
+  const uint32_t len = static_cast<uint32_t>(static_cast<uint8_t>(header[0])) |
+                       static_cast<uint32_t>(static_cast<uint8_t>(header[1]))
+                           << 8 |
+                       static_cast<uint32_t>(static_cast<uint8_t>(header[2]))
+                           << 16 |
+                       static_cast<uint32_t>(static_cast<uint8_t>(header[3]))
+                           << 24;
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame length prefix exceeds kMaxFramePayload (corrupt link?)");
+  }
+  *type = static_cast<MsgType>(static_cast<uint8_t>(header[4]));
+  payload->resize(len);
+  if (len > 0) {
+    PROGXE_RETURN_NOT_OK(RecvAll(fd, payload->data(), len, until));
+  }
+  NetRecordRecv(static_cast<uint64_t>(len) + sizeof(header));
+  span.arg("bytes", static_cast<int64_t>(len + 5));
+  return Status::OK();
+}
+
+}  // namespace progxe

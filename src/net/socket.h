@@ -1,0 +1,57 @@
+// Blocking TCP helpers under the wire protocol: dial/listen plus deadline-
+// bounded frame I/O.
+//
+// Everything here is plain POSIX sockets — no event loop, no extra threads.
+// Frame reads honor a wall-clock deadline via poll(), so a vanished peer
+// surfaces as Status::Unavailable ("deadline missed") instead of a hang;
+// that synthesized kUnavailable is precisely what rides the sharded
+// stream's existing quarantine/retry recovery path. All frame traffic is
+// tallied into the process-wide net totals (net/net_stats.h) and wrapped in
+// `net.send` / `net.recv` trace spans.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace progxe {
+
+/// Splits "host:port"; fails on a missing/invalid port. A missing host
+/// ("":port form) dials loopback.
+Status ParseEndpoint(std::string_view endpoint, std::string* host, int* port);
+
+/// Connects to "host:port" with a bounded connect timeout. Returns the
+/// connected fd (blocking mode, TCP_NODELAY set).
+Result<int> DialTcp(const std::string& endpoint,
+                    std::chrono::milliseconds timeout);
+
+/// A bound, listening TCP socket on loopback-reachable INADDR_ANY.
+struct ListenSocket {
+  int fd = -1;
+  int port = 0;  ///< The actually-bound port (resolves a requested port 0).
+};
+
+/// Listens on `port` (0 = kernel-assigned ephemeral port, reported back).
+Result<ListenSocket> ListenTcp(int port);
+
+/// Accepts one connection; blocks until a peer arrives or the listen fd is
+/// shut down (then kUnavailable).
+Result<int> AcceptTcp(int listen_fd);
+
+/// Closes an fd if open (idempotent on -1).
+void CloseFd(int fd);
+
+/// Sends one complete frame ([u32 len][u8 type][payload]).
+Status SendFrame(int fd, MsgType type, std::string_view payload);
+
+/// Receives one complete frame into `*payload` within `deadline` from now.
+/// Deadline expiry, peer EOF and connection errors all return kUnavailable
+/// (retryable); an oversized length prefix returns kInvalidArgument (the
+/// link is not trustworthy afterwards).
+Status RecvFrame(int fd, MsgType* type, std::string* payload,
+                 std::chrono::milliseconds deadline);
+
+}  // namespace progxe

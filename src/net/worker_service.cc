@@ -1,0 +1,271 @@
+#include "net/worker_service.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "data/relation.h"
+#include "mapping/map_expr.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "prefs/preference.h"
+#include "progxe/session.h"
+
+namespace progxe {
+
+namespace {
+
+/// Receive deadline for an idle coordinator link. Connections are severed
+/// by Stop() (fd shutdown), not by timing out, so this is effectively
+/// "forever" while staying poll()-representable.
+constexpr std::chrono::milliseconds kIdleRecvDeadline{24 * 3600 * 1000};
+
+/// One connection's open shard assignment. The session's query points into
+/// the deserialized relations, so both live and die together.
+struct OpenState {
+  Relation r{Schema::Anonymous(0)};
+  Relation t{Schema::Anonymous(0)};
+  MapSpec map;
+  Preference pref;
+  std::unique_ptr<ProgXeSession> session;
+  int shard_index = 0;
+};
+
+Status SendError(int fd, const Status& status) {
+  std::string payload;
+  WireWriter w(&payload);
+  WriteStatusPayload(status, &w);
+  return SendFrame(fd, MsgType::kError, payload);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WorkerServer>> WorkerServer::Start(
+    WorkerServerOptions options) {
+  std::unique_ptr<WorkerServer> server(new WorkerServer());
+  server->options_ = options;
+  PROGXE_ASSIGN_OR_RETURN(ListenSocket listener, ListenTcp(options.port));
+  server->listen_fd_ = listener.fd;
+  server->port_ = listener.port;
+  server->accept_thread_ = std::thread(&WorkerServer::AcceptLoop, server.get());
+  PROGXE_LOG(Info) << "shard worker listening on port " << server->port_;
+  return server;
+}
+
+WorkerServer::~WorkerServer() { Stop(); }
+
+uint64_t WorkerServer::connections_accepted() const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  return accepted_;
+}
+
+void WorkerServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mtx_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Sever every live link: coordinators mid-pump observe a retryable
+    // kUnavailable — the worker-kill signal their recovery path expects.
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mtx_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void WorkerServer::AcceptLoop() {
+  while (true) {
+    Result<int> accepted = AcceptTcp(listen_fd_);
+    std::lock_guard<std::mutex> lock(mtx_);
+    if (stopping_) {
+      if (accepted.ok()) CloseFd(*accepted);
+      return;
+    }
+    if (!accepted.ok()) continue;
+    ++accepted_;
+    live_fds_.push_back(*accepted);
+    handlers_.emplace_back(&WorkerServer::HandleConnection, this, *accepted);
+  }
+}
+
+void WorkerServer::HandleConnection(int fd) {
+  std::string payload;
+  std::string reply;
+  MsgType type;
+  std::unique_ptr<OpenState> state;
+
+  // Handshake: the very first frame must be a matching kHello.
+  Status st = RecvFrame(fd, &type, &payload, options_.heartbeat_interval * 50);
+  bool ok = st.ok() && type == MsgType::kHello;
+  if (ok) {
+    WireReader r(payload);
+    uint32_t magic = 0;
+    uint16_t version = 0;
+    ok = r.GetU32(&magic) && r.GetU16(&version) && magic == kWireMagic &&
+         version == kWireVersion;
+    if (!ok) {
+      SendError(fd, Status::InvalidArgument(
+                        "wire handshake rejected (magic/version mismatch)"));
+    }
+  }
+  if (ok) {
+    reply.clear();
+    WireWriter w(&reply);
+    w.PutU32(kWireMagic);
+    w.PutU16(kWireVersion);
+    ok = SendFrame(fd, MsgType::kHelloAck, reply).ok();
+  }
+
+  while (ok) {
+    st = RecvFrame(fd, &type, &payload, kIdleRecvDeadline);
+    if (!st.ok()) break;  // peer gone or server stopping
+    switch (type) {
+      case MsgType::kPing: {
+        ok = SendFrame(fd, MsgType::kPong, {}).ok();
+        break;
+      }
+      case MsgType::kOpenShard: {
+        auto next = std::make_unique<OpenState>();
+        WireReader r(payload);
+        uint32_t shard_index = 0;
+        ProgXeOptions options;
+        r.GetU32(&shard_index);
+        ReadOptions(&r, &options);
+        ReadMapSpec(&r, &next->map);
+        ReadPreference(&r, &next->pref);
+        ReadRelation(&r, &next->r);
+        ReadRelation(&r, &next->t);
+        if (!r.ok() || !r.AtEnd()) {
+          // A malformed assignment means the link itself can't be trusted.
+          if (r.ok()) r.Fail("trailing bytes after open_shard payload");
+          SendError(fd, r.status());
+          ok = false;
+          break;
+        }
+        next->shard_index = static_cast<int>(shard_index);
+        SkyMapJoinQuery query;
+        query.r = &next->r;
+        query.t = &next->t;
+        query.map = next->map;
+        query.pref = next->pref;
+        Result<std::unique_ptr<ProgXeSession>> opened =
+            ProgXeSession::Open(query, std::move(options));
+        reply.clear();
+        WireWriter w(&reply);
+        if (!opened.ok()) {
+          // Semantic failure (validation, injected fault): report it in
+          // kOpenResult and keep the link serving.
+          WriteStatusPayload(opened.status(), &w);
+          state.reset();
+        } else {
+          next->session = std::move(opened).MoveValue();
+          WriteStatusPayload(Status::OK(), &w);
+          std::vector<double> bound;
+          const bool has_bound = next->session->RemainingLowerBound(&bound);
+          WriteWatermark(has_bound, bound, &w);
+          WriteStats(next->session->stats(), &w);
+          state = std::move(next);
+          PROGXE_LOG(Info) << "worker opened shard " << state->shard_index
+                           << " (r=" << state->r.size()
+                           << " t=" << state->t.size() << ")";
+        }
+        ok = SendFrame(fd, MsgType::kOpenResult, reply).ok();
+        break;
+      }
+      case MsgType::kPump: {
+        if (state == nullptr || state->session == nullptr) {
+          SendError(fd, Status::InvalidArgument("pump without an open shard"));
+          ok = false;
+          break;
+        }
+        WireReader r(payload);
+        uint64_t max_results = 0;
+        uint64_t max_pairs = 0;
+        if (!r.GetU64(&max_results) || !r.GetU64(&max_pairs) || !r.AtEnd()) {
+          SendError(fd, Status::InvalidArgument("malformed pump payload"));
+          ok = false;
+          break;
+        }
+        ProgXeSession& session = *state->session;
+        std::vector<ResultTuple> results;
+        std::vector<ResultTuple> batch;
+        // Internal slicing: pump in bounded sub-slices so heartbeats flow
+        // during a long quiet stretch. Slice boundaries never change the
+        // delivered stream or the counters (the session contract), so the
+        // reply is bit-identical to a single NextBatch of the full budget.
+        auto last_beat = std::chrono::steady_clock::now();
+        size_t remaining = static_cast<size_t>(max_pairs);
+        while (results.empty() && !session.Finished() &&
+               session.last_status().ok()) {
+          size_t slice = options_.pump_slice_pairs;
+          if (max_pairs != 0) {
+            slice = std::min(remaining, slice);
+            if (slice == 0) break;
+          }
+          const uint64_t before = session.stats().join_pairs_generated;
+          session.NextBatch(/*max_results=*/0, slice, &batch);
+          results.insert(results.end(),
+                         std::make_move_iterator(batch.begin()),
+                         std::make_move_iterator(batch.end()));
+          if (max_pairs != 0) {
+            const uint64_t used =
+                session.stats().join_pairs_generated - before;
+            remaining = used >= remaining
+                            ? 0
+                            : remaining - static_cast<size_t>(used);
+            if (remaining == 0) break;
+          }
+          const auto now = std::chrono::steady_clock::now();
+          if (now - last_beat >= options_.heartbeat_interval) {
+            if (!SendFrame(fd, MsgType::kHeartbeat, {}).ok()) break;
+            last_beat = now;
+          }
+        }
+        reply.clear();
+        WireWriter w(&reply);
+        const Status session_status = session.last_status();
+        WriteStatusPayload(session_status, &w);
+        if (session_status.ok()) {
+          WriteResultBatch(results, state->map.output_dimensions(), &w);
+          std::vector<double> bound;
+          const bool has_bound = session.RemainingLowerBound(&bound);
+          WriteWatermark(has_bound, bound, &w);
+          WriteStats(session.stats(), &w);
+        }
+        ok = SendFrame(fd, MsgType::kPumpResult, reply).ok();
+        break;
+      }
+      case MsgType::kClose: {
+        state.reset();
+        ok = SendFrame(fd, MsgType::kCloseAck, {}).ok();
+        break;
+      }
+      default: {
+        SendError(fd, Status::InvalidArgument(
+                          std::string("unexpected frame: ") +
+                          MsgTypeName(type)));
+        ok = false;
+        break;
+      }
+    }
+  }
+
+  CloseFd(fd);
+  std::lock_guard<std::mutex> lock(mtx_);
+  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                  live_fds_.end());
+}
+
+}  // namespace progxe

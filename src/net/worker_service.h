@@ -1,0 +1,86 @@
+// WorkerServer: the shard-worker daemon behind `progxe_server --worker`.
+//
+// A worker accepts coordinator connections and serves the wire protocol's
+// session frames: kOpenShard deserializes a shard assignment (options, map,
+// preference, both relation slices) into a connection-owned ProgXeSession;
+// each kPump advances that session under the requested pair budget and
+// streams back the locally-final candidates, the RemainingLowerBound
+// watermark and a full ProgXeStats snapshot; kClose tears the session down
+// but keeps the link for reuse (the coordinator's WorkerPool caches
+// connections across queries).
+//
+// Long pumps and opens stay observable: the handler emits kHeartbeat frames
+// between internal pump slices whenever `heartbeat_interval` elapses, so
+// the coordinator's receive deadline measures *liveness*, not total pump
+// duration. Internal slicing is invisible by contract — slice boundaries
+// never change a session's delivered results or counters — which is what
+// keeps a distributed run bit-identical to the in-process one.
+//
+// One connection serves one shard session at a time; concurrent shards come
+// from concurrent connections (one handler thread each). In-process use
+// (tests, benches, the loopback smoke) starts a WorkerServer on port 0 and
+// reads the bound port back.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace progxe {
+
+struct WorkerServerOptions {
+  /// TCP port to listen on; 0 picks a free ephemeral port (see port()).
+  int port = 0;
+  /// Heartbeat cadence during long pumps; also the worker's internal pump
+  /// slice granularity trigger.
+  std::chrono::milliseconds heartbeat_interval{200};
+  /// Pair budget of one internal pump slice between heartbeat checks.
+  size_t pump_slice_pairs = 65536;
+};
+
+class WorkerServer {
+ public:
+  /// Binds, listens and starts the accept loop. The returned server is
+  /// serving as soon as this returns.
+  static Result<std::unique_ptr<WorkerServer>> Start(
+      WorkerServerOptions options);
+
+  /// Stops accepting, severs every live connection (coordinators observe a
+  /// retryable kUnavailable — the worker-kill path), joins all handler
+  /// threads. Idempotent; the destructor calls it.
+  void Stop();
+
+  ~WorkerServer();
+
+  /// The actually-bound listen port.
+  int port() const { return port_; }
+
+  /// Connections accepted over the server's lifetime (diagnostic).
+  uint64_t connections_accepted() const;
+
+  WorkerServer(const WorkerServer&) = delete;
+  WorkerServer& operator=(const WorkerServer&) = delete;
+
+ private:
+  WorkerServer() = default;
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  WorkerServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+
+  mutable std::mutex mtx_;
+  bool stopping_ = false;
+  std::vector<int> live_fds_;
+  std::vector<std::thread> handlers_;
+  uint64_t accepted_ = 0;
+};
+
+}  // namespace progxe

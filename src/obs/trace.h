@@ -35,6 +35,8 @@
 //   shard     shard.pump / shard.merge / shard.release spans,
 //             shard.retry_backoff / shard.abandon instants
 //   cache     cache.hit / cache.miss instants
+//   net       net.send / net.recv frame I/O spans,
+//             net.wait_watermark — coordinator blocked on a pump reply
 #pragma once
 
 #include <atomic>
@@ -53,6 +55,7 @@ inline constexpr const char kPipeline[] = "pipeline";
 inline constexpr const char kSched[] = "sched";
 inline constexpr const char kShard[] = "shard";
 inline constexpr const char kCache[] = "cache";
+inline constexpr const char kNet[] = "net";
 }  // namespace trace_cats
 
 namespace internal_trace {

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
 #include "grid/input_grid.h"
 #include "grid/kd_partitioner.h"
@@ -79,6 +80,13 @@ Status BuildPreparedInputs(const SkyMapJoinQuery& query,
     return Status::InvalidArgument(
         "preference dimensionality must match the map output");
   }
+  // The prepare-phase fault site: a failure here surfaces through
+  // ProgXeSession::Open / OpenShard and rides the sharded stream's
+  // open-retry path (or a remote worker's kOpenResult status).
+  PROGXE_RETURN_NOT_OK(MaybeInjectFault(
+      options.faults != nullptr ? options.faults.get()
+                                : FaultInjector::FromEnv(),
+      fault_sites::kPrepareBuild, options.fault_instance));
   TraceSpan prepare_span(trace_cats::kPrepare, "prepare.build");
   PROGXE_RETURN_NOT_OK(
       query.map.Validate(query.r->num_attributes(),

@@ -14,6 +14,8 @@ RegionLoop::RegionLoop(PreparedQuery* prep, const ProgXeOptions& options,
       options_(options),
       stats_(stats),
       regions_(&prep->lookahead.regions),
+      faults_(options.faults != nullptr ? options.faults.get()
+                                        : FaultInjector::FromEnv()),
       table_(prep->lookahead.output_grid, std::move(prep->lookahead.marked),
              stats),
       determine_(&table_),
@@ -291,6 +293,13 @@ bool RegionLoop::Step(std::vector<ResultTuple>* pending, size_t max_pairs) {
         // Whole-region fast path: join the partition pair, map, insert —
         // via the (optionally parallel) pipeline, which preserves the
         // sequential pair order and hence every counter.
+        Status fault = MaybeInjectFault(faults_, fault_sites::kPipelineChunk,
+                                        options_.fault_instance);
+        if (PROGXE_PREDICT_FALSE(!fault.ok())) {
+          status_ = std::move(fault);
+          done_ = true;
+          return false;
+        }
         {
           TraceSpan span(trace_cats::kRegion, "region.pipeline");
           span.arg("region", next);
@@ -309,6 +318,13 @@ bool RegionLoop::Step(std::vector<ResultTuple>* pending, size_t max_pairs) {
     // once it is exhausted, so the table sees the identical insert stream.
     Region& region = (*regions_)[static_cast<size_t>(current_region_)];
     if (!pipeline_.RegionExhausted()) {
+      Status fault = MaybeInjectFault(faults_, fault_sites::kPipelineChunk,
+                                      options_.fault_instance);
+      if (PROGXE_PREDICT_FALSE(!fault.ok())) {
+        status_ = std::move(fault);
+        done_ = true;
+        return false;
+      }
       TraceSpan span(trace_cats::kRegion, "region.pipeline");
       span.arg("region", current_region_);
       const uint64_t pairs = pipeline_.ProcessSome(max_pairs, &table_);

@@ -11,6 +11,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/fault_injection.h"
+#include "common/status.h"
 #include "elgraph/el_graph.h"
 #include "progxe/output_table.h"
 #include "progxe/pipeline.h"
@@ -43,6 +45,12 @@ class RegionLoop {
   /// True once Step() has nothing left to do.
   bool done() const { return done_; }
 
+  /// OK while healthy. The "pipeline.chunk" fault site (a stand-in for a
+  /// parallel join->map worker crash) lands here; the loop is done()
+  /// afterwards and the session surfaces the failure through its own error
+  /// channel.
+  const Status& status() const { return status_; }
+
   /// Min-merges into `lo[0..k)` the canonical lower cell edges of every
   /// active region's lo_cell. Sound as a bound on anything the loop may
   /// still emit: future join results land inside some active region's box,
@@ -74,6 +82,10 @@ class RegionLoop {
   const ProgXeOptions& options_;
   ProgXeStats* stats_;
   std::vector<Region>* regions_;
+  /// Effective injector for the pipeline.chunk site (programmatic when set,
+  /// else ambient); not owned.
+  FaultInjector* faults_ = nullptr;
+  Status status_;
 
   OutputTable table_;
   ProgDetermine determine_;

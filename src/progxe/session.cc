@@ -96,6 +96,13 @@ size_t ProgXeSession::NextBatch(size_t max_results, size_t max_pairs,
     pending_pos_ = 0;
     const uint64_t before = stats_.join_pairs_generated;
     loop_->Step(&pending_, budget);
+    if (PROGXE_PREDICT_FALSE(!loop_->status().ok())) {
+      // A pipeline.chunk fault killed the loop mid-stream: same observable
+      // as any in-engine failure (error in last_status, nothing delivered
+      // this call, already-delivered results stand).
+      Fail(loop_->status());
+      return 0;
+    }
     if (max_pairs != 0) {
       // Charge the slice for the pairs it actually processed; Step may
       // overshoot by one insert block, never undershoot while yielding.

@@ -32,6 +32,8 @@
 
 namespace progxe {
 
+class WorkerPool;  // net/worker_pool.h
+
 /// How a query is split across engine instances. `num_shards <= 1` selects
 /// the single unsharded session; otherwise both sources are hash-partitioned
 /// by join key into `num_shards` disjoint shards (an equi-join pair always
@@ -77,6 +79,21 @@ struct ShardOptions {
   /// finish with partial coverage — the delivered set is then exactly the
   /// skyline of the *covered* shards' data (see ProgXeStream::coverage).
   bool allow_partial = false;
+
+  /// Remote execution: shard-worker endpoints ("host:port"). Empty (the
+  /// default) runs every sub-session in process. Non-empty runs each shard
+  /// on a worker daemon (progxe_server --worker) behind the same per-shard
+  /// seam: shard i's incarnation n dials workers[(i + n) % size], so a
+  /// retry after a worker failure lands on a *different* engine. Transport
+  /// failures (connection reset, heartbeat timeout) surface as retryable
+  /// kUnavailable and ride the quarantine/retry machinery above; the
+  /// delivered set stays bit-identical to the in-process run either way.
+  std::vector<std::string> workers;
+
+  /// Connection pool shared across streams (cached worker links survive
+  /// query teardown). Null makes the stream create a private pool; the
+  /// scheduler passes its process-wide one.
+  std::shared_ptr<WorkerPool> worker_pool;
 };
 
 /// Which shards of a (possibly sharded) stream actually contributed to the
@@ -86,6 +103,7 @@ struct ShardCoverage {
   int shards = 1;      ///< Sub-streams planned.
   int completed = 0;   ///< Delivered everything.
   int abandoned = 0;   ///< Dropped after retry exhaustion (allow_partial).
+  int remote = 0;      ///< Sub-streams served by remote shard workers.
   uint64_t retries = 0;  ///< Shard re-opens performed over the stream's life.
   std::vector<int> abandoned_shards;  ///< Indices of the dropped shards.
 
@@ -143,7 +161,8 @@ class ProgXeStream {
 };
 
 /// Opens the stream implementation `shards` selects: a plain ProgXeSession
-/// for `num_shards <= 1`, a ShardedStream otherwise. This is the only
+/// for `num_shards <= 1` with no workers, a ShardedStream otherwise (a
+/// worker list distributes even a single shard). This is the only
 /// constructor the serving layer and tools use.
 Result<std::unique_ptr<ProgXeStream>> OpenProgXeStream(
     const SkyMapJoinQuery& query, ProgXeOptions options,

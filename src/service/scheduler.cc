@@ -14,6 +14,8 @@
 #include <utility>
 
 #include "mapping/canonical.h"
+#include "net/net_stats.h"
+#include "net/worker_pool.h"
 #include "obs/trace.h"
 #include "progxe/prepare_cache.h"
 
@@ -113,6 +115,13 @@ std::string SchedulerStats::FormatFields() const {
      << " prepare_evictions=" << prepare_evictions
      << " prepare_cache_entries=" << prepare_cache_entries
      << " prepare_cache_bytes=" << prepare_cache_bytes
+     << " net_bytes_sent=" << net_bytes_sent
+     << " net_bytes_received=" << net_bytes_received
+     << " net_frames_sent=" << net_frames_sent
+     << " net_frames_received=" << net_frames_received
+     << " net_rtt_count=" << net_rtt_count
+     << " net_rtt_p50_us<" << net_rtt_p50_us
+     << " net_rtt_p99_us<" << net_rtt_p99_us
      << " slice_p50_us<" << SliceLatencyQuantileUs(0.5)
      << " slice_p99_us<" << SliceLatencyQuantileUs(0.99)
      << " slice_lat_us_log2=[";
@@ -139,6 +148,7 @@ std::string QueryProgress::ToString() const {
     os << ttfr_seconds;
   }
   os << " coverage=" << shards_completed << "/" << shards;
+  if (shards_remote > 0) os << " remote=" << shards_remote;
   if (shards_abandoned > 0) os << " abandoned=" << shards_abandoned;
   os << "}";
   return os.str();
@@ -211,6 +221,7 @@ struct QueryRecord {
   std::atomic<size_t> progress_shards{0};
   std::atomic<size_t> progress_shards_completed{0};
   std::atomic<size_t> progress_shards_abandoned{0};
+  std::atomic<size_t> progress_shards_remote{0};
 
   /// Refreshes the snapshot from live stream counters; the caller must be
   /// the worker that owns the stream right now.
@@ -228,6 +239,8 @@ struct QueryRecord {
                                     std::memory_order_relaxed);
     progress_shards_abandoned.store(static_cast<size_t>(cov.abandoned),
                                     std::memory_order_relaxed);
+    progress_shards_remote.store(static_cast<size_t>(cov.remote),
+                                 std::memory_order_relaxed);
   }
 
   bool Expired(Clock::time_point now) const {
@@ -242,6 +255,11 @@ struct SchedulerCore {
   /// Cross-query prepared-state cache; null when either budget is 0.
   /// Internally synchronized — never touched under `mtx` except stats().
   std::shared_ptr<PrepareCache> prepare_cache;
+  /// Process-wide worker connection pool, created lazily at the first
+  /// Submit carrying worker endpoints (under `mtx`) and stamped onto every
+  /// remote query — cached worker links outlive any one query, the
+  /// cross-query reuse the transport is built for. Internally synchronized.
+  std::shared_ptr<WorkerPool> worker_pool;
 
   std::mutex mtx;
   std::condition_variable work_cv;  // workers: new work / freed slot / stop
@@ -738,6 +756,8 @@ QueryProgress QueryHandle::progress() const {
       query_->progress_shards_completed.load(std::memory_order_relaxed);
   p.shards_abandoned =
       query_->progress_shards_abandoned.load(std::memory_order_relaxed);
+  p.shards_remote =
+      query_->progress_shards_remote.load(std::memory_order_relaxed);
   return p;
 }
 
@@ -822,6 +842,13 @@ Result<QueryHandle> QueryScheduler::Submit(const SkyMapJoinQuery& query,
   rec->options = std::move(options);
   rec->shards = submit.shards;
   if (submit.allow_partial) rec->shards.allow_partial = true;
+  if (!submit.workers.empty()) {
+    if (!rec->shards.workers.empty()) {
+      return Status::InvalidArgument(
+          "Submit: workers set both directly and via shards.workers");
+    }
+    rec->shards.workers = submit.workers;
+  }
   rec->sink = sink;
   rec->retain_results = submit.retain_results;
   if (submit.seed_from_parent) {
@@ -860,6 +887,14 @@ Result<QueryHandle> QueryScheduler::Submit(const SkyMapJoinQuery& query,
     return Status::OutOfRange("Submit: admission queue full (max_queue=" +
                               std::to_string(core_->options.max_queue) + ")");
   }
+  if (!rec->shards.workers.empty()) {
+    if (core_->worker_pool == nullptr) {
+      core_->worker_pool = std::make_shared<WorkerPool>();
+    }
+    if (rec->shards.worker_pool == nullptr) {
+      rec->shards.worker_pool = core_->worker_pool;
+    }
+  }
   rec->id = core_->next_id++;
   ++core_->live;
   ++core_->submitted;
@@ -897,6 +932,14 @@ SchedulerStats QueryScheduler::stats() const {
   stats.shard_retries = core_->shard_retries;
   stats.shards_abandoned = core_->shards_abandoned;
   stats.slice_latency_us_log2 = core_->slice_latency_us_log2;
+  const NetStatsSnapshot net = SnapshotNetStats();
+  stats.net_bytes_sent = net.bytes_sent;
+  stats.net_bytes_received = net.bytes_received;
+  stats.net_frames_sent = net.frames_sent;
+  stats.net_frames_received = net.frames_received;
+  stats.net_rtt_count = net.rtt_count;
+  stats.net_rtt_p50_us = net.RttQuantileUs(0.5);
+  stats.net_rtt_p99_us = net.RttQuantileUs(0.99);
   if (core_->prepare_cache != nullptr) {
     const PrepareCache::Stats cache = core_->prepare_cache->stats();
     stats.prepare_hits = cache.hits;

@@ -165,6 +165,16 @@ struct SchedulerStats {
   uint64_t shard_retries = 0;      ///< Shard re-opens across terminal queries.
   uint64_t shards_abandoned = 0;   ///< Shards dropped across terminal queries.
 
+  // Distributed transport (process-wide totals from net/net_stats.h;
+  // nonzero only when queries ran with SubmitOptions::workers).
+  uint64_t net_bytes_sent = 0;      ///< Wire bytes sent (frames + headers).
+  uint64_t net_bytes_received = 0;  ///< Wire bytes received.
+  uint64_t net_frames_sent = 0;     ///< Frames sent.
+  uint64_t net_frames_received = 0; ///< Frames received.
+  uint64_t net_rtt_count = 0;       ///< Coordinator RPCs completed.
+  uint64_t net_rtt_p50_us = 0;      ///< Median RPC round trip (log2 edge).
+  uint64_t net_rtt_p99_us = 0;      ///< p99 RPC round trip (log2 edge).
+
   // Prepared-state cache (zeroes when ServiceOptions disabled the cache).
   uint64_t prepare_hits = 0;       ///< Opens that skipped the prepare phase.
   uint64_t prepare_misses = 0;     ///< Opens that built (and cached) anew.
@@ -220,6 +230,9 @@ struct QueryProgress {
   size_t shards = 0;
   size_t shards_completed = 0;
   size_t shards_abandoned = 0;
+  /// Shards served by remote worker daemons (0 for in-process queries) —
+  /// what distinguishes a distributed query in `progxe_server list`.
+  size_t shards_remote = 0;
 
   std::string ToString() const;
 };
@@ -298,6 +311,12 @@ struct SubmitOptions {
   /// Convenience alias for shards.allow_partial — either being true
   /// enables it.
   bool allow_partial = false;
+
+  /// Remote execution: shard-worker endpoints ("host:port"). Convenience
+  /// alias for shards.workers (used when either is non-empty; setting both
+  /// is rejected at Submit). Remote queries share the scheduler's
+  /// process-wide connection pool, so worker links outlive any one query.
+  std::vector<std::string> workers;
 
   /// Retain this query's delivered results on its record so later
   /// submissions can seed from them (`parent`/`seed_from_parent`). Costs

@@ -1,0 +1,7 @@
+#include "shard/shard_engine.h"
+
+namespace progxe {
+
+ShardEngine::~ShardEngine() = default;
+
+}  // namespace progxe

@@ -12,6 +12,8 @@
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "mapping/interval.h"
+#include "net/remote_shard.h"
+#include "net/worker_pool.h"
 #include "obs/trace.h"
 #include "prefs/dominance.h"
 
@@ -32,6 +34,7 @@ ShardCoverage ProgXeStream::coverage() const {
 std::string ShardCoverage::ToString() const {
   std::ostringstream os;
   os << completed << "/" << shards << " shards";
+  if (remote > 0) os << " remote=" << remote;
   if (retries > 0) os << " retries=" << retries;
   if (abandoned > 0) {
     os << " abandoned=[";
@@ -126,6 +129,11 @@ Result<std::unique_ptr<ShardedStream>> ShardedStream::Open(
   stream->faults_ = stream->sub_options_.faults != nullptr
                         ? stream->sub_options_.faults.get()
                         : FaultInjector::FromEnv();
+  if (!stream->shard_options_.workers.empty()) {
+    stream->pool_ = stream->shard_options_.worker_pool != nullptr
+                        ? stream->shard_options_.worker_pool
+                        : std::make_shared<WorkerPool>();
+  }
 
   std::vector<QueryShard> slices =
       PlanShards(*query.r, *query.t, shard_options.num_shards);
@@ -196,17 +204,40 @@ Status ShardedStream::OpenShard(size_t i) {
                                         static_cast<int>(i)));
   ProgXeOptions opts = sub_options_;
   opts.fault_instance = static_cast<int>(i);
+  if (pool_ != nullptr) {
+    // Remote shard: ship the slice to a worker. The endpoint rotates with
+    // the shard's incarnation, so a retry after a worker failure re-opens
+    // on a *different* engine (the dead worker's endpoint comes around
+    // again only after every alternative was tried). The worker runs a
+    // plain ProgXeSession over the identical slice + options, so the
+    // replayed local skyline — and therefore the merged delivered set — is
+    // bit-identical to the in-process run.
+    const std::vector<std::string>& workers = shard_options_.workers;
+    const std::string& endpoint =
+        workers[(i + static_cast<size_t>(shard.incarnation)) %
+                workers.size()];
+    ++shard.incarnation;
+    PROGXE_ASSIGN_OR_RETURN(
+        shard.session,
+        RemoteShardStream::Open(pool_, endpoint, static_cast<int>(i),
+                                shard.slice.r, shard.slice.t, query_.map,
+                                query_.pref, opts));
+    return Status::OK();
+  }
+  ++shard.incarnation;
   if (shard.prepared != nullptr) {
     // Retry re-open: adopt the first incarnation's prepared state instead
     // of re-running the prepare phase over the slice.
     PROGXE_ASSIGN_OR_RETURN(
-        shard.session,
+        std::unique_ptr<ProgXeSession> session,
         ProgXeSession::OpenPrepared(shard.prepared, std::move(opts)));
+    shard.session = std::make_unique<LocalShardEngine>(std::move(session));
     return Status::OK();
   }
   PROGXE_ASSIGN_OR_RETURN(
-      shard.session,
+      std::unique_ptr<ProgXeSession> session,
       ProgXeSession::Open(shard.slice.Query(query_), std::move(opts)));
+  shard.session = std::make_unique<LocalShardEngine>(std::move(session));
   if (shard_options_.max_retries > 0) {
     // Capture for possible re-opens. The prepared state aliases the slice's
     // relations (which live in shards_ for the stream's lifetime), so
@@ -661,6 +692,7 @@ ShardCoverage ShardedStream::coverage() const {
   ShardCoverage cov;
   cov.shards = static_cast<int>(shards_.size());
   cov.completed = 0;
+  cov.remote = pool_ != nullptr ? cov.shards : 0;
   cov.retries = total_retries_;
   // Early termination (max_results) closes the sub-sessions before they
   // exhaust, but the delivered set is the complete requested answer: every
@@ -681,7 +713,10 @@ ShardCoverage ShardedStream::coverage() const {
 Result<std::unique_ptr<ProgXeStream>> OpenProgXeStream(
     const SkyMapJoinQuery& query, ProgXeOptions options,
     const ShardOptions& shards) {
-  if (shards.num_shards <= 1) {
+  // A worker list forces the sharded executor even at num_shards == 1: one
+  // remote shard is still remote execution, and the in-process session has
+  // no transport.
+  if (shards.num_shards <= 1 && shards.workers.empty()) {
     PROGXE_ASSIGN_OR_RETURN(std::unique_ptr<ProgXeSession> session,
                             ProgXeSession::Open(query, std::move(options)));
     return std::unique_ptr<ProgXeStream>(std::move(session));

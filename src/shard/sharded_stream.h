@@ -66,6 +66,7 @@
 #include "prefs/dominance.h"
 #include "progxe/session.h"
 #include "progxe/stream.h"
+#include "shard/shard_engine.h"
 #include "shard/shard_planner.h"
 
 namespace progxe {
@@ -138,8 +139,11 @@ class ShardedStream : public ProgXeStream {
 
   struct SubShard {
     QueryShard slice;
-    /// Null while quarantined (between a fault and the retry re-open).
-    std::unique_ptr<ProgXeSession> session;
+    /// The shard's engine — a LocalShardEngine over an in-process
+    /// ProgXeSession, or a RemoteShardStream speaking to a worker daemon
+    /// when ShardOptions::workers is set. Null while quarantined (between a
+    /// fault and the retry re-open).
+    std::unique_ptr<ShardEngine> session;
     /// The first healthy incarnation's immutable prepared state, captured
     /// only when retries are enabled: a re-open adopts it directly
     /// (ProgXeSession::OpenPrepared) instead of re-running push-through /
@@ -167,6 +171,9 @@ class ShardedStream : public ProgXeStream {
     /// then ratchets (componentwise max) instead of being replaced, since a
     /// replaying incarnation's frontier restarts below the frozen one.
     bool replayed = false;
+    /// Engines opened for this shard so far. Remote shards rotate their
+    /// endpoint by incarnation, so a retry re-opens on a different worker.
+    int incarnation = 0;
     /// Earliest re-open time while quarantined (session == nullptr).
     Clock::time_point next_attempt{};
     /// Last failure that quarantined/abandoned this shard.
@@ -245,6 +252,9 @@ class ShardedStream : public ProgXeStream {
   /// one when set, else the process-wide env one, else null. Not owned
   /// (sub_options_.faults or process lifetime).
   FaultInjector* faults_ = nullptr;
+  /// Worker connection pool; non-null iff shard_options_.workers is set
+  /// (created privately when the caller supplied none).
+  std::shared_ptr<WorkerPool> pool_;
   CanonicalMapper mapper_;
   int k_ = 0;
   size_t cap_ = 0;  // options.max_results, merge-level

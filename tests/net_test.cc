@@ -1,0 +1,606 @@
+// Distributed shard transport tests: the wire protocol's serde must be a
+// lossless involution (and reject truncated/corrupted payloads with a clean
+// Status, never a crash), and a ShardedStream served by real loopback
+// worker processes must deliver a result set *bit-identical* to the
+// in-process run — through clean runs, worker death mid-stream (retry on a
+// surviving worker) and retry exhaustion (exact kPartial coverage).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "equivalence_common.h"
+#include "net/net_stats.h"
+#include "net/remote_shard.h"
+#include "net/wire.h"
+#include "net/worker_pool.h"
+#include "net/worker_service.h"
+#include "progxe/session.h"
+#include "progxe/stream.h"
+#include "shard/shard_planner.h"
+#include "shard/sharded_stream.h"
+
+namespace progxe {
+namespace {
+
+using test::Config;
+using test::ExpectSameStats;
+using test::MakeConfig;
+
+using IdSet = std::vector<std::pair<RowId, RowId>>;
+
+IdSet SortedIds(const std::vector<ResultTuple>& results) {
+  IdSet ids;
+  ids.reserve(results.size());
+  for (const ResultTuple& res : results) ids.emplace_back(res.r_id, res.t_id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<ResultTuple> DrainStream(ProgXeStream* stream, size_t max_results,
+                                     size_t max_pairs) {
+  std::vector<ResultTuple> all;
+  std::vector<ResultTuple> batch;
+  while (!stream->Finished()) {
+    const size_t n = stream->NextBatch(max_results, max_pairs, &batch);
+    if (n == 0) {
+      if (max_pairs == 0) break;
+      continue;
+    }
+    for (ResultTuple& res : batch) all.push_back(std::move(res));
+  }
+  return all;
+}
+
+// --- Wire serde -------------------------------------------------------------
+
+TEST(Wire, PrimitiveRoundTripIsBitLossless) {
+  std::string buf;
+  WireWriter w(&buf);
+  w.PutU8(0xab);
+  w.PutU16(0xbeef);
+  w.PutU32(0xdeadbeefu);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutI64(-42);
+  // The doubles that break naive text round-trips: NaN (payload bits),
+  // infinities, signed zero, denormal, and a full-precision value.
+  const std::vector<double> specials = {
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      -0.0,
+      std::numeric_limits<double>::denorm_min(),
+      0.1 + 0.2};
+  for (double d : specials) w.PutDouble(d);
+  w.PutString("hello \0 wire");  // embedded NUL truncates the literal: fine
+  w.PutDoubles(specials);
+
+  WireReader r(buf);
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  EXPECT_TRUE(r.GetU8(&u8));
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_TRUE(r.GetU16(&u16));
+  EXPECT_EQ(u16, 0xbeef);
+  EXPECT_TRUE(r.GetU32(&u32));
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_TRUE(r.GetU64(&u64));
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_TRUE(r.GetI64(&i64));
+  EXPECT_EQ(i64, -42);
+  for (double expected : specials) {
+    double d;
+    EXPECT_TRUE(r.GetDouble(&d));
+    // Bit equality, not value equality: NaN != NaN but its bits round-trip.
+    EXPECT_EQ(std::memcmp(&d, &expected, sizeof d), 0);
+  }
+  std::string s;
+  EXPECT_TRUE(r.GetString(&s));
+  EXPECT_EQ(s, "hello ");
+  std::vector<double> ds;
+  EXPECT_TRUE(r.GetDoubles(&ds));
+  ASSERT_EQ(ds.size(), specials.size());
+  EXPECT_EQ(std::memcmp(ds.data(), specials.data(),
+                        ds.size() * sizeof(double)),
+            0);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ok());
+}
+
+/// One encoded payload per field group of the session protocol, built from
+/// a randomized query so coverage does not depend on hand-picked shapes.
+std::vector<std::string> EncodeFieldGroups(const Config& cfg) {
+  std::vector<std::string> payloads;
+  {
+    std::string buf;
+    WireWriter w(&buf);
+    WriteRelation(cfg.r, &w);
+    payloads.push_back(std::move(buf));
+  }
+  {
+    std::string buf;
+    WireWriter w(&buf);
+    WriteMapSpec(cfg.map, &w);
+    payloads.push_back(std::move(buf));
+  }
+  {
+    std::string buf;
+    WireWriter w(&buf);
+    WritePreference(cfg.pref, &w);
+    payloads.push_back(std::move(buf));
+  }
+  {
+    ProgXeOptions options;
+    options.seed = 0xfeed;
+    auto seed = std::make_shared<RefinementSeed>();
+    seed->k = 2;
+    seed->canonical = {0.25, -1.5};
+    options.refinement_seed = std::move(seed);
+    std::string buf;
+    WireWriter w(&buf);
+    WriteOptions(options, &w);
+    payloads.push_back(std::move(buf));
+  }
+  {
+    ProgXeStats stats;
+    stats.join_pairs_generated = 12345;
+    stats.results_emitted = 678;
+    stats.dominance_comparisons = 91011;
+    std::string buf;
+    WireWriter w(&buf);
+    WriteStats(stats, &w);
+    payloads.push_back(std::move(buf));
+  }
+  {
+    std::vector<ResultTuple> batch(3);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].r_id = static_cast<RowId>(i);
+      batch[i].t_id = static_cast<RowId>(i + 10);
+      batch[i].values = {1.5 * static_cast<double>(i), -0.0};
+    }
+    std::string buf;
+    WireWriter w(&buf);
+    WriteResultBatch(batch, 2, &w);
+    payloads.push_back(std::move(buf));
+  }
+  {
+    std::string buf;
+    WireWriter w(&buf);
+    WriteWatermark(true, {0.0, std::numeric_limits<double>::infinity()}, &w);
+    payloads.push_back(std::move(buf));
+  }
+  {
+    std::string buf;
+    WireWriter w(&buf);
+    WriteStatusPayload(Status::Unavailable("worker died"), &w);
+    payloads.push_back(std::move(buf));
+  }
+  return payloads;
+}
+
+/// Decodes payload i of EncodeFieldGroups' order; returns the decode
+/// Status. Used both for the round-trip direction and the fuzz direction.
+Status DecodeFieldGroup(size_t index, const std::string& payload) {
+  WireReader r(payload);
+  Status st;
+  switch (index) {
+    case 0: {
+      Relation rel{Schema::Anonymous(0)};
+      st = ReadRelation(&r, &rel);
+      break;
+    }
+    case 1: {
+      MapSpec spec;
+      st = ReadMapSpec(&r, &spec);
+      break;
+    }
+    case 2: {
+      Preference pref;
+      st = ReadPreference(&r, &pref);
+      break;
+    }
+    case 3: {
+      ProgXeOptions options;
+      st = ReadOptions(&r, &options);
+      break;
+    }
+    case 4: {
+      ProgXeStats stats;
+      st = ReadStats(&r, &stats);
+      break;
+    }
+    case 5: {
+      std::vector<ResultTuple> batch;
+      st = ReadResultBatch(&r, &batch);
+      break;
+    }
+    case 6: {
+      bool has_bound;
+      std::vector<double> bound;
+      st = ReadWatermark(&r, &has_bound, &bound);
+      break;
+    }
+    default: {
+      Status decoded;
+      st = ReadStatusPayload(&r, &decoded);
+      break;
+    }
+  }
+  if (st.ok() && !r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after field group");
+  }
+  return st;
+}
+
+TEST(Wire, FieldGroupsRoundTrip) {
+  Rng rng(0x11e7);
+  const Config cfg = MakeConfig(&rng, false, false);
+  const std::vector<std::string> payloads = EncodeFieldGroups(cfg);
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_TRUE(DecodeFieldGroup(i, payloads[i]).ok())
+        << "group " << i << ": "
+        << DecodeFieldGroup(i, payloads[i]).ToString();
+  }
+}
+
+TEST(Wire, RelationRoundTripPreservesEveryBit) {
+  Rng rng(0x11e8);
+  const Config cfg = MakeConfig(&rng, true, true);
+  std::string buf;
+  WireWriter w(&buf);
+  WriteRelation(cfg.r, &w);
+  WireReader r(buf);
+  Relation decoded{Schema::Anonymous(0)};
+  ASSERT_TRUE(ReadRelation(&r, &decoded).ok()) << r.status().ToString();
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_EQ(decoded.size(), cfg.r.size());
+  ASSERT_EQ(decoded.num_attributes(), cfg.r.num_attributes());
+  for (RowId i = 0; i < static_cast<RowId>(cfg.r.size()); ++i) {
+    EXPECT_EQ(decoded.join_key(i), cfg.r.join_key(i));
+    for (int a = 0; a < cfg.r.num_attributes(); ++a) {
+      const double lhs = decoded.attr(i, a);
+      const double rhs = cfg.r.attr(i, a);
+      EXPECT_EQ(std::memcmp(&lhs, &rhs, sizeof lhs), 0);
+    }
+  }
+}
+
+// Every truncation of every field group must decode to a non-OK Status —
+// straight-line decoders over a bounds-checked reader can't crash, and a
+// short payload must never pass as a complete one.
+TEST(Wire, TruncatedPayloadsFailCleanly) {
+  Rng rng(0x11e9);
+  const Config cfg = MakeConfig(&rng, false, true);
+  const std::vector<std::string> payloads = EncodeFieldGroups(cfg);
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    const std::string& whole = payloads[i];
+    // Dense sweep for small payloads, strided for relation-sized ones.
+    const size_t step = whole.size() > 512 ? whole.size() / 257 + 1 : 1;
+    for (size_t cut = 0; cut < whole.size(); cut += step) {
+      const Status st = DecodeFieldGroup(i, whole.substr(0, cut));
+      EXPECT_FALSE(st.ok()) << "group " << i << " cut at " << cut << " of "
+                            << whole.size();
+    }
+  }
+}
+
+// Deterministic byte-flip fuzz: a corrupted payload may still decode (a
+// flipped double bit is a different valid double) but must never crash,
+// over-allocate on a forged element count, or leave the reader claiming OK
+// with bytes unconsumed.
+TEST(Wire, CorruptedPayloadsNeverCrash) {
+  Rng rng(0x11ea);
+  const Config cfg = MakeConfig(&rng, false, false);
+  const std::vector<std::string> payloads = EncodeFieldGroups(cfg);
+  Rng fuzz(0xfa22);
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    for (int round = 0; round < 200; ++round) {
+      std::string mutated = payloads[i];
+      const int flips = 1 + static_cast<int>(fuzz.NextBelow(4));
+      for (int f = 0; f < flips; ++f) {
+        const size_t pos = fuzz.NextBelow(mutated.size());
+        mutated[pos] = static_cast<char>(
+            static_cast<uint8_t>(mutated[pos]) ^
+            (1u << fuzz.NextBelow(8)));
+      }
+      // The only requirement: a Status comes back, OK or not, sans crash.
+      (void)DecodeFieldGroup(i, mutated);
+    }
+  }
+  // Forged count: a batch claiming 2^31 tuples backed by 8 bytes must be
+  // rejected before any allocation proportional to the claim.
+  std::string forged;
+  WireWriter w(&forged);
+  w.PutU32(2);            // k
+  w.PutU32(0x80000000u);  // count
+  w.PutU64(0);
+  const Status st = DecodeFieldGroup(5, forged);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(Net, ParseWorkerListValidates) {
+  auto list = ParseWorkerList("127.0.0.1:9000, localhost:9001 ,[::1]:9002");
+  ASSERT_TRUE(list.ok()) << list.status().ToString();
+  EXPECT_EQ(list->size(), 3u);
+  EXPECT_EQ((*list)[0], "127.0.0.1:9000");
+
+  EXPECT_TRUE(ParseWorkerList("")->empty());
+  EXPECT_FALSE(ParseWorkerList("no-port").ok());
+  EXPECT_FALSE(ParseWorkerList("host:notaport").ok());
+  EXPECT_FALSE(ParseWorkerList("host:70000").ok());
+  // Stray commas are tolerated, not endpoints.
+  auto gaps = ParseWorkerList("host:9000,,host:9001");
+  ASSERT_TRUE(gaps.ok());
+  EXPECT_EQ(gaps->size(), 2u);
+}
+
+// --- Loopback distributed execution ----------------------------------------
+
+std::string Endpoint(const WorkerServer& server) {
+  return "127.0.0.1:" + std::to_string(server.port());
+}
+
+std::unique_ptr<WorkerServer> MustStartWorker() {
+  WorkerServerOptions options;
+  options.port = 0;
+  // Small slices + fast heartbeats so the kill tests cross many pump
+  // boundaries and the soak stays quick.
+  options.pump_slice_pairs = 1024;
+  options.heartbeat_interval = std::chrono::milliseconds(50);
+  auto server = WorkerServer::Start(options);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return server.MoveValue();
+}
+
+// A clean distributed run over two loopback workers is bit-identical to the
+// in-process sharded run: same delivered set, same summed ProgXeStats, full
+// remote coverage, zero retries — and the transport actually carried it
+// (net counters moved).
+TEST(Net, DistributedRunIsBitIdenticalToInProcess) {
+  Rng rng(0xd157);
+  const Config cfg = MakeConfig(&rng, false, true);
+  ProgXeOptions options;
+  options.seed = 0xfeed;
+  constexpr int kShards = 4;
+
+  ShardOptions local;
+  local.num_shards = kShards;
+  auto in_process = OpenProgXeStream(cfg.query(), options, local);
+  ASSERT_TRUE(in_process.ok());
+  const IdSet reference = SortedIds(DrainStream(in_process->get(), 0, 0));
+  const ProgXeStats reference_stats = (*in_process)->stats();
+
+  auto worker_a = MustStartWorker();
+  auto worker_b = MustStartWorker();
+  const NetStatsSnapshot before = SnapshotNetStats();
+
+  ShardOptions distributed;
+  distributed.num_shards = kShards;
+  distributed.workers = {Endpoint(*worker_a), Endpoint(*worker_b)};
+  auto stream = OpenProgXeStream(cfg.query(), options, distributed);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  // Budgeted drain: slicing must stay invisible over the wire too.
+  const IdSet delivered = SortedIds(DrainStream(stream->get(), 7, 96));
+  EXPECT_EQ(delivered, reference);
+  EXPECT_TRUE((*stream)->last_status().ok());
+  ExpectSameStats((*stream)->stats(), reference_stats, "distributed");
+
+  const ShardCoverage coverage = (*stream)->coverage();
+  EXPECT_TRUE(coverage.complete());
+  EXPECT_EQ(coverage.shards, kShards);
+  EXPECT_EQ(coverage.completed, kShards);
+  EXPECT_EQ(coverage.remote, kShards);
+  EXPECT_EQ(coverage.retries, 0u);
+
+  const NetStatsSnapshot after = SnapshotNetStats();
+  EXPECT_GT(after.frames_sent, before.frames_sent);
+  EXPECT_GT(after.bytes_received, before.bytes_received);
+  EXPECT_GT(after.rtt_count, before.rtt_count);
+}
+
+// The pool caches handshaken links across streams: a second query against
+// the same workers reuses connections instead of redialing.
+TEST(Net, WorkerPoolReusesConnectionsAcrossStreams) {
+  Rng rng(0xd158);
+  const Config cfg = MakeConfig(&rng, false, false);
+  ProgXeOptions options;
+  options.seed = 0xfeed;
+  auto worker = MustStartWorker();
+  auto pool = std::make_shared<WorkerPool>();
+
+  ShardOptions distributed;
+  distributed.num_shards = 2;
+  distributed.workers = {Endpoint(*worker)};
+  distributed.worker_pool = pool;
+  for (int round = 0; round < 2; ++round) {
+    auto stream = OpenProgXeStream(cfg.query(), options, distributed);
+    ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+    (void)DrainStream(stream->get(), 0, 0);
+    EXPECT_TRUE((*stream)->last_status().ok());
+  }
+  EXPECT_GT(pool->reuses(), 0u);
+  EXPECT_LE(pool->connections_created(), 2u);
+}
+
+// Worker death mid-stream: severed connections surface as retryable
+// kUnavailable, the shards re-open on the *surviving* worker (endpoint
+// rotation) and idempotent replay keeps the delivered set bit-identical —
+// zero retractions, zero duplicates.
+TEST(Net, WorkerKillMidStreamRecoversOnSurvivor) {
+  Rng rng(0xd159);
+  // Low sigma: many join-key classes, so every shard owns real work and the
+  // kill below is guaranteed to hit shards that still have pumps ahead.
+  const Config cfg = MakeConfig(&rng, false, false);
+  ProgXeOptions options;
+  options.seed = 0xfeed;
+  constexpr int kShards = 4;
+
+  ShardOptions local;
+  local.num_shards = kShards;
+  auto in_process = OpenProgXeStream(cfg.query(), options, local);
+  ASSERT_TRUE(in_process.ok());
+  const IdSet reference = SortedIds(DrainStream(in_process->get(), 0, 0));
+
+  auto doomed = MustStartWorker();
+  auto survivor = MustStartWorker();
+  ShardOptions distributed;
+  distributed.num_shards = kShards;
+  distributed.workers = {Endpoint(*doomed), Endpoint(*survivor)};
+  distributed.max_retries = 8;
+  distributed.retry_backoff = std::chrono::milliseconds(1);
+  auto stream = OpenProgXeStream(cfg.query(), options, distributed);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  // Kill after open, before any pump: every shard the doomed worker held
+  // must fail its first pump and replay from scratch elsewhere.
+  doomed->Stop();
+
+  const IdSet delivered = SortedIds(DrainStream(stream->get(), 0, 128));
+  EXPECT_EQ(delivered, reference);
+  EXPECT_TRUE((*stream)->last_status().ok());
+  const ShardCoverage coverage = (*stream)->coverage();
+  EXPECT_TRUE(coverage.complete());
+  EXPECT_EQ(coverage.completed, kShards);
+  EXPECT_GT(coverage.retries, 0u);
+}
+
+// Retry exhaustion against a dead endpoint under allow_partial: the stream
+// completes as a *partial* with exact per-shard accounting, and delivers
+// exactly the covered shards' skyline (the same contract as local
+// abandonment — transport failures ride the same path).
+TEST(Net, RemoteRetryExhaustionYieldsExactPartialCoverage) {
+  Rng rng(0xd15a);
+  const Config cfg = MakeConfig(&rng, false, true);
+  ProgXeOptions options;
+  options.seed = 0xfeed;
+  constexpr int kShards = 2;
+
+  // Covered-only reference: drop every row whose key hashes to shard 1
+  // (the shard that will dial the dead endpoint), run unsharded, map the
+  // renumbered ids back.
+  std::vector<RowId> keep_r, keep_t;
+  for (RowId i = 0; i < static_cast<RowId>(cfg.r.size()); ++i) {
+    if (ShardOfKey(cfg.r.join_key(i), kShards) != 1) keep_r.push_back(i);
+  }
+  for (RowId i = 0; i < static_cast<RowId>(cfg.t.size()); ++i) {
+    if (ShardOfKey(cfg.t.join_key(i), kShards) != 1) keep_t.push_back(i);
+  }
+  ASSERT_LT(keep_r.size(), cfg.r.size());
+  std::vector<RowId> r_orig, t_orig;
+  Config covered;
+  covered.r = cfg.r.Select(keep_r, &r_orig);
+  covered.t = cfg.t.Select(keep_t, &t_orig);
+  covered.map = cfg.map;
+  covered.pref = cfg.pref;
+  auto covered_session = ProgXeSession::Open(covered.query(), options);
+  ASSERT_TRUE(covered_session.ok());
+  IdSet reference;
+  for (const auto& [r_id, t_id] :
+       SortedIds(DrainStream(covered_session->get(), 0, 0))) {
+    reference.emplace_back(r_orig[r_id], t_orig[t_id]);
+  }
+  std::sort(reference.begin(), reference.end());
+
+  auto live = MustStartWorker();
+  // A port that *was* bound and no longer is: connection refused, fast.
+  auto dead = MustStartWorker();
+  const std::string dead_endpoint = Endpoint(*dead);
+  dead->Stop();
+  dead.reset();
+
+  // Shard i dials workers[i % 2]: shard 0 -> live, shard 1 -> dead; with
+  // max_retries=0 there is no rotation onto the live worker, so shard 1 is
+  // deterministically abandoned.
+  ShardOptions distributed;
+  distributed.num_shards = kShards;
+  distributed.workers = {Endpoint(*live), dead_endpoint};
+  distributed.max_retries = 0;
+  distributed.allow_partial = true;
+  auto stream = OpenProgXeStream(cfg.query(), options, distributed);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  const IdSet delivered = SortedIds(DrainStream(stream->get(), 0, 0));
+  EXPECT_EQ(delivered, reference);
+  EXPECT_TRUE((*stream)->last_status().ok());
+
+  const ShardCoverage coverage = (*stream)->coverage();
+  EXPECT_FALSE(coverage.complete());
+  EXPECT_EQ(coverage.shards, kShards);
+  EXPECT_EQ(coverage.completed, kShards - 1);
+  EXPECT_EQ(coverage.abandoned, 1);
+  ASSERT_EQ(coverage.abandoned_shards.size(), 1u);
+  EXPECT_EQ(coverage.abandoned_shards[0], 1);
+  EXPECT_EQ(coverage.remote, kShards);
+}
+
+// Without allow_partial the same dead endpoint kills the stream with the
+// transport's synthesized kUnavailable — the coordinator-side failure
+// detector, observable end to end.
+TEST(Net, DeadWorkerWithoutPartialFailsWithUnavailable) {
+  Rng rng(0xd15b);
+  const Config cfg = MakeConfig(&rng, false, false);
+  ProgXeOptions options;
+  options.seed = 0xfeed;
+
+  auto dead = MustStartWorker();
+  const std::string dead_endpoint = Endpoint(*dead);
+  dead->Stop();
+  dead.reset();
+
+  ShardOptions distributed;
+  distributed.num_shards = 2;
+  distributed.workers = {dead_endpoint};
+  distributed.max_retries = 1;
+  distributed.retry_backoff = std::chrono::milliseconds(0);
+  auto stream = OpenProgXeStream(cfg.query(), options, distributed);
+  ASSERT_TRUE(stream.ok())
+      << "transient open failures must not fail Open itself";
+  std::vector<ResultTuple> batch;
+  EXPECT_EQ((*stream)->NextBatch(0, 0, &batch), 0u);
+  EXPECT_TRUE((*stream)->Finished());
+  const Status death = (*stream)->last_status();
+  ASSERT_FALSE(death.ok());
+  EXPECT_TRUE(death.IsUnavailable());
+}
+
+// A worker survives a *semantic* open failure (bad query) with the link
+// intact: the error comes back as a Status, not a severed connection, and
+// the very same connection then serves a healthy session.
+TEST(Net, SemanticOpenFailureKeepsTheLinkUsable) {
+  Rng rng(0xd15c);
+  const Config cfg = MakeConfig(&rng, false, false);
+  auto worker = MustStartWorker();
+  auto pool = std::make_shared<WorkerPool>();
+
+  // Dimensionality mismatch: preference arity != map arity.
+  std::vector<Direction> dirs(cfg.map.output_dimensions() + 1,
+                              Direction::kLowest);
+  ProgXeOptions options;
+  options.seed = 0xfeed;
+  auto bad = RemoteShardStream::Open(pool, Endpoint(*worker), 0, cfg.r,
+                                     cfg.t, cfg.map, Preference(dirs),
+                                     options);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.status().IsUnavailable())
+      << "semantic failures must not masquerade as transport death: "
+      << bad.status().ToString();
+
+  auto good = RemoteShardStream::Open(pool, Endpoint(*worker), 0, cfg.r,
+                                      cfg.t, cfg.map, cfg.pref, options);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(pool->connections_created(), 1u)
+      << "the post-failure open must reuse the surviving link";
+  (*good)->Close();
+}
+
+}  // namespace
+}  // namespace progxe

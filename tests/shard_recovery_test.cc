@@ -82,8 +82,14 @@ TEST(ShardRecovery, RetriedRunsDeliverTheFaultFreeSet) {
     options.seed = 0xfeed;
     const IdSet reference = UnshardedReference(cfg, options);
 
+    // kPrepareBuild fails inside the shard session's prepare phase (an open
+    // failure to the recovery layer); kPipelineChunk kills the region loop
+    // mid-stream through the session's error channel (a next_batch
+    // failure). Both must ride the same quarantine/re-open/replay path as
+    // the shard-seam sites.
     for (const char* site :
-         {fault_sites::kShardOpen, fault_sites::kShardNextBatch}) {
+         {fault_sites::kShardOpen, fault_sites::kShardNextBatch,
+          fault_sites::kPrepareBuild, fault_sites::kPipelineChunk}) {
       for (int num_shards : {2, 4, 8}) {
         ProgXeOptions faulty = options;
         // max=6 bounds the fire budget under max_retries=8, so a shard can

@@ -23,11 +23,17 @@ means fingerprinting broke and every refinement silently re-prepares) and
 the warm children's result hashes must equal the cold run's
 (`results_match` — reuse must never change what a query returns).
 
+The distributed loopback run (the `distributed` key, written by
+bench_distributed) is gated on its own `results_match`: a K-shard query
+served by remote worker processes must deliver exactly the in-process
+result set — distribution is a placement decision, never a results
+decision.
+
 Accepts a bare bench_sharded JSON ({"runs": [...]}), a full
-BENCH_progxe.json (takes its "sharded" key, plus "reuse" when present),
-or a bare bench_multiquery JSON (no sharded runs — only the "reuse" gate
-applies; missing sharded data is an error only when there is no reuse
-section either).
+BENCH_progxe.json (takes its "sharded" key, plus "reuse"/"distributed"
+when present), or a bare bench_multiquery JSON (no sharded runs — only
+the "reuse" gate applies; missing sharded data is an error only when
+there is no reuse section either).
 
 Usage: check_merge_budget.py <json> [--shards=4] [--budget=200000]
                                     [--hook_budget_ns=15]
@@ -70,6 +76,9 @@ def main(argv):
     reuse = doc.get("reuse")
     if reuse is None and isinstance(doc.get("multiquery"), dict):
         reuse = doc["multiquery"].get("reuse")
+    distributed = doc.get("distributed")
+    if distributed is None and doc.get("bench") == "distributed":
+        distributed = doc  # bare bench_distributed JSON
 
     if shards in runs:
         run = runs[shards]
@@ -80,7 +89,7 @@ def main(argv):
                 f"FAIL: merge_comparisons at K={shards} exceeded the budget "
                 f"({cmps} > {budget}) — the merge sink is scanning instead "
                 f"of using the dominance index")
-    elif reuse is None:
+    elif reuse is None and distributed is None:
         raise SystemExit(f"{path}: no K={shards} run recorded")
 
     hook_ns = data.get("fault_hook_ns_per_call")
@@ -100,6 +109,16 @@ def main(argv):
                 f"FAIL: a disabled TraceSpan costs {trace_ns}ns per call "
                 f"(> {trace_budget_ns}ns) — with tracing off it must stay a "
                 f"single predicted branch, not touch the ring buffer")
+
+    if isinstance(distributed, dict):
+        match = distributed.get("results_match", False)
+        retries = distributed.get("retries", 0)
+        print(f"distributed: results_match={match} retries={retries}")
+        if not match:
+            raise SystemExit(
+                "FAIL: the distributed loopback run delivered a different "
+                "result set than the in-process run — remote shard workers "
+                "must be bit-identical to local execution")
 
     if reuse is not None:
         skipped = reuse.get("prepare_skipped", 0)

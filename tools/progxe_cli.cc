@@ -18,6 +18,15 @@
 //   --shards=<K>       hash-partition the join across K engine shards
 //                      (ProgXe variants; default 1 = unsharded, the result
 //                      set is identical at any K)
+//   --shard_workers=host:port,...  run the shards on remote worker
+//                      processes (progxe_server --worker) instead of
+//                      in-process sessions; shard i's incarnation n dials
+//                      workers[(i + n) % len]. Results stay bit-identical
+//                      to the in-process run. (--workers=<n> below is the
+//                      unrelated scheduler thread count.)
+//   --result_hash      print "result_hash=<hex>" — an order-insensitive
+//                      FNV-1a hash of the canonical (r_id, t_id) result
+//                      pairs, for comparing runs across processes
 //   --csv=<path>       append per-emission series rows to a CSV file
 //   --series=<k>       print at most k series samples (default 10)
 //   --trace_out=<path> record a span trace of the whole run and write it
@@ -64,6 +73,7 @@
 #include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "harness/experiment.h"
+#include "net/worker_pool.h"
 #include "obs/trace.h"
 #include "service/scheduler.h"
 
@@ -81,6 +91,8 @@ struct CliArgs {
   bool kd = false;
   int num_threads = 1;
   int shards = 1;
+  std::vector<std::string> shard_workers;
+  bool result_hash = false;
   std::string csv_path;
   std::string trace_path;
   int series_samples = 10;
@@ -141,6 +153,21 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
         std::fprintf(stderr, "--shards must be >= 1\n");
         return false;
       }
+    } else if (const char* v = value("--shard_workers=")) {
+      auto list = ParseWorkerList(v);
+      if (!list.ok()) {
+        std::fprintf(stderr, "--shard_workers: %s\n",
+                     list.status().ToString().c_str());
+        return false;
+      }
+      args->shard_workers = list.MoveValue();
+      if (args->shard_workers.empty()) {
+        std::fprintf(stderr,
+                     "--shard_workers needs at least one host:port\n");
+        return false;
+      }
+    } else if (std::strcmp(arg, "--result_hash") == 0) {
+      args->result_hash = true;
     } else if (const char* v = value("--series=")) {
       args->series_samples = std::atoi(v);
     } else if (const char* v = value("--faults=")) {
@@ -193,6 +220,25 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
   return true;
 }
 
+/// FNV-1a over the canonical (r_id, t_id) pairs. Order-insensitive by
+/// construction — CanonicalIdPairs sorts first — so two runs agree iff
+/// their result *sets* agree, which is what the distributed smoke compares
+/// across processes.
+uint64_t ResultHash(const std::vector<ResultTuple>& results) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& pair : CanonicalIdPairs(results)) {
+    mix(static_cast<uint64_t>(pair.first));
+    mix(static_cast<uint64_t>(pair.second));
+  }
+  return h;
+}
+
 /// Compiles the --faults/--max_retries/--allow_partial flags into the
 /// engine and shard options. False (with a message) on a malformed spec.
 bool ApplyFaultArgs(const CliArgs& args, ProgXeOptions* tuning,
@@ -200,6 +246,7 @@ bool ApplyFaultArgs(const CliArgs& args, ProgXeOptions* tuning,
   shards->max_retries = args.max_retries;
   shards->retry_backoff = std::chrono::milliseconds(args.retry_backoff_ms);
   shards->allow_partial = args.allow_partial;
+  shards->workers = args.shard_workers;
   if (args.faults.empty()) return true;
   auto injector = FaultInjector::Parse(args.faults, args.fault_seed);
   if (!injector.ok()) {
@@ -219,13 +266,15 @@ int RunOne(Algo algo, const Workload& workload, const CliArgs& args,
   ShardOptions shards;
   shards.num_shards = args.shards;
   if (!ApplyFaultArgs(args, &tuning, &shards)) return 2;
-  if (args.shards > 1 && !IsProgXeVariant(algo)) {
+  if ((args.shards > 1 || !args.shard_workers.empty()) &&
+      !IsProgXeVariant(algo)) {
     // Keeps --algo=all --shards=K usable: ProgXe variants run sharded,
     // baselines (which have no shard path) run as-is.
-    std::fprintf(stderr, "%s: --shards applies to ProgXe variants only; "
-                 "running unsharded\n",
+    std::fprintf(stderr, "%s: --shards/--shard_workers apply to ProgXe "
+                 "variants only; running unsharded\n",
                  AlgoName(algo));
     shards.num_shards = 1;
+    shards.workers.clear();
   }
   auto run = RunAlgorithm(algo, workload, tuning, shards);
   if (!run.ok()) {
@@ -243,6 +292,11 @@ int RunOne(Algo algo, const Workload& workload, const CliArgs& args,
   if (run->coverage.retries > 0 || !run->coverage.complete()) {
     std::printf("  coverage: %s%s\n", run->coverage.ToString().c_str(),
                 run->coverage.complete() ? "" : " (PARTIAL result set)");
+  }
+  if (args.result_hash) {
+    std::printf("result_hash=%016llx results=%zu\n",
+                static_cast<unsigned long long>(ResultHash(run->results)),
+                run->results.size());
   }
   if (args.series_samples > 0 && !run->series.empty()) {
     std::vector<SeriesPoint> pts = run->series;

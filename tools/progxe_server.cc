@@ -14,6 +14,12 @@
 //   --max_queue=<n>       waiting-room bound, 0 = unbounded (default 0)
 //   --deadline_ms=<ms>    default per-query deadline, 0 = none (default 0)
 //   --echo_results        print each result tuple's id pair
+//   --worker              shard-worker daemon mode: serve the wire protocol
+//                         (docs/worker_protocol.md) instead of the line
+//                         protocol below. Prints "worker listening port=<p>"
+//                         once bound, then runs until "quit" on stdin, EOF
+//                         followed by a signal, or SIGTERM.
+//   --listen=<port>       worker-mode listen port; 0 = ephemeral (default 0)
 //
 // Protocol (one command per line; tokens are key=value or bare words):
 //   submit [dist=independent|correlated|anticorrelated] [n=10000] [dims=4]
@@ -22,6 +28,7 @@
 //          [algo=ProgXe|ProgXe+|ProgXe-NoOrder|ProgXe+-NoOrder] [kd]
 //          [faults=<spec>] [fault_seed=0] [max_retries=2]
 //          [retry_backoff_ms=1] [allow_partial] [reuse=0|1] [parent=<id>]
+//          [workers=host:port,host:port,...]
 //     -> "ok id=<id>"; then asynchronously:
 //        "batch id=<id> n=<k> total=<total> t=<sec>"      (per delivery)
 //        "result id=<id> r=<rid> t=<tid>"                 (--echo_results)
@@ -40,7 +47,11 @@
 //     prepared-state cache hits) and seeds region pruning from the
 //     parent's accepted frontier. A parent= submit must not restate
 //     workload-shaping keys (dist/n/dims/sigma/seed) — the workload is the
-//     parent's by definition.
+//     parent's by definition. workers= runs the query's shards on remote
+//     worker processes (--worker mode) instead of in-process sessions;
+//     shard i's incarnation n dials workers[(i + n) % len], and the usual
+//     max_retries/allow_partial recovery budget applies to transport
+//     failures too.
 //   cancel <id>     cooperative cancellation
 //   stats <id>      one "stat ..." line: live progress (phase, regions
 //                   done/total, pairs, ttfr) in any state; a terminal query
@@ -71,12 +82,16 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "harness/experiment.h"
 #include "harness/workload.h"
+#include "net/net_stats.h"
+#include "net/worker_pool.h"
+#include "net/worker_service.h"
 #include "obs/metrics.h"
 #include "service/scheduler.h"
 
@@ -340,6 +355,17 @@ bool ParseSubmit(const std::vector<std::string>& tokens, SubmitSpec* spec,
     } else if (key == "parent") {
       if (!ParseU64(val, &spec->parent_id)) return bad_value();
       spec->has_parent = true;
+    } else if (key == "workers") {
+      auto list = ParseWorkerList(val);
+      if (!list.ok()) {
+        *error = list.status().ToString();
+        return false;
+      }
+      spec->submit.workers = list.MoveValue();
+      if (spec->submit.workers.empty()) {
+        *error = "workers= needs at least one host:port endpoint";
+        return false;
+      }
     } else if (key == "faults") {
       faults_spec = val;
     } else if (key == "fault_seed") {
@@ -391,6 +417,7 @@ void PrintStat(const ServedQuery& query) {
     const ShardCoverage& coverage = query.handle.coverage();
     line << " covered=" << coverage.completed << "/" << coverage.shards
          << " retries=" << coverage.retries;
+    if (coverage.remote > 0) line << " remote=" << coverage.remote;
     if (!coverage.complete()) {
       line << " abandoned=";
       for (size_t i = 0; i < coverage.abandoned_shards.size(); ++i) {
@@ -400,6 +427,9 @@ void PrintStat(const ServedQuery& query) {
   } else if (progress.shards > 0) {
     line << " covered=" << progress.shards_completed << "/"
          << progress.shards;
+    if (progress.shards_remote > 0) {
+      line << " remote=" << progress.shards_remote;
+    }
   }
   Emit(line.str());
 }
@@ -410,6 +440,8 @@ int main(int argc, char** argv) {
   ServiceOptions sopts;
   sopts.num_workers = 2;
   bool echo_results = false;
+  bool worker_mode = false;
+  int listen_port = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     auto flag_err = [arg] {
@@ -437,6 +469,13 @@ int main(int argc, char** argv) {
       sopts.default_deadline = std::chrono::milliseconds(i64);
     } else if (std::strcmp(arg, "--echo_results") == 0) {
       echo_results = true;
+    } else if (std::strcmp(arg, "--worker") == 0) {
+      worker_mode = true;
+    } else if (std::strncmp(arg, "--listen=", 9) == 0) {
+      if (!ParseI32(arg + 9, &listen_port) || listen_port < 0 ||
+          listen_port > 65535) {
+        return flag_err();
+      }
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf("see the header comment of tools/progxe_server.cc\n");
       return 0;
@@ -444,6 +483,41 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return 2;
     }
+  }
+
+  if (worker_mode) {
+    // Daemon mode: no scheduler, no line protocol — just the wire protocol
+    // behind a WorkerServer. The announce line is machine-readable so
+    // launchers binding port 0 can read the real port back.
+    WorkerServerOptions wopts;
+    wopts.port = listen_port;
+    auto server = WorkerServer::Start(wopts);
+    if (!server.ok()) {
+      std::fprintf(stderr, "worker start failed: %s\n",
+                   server.status().ToString().c_str());
+      return 1;
+    }
+    Emit("worker listening port=" + std::to_string((*server)->port()));
+    bool quit = false;
+    char buf[256];
+    while (std::fgets(buf, sizeof buf, stdin) != nullptr) {
+      std::string cmd(buf);
+      while (!cmd.empty() && (cmd.back() == '\n' || cmd.back() == '\r')) {
+        cmd.pop_back();
+      }
+      if (cmd == "quit" || cmd == "exit") {
+        quit = true;
+        break;
+      }
+      if (!cmd.empty()) Emit("err worker mode accepts only quit");
+    }
+    if (!quit) {
+      // stdin hit EOF (daemonized with </dev/null): keep serving until a
+      // signal takes the process down.
+      for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+    }
+    (*server)->Stop();
+    return 0;
   }
 
   // Declared before the scheduler so teardown runs in the right order: the
@@ -573,6 +647,7 @@ int main(int argc, char** argv) {
       }
       FoldSchedulerStats(scheduler.stats(), &reg);
       FoldShardCoverage(coverage_total, &reg);
+      FoldNetStats(&reg);
       FoldObservability(&reg);
       std::string text;
       reg.RenderPrometheus(&text);

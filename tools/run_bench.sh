@@ -23,6 +23,7 @@ if [[ ! -x "$build_dir/bench_json_summary" ]]; then
   cmake --build "$build_dir" -j --target bench_scaling_threads >/dev/null
   cmake --build "$build_dir" -j --target bench_multiquery >/dev/null
   cmake --build "$build_dir" -j --target bench_sharded >/dev/null
+  cmake --build "$build_dir" -j --target bench_distributed >/dev/null
   cmake --build "$build_dir" -j --target bench_micro_components >/dev/null 2>&1 || true
 fi
 
@@ -53,6 +54,14 @@ if [[ -x "$build_dir/bench_sharded" ]]; then
   rm -f "$out.sharded.tmp"
 fi
 
+distributed_json=""
+if [[ -x "$build_dir/bench_distributed" ]]; then
+  echo "running distributed-execution bench ..."
+  "$build_dir/bench_distributed" --json="$out.distributed.tmp" "$@"
+  distributed_json="$(cat "$out.distributed.tmp")"
+  rm -f "$out.distributed.tmp"
+fi
+
 micro_json=""
 if [[ -x "$build_dir/bench_micro_components" ]]; then
   echo "running insert-path microbenchmark ..."
@@ -67,6 +76,7 @@ fi
 # instead of wiping the previous runs' trajectory.
 MICRO_JSON="$micro_json" THREADS_JSON="$threads_json" \
 MULTIQUERY_JSON="$multiquery_json" SHARDED_JSON="$sharded_json" \
+DISTRIBUTED_JSON="$distributed_json" \
 python3 - "$out.tmp" "$out" <<'EOF'
 import datetime, json, os, sys
 summary = json.load(open(sys.argv[1]))
@@ -83,6 +93,9 @@ if multiquery_raw.strip():
 sharded_raw = os.environ.get("SHARDED_JSON", "")
 if sharded_raw.strip():
     summary["sharded"] = json.loads(sharded_raw)
+distributed_raw = os.environ.get("DISTRIBUTED_JSON", "")
+if distributed_raw.strip():
+    summary["distributed"] = json.loads(distributed_raw)
 micro_raw = os.environ.get("MICRO_JSON", "")
 if micro_raw.strip():
     micro = json.loads(micro_raw)
@@ -116,6 +129,12 @@ if isinstance(reuse, dict):
     for key in ("prepare_skipped", "results_match"):
         if key in reuse:
             entry[f"reuse_{key}"] = reuse[key]
+distributed = summary.get("distributed")
+if isinstance(distributed, dict):
+    for key in ("distributed_makespan_s", "bytes_sent", "results_match"):
+        if key in distributed:
+            entry[f"distributed_{key}" if not key.startswith("distributed")
+                  else key] = distributed[key]
 
 history = []
 if os.path.exists(sys.argv[2]):
