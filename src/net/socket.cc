@@ -1,6 +1,8 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -103,41 +105,98 @@ Status ParseEndpoint(std::string_view endpoint, std::string* host,
   return Status::OK();
 }
 
+namespace {
+
+/// One non-blocking connect attempt against a resolved address, bounded by
+/// `deadline`: connect in O_NONBLOCK, poll for writability, then read
+/// SO_ERROR for the real outcome. Returns the connected fd (restored to
+/// blocking — frame I/O does its own poll-based deadlines) or a Status.
+Result<int> ConnectOne(const struct addrinfo& ai, const std::string& endpoint,
+                       std::chrono::steady_clock::time_point deadline) {
+  const int fd = ::socket(ai.ai_family, ai.ai_socktype, ai.ai_protocol);
+  if (fd < 0) return Errno("socket");
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    Status st = Errno("fcntl");
+    CloseFd(fd);
+    return st;
+  }
+  if (::connect(fd, ai.ai_addr, ai.ai_addrlen) != 0) {
+    if (errno != EINPROGRESS) {
+      Status st = Status::Unavailable("connect to " + endpoint + " failed: " +
+                                      std::strerror(errno));
+      CloseFd(fd);
+      return st;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    while (true) {
+      const int timeout = MsUntil(deadline);
+      const int rv = timeout == 0 ? 0 : ::poll(&pfd, 1, timeout);
+      if (rv < 0) {
+        if (errno == EINTR) continue;
+        Status st = Errno("poll");
+        CloseFd(fd);
+        return st;
+      }
+      if (rv == 0) {
+        CloseFd(fd);
+        return Status::Unavailable("connect to " + endpoint + " timed out");
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      Status st = Status::Unavailable("connect to " + endpoint + " failed: " +
+                                      std::strerror(err != 0 ? err : errno));
+      CloseFd(fd);
+      return st;
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    Status st = Errno("fcntl");
+    CloseFd(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
 Result<int> DialTcp(const std::string& endpoint,
                     std::chrono::milliseconds timeout) {
   std::string host;
   int port = 0;
   PROGXE_RETURN_NOT_OK(ParseEndpoint(endpoint, &host, &port));
-  struct sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (host == "localhost") host = "127.0.0.1";
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("worker host must be an IPv4 address: '" +
-                                   host + "'");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  // getaddrinfo accepts numeric IPv4 literals and resolves hostnames, so
+  // "worker-3:9000" works as well as "10.0.0.3:9000".
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::Unavailable("cannot resolve worker host '" + host +
+                               "': " + ::gai_strerror(rc));
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Errno("socket");
-  // Non-blocking connect so the timeout is honored, then back to blocking
-  // (frame I/O does its own poll-based deadlines).
-  struct timeval tv;
-  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    Status st = Status::Unavailable("connect to " + endpoint + " failed: " +
-                                    std::strerror(errno));
-    CloseFd(fd);
-    return st;
+  Status last = Status::Unavailable("no usable address for '" + host + "'");
+  for (const struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Result<int> fd = ConnectOne(*ai, endpoint, deadline);
+    if (fd.ok()) {
+      ::freeaddrinfo(res);
+      return fd;
+    }
+    last = fd.status();
   }
-  tv.tv_sec = 0;
-  tv.tv_usec = 0;
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
+  ::freeaddrinfo(res);
+  return last;
 }
 
 Result<ListenSocket> ListenTcp(int port) {

@@ -23,7 +23,9 @@ namespace progxe {
 /// ("":port form) dials loopback.
 Status ParseEndpoint(std::string_view endpoint, std::string* host, int* port);
 
-/// Connects to "host:port" with a bounded connect timeout. Returns the
+/// Connects to "host:port" with a bounded connect timeout (non-blocking
+/// connect + poll, so the bound holds on every platform). The host may be
+/// an IPv4 literal or a hostname (resolved via getaddrinfo). Returns the
 /// connected fd (blocking mode, TCP_NODELAY set).
 Result<int> DialTcp(const std::string& endpoint,
                     std::chrono::milliseconds timeout);

@@ -215,9 +215,11 @@ Status ReadRelation(WireReader* r, Relation* out) {
   uint64_t rows;
   if (!r->GetU64(&rows)) return r->status();
   // Each row costs width doubles plus one join key: validate the claim
-  // against the bytes present before reserving anything.
-  const uint64_t need = rows * (static_cast<uint64_t>(width) + 1) * 8;
-  if (need > r->remaining()) {
+  // against the bytes present before reserving anything. Divide instead of
+  // multiplying — `rows` is peer-controlled and rows * per_row can wrap
+  // uint64, which would let an absurd count slip past the check.
+  const uint64_t per_row = (static_cast<uint64_t>(width) + 1) * 8;
+  if (rows > r->remaining() / per_row) {
     r->Fail("wire relation truncated (row count exceeds payload)");
     return r->status();
   }

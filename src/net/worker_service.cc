@@ -3,7 +3,9 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <condition_variable>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -41,6 +43,47 @@ Status SendError(int fd, const Status& status) {
   return SendFrame(fd, MsgType::kError, payload);
 }
 
+/// Emits kHeartbeat frames on `fd` every `interval` for as long as the
+/// scope lives. Used around kOpenShard handling, whose prepare phase can
+/// exceed the coordinator's open_timeout: the coordinator's deadline must
+/// keep measuring liveness, not prepare duration (worker_pool.h contract).
+/// The owning scope must not send any frame while the ticker is live —
+/// concurrent writers would interleave mid-frame.
+class HeartbeatTicker {
+ public:
+  HeartbeatTicker(int fd, std::chrono::milliseconds interval)
+      : fd_(fd), interval_(interval), thread_([this] { Run(); }) {}
+
+  ~HeartbeatTicker() {
+    {
+      std::lock_guard<std::mutex> lock(mtx_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lock(mtx_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, interval_, [this] { return stop_; })) return;
+      lock.unlock();
+      const bool sent = SendFrame(fd_, MsgType::kHeartbeat, {}).ok();
+      lock.lock();
+      // Peer gone: stop ticking; the result send will surface the failure.
+      if (!sent) return;
+    }
+  }
+
+  const int fd_;
+  const std::chrono::milliseconds interval_;
+  std::mutex mtx_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 Result<std::unique_ptr<WorkerServer>> WorkerServer::Start(
@@ -75,28 +118,36 @@ void WorkerServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   CloseFd(listen_fd_);
   listen_fd_ = -1;
-  std::vector<std::thread> handlers;
-  {
-    std::lock_guard<std::mutex> lock(mtx_);
-    handlers.swap(handlers_);
-  }
-  for (std::thread& t : handlers) {
-    if (t.joinable()) t.join();
-  }
+  // Handlers run detached; the severed fds above make each one exit its
+  // recv promptly, and the count tracks the last touch of `this`.
+  std::unique_lock<std::mutex> lock(mtx_);
+  handlers_done_.wait(lock, [this] { return active_handlers_ == 0; });
 }
 
 void WorkerServer::AcceptLoop() {
   while (true) {
     Result<int> accepted = AcceptTcp(listen_fd_);
-    std::lock_guard<std::mutex> lock(mtx_);
-    if (stopping_) {
-      if (accepted.ok()) CloseFd(*accepted);
-      return;
+    {
+      std::lock_guard<std::mutex> lock(mtx_);
+      if (stopping_) {
+        if (accepted.ok()) CloseFd(*accepted);
+        return;
+      }
+      if (accepted.ok()) {
+        ++accepted_;
+        live_fds_.push_back(*accepted);
+        ++active_handlers_;
+      }
     }
-    if (!accepted.ok()) continue;
-    ++accepted_;
-    live_fds_.push_back(*accepted);
-    handlers_.emplace_back(&WorkerServer::HandleConnection, this, *accepted);
+    if (!accepted.ok()) {
+      // A persistent accept errno (EMFILE, ENFILE, ...) must not busy-spin
+      // this thread; back off before retrying.
+      PROGXE_LOG(Warn) << "worker accept failed (retrying): "
+                       << accepted.status().ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    std::thread(&WorkerServer::HandleConnection, this, *accepted).detach();
   }
 }
 
@@ -138,30 +189,42 @@ void WorkerServer::HandleConnection(int fd) {
       }
       case MsgType::kOpenShard: {
         auto next = std::make_unique<OpenState>();
-        WireReader r(payload);
-        uint32_t shard_index = 0;
-        ProgXeOptions options;
-        r.GetU32(&shard_index);
-        ReadOptions(&r, &options);
-        ReadMapSpec(&r, &next->map);
-        ReadPreference(&r, &next->pref);
-        ReadRelation(&r, &next->r);
-        ReadRelation(&r, &next->t);
-        if (!r.ok() || !r.AtEnd()) {
+        Status parse_error;
+        Result<std::unique_ptr<ProgXeSession>> opened =
+            Status::Internal("open_shard never ran");
+        {
+          // Slice deserialization plus the whole prepare phase can outlast
+          // the coordinator's open_timeout; tick heartbeats so its deadline
+          // measures liveness. No other frame may be sent in this scope.
+          HeartbeatTicker ticker(fd, options_.heartbeat_interval);
+          WireReader r(payload);
+          uint32_t shard_index = 0;
+          ProgXeOptions options;
+          r.GetU32(&shard_index);
+          ReadOptions(&r, &options);
+          ReadMapSpec(&r, &next->map);
+          ReadPreference(&r, &next->pref);
+          ReadRelation(&r, &next->r);
+          ReadRelation(&r, &next->t);
+          if (!r.ok() || !r.AtEnd()) {
+            if (r.ok()) r.Fail("trailing bytes after open_shard payload");
+            parse_error = r.status();
+          } else {
+            next->shard_index = static_cast<int>(shard_index);
+            SkyMapJoinQuery query;
+            query.r = &next->r;
+            query.t = &next->t;
+            query.map = next->map;
+            query.pref = next->pref;
+            opened = ProgXeSession::Open(query, std::move(options));
+          }
+        }
+        if (!parse_error.ok()) {
           // A malformed assignment means the link itself can't be trusted.
-          if (r.ok()) r.Fail("trailing bytes after open_shard payload");
-          SendError(fd, r.status());
+          SendError(fd, parse_error);
           ok = false;
           break;
         }
-        next->shard_index = static_cast<int>(shard_index);
-        SkyMapJoinQuery query;
-        query.r = &next->r;
-        query.t = &next->t;
-        query.map = next->map;
-        query.pref = next->pref;
-        Result<std::unique_ptr<ProgXeSession>> opened =
-            ProgXeSession::Open(query, std::move(options));
         reply.clear();
         WireWriter w(&reply);
         if (!opened.ok()) {
@@ -266,6 +329,10 @@ void WorkerServer::HandleConnection(int fd) {
   std::lock_guard<std::mutex> lock(mtx_);
   live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
                   live_fds_.end());
+  // Last touch of `this`: notify while holding the lock so Stop() cannot
+  // observe the zero and destroy the server before the notify happens.
+  --active_handlers_;
+  handlers_done_.notify_all();
 }
 
 }  // namespace progxe

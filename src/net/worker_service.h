@@ -9,12 +9,15 @@
 // but keeps the link for reuse (the coordinator's WorkerPool caches
 // connections across queries).
 //
-// Long pumps and opens stay observable: the handler emits kHeartbeat frames
-// between internal pump slices whenever `heartbeat_interval` elapses, so
-// the coordinator's receive deadline measures *liveness*, not total pump
-// duration. Internal slicing is invisible by contract — slice boundaries
-// never change a session's delivered results or counters — which is what
-// keeps a distributed run bit-identical to the in-process one.
+// Long pumps and opens stay observable: during a pump the handler emits
+// kHeartbeat frames between internal pump slices whenever
+// `heartbeat_interval` elapses, and during an open (slice deserialization +
+// the whole prepare phase) a background ticker does the same, so the
+// coordinator's receive deadline measures *liveness*, not total pump or
+// prepare duration. Internal slicing is invisible by contract — slice
+// boundaries never change a session's delivered results or counters —
+// which is what keeps a distributed run bit-identical to the in-process
+// one.
 //
 // One connection serves one shard session at a time; concurrent shards come
 // from concurrent connections (one handler thread each). In-process use
@@ -23,6 +26,7 @@
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -50,8 +54,8 @@ class WorkerServer {
       WorkerServerOptions options);
 
   /// Stops accepting, severs every live connection (coordinators observe a
-  /// retryable kUnavailable — the worker-kill path), joins all handler
-  /// threads. Idempotent; the destructor calls it.
+  /// retryable kUnavailable — the worker-kill path) and waits for every
+  /// handler thread to finish. Idempotent; the destructor calls it.
   void Stop();
 
   ~WorkerServer();
@@ -79,7 +83,11 @@ class WorkerServer {
   mutable std::mutex mtx_;
   bool stopping_ = false;
   std::vector<int> live_fds_;
-  std::vector<std::thread> handlers_;
+  /// Handler threads run detached so finished connections release their
+  /// thread resources immediately; this count (with handlers_done_) is how
+  /// Stop() waits for the stragglers it severed.
+  size_t active_handlers_ = 0;
+  std::condition_variable handlers_done_;
   uint64_t accepted_ = 0;
 };
 

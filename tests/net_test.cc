@@ -329,6 +329,22 @@ TEST(Wire, CorruptedPayloadsNeverCrash) {
   EXPECT_FALSE(st.ok());
 }
 
+// A forged row count chosen so rows * (width+1) * 8 wraps uint64 to 0 must
+// still be rejected — the bounds check has to divide, not multiply, or the
+// wrapped product sails past it into a gigantic allocation.
+TEST(Wire, OverflowedRowCountRejectedBeforeAllocation) {
+  std::string forged;
+  WireWriter w(&forged);
+  w.PutU32(3);  // width: per-row cost 32 bytes
+  for (const char* name : {"a", "b", "c"}) w.PutString(name);
+  w.PutString("k");                 // join attribute
+  w.PutU64(1ull << 61);             // rows: 2^61 * 32 == 2^66 ≡ 0 (mod 2^64)
+  WireReader r(forged);
+  Relation rel{Schema::Anonymous(0)};
+  EXPECT_FALSE(ReadRelation(&r, &rel).ok());
+  EXPECT_FALSE(r.status().ok());
+}
+
 TEST(Net, ParseWorkerListValidates) {
   auto list = ParseWorkerList("127.0.0.1:9000, localhost:9001 ,[::1]:9002");
   ASSERT_TRUE(list.ok()) << list.status().ToString();
