@@ -12,6 +12,7 @@
 //
 // Extra flags over bench_common: --json=<path>.
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -54,6 +55,83 @@ bool DrainTimed(ProgXeStream* stream, DrainResult* out) {
   out->join_pairs = stream->stats().join_pairs_generated;
   std::sort(out->ids.begin(), out->ids.end());
   return stream->last_status().ok();
+}
+
+// One worker-kill recovery run: fresh loopback workers, budgeted drain,
+// worker 0 stopped mid-stream, shard retries allowed to finish the query.
+struct RecoveryResult {
+  bool ok = false;
+  bool results_match = false;
+  double makespan = 0.0;
+  uint64_t join_pairs = 0;
+  uint64_t retries = 0;
+  uint64_t replay_pairs_saved = 0;
+};
+
+RecoveryResult RunRecoveryLeg(const Workload& workload, const IdSet& reference,
+                              uint64_t baseline_pairs, int num_shards,
+                              bool checkpoint_retry) {
+  RecoveryResult out;
+  std::vector<std::unique_ptr<WorkerServer>> servers;
+  ShardOptions opts;
+  opts.num_shards = num_shards;
+  opts.max_retries = 8;
+  opts.retry_backoff = std::chrono::milliseconds(1);
+  opts.checkpoint_retry = checkpoint_retry;
+  for (int i = 0; i < 2; ++i) {
+    WorkerServerOptions wopts;
+    wopts.port = 0;
+    auto server = WorkerServer::Start(wopts);
+    if (!server.ok()) {
+      std::fprintf(stderr, "recovery worker %d: %s\n", i,
+                   server.status().ToString().c_str());
+      return out;
+    }
+    opts.workers.push_back("127.0.0.1:" +
+                           std::to_string((*server)->port()));
+    servers.push_back(server.MoveValue());
+  }
+  auto stream = OpenProgXeStream(workload.query(), ProgXeOptions(), opts);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "recovery open: %s\n",
+                 stream.status().ToString().c_str());
+    return out;
+  }
+  // Pump budget scaled to the workload so the drain crosses many region
+  // boundaries at any bench size. The kill triggers on *delivery* progress,
+  // not a pump count: processed regions only become skip-safe once their
+  // results are confirmed delivered, so a kill pinned to an early pump
+  // would always find empty checkpoints. Two fifths of the skyline leaves
+  // both resumable history behind the kill and real work ahead of it.
+  const size_t pump_budget = static_cast<size_t>(
+      std::max<uint64_t>(256, baseline_pairs / 24));
+  Stopwatch watch;
+  std::vector<ResultTuple> batch;
+  IdSet ids;
+  while (!(*stream)->Finished()) {
+    (*stream)->NextBatch(0, pump_budget, &batch);
+    for (const ResultTuple& res : batch) {
+      ids.emplace_back(res.r_id, res.t_id);
+    }
+    if (servers[0] != nullptr && ids.size() >= reference.size() * 2 / 5) {
+      servers[0]->Stop();
+      servers[0].reset();
+    }
+  }
+  out.makespan = watch.ElapsedSeconds();
+  if (!(*stream)->last_status().ok()) {
+    std::fprintf(stderr, "recovery run failed: %s\n",
+                 (*stream)->last_status().ToString().c_str());
+    return out;
+  }
+  std::sort(ids.begin(), ids.end());
+  out.results_match = ids == reference;
+  out.join_pairs = (*stream)->stats().join_pairs_generated;
+  const ShardCoverage coverage = (*stream)->coverage();
+  out.retries = coverage.retries;
+  out.replay_pairs_saved = coverage.replay_pairs_saved;
+  out.ok = true;
+  return out;
 }
 
 }  // namespace
@@ -159,6 +237,37 @@ int main(int argc, char** argv) {
                  dist.ids.size(), baseline.ids.size());
   }
 
+  // Worker-kill recovery comparison: the same kill schedule with and
+  // without checkpointed retry. Both must stay bit-identical; the
+  // checkpointed run additionally reports the replay pairs its resumes
+  // skipped (CI gates replay_pairs_saved > 0).
+  const RecoveryResult with_checkpoint = RunRecoveryLeg(
+      workload, baseline.ids, baseline.join_pairs, kShards, true);
+  const RecoveryResult full_replay = RunRecoveryLeg(
+      workload, baseline.ids, baseline.join_pairs, kShards, false);
+  const bool recovery_ok = with_checkpoint.ok && full_replay.ok &&
+                           with_checkpoint.results_match &&
+                           full_replay.results_match;
+  std::printf(
+      "  recovery    checkpointed makespan=%8.4fs join_pairs=%llu "
+      "retries=%llu saved_pairs=%llu\n"
+      "              full-replay  makespan=%8.4fs join_pairs=%llu "
+      "retries=%llu\n"
+      "              results_match=%s\n",
+      with_checkpoint.makespan,
+      static_cast<unsigned long long>(with_checkpoint.join_pairs),
+      static_cast<unsigned long long>(with_checkpoint.retries),
+      static_cast<unsigned long long>(with_checkpoint.replay_pairs_saved),
+      full_replay.makespan,
+      static_cast<unsigned long long>(full_replay.join_pairs),
+      static_cast<unsigned long long>(full_replay.retries),
+      recovery_ok ? "true" : "false");
+  if (!recovery_ok) {
+    std::fprintf(stderr,
+                 "FATAL: a worker-kill recovery run diverged from the "
+                 "in-process result set\n");
+  }
+
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
     if (out == nullptr) {
@@ -178,7 +287,16 @@ int main(int argc, char** argv) {
         "  \"frames\": %llu,\n"
         "  \"rtt_p50_us\": %llu,\n  \"rtt_p99_us\": %llu,\n"
         "  \"retries\": %llu,\n"
-        "  \"results_match\": %s\n}\n",
+        "  \"results_match\": %s,\n"
+        "  \"recovery\": {\n"
+        "    \"results_match\": %s,\n"
+        "    \"retries\": %llu,\n"
+        "    \"replay_pairs_saved\": %llu,\n"
+        "    \"join_pairs_with_checkpoint\": %llu,\n"
+        "    \"join_pairs_full_replay\": %llu,\n"
+        "    \"makespan_with_checkpoint_s\": %.6f,\n"
+        "    \"makespan_full_replay_s\": %.6f\n"
+        "  }\n}\n",
         params.cardinality, params.dims, params.sigma,
         static_cast<unsigned long long>(params.seed), kShards, kWorkers,
         baseline.makespan, dist.makespan, dist.t_first, dist.results,
@@ -188,9 +306,14 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(after.RttQuantileUs(0.5)),
         static_cast<unsigned long long>(after.RttQuantileUs(0.99)),
         static_cast<unsigned long long>(coverage.retries),
-        results_match ? "true" : "false");
+        results_match ? "true" : "false", recovery_ok ? "true" : "false",
+        static_cast<unsigned long long>(with_checkpoint.retries),
+        static_cast<unsigned long long>(with_checkpoint.replay_pairs_saved),
+        static_cast<unsigned long long>(with_checkpoint.join_pairs),
+        static_cast<unsigned long long>(full_replay.join_pairs),
+        with_checkpoint.makespan, full_replay.makespan);
     std::fclose(out);
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return results_match ? 0 : 1;
+  return results_match && recovery_ok ? 0 : 1;
 }

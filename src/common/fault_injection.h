@@ -77,6 +77,17 @@ inline constexpr const char kPrepareBuild[] = "prepare.build";
 /// session's error channel mid-stream, exactly where a worker-thread crash
 /// would surface.
 inline constexpr const char kPipelineChunk[] = "pipeline.chunk";
+/// Transport chaos sites (net/socket.cc). Instance is always 0 — socket
+/// calls have no shard identity — so chaos specs use p=/max= schedules.
+/// kNetSend: SendFrame tears the write (partial frame header goes out, the
+/// call fails, the peer sees EOF when the poisoned link is dropped).
+inline constexpr const char kNetSend[] = "net.send";
+/// kNetRecv: RecvFrame fails before reading (a short read / reset), leaving
+/// whatever the peer sent undrained; the link is dropped by the caller.
+inline constexpr const char kNetRecv[] = "net.recv";
+/// kNetFrame: SendFrame corrupts the length prefix past kMaxFramePayload;
+/// the frame is sent whole and the *receiver* detects the corrupt link.
+inline constexpr const char kNetFrame[] = "net.frame";
 }  // namespace fault_sites
 
 /// One parsed spec rule. See the grammar above.

@@ -16,6 +16,8 @@ struct NetTotals {
   std::atomic<uint64_t> frames_received{0};
   std::atomic<uint64_t> rtt_count{0};
   std::atomic<uint64_t> rtt_sum_us{0};
+  std::atomic<uint64_t> circuits_opened{0};
+  std::atomic<int64_t> open_circuits{0};
   std::atomic<uint64_t> rtt_us_log2[kNetRttBuckets]{};
 };
 
@@ -53,6 +55,16 @@ void NetRecordRtt(uint64_t us) {
   t.rtt_us_log2[NetRttBucket(us)].fetch_add(1, std::memory_order_relaxed);
 }
 
+void NetRecordCircuitOpened() {
+  NetTotals& t = Totals();
+  t.circuits_opened.fetch_add(1, std::memory_order_relaxed);
+  t.open_circuits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NetRecordCircuitClosed() {
+  Totals().open_circuits.fetch_sub(1, std::memory_order_relaxed);
+}
+
 NetStatsSnapshot SnapshotNetStats() {
   const NetTotals& t = Totals();
   NetStatsSnapshot s;
@@ -63,6 +75,8 @@ NetStatsSnapshot SnapshotNetStats() {
   s.rtt_count = t.rtt_count.load(std::memory_order_relaxed);
   s.rtt_sum_us =
       static_cast<double>(t.rtt_sum_us.load(std::memory_order_relaxed));
+  s.circuits_opened = t.circuits_opened.load(std::memory_order_relaxed);
+  s.open_circuits = t.open_circuits.load(std::memory_order_relaxed);
   for (size_t i = 0; i < kNetRttBuckets; ++i) {
     s.rtt_us_log2[i] = t.rtt_us_log2[i].load(std::memory_order_relaxed);
   }
@@ -95,6 +109,12 @@ void FoldNetStats(MetricsRegistry* reg) {
       ->Set(static_cast<double>(s.frames_sent));
   reg->GetCounter("progxe_net_frames_received_total", "Wire frames received")
       ->Set(static_cast<double>(s.frames_received));
+  reg->GetCounter("progxe_net_circuit_opened_total",
+                  "Endpoint circuit-breaker open episodes")
+      ->Set(static_cast<double>(s.circuits_opened));
+  reg->GetGauge("progxe_net_endpoint_open_circuits",
+                "Worker endpoints currently sidelined by the circuit breaker")
+      ->Set(static_cast<double>(s.open_circuits));
   // Upper bucket edges in seconds: 1us, 2us, ... 2^17us; the last
   // (open-ended) histogram slot becomes the implicit +Inf bucket.
   std::vector<double> bounds;

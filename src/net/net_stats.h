@@ -36,6 +36,11 @@ void NetRecordSend(uint64_t bytes);
 void NetRecordRecv(uint64_t bytes);
 /// Records one coordinator RPC round trip.
 void NetRecordRtt(uint64_t us);
+/// Endpoint circuit-breaker transitions (net/worker_pool.h): Opened bumps
+/// the open-circuits gauge and the opened-total counter; Closed drops the
+/// gauge (a pool closes its still-open circuits on destruction).
+void NetRecordCircuitOpened();
+void NetRecordCircuitClosed();
 
 /// Point-in-time copy of the process totals.
 struct NetStatsSnapshot {
@@ -45,6 +50,8 @@ struct NetStatsSnapshot {
   uint64_t frames_received = 0;
   uint64_t rtt_count = 0;
   double rtt_sum_us = 0.0;
+  uint64_t circuits_opened = 0;  ///< Circuit-open episodes (monotone).
+  int64_t open_circuits = 0;     ///< Currently open endpoint circuits.
   std::array<uint64_t, kNetRttBuckets> rtt_us_log2{};
 
   /// Upper edge (exclusive, microseconds) of the bucket holding the

@@ -17,10 +17,11 @@ Result<std::unique_ptr<RemoteShardStream>> RemoteShardStream::Open(
     std::shared_ptr<WorkerPool> pool, const std::string& endpoint,
     int shard_index, const Relation& r, const Relation& t,
     const MapSpec& map, const Preference& pref,
-    const ProgXeOptions& options) {
+    const ProgXeOptions& options, const SessionCheckpoint* resume) {
   std::unique_ptr<RemoteShardStream> stream(
       new RemoteShardStream(pool, endpoint, shard_index));
   PROGXE_ASSIGN_OR_RETURN(stream->conn_, pool->Checkout(endpoint));
+  const bool v2 = stream->conn_->wire_version() >= 2;
 
   std::string payload;
   WireWriter w(&payload);
@@ -30,11 +31,21 @@ Result<std::unique_ptr<RemoteShardStream>> RemoteShardStream::Open(
   WritePreference(pref, &w);
   WriteRelation(r, &w);
   WriteRelation(t, &w);
+  if (v2) {
+    // v2 resume group. On a v1 link (old worker) the checkpoint is dropped
+    // and the retry degrades to the PR 6 full replay — same delivered set.
+    w.PutU8(resume != nullptr ? 1 : 0);
+    if (resume != nullptr) WriteCheckpoint(*resume, &w);
+  }
 
   std::string reply;
-  PROGXE_RETURN_NOT_OK(stream->conn_->Call(MsgType::kOpenShard, payload,
-                                           MsgType::kOpenResult, &reply,
-                                           pool->options().open_timeout));
+  Status st = stream->conn_->Call(MsgType::kOpenShard, payload,
+                                  MsgType::kOpenResult, &reply,
+                                  pool->options().open_timeout);
+  if (!st.ok()) {
+    pool->ReportFailure(endpoint);
+    return st;
+  }
   WireReader reader(reply);
   Status remote;
   PROGXE_RETURN_NOT_OK(ReadStatusPayload(&reader, &remote));
@@ -47,9 +58,21 @@ Result<std::unique_ptr<RemoteShardStream>> RemoteShardStream::Open(
   PROGXE_RETURN_NOT_OK(
       ReadWatermark(&reader, &stream->has_bound_, &stream->bound_));
   PROGXE_RETURN_NOT_OK(ReadStats(&reader, &stream->stats_));
+  if (v2) {
+    uint8_t resumed = 0;
+    uint32_t regions_skipped = 0;
+    uint64_t pairs_saved = 0;
+    if (!reader.GetU8(&resumed) || !reader.GetU32(&regions_skipped) ||
+        !reader.GetU64(&pairs_saved)) {
+      return reader.status();
+    }
+    stream->resumed_ = resumed != 0;
+    stream->replay_pairs_saved_ = stream->resumed_ ? pairs_saved : 0;
+  }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in open_result payload");
   }
+  pool->ReportSuccess(endpoint);
   return stream;
 }
 
@@ -74,7 +97,10 @@ size_t RemoteShardStream::NextBatch(size_t max_results, size_t max_pairs,
     status_ = conn_->Call(MsgType::kPump, payload, MsgType::kPumpResult,
                           &reply, pool_->options().pump_timeout);
   }
-  if (!status_.ok()) return 0;
+  if (!status_.ok()) {
+    pool_->ReportFailure(endpoint_);
+    return 0;
+  }
 
   WireReader reader(reply);
   Status remote;
@@ -93,6 +119,25 @@ size_t RemoteShardStream::NextBatch(size_t max_results, size_t max_pairs,
   if (!status_.ok()) return 0;
   status_ = ReadStats(&reader, &stats_);
   if (!status_.ok()) return 0;
+  if (conn_->wire_version() >= 2) {
+    uint8_t has_checkpoint = 0;
+    if (!reader.GetU8(&has_checkpoint)) {
+      status_ = reader.status();
+      out->clear();
+      return 0;
+    }
+    if (has_checkpoint != 0) {
+      status_ = ReadCheckpoint(&reader, &last_checkpoint_);
+      if (!status_.ok()) {
+        out->clear();
+        return 0;
+      }
+      has_checkpoint_ = true;
+    }
+    // No checkpoint this pump (mid-region budget cut, result cap, or
+    // exhaustion): keep the previous one — it is still a valid, if less
+    // advanced, resume point.
+  }
   if (!reader.AtEnd()) {
     status_ =
         Status::InvalidArgument("trailing bytes in pump_result payload");
@@ -100,6 +145,12 @@ size_t RemoteShardStream::NextBatch(size_t max_results, size_t max_pairs,
     return 0;
   }
   return out->size();
+}
+
+bool RemoteShardStream::ExportCheckpoint(SessionCheckpoint* out) {
+  if (!has_checkpoint_) return false;
+  *out = last_checkpoint_;
+  return true;
 }
 
 void RemoteShardStream::Close() {

@@ -32,12 +32,18 @@ class RemoteShardStream : public ShardEngine {
   /// session (the reply carries the prepare-phase stats + initial
   /// watermark). `options` must already carry the shard's fault_instance /
   /// seed; its coordinator-local pointers (faults, prepare_cache) do not
-  /// travel.
+  /// travel. With `resume` set and a v2 link, the checkpoint travels in
+  /// kOpenShard and the worker resumes past its skip-safe regions; on a v1
+  /// link (old worker) the checkpoint is silently dropped — full replay,
+  /// same delivered set. A worker that rejects the checkpoint as
+  /// stale/corrupt also falls back to full replay and reports
+  /// resumed() == false.
   static Result<std::unique_ptr<RemoteShardStream>> Open(
       std::shared_ptr<WorkerPool> pool, const std::string& endpoint,
       int shard_index, const Relation& r, const Relation& t,
       const MapSpec& map, const Preference& pref,
-      const ProgXeOptions& options);
+      const ProgXeOptions& options,
+      const SessionCheckpoint* resume = nullptr);
 
   ~RemoteShardStream() override;
 
@@ -49,6 +55,12 @@ class RemoteShardStream : public ShardEngine {
   const ProgXeStats& stats() const override { return stats_; }
   Status last_status() const override { return status_; }
   bool RemainingLowerBound(std::vector<double>* lo) const override;
+
+  /// Answered from the checkpoint streamed with the last kPumpResult
+  /// (v2 links only; v1 workers never send one).
+  bool ExportCheckpoint(SessionCheckpoint* out) override;
+  bool resumed() const override { return resumed_; }
+  uint64_t replay_pairs_saved() const override { return replay_pairs_saved_; }
 
   const std::string& endpoint() const { return endpoint_; }
 
@@ -66,6 +78,14 @@ class RemoteShardStream : public ShardEngine {
   bool has_bound_ = false;   ///< last watermark: shard can still emit
   std::vector<double> bound_;
   bool closed_ = false;
+
+  // Resume state (v2): whether the worker actually resumed from the
+  // shipped checkpoint, the pairs that saved, and the freshest checkpoint
+  // it streamed back.
+  bool resumed_ = false;
+  uint64_t replay_pairs_saved_ = 0;
+  bool has_checkpoint_ = false;
+  SessionCheckpoint last_checkpoint_;
 };
 
 }  // namespace progxe

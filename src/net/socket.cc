@@ -9,10 +9,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <charconv>
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
 #include "net/net_stats.h"
 #include "obs/trace.h"
@@ -20,6 +22,15 @@
 namespace progxe {
 
 namespace {
+
+/// Test override for the transport chaos sites; null falls through to the
+/// ambient PROGXE_FAULT_SITES injector.
+std::atomic<FaultInjector*> g_net_faults{nullptr};
+
+FaultInjector* NetFaults() {
+  FaultInjector* injector = g_net_faults.load(std::memory_order_acquire);
+  return injector != nullptr ? injector : FaultInjector::FromEnv();
+}
 
 Status Errno(const char* what) {
   return Status::Unavailable(std::string(what) + ": " +
@@ -250,6 +261,10 @@ void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
+void SetNetFaultInjectorForTest(FaultInjector* injector) {
+  g_net_faults.store(injector, std::memory_order_release);
+}
+
 Status SendFrame(int fd, MsgType type, std::string_view payload) {
   if (payload.size() > kMaxFramePayload) {
     return Status::InvalidArgument("frame payload exceeds kMaxFramePayload");
@@ -257,12 +272,28 @@ Status SendFrame(int fd, MsgType type, std::string_view payload) {
   TraceSpan span(trace_cats::kNet, "net.send");
   span.arg("bytes", static_cast<int64_t>(payload.size() + 5));
   char header[5];
-  const uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  FaultInjector* faults = NetFaults();
+  // net.frame: corrupt the length prefix past kMaxFramePayload. The frame
+  // still goes out whole — it is the *receiver* that detects the corrupt
+  // link (oversized prefix -> kUnavailable) and drops it.
+  const Status frame_fault = MaybeInjectFault(faults, fault_sites::kNetFrame);
+  if (PROGXE_PREDICT_FALSE(!frame_fault.ok())) {
+    len |= 0x7f000000u;
+  }
   header[0] = static_cast<char>(len & 0xff);
   header[1] = static_cast<char>((len >> 8) & 0xff);
   header[2] = static_cast<char>((len >> 16) & 0xff);
   header[3] = static_cast<char>((len >> 24) & 0xff);
   header[4] = static_cast<char>(type);
+  // net.send: torn write — a partial header goes out, then the call fails
+  // as if the connection reset mid-send. The caller poisons and drops the
+  // link; the peer sees a short read followed by EOF.
+  Status send_fault = MaybeInjectFault(faults, fault_sites::kNetSend);
+  if (PROGXE_PREDICT_FALSE(!send_fault.ok())) {
+    (void)SendAll(fd, header, 3);
+    return send_fault;
+  }
   PROGXE_RETURN_NOT_OK(SendAll(fd, header, sizeof(header)));
   if (!payload.empty()) {
     PROGXE_RETURN_NOT_OK(SendAll(fd, payload.data(), payload.size()));
@@ -274,6 +305,11 @@ Status SendFrame(int fd, MsgType type, std::string_view payload) {
 Status RecvFrame(int fd, MsgType* type, std::string* payload,
                  std::chrono::milliseconds deadline) {
   TraceSpan span(trace_cats::kNet, "net.recv");
+  // net.recv: the read fails before draining the peer's frame, as a reset
+  // or short read would. The caller drops the link (undrained bytes make it
+  // unusable for further framing either way).
+  Status recv_fault = MaybeInjectFault(NetFaults(), fault_sites::kNetRecv);
+  if (PROGXE_PREDICT_FALSE(!recv_fault.ok())) return recv_fault;
   const auto until = std::chrono::steady_clock::now() + deadline;
   char header[5];
   PROGXE_RETURN_NOT_OK(RecvAll(fd, header, sizeof(header), until));
@@ -285,8 +321,11 @@ Status RecvFrame(int fd, MsgType* type, std::string* payload,
                        static_cast<uint32_t>(static_cast<uint8_t>(header[3]))
                            << 24;
   if (len > kMaxFramePayload) {
-    return Status::InvalidArgument(
-        "frame length prefix exceeds kMaxFramePayload (corrupt link?)");
+    // A corrupt link, not a caller bug: kUnavailable so the failure rides
+    // the quarantine/retry path like any other transport fault (the caller
+    // still drops the link — it cannot be re-framed).
+    return Status::Unavailable(
+        "frame length prefix exceeds kMaxFramePayload (corrupt link)");
   }
   *type = static_cast<MsgType>(static_cast<uint8_t>(header[4]));
   payload->resize(len);

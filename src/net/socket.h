@@ -50,10 +50,20 @@ void CloseFd(int fd);
 Status SendFrame(int fd, MsgType type, std::string_view payload);
 
 /// Receives one complete frame into `*payload` within `deadline` from now.
-/// Deadline expiry, peer EOF and connection errors all return kUnavailable
-/// (retryable); an oversized length prefix returns kInvalidArgument (the
-/// link is not trustworthy afterwards).
+/// Deadline expiry, peer EOF, connection errors and an oversized length
+/// prefix (a corrupt link) all return kUnavailable — every transport-level
+/// failure is retryable through the quarantine path; the caller must drop
+/// the link either way.
 Status RecvFrame(int fd, MsgType* type, std::string* payload,
                  std::chrono::milliseconds deadline);
+
+class FaultInjector;
+
+/// Overrides the ambient (PROGXE_FAULT_SITES) injector consulted by the
+/// `net.send` / `net.recv` / `net.frame` chaos sites inside
+/// SendFrame/RecvFrame. Tests install a seeded injector, run a loopback
+/// exchange under chaos, then reset with nullptr. The pointer must outlive
+/// its installation; process-wide, not thread-local.
+void SetNetFaultInjectorForTest(FaultInjector* injector);
 
 }  // namespace progxe

@@ -44,14 +44,26 @@
 #include "data/relation.h"
 #include "mapping/map_expr.h"
 #include "prefs/preference.h"
+#include "progxe/checkpoint.h"
 #include "progxe/config.h"
 
 namespace progxe {
 
-/// Connection handshake constants. A version bump is a wire break: both
-/// sides reject a mismatch during kHello instead of misparsing frames.
+/// Connection handshake constants. Since v2 the handshake *negotiates*: the
+/// client offers its version, the worker acks min(offer, own), and both
+/// sides speak the acked version on that connection — so a v2 coordinator
+/// interoperates with a v1 worker (and vice versa) by simply omitting the
+/// v2-only field groups. A magic mismatch, or a version outside [1, offer],
+/// still closes the connection before any other frame is parsed.
+///
+/// v1 -> v2: kOpenShard may carry a resume SessionCheckpoint (u8
+/// has_checkpoint + checkpoint group), kOpenResult appends resume info
+/// (u8 resumed, u32 regions_skipped, u64 replay_pairs_saved) and
+/// kPumpResult appends u8 has_checkpoint + checkpoint group. v1 payloads
+/// are byte-identical to before.
 inline constexpr uint32_t kWireMagic = 0x50584531;  // "PXE1"
-inline constexpr uint16_t kWireVersion = 1;
+inline constexpr uint16_t kWireVersion = 2;
+inline constexpr uint16_t kWireVersionMin = 1;
 
 /// Hard ceiling on one frame's payload. Large enough for a full relation
 /// slice of any workload this engine targets; small enough that a corrupted
@@ -175,5 +187,14 @@ void WriteWatermark(bool has_bound, const std::vector<double>& bound,
                     WireWriter* w);
 Status ReadWatermark(WireReader* r, bool* has_bound,
                      std::vector<double>* bound);
+
+/// Resume checkpoint (progxe/checkpoint.h), v2-only: u32 k, u64
+/// frontier_epoch, u64 delivered, u64 region_count, u64 replay_pairs_saved,
+/// u32 skip_count + skip_count u32 region ids (validated against the bytes
+/// present and required strictly increasing), then WriteStats. Decode
+/// failures surface through the reader; semantic staleness (wrong prepared
+/// inputs) is caught later by RegionLoop::RestoreCheckpoint.
+void WriteCheckpoint(const SessionCheckpoint& checkpoint, WireWriter* w);
+Status ReadCheckpoint(WireReader* r, SessionCheckpoint* out);
 
 }  // namespace progxe

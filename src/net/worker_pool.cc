@@ -2,6 +2,7 @@
 
 #include <poll.h>
 
+#include <algorithm>
 #include <utility>
 
 #include "common/macros.h"
@@ -95,7 +96,13 @@ Status WorkerConnection::Call(MsgType request, const std::string& payload,
 
 WorkerPool::WorkerPool(NetOptions options) : options_(options) {}
 
-WorkerPool::~WorkerPool() = default;
+WorkerPool::~WorkerPool() {
+  // Keep the process-wide open-circuits gauge honest across pool teardown.
+  std::lock_guard<std::mutex> lock(mtx_);
+  for (const auto& [endpoint, h] : health_) {
+    if (h.open) NetRecordCircuitClosed();
+  }
+}
 
 Result<std::unique_ptr<WorkerConnection>> WorkerPool::Checkout(
     const std::string& endpoint) {
@@ -114,28 +121,90 @@ Result<std::unique_ptr<WorkerConnection>> WorkerPool::Checkout(
     }
   }
 
-  PROGXE_ASSIGN_OR_RETURN(int fd,
-                          DialTcp(endpoint, options_.connect_timeout));
+  auto dialed = DialTcp(endpoint, options_.connect_timeout);
+  if (!dialed.ok()) {
+    ReportFailure(endpoint);
+    return dialed.status();
+  }
   std::unique_ptr<WorkerConnection> conn(
-      new WorkerConnection(fd, endpoint));
+      new WorkerConnection(*dialed, endpoint));
+  // Offer the newest version this coordinator is willing to speak; the
+  // worker acks min(offer, its own version) and both sides hold to the ack.
+  const uint16_t offer =
+      std::min(kWireVersion, std::max(options_.max_wire_version,
+                                      kWireVersionMin));
   std::string hello;
   WireWriter w(&hello);
   w.PutU32(kWireMagic);
-  w.PutU16(kWireVersion);
+  w.PutU16(offer);
   std::string ack;
-  PROGXE_RETURN_NOT_OK(conn->Call(MsgType::kHello, hello, MsgType::kHelloAck,
-                                  &ack, options_.connect_timeout));
+  Status st = conn->Call(MsgType::kHello, hello, MsgType::kHelloAck, &ack,
+                         options_.connect_timeout);
+  if (!st.ok()) {
+    ReportFailure(endpoint);
+    return st;
+  }
   WireReader r(ack);
   uint32_t magic = 0;
   uint16_t version = 0;
   if (!r.GetU32(&magic) || !r.GetU16(&version) || magic != kWireMagic ||
-      version != kWireVersion) {
+      version < kWireVersionMin || version > offer) {
+    ReportFailure(endpoint);
     return Status::InvalidArgument("worker handshake mismatch (" + endpoint +
                                    ")");
   }
+  conn->wire_version_ = version;
+  ReportSuccess(endpoint);
   std::lock_guard<std::mutex> lock(mtx_);
   ++created_;
   return conn;
+}
+
+void WorkerPool::ReportFailure(const std::string& endpoint) {
+  if (options_.circuit_failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mtx_);
+  EndpointHealth& h = health_[endpoint];
+  ++h.consecutive_failures;
+  if (h.consecutive_failures < options_.circuit_failure_threshold) return;
+  // (Re-)open the circuit with a cooldown that doubles per episode.
+  const int shift = std::min(h.opens, 5);
+  const auto cooldown = options_.circuit_cooldown * (1 << shift);
+  if (!h.open) NetRecordCircuitOpened();
+  h.open = true;
+  h.open_until = std::chrono::steady_clock::now() + cooldown;
+  ++h.opens;
+  // The episode consumed this failure run; the next run counts afresh
+  // (a half-open probe failure re-opens after one more threshold run is
+  // too slow — so re-arm at threshold-1, making a single probe failure
+  // re-open immediately).
+  h.consecutive_failures = options_.circuit_failure_threshold - 1;
+}
+
+void WorkerPool::ReportSuccess(const std::string& endpoint) {
+  if (options_.circuit_failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mtx_);
+  auto it = health_.find(endpoint);
+  if (it == health_.end()) return;
+  if (it->second.open) NetRecordCircuitClosed();
+  it->second = EndpointHealth{};
+}
+
+bool WorkerPool::IsOpen(const std::string& endpoint) const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  auto it = health_.find(endpoint);
+  if (it == health_.end() || !it->second.open) return false;
+  // Past the cooldown the circuit is half-open: report closed so exactly
+  // the callers that would have skipped it probe it instead.
+  return std::chrono::steady_clock::now() < it->second.open_until;
+}
+
+int WorkerPool::open_circuits() const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  int n = 0;
+  for (const auto& [endpoint, h] : health_) {
+    if (h.open) ++n;
+  }
+  return n;
 }
 
 void WorkerPool::Return(std::unique_ptr<WorkerConnection> conn) {

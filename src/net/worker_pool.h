@@ -39,6 +39,22 @@ struct NetOptions {
   /// worker-failure detection horizon: a worker silent for this long is
   /// declared dead (kUnavailable) and the shard retries elsewhere.
   std::chrono::milliseconds pump_timeout{10000};
+
+  /// Highest wire version the coordinator offers in its kHello; the worker
+  /// acks min(offer, own version). Defaults to the newest this build
+  /// speaks; tests pin 1 to exercise the downlevel path.
+  uint16_t max_wire_version = kWireVersion;
+
+  /// Per-endpoint circuit breaker: this many *consecutive* transport
+  /// failures (dial, handshake, open or pump) open the endpoint's circuit
+  /// and shard placement routes around it for a cooldown. <= 0 disables
+  /// the breaker.
+  int circuit_failure_threshold = 3;
+  /// Cooldown after the circuit first opens; doubles on every re-open
+  /// (capped at 32x) and a success closes the circuit and resets the
+  /// decay — a flapping worker is sidelined progressively longer, a
+  /// recovered one rejoins after a single successful probe.
+  std::chrono::milliseconds circuit_cooldown{1000};
 };
 
 /// Splits a comma-separated "host:port,host:port,..." worker list,
@@ -65,6 +81,9 @@ class WorkerConnection {
   const std::string& endpoint() const { return endpoint_; }
   /// False once any exchange on this link failed or desynced.
   bool healthy() const { return healthy_; }
+  /// The version negotiated during this connection's kHello handshake;
+  /// v2-only field groups are written/expected only when >= 2.
+  uint16_t wire_version() const { return wire_version_; }
 
   WorkerConnection(const WorkerConnection&) = delete;
   WorkerConnection& operator=(const WorkerConnection&) = delete;
@@ -77,6 +96,7 @@ class WorkerConnection {
   int fd_;
   std::string endpoint_;
   bool healthy_ = true;
+  uint16_t wire_version_ = kWireVersionMin;
 };
 
 class WorkerPool {
@@ -95,6 +115,24 @@ class WorkerPool {
 
   const NetOptions& options() const { return options_; }
 
+  /// Endpoint health tracking (circuit breaker). Checkout reports dial and
+  /// handshake outcomes itself; RPC users (RemoteShardStream) report
+  /// transport-level open/pump outcomes. A run of
+  /// `circuit_failure_threshold` consecutive failures opens the endpoint's
+  /// circuit for a cooldown that doubles per re-open; any success closes it
+  /// and resets the decay.
+  void ReportFailure(const std::string& endpoint);
+  void ReportSuccess(const std::string& endpoint);
+  /// True while the endpoint's circuit is open *and* inside its cooldown —
+  /// shard placement (ShardedStream::OpenShard) routes around such
+  /// endpoints. Past the cooldown this returns false (half-open): the next
+  /// caller probes the endpoint and its success or failure settles the
+  /// circuit.
+  bool IsOpen(const std::string& endpoint) const;
+  /// Endpoints currently in the open state (including half-open ones not
+  /// yet probed) — the progxe_net_endpoint_open_circuits gauge.
+  int open_circuits() const;
+
   /// Fresh dials over the pool's lifetime (diagnostic).
   uint64_t connections_created() const;
   /// Checkouts served from cache (diagnostic).
@@ -104,11 +142,19 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
  private:
+  struct EndpointHealth {
+    int consecutive_failures = 0;
+    int opens = 0;  ///< Circuit-open episodes since the last success.
+    bool open = false;
+    std::chrono::steady_clock::time_point open_until{};
+  };
+
   NetOptions options_;
   mutable std::mutex mtx_;
   std::unordered_map<std::string,
                      std::vector<std::unique_ptr<WorkerConnection>>>
       cache_;
+  std::unordered_map<std::string, EndpointHealth> health_;
   uint64_t created_ = 0;
   uint64_t reuses_ = 0;
 };

@@ -124,12 +124,39 @@ void WorkerServer::Stop() {
   handlers_done_.wait(lock, [this] { return active_handlers_ == 0; });
 }
 
+bool WorkerServer::Drain(std::chrono::milliseconds timeout) {
+  {
+    std::lock_guard<std::mutex> lock(mtx_);
+    if (stopping_ || draining_) return true;
+    draining_ = true;
+    // Idle links (no open session) have nothing in flight worth finishing;
+    // sever them now so their handlers exit instead of blocking the drain
+    // on the day-long idle deadline.
+    for (int fd : live_fds_) {
+      if (session_fds_.count(fd) == 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  bool clean = false;
+  {
+    std::unique_lock<std::mutex> lock(mtx_);
+    clean = handlers_done_.wait_for(lock, timeout,
+                                    [this] { return active_handlers_ == 0; });
+  }
+  if (!clean) {
+    PROGXE_LOG(Warn) << "drain timeout: severing in-flight sessions";
+  }
+  Stop();  // force-sever stragglers (no-op when the drain finished clean)
+  return clean;
+}
+
 void WorkerServer::AcceptLoop() {
   while (true) {
     Result<int> accepted = AcceptTcp(listen_fd_);
     {
       std::lock_guard<std::mutex> lock(mtx_);
-      if (stopping_) {
+      if (stopping_ || draining_) {
         if (accepted.ok()) CloseFd(*accepted);
         return;
       }
@@ -157,25 +184,30 @@ void WorkerServer::HandleConnection(int fd) {
   MsgType type;
   std::unique_ptr<OpenState> state;
 
-  // Handshake: the very first frame must be a matching kHello.
+  // Handshake: the very first frame must be a matching kHello. The client
+  // offers the newest version it speaks; we ack min(offer, ours) and both
+  // sides hold to the ack for the life of the connection.
   Status st = RecvFrame(fd, &type, &payload, options_.heartbeat_interval * 50);
   bool ok = st.ok() && type == MsgType::kHello;
+  uint16_t wire_version = kWireVersionMin;
   if (ok) {
     WireReader r(payload);
     uint32_t magic = 0;
-    uint16_t version = 0;
-    ok = r.GetU32(&magic) && r.GetU16(&version) && magic == kWireMagic &&
-         version == kWireVersion;
+    uint16_t offer = 0;
+    ok = r.GetU32(&magic) && r.GetU16(&offer) && magic == kWireMagic &&
+         offer >= kWireVersionMin;
     if (!ok) {
       SendError(fd, Status::InvalidArgument(
                         "wire handshake rejected (magic/version mismatch)"));
+    } else {
+      wire_version = std::min(offer, kWireVersion);
     }
   }
   if (ok) {
     reply.clear();
     WireWriter w(&reply);
     w.PutU32(kWireMagic);
-    w.PutU16(kWireVersion);
+    w.PutU16(wire_version);
     ok = SendFrame(fd, MsgType::kHelloAck, reply).ok();
   }
 
@@ -188,6 +220,16 @@ void WorkerServer::HandleConnection(int fd) {
         break;
       }
       case MsgType::kOpenShard: {
+        {
+          std::lock_guard<std::mutex> lock(mtx_);
+          if (draining_) {
+            // Refuse new sessions with a retryable status so the
+            // coordinator's recovery path re-opens elsewhere.
+            SendError(fd, Status::Unavailable("worker draining"));
+            ok = false;
+            break;
+          }
+        }
         auto next = std::make_unique<OpenState>();
         Status parse_error;
         Result<std::unique_ptr<ProgXeSession>> opened =
@@ -206,6 +248,14 @@ void WorkerServer::HandleConnection(int fd) {
           ReadPreference(&r, &next->pref);
           ReadRelation(&r, &next->r);
           ReadRelation(&r, &next->t);
+          SessionCheckpoint resume;
+          bool has_resume = false;
+          if (r.ok() && wire_version >= 2) {
+            uint8_t flag = 0;
+            if (r.GetU8(&flag) && flag != 0) {
+              if (ReadCheckpoint(&r, &resume).ok()) has_resume = true;
+            }
+          }
           if (!r.ok() || !r.AtEnd()) {
             if (r.ok()) r.Fail("trailing bytes after open_shard payload");
             parse_error = r.status();
@@ -216,7 +266,21 @@ void WorkerServer::HandleConnection(int fd) {
             query.t = &next->t;
             query.map = next->map;
             query.pref = next->pref;
-            opened = ProgXeSession::Open(query, std::move(options));
+            if (has_resume) {
+              opened = ProgXeSession::Open(query, options, &resume);
+              if (!opened.ok() && opened.status().IsInvalidArgument()) {
+                // Stale/corrupt checkpoint (wrong k, region mismatch, bad
+                // ids): the assignment itself is still good, so fall back
+                // to a from-scratch replay rather than failing the open.
+                PROGXE_LOG(Warn)
+                    << "shard " << next->shard_index
+                    << " resume checkpoint rejected, replaying from scratch: "
+                    << opened.status().ToString();
+                opened = ProgXeSession::Open(query, std::move(options));
+              }
+            } else {
+              opened = ProgXeSession::Open(query, std::move(options));
+            }
           }
         }
         if (!parse_error.ok()) {
@@ -232,6 +296,8 @@ void WorkerServer::HandleConnection(int fd) {
           // kOpenResult and keep the link serving.
           WriteStatusPayload(opened.status(), &w);
           state.reset();
+          std::lock_guard<std::mutex> lock(mtx_);
+          session_fds_.erase(fd);
         } else {
           next->session = std::move(opened).MoveValue();
           WriteStatusPayload(Status::OK(), &w);
@@ -239,10 +305,19 @@ void WorkerServer::HandleConnection(int fd) {
           const bool has_bound = next->session->RemainingLowerBound(&bound);
           WriteWatermark(has_bound, bound, &w);
           WriteStats(next->session->stats(), &w);
+          if (wire_version >= 2) {
+            w.PutU8(next->session->resumed() ? 1 : 0);
+            w.PutU32(next->session->resumed_regions_skipped());
+            w.PutU64(next->session->replay_pairs_saved());
+          }
           state = std::move(next);
           PROGXE_LOG(Info) << "worker opened shard " << state->shard_index
                            << " (r=" << state->r.size()
-                           << " t=" << state->t.size() << ")";
+                           << " t=" << state->t.size()
+                           << (state->session->resumed() ? ", resumed" : "")
+                           << ")";
+          std::lock_guard<std::mutex> lock(mtx_);
+          session_fds_.insert(fd);
         }
         ok = SendFrame(fd, MsgType::kOpenResult, reply).ok();
         break;
@@ -306,13 +381,30 @@ void WorkerServer::HandleConnection(int fd) {
           const bool has_bound = session.RemainingLowerBound(&bound);
           WriteWatermark(has_bound, bound, &w);
           WriteStats(session.stats(), &w);
+          if (wire_version >= 2) {
+            // Stream the freshest resume point back with every healthy
+            // pump; at a mid-region budget cut there is none — the
+            // coordinator keeps the previous one.
+            SessionCheckpoint checkpoint;
+            const bool has_checkpoint = session.ExportCheckpoint(&checkpoint);
+            w.PutU8(has_checkpoint ? 1 : 0);
+            if (has_checkpoint) WriteCheckpoint(checkpoint, &w);
+          }
         }
         ok = SendFrame(fd, MsgType::kPumpResult, reply).ok();
         break;
       }
       case MsgType::kClose: {
         state.reset();
-        ok = SendFrame(fd, MsgType::kCloseAck, {}).ok();
+        {
+          std::lock_guard<std::mutex> lock(mtx_);
+          session_fds_.erase(fd);
+          // A draining worker serves the session to its close, then lets
+          // the link go instead of idling for the next assignment.
+          if (draining_) ok = false;
+        }
+        const bool acked = SendFrame(fd, MsgType::kCloseAck, {}).ok();
+        ok = ok && acked;
         break;
       }
       default: {
@@ -329,6 +421,7 @@ void WorkerServer::HandleConnection(int fd) {
   std::lock_guard<std::mutex> lock(mtx_);
   live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
                   live_fds_.end());
+  session_fds_.erase(fd);
   // Last touch of `this`: notify while holding the lock so Stop() cannot
   // observe the zero and destroy the server before the notify happens.
   --active_handlers_;

@@ -30,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -58,6 +59,13 @@ class WorkerServer {
   /// handler thread to finish. Idempotent; the destructor calls it.
   void Stop();
 
+  /// Graceful shutdown: stops accepting, severs idle session-less links,
+  /// refuses new kOpenShard frames with a retryable error, lets connections
+  /// with an open session run to their kClose, and waits up to `timeout`
+  /// before falling back to Stop() for any straggler. Returns true if every
+  /// handler finished within the timeout (no in-flight session was severed).
+  bool Drain(std::chrono::milliseconds timeout);
+
   ~WorkerServer();
 
   /// The actually-bound listen port.
@@ -82,7 +90,11 @@ class WorkerServer {
 
   mutable std::mutex mtx_;
   bool stopping_ = false;
+  bool draining_ = false;
   std::vector<int> live_fds_;
+  /// Connections currently holding an open shard session; during a drain
+  /// these are the links allowed to finish (everything else is severed).
+  std::unordered_set<int> session_fds_;
   /// Handler threads run detached so finished connections release their
   /// thread resources immediately; this count (with handlers_done_) is how
   /// Stop() waits for the stragglers it severed.

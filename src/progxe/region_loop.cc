@@ -256,6 +256,106 @@ void RegionLoop::ApplySeedDiscards(std::vector<ResultTuple>* pending) {
   seed_discard_.shrink_to_fit();
 }
 
+bool RegionLoop::ExportCheckpoint(SessionCheckpoint* out) {
+  // Only at a region boundary on a healthy, unfinished loop, and only when
+  // no result cap is in play: with max_results set, EmitCells may truncate
+  // a flush mid-cell, so "emitted" would no longer imply "delivered".
+  if (done_ || current_region_ >= 0 || !status_.ok() ||
+      options_.max_results != 0) {
+    return false;
+  }
+  const GridGeometry& geom = table_.geometry();
+  out->k = static_cast<uint32_t>(prep_->inputs->k);
+  out->frontier_epoch = table_.frontier_epoch();
+  out->region_count = regions_->size();
+  out->replay_pairs_saved = 0;
+  out->skip_regions.clear();
+  if (skip_safe_.size() != regions_->size()) {
+    skip_safe_.assign(regions_->size(), 0);
+  }
+  const auto& r_parts = prep_->inputs->r_grid->partitions();
+  const auto& t_parts = prep_->inputs->t_grid->partitions();
+  for (size_t id = 0; id < regions_->size(); ++id) {
+    if (!removed_[id]) continue;
+    const Region& region = (*regions_)[id];
+    if (!skip_safe_[id]) {
+      bool safe = false;
+      if (region.discarded && !region.processed) {
+        // Discarded without processing: every would-be tuple is strictly
+        // dominated by frontier points that are themselves delivered or
+        // regenerated by the resumed incarnation.
+        safe = true;
+      } else if (region.processed) {
+        // Processed: safe iff no live tuple it could have contributed is
+        // still waiting to flush — every populated cell in its coverage box
+        // must be emitted (delivered) or marked (dead).
+        safe = true;
+        geom.ForEachCellInBox(
+            region.lo_cell.data(), region.hi_cell.data(), [&](CellIndex c) {
+              if (safe && table_.populated(c) && !table_.emitted(c) &&
+                  !table_.marked(c)) {
+                safe = false;
+              }
+            });
+      }
+      if (!safe) continue;
+      skip_safe_[id] = 1;
+    }
+    out->skip_regions.push_back(static_cast<int32_t>(id));
+    if (region.processed) {
+      out->replay_pairs_saved +=
+          static_cast<uint64_t>(
+              r_parts[static_cast<size_t>(region.a)].size()) *
+          static_cast<uint64_t>(t_parts[static_cast<size_t>(region.b)].size());
+    }
+  }
+  return true;
+}
+
+Status RegionLoop::RestoreCheckpoint(const SessionCheckpoint& checkpoint) {
+  if (resumed_ || current_region_ >= 0 || done_ || !status_.ok()) {
+    return Status::InvalidArgument(
+        "RestoreCheckpoint: loop is not freshly constructed");
+  }
+  if (checkpoint.k != static_cast<uint32_t>(prep_->inputs->k)) {
+    return Status::InvalidArgument("checkpoint dimensionality mismatch");
+  }
+  if (checkpoint.region_count != regions_->size()) {
+    return Status::InvalidArgument("checkpoint region count mismatch");
+  }
+  int32_t prev = -1;
+  for (int32_t id : checkpoint.skip_regions) {
+    if (id <= prev || static_cast<size_t>(id) >= regions_->size()) {
+      return Status::InvalidArgument("checkpoint skip list malformed");
+    }
+    if (!(*regions_)[static_cast<size_t>(id)].Active()) {
+      return Status::InvalidArgument("checkpoint skips an inactive region");
+    }
+    prev = id;
+  }
+  // Mirror RemoveRegion, minus emission and stats: on the fresh table the
+  // settled cells are empty, so ProgDetermine never offers them for flush
+  // (and they can never repopulate — no active region covers them). The
+  // dead incarnation's counters travel separately (shard lost_stats).
+  for (int32_t id : checkpoint.skip_regions) {
+    Region& region = (*regions_)[static_cast<size_t>(id)];
+    region.discarded = true;
+    removed_[static_cast<size_t>(id)] = 1;
+    assert(active_regions_ > 0);
+    --active_regions_;
+    table_.ReleaseRegionCoverage(region, &settled_scratch_);
+    table_.DrainMarkedEvents(&marked_scratch_);
+    determine_.OnCellsMarked(marked_scratch_);
+    determine_.OnCellsSettled(settled_scratch_, &flush_scratch_);
+    order_->OnRegionRemoved(region.id);
+  }
+  resumed_ = !checkpoint.skip_regions.empty();
+  replay_pairs_saved_ = resumed_ ? checkpoint.replay_pairs_saved : 0;
+  resumed_regions_skipped_ =
+      static_cast<uint32_t>(checkpoint.skip_regions.size());
+  return Status::OK();
+}
+
 bool RegionLoop::Step(std::vector<ResultTuple>* pending, size_t max_pairs) {
   if (done_) return false;
   // Seed discards apply lazily on the first Step so their flushed results

@@ -14,6 +14,7 @@
 #include "common/fault_injection.h"
 #include "common/status.h"
 #include "elgraph/el_graph.h"
+#include "progxe/checkpoint.h"
 #include "progxe/output_table.h"
 #include "progxe/pipeline.h"
 #include "progxe/prepare.h"
@@ -60,6 +61,29 @@ class RegionLoop {
   /// region's lower cell edge.
   void RemainingLowerBound(std::vector<double>* lo) const;
 
+  /// Fills `*out` with a resumable snapshot of the loop's region cursor.
+  /// Only valid at a region boundary (no region open in the pipeline) on a
+  /// healthy, unfinished loop — returns false otherwise. Skip-safety
+  /// verdicts (see progxe/checkpoint.h) are computed lazily per removed
+  /// region and cached: once safe, always safe.
+  bool ExportCheckpoint(SessionCheckpoint* out);
+
+  /// Pre-removes the checkpoint's skip-safe regions from a freshly
+  /// constructed loop (call before the first Step). Validates the
+  /// checkpoint against this loop's prepared inputs — dimension, region
+  /// count, id range/ordering, region still active — and returns
+  /// kInvalidArgument on any mismatch (caller falls back to full replay;
+  /// the loop must be discarded, it may have been partially restored).
+  /// Nothing is emitted and no stats counters are bumped: the dead
+  /// incarnation's accounting is carried separately by the caller.
+  Status RestoreCheckpoint(const SessionCheckpoint& checkpoint);
+
+  /// Join pairs RestoreCheckpoint avoided re-generating (0 when not
+  /// resumed), and the number of regions it pre-removed.
+  uint64_t replay_pairs_saved() const { return replay_pairs_saved_; }
+  uint32_t resumed_regions_skipped() const { return resumed_regions_skipped_; }
+  bool resumed() const { return resumed_; }
+
  private:
   bool ReachedLimit() const;
   /// First-Step application of options.refinement_seed: removes the regions
@@ -101,6 +125,16 @@ class RegionLoop {
 
   /// Marks a region removed exactly once across all removal paths.
   std::vector<uint8_t> removed_;
+
+  /// Cached positive skip-safety verdicts per region (monotone: emitted and
+  /// marked are never un-set, so a region that is skip-safe stays so).
+  /// Sized lazily by the first ExportCheckpoint.
+  std::vector<uint8_t> skip_safe_;
+
+  // Resume bookkeeping (RestoreCheckpoint).
+  bool resumed_ = false;
+  uint64_t replay_pairs_saved_ = 0;
+  uint32_t resumed_regions_skipped_ = 0;
 
   // Refinement seeding (options.refinement_seed): regions a seed point
   // strictly dominates, discarded up front — lazily on the first Step so

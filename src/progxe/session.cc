@@ -11,8 +11,28 @@
 
 namespace progxe {
 
+namespace {
+
+// Applies a resume checkpoint to a freshly opened session. A trivially
+// empty session has no loop: only an equally empty checkpoint matches.
+Status ApplyResume(ProgXeSession* session, RegionLoop* loop,
+                   const SessionCheckpoint& resume) {
+  (void)session;
+  if (loop == nullptr) {
+    if (resume.region_count == 0 && resume.skip_regions.empty()) {
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "checkpoint does not match a trivially-empty session");
+  }
+  return loop->RestoreCheckpoint(resume);
+}
+
+}  // namespace
+
 Result<std::unique_ptr<ProgXeSession>> ProgXeSession::Open(
-    const SkyMapJoinQuery& query, ProgXeOptions options) {
+    const SkyMapJoinQuery& query, ProgXeOptions options,
+    const SessionCheckpoint* resume) {
   // make_unique needs a public constructor; the session is handed out
   // fully-opened only.
   std::unique_ptr<ProgXeSession> session(new ProgXeSession());
@@ -49,11 +69,16 @@ Result<std::unique_ptr<ProgXeSession>> ProgXeSession::Open(
                                       &session->stats_, session->prep_.get()));
   }
   session->StartLoop();
+  if (resume != nullptr) {
+    PROGXE_RETURN_NOT_OK(
+        ApplyResume(session.get(), session->loop_.get(), *resume));
+  }
   return session;
 }
 
 Result<std::unique_ptr<ProgXeSession>> ProgXeSession::OpenPrepared(
-    std::shared_ptr<const PreparedInputs> inputs, ProgXeOptions options) {
+    std::shared_ptr<const PreparedInputs> inputs, ProgXeOptions options,
+    const SessionCheckpoint* resume) {
   if (inputs == nullptr) {
     return Status::InvalidArgument("OpenPrepared requires prepared inputs");
   }
@@ -63,6 +88,10 @@ Result<std::unique_ptr<ProgXeSession>> ProgXeSession::OpenPrepared(
   AdoptPreparedInputs(std::move(inputs), &session->options_,
                       &session->stats_, session->prep_.get());
   session->StartLoop();
+  if (resume != nullptr) {
+    PROGXE_RETURN_NOT_OK(
+        ApplyResume(session.get(), session->loop_.get(), *resume));
+  }
   return session;
 }
 
@@ -144,6 +173,20 @@ void ProgXeSession::Close() {
   pending_.clear();
   pending_.shrink_to_fit();
   pending_pos_ = 0;
+}
+
+bool ProgXeSession::ExportCheckpoint(SessionCheckpoint* out) {
+  // Every flushed result must have been delivered: skip-safety treats an
+  // emitted cell as "its tuples reached the consumer", which is only true
+  // once the pending buffer is drained.
+  if (closed_ || !status_.ok() || loop_ == nullptr ||
+      pending_pos_ < pending_.size()) {
+    return false;
+  }
+  if (!loop_->ExportCheckpoint(out)) return false;
+  out->delivered = stats_.results_emitted;
+  out->stats = stats_;
+  return true;
 }
 
 bool ProgXeSession::Finished() const {

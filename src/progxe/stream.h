@@ -94,6 +94,16 @@ struct ShardOptions {
   /// query teardown). Null makes the stream create a private pool; the
   /// scheduler passes its process-wide one.
   std::shared_ptr<WorkerPool> worker_pool;
+
+  /// Checkpointed retry (PR 10). When true (default) the stream captures a
+  /// resumable SessionCheckpoint from each shard after every healthy pump
+  /// and hands it to the re-opened incarnation, which pre-removes the
+  /// checkpoint's skip-safe regions instead of replaying the whole
+  /// sub-session — bounding replay pairs (and re-shipped bytes for remote
+  /// shards on v2 links). The delivered set is bit-identical either way;
+  /// the dedup set remains the safety net. False restores the PR 6
+  /// from-scratch replay behavior.
+  bool checkpoint_retry = true;
 };
 
 /// Which shards of a (possibly sharded) stream actually contributed to the
@@ -105,6 +115,9 @@ struct ShardCoverage {
   int abandoned = 0;   ///< Dropped after retry exhaustion (allow_partial).
   int remote = 0;      ///< Sub-streams served by remote shard workers.
   uint64_t retries = 0;  ///< Shard re-opens performed over the stream's life.
+  /// Join pairs that checkpointed resumes skipped re-generating, summed
+  /// over all re-opens (0 without ShardOptions::checkpoint_retry).
+  uint64_t replay_pairs_saved = 0;
   std::vector<int> abandoned_shards;  ///< Indices of the dropped shards.
 
   bool complete() const { return abandoned == 0; }

@@ -61,6 +61,24 @@ class ShardEngine {
   virtual std::shared_ptr<const PreparedInputs> prepared_inputs() const {
     return nullptr;
   }
+
+  /// Resumable region-cursor snapshot (progxe/checkpoint.h), captured by
+  /// the sharded stream after each healthy pump and handed to the next
+  /// incarnation on retry. False when unsupported or not currently at a
+  /// clean region boundary. Remote engines answer from the checkpoint
+  /// streamed with the last pump reply.
+  virtual bool ExportCheckpoint(SessionCheckpoint* out) {
+    (void)out;
+    return false;
+  }
+
+  /// True iff this incarnation was opened from a checkpoint that skipped
+  /// regions; its output may then contain locally-non-final tuples, so the
+  /// merge must keep this shard's own watermark in the release check.
+  virtual bool resumed() const { return false; }
+
+  /// Join pairs the resume skipped re-generating (0 when not resumed).
+  virtual uint64_t replay_pairs_saved() const { return 0; }
 };
 
 /// The in-process implementation: a thin forwarding wrapper over one
@@ -82,6 +100,13 @@ class LocalShardEngine : public ShardEngine {
   }
   std::shared_ptr<const PreparedInputs> prepared_inputs() const override {
     return session_->prepared_inputs();
+  }
+  bool ExportCheckpoint(SessionCheckpoint* out) override {
+    return session_->ExportCheckpoint(out);
+  }
+  bool resumed() const override { return session_->resumed(); }
+  uint64_t replay_pairs_saved() const override {
+    return session_->replay_pairs_saved();
   }
 
  private:

@@ -36,6 +36,7 @@ std::string ShardCoverage::ToString() const {
   os << completed << "/" << shards << " shards";
   if (remote > 0) os << " remote=" << remote;
   if (retries > 0) os << " retries=" << retries;
+  if (replay_pairs_saved > 0) os << " saved_pairs=" << replay_pairs_saved;
   if (abandoned > 0) {
     os << " abandoned=[";
     for (size_t i = 0; i < abandoned_shards.size(); ++i) {
@@ -204,45 +205,79 @@ Status ShardedStream::OpenShard(size_t i) {
                                         static_cast<int>(i)));
   ProgXeOptions opts = sub_options_;
   opts.fault_instance = static_cast<int>(i);
+  const SessionCheckpoint* resume =
+      shard_options_.checkpoint_retry && shard.has_checkpoint
+          ? &shard.checkpoint
+          : nullptr;
   if (pool_ != nullptr) {
     // Remote shard: ship the slice to a worker. The endpoint rotates with
     // the shard's incarnation, so a retry after a worker failure re-opens
     // on a *different* engine (the dead worker's endpoint comes around
-    // again only after every alternative was tried). The worker runs a
-    // plain ProgXeSession over the identical slice + options, so the
-    // replayed local skyline — and therefore the merged delivered set — is
-    // bit-identical to the in-process run.
+    // again only after every alternative was tried) — and endpoints the
+    // circuit breaker has sidelined are skipped while any alternative is
+    // closed, so a dead worker stops eating whole connect timeouts per
+    // retry. When every circuit is open the rotation's original pick goes
+    // through as the half-open probe. The worker runs a plain ProgXeSession
+    // over the identical slice + options, so the replayed local skyline —
+    // and therefore the merged delivered set — is bit-identical to the
+    // in-process run.
     const std::vector<std::string>& workers = shard_options_.workers;
-    const std::string& endpoint =
-        workers[(i + static_cast<size_t>(shard.incarnation)) %
-                workers.size()];
+    size_t pick =
+        (i + static_cast<size_t>(shard.incarnation)) % workers.size();
+    for (size_t probe = 0; probe < workers.size(); ++probe) {
+      const size_t cand = (pick + probe) % workers.size();
+      if (!pool_->IsOpen(workers[cand])) {
+        pick = cand;
+        break;
+      }
+    }
+    const std::string& endpoint = workers[pick];
     ++shard.incarnation;
+    // The worker falls back to a from-scratch replay by itself if it
+    // rejects the checkpoint as stale/corrupt (it answers resumed=false).
     PROGXE_ASSIGN_OR_RETURN(
         shard.session,
         RemoteShardStream::Open(pool_, endpoint, static_cast<int>(i),
                                 shard.slice.r, shard.slice.t, query_.map,
-                                query_.pref, opts));
-    return Status::OK();
+                                query_.pref, opts, resume));
+  } else {
+    ++shard.incarnation;
+    if (shard.prepared != nullptr) {
+      // Retry re-open: adopt the first incarnation's prepared state instead
+      // of re-running the prepare phase over the slice.
+      Result<std::unique_ptr<ProgXeSession>> opened =
+          ProgXeSession::OpenPrepared(shard.prepared, opts, resume);
+      if (!opened.ok() && resume != nullptr &&
+          opened.status().IsInvalidArgument()) {
+        // Stale/corrupt checkpoint: full replay is always a sound fallback.
+        PROGXE_LOG(Warn) << "shard " << i
+                         << " resume checkpoint rejected, replaying: "
+                         << opened.status().ToString();
+        shard.has_checkpoint = false;
+        opened = ProgXeSession::OpenPrepared(shard.prepared, std::move(opts));
+      }
+      PROGXE_RETURN_NOT_OK(opened.status());
+      shard.session =
+          std::make_unique<LocalShardEngine>(std::move(opened).MoveValue());
+    } else {
+      PROGXE_ASSIGN_OR_RETURN(
+          std::unique_ptr<ProgXeSession> session,
+          ProgXeSession::Open(shard.slice.Query(query_), std::move(opts)));
+      shard.session = std::make_unique<LocalShardEngine>(std::move(session));
+      if (shard_options_.max_retries > 0) {
+        // Capture for possible re-opens. The prepared state aliases the
+        // slice's relations (which live in shards_ for the stream's
+        // lifetime), so sharing it across incarnations is safe.
+        shard.prepared = shard.session->prepared_inputs();
+      }
+    }
   }
-  ++shard.incarnation;
-  if (shard.prepared != nullptr) {
-    // Retry re-open: adopt the first incarnation's prepared state instead
-    // of re-running the prepare phase over the slice.
-    PROGXE_ASSIGN_OR_RETURN(
-        std::unique_ptr<ProgXeSession> session,
-        ProgXeSession::OpenPrepared(shard.prepared, std::move(opts)));
-    shard.session = std::make_unique<LocalShardEngine>(std::move(session));
-    return Status::OK();
-  }
-  PROGXE_ASSIGN_OR_RETURN(
-      std::unique_ptr<ProgXeSession> session,
-      ProgXeSession::Open(shard.slice.Query(query_), std::move(opts)));
-  shard.session = std::make_unique<LocalShardEngine>(std::move(session));
-  if (shard_options_.max_retries > 0) {
-    // Capture for possible re-opens. The prepared state aliases the slice's
-    // relations (which live in shards_ for the stream's lifetime), so
-    // sharing it across incarnations is safe.
-    shard.prepared = shard.session->prepared_inputs();
+  if (shard.session->resumed()) {
+    shard.resumed = true;
+    replay_pairs_saved_ += shard.session->replay_pairs_saved();
+    TraceInstant(trace_cats::kShard, "retry.resume", "shard",
+                 static_cast<int64_t>(i), "regions_skipped",
+                 static_cast<int64_t>(shard.checkpoint.skip_regions.size()));
   }
   return Status::OK();
 }
@@ -290,7 +325,8 @@ void ShardedStream::OnShardFailure(size_t i, Status status) {
     // rest of the stream completes as the skyline of the data actually
     // observed, and coverage() reports the hole.
     shard.abandoned = true;
-    shard.ingested.clear();
+    std::unordered_set<uint64_t>().swap(shard.ingested);
+    shard.has_checkpoint = false;
     bounds_dirty_ = true;  // its bound no longer constrains releases
     TraceInstant(trace_cats::kShard, "shard.abandon", "shard",
                  static_cast<int64_t>(i));
@@ -370,6 +406,19 @@ uint64_t ShardedStream::PumpRound(size_t per_shard) {
     }
     shard.consecutive_failures = 0;  // a healthy pump re-arms the budget
     Ingest(i, pump_scratch_);
+    if (shard_options_.checkpoint_retry && shard_options_.max_retries > 0) {
+      // Capture the freshest resume point while the shard is healthy; a
+      // later retry hands it to the re-opened incarnation. Only adopt a
+      // checkpoint whose delivered count is consistent with what this
+      // coordinator actually merged (a stale/corrupt remote snapshot must
+      // not survive to a resume — full replay is always sound).
+      SessionCheckpoint checkpoint;
+      if (shard.session->ExportCheckpoint(&checkpoint) &&
+          checkpoint.delivered <= shard.ingested.size()) {
+        shard.checkpoint = std::move(checkpoint);
+        shard.has_checkpoint = true;
+      }
+    }
   }
   return used;
 }
@@ -493,16 +542,19 @@ bool ShardedStream::GloballyFinal(Candidate* candidate) {
     }
   }
   for (size_t s = 0; s < shards_.size(); ++s) {
-    if (static_cast<int>(s) == candidate->shard ||
-        static_cast<int>(s) == cached || shards_[s].exhausted ||
-        shards_[s].abandoned) {
+    const bool own = static_cast<int>(s) == candidate->shard;
+    if ((own && !shards_[s].resumed) || static_cast<int>(s) == cached ||
+        shards_[s].exhausted || shards_[s].abandoned) {
       continue;
     }
     // Every future tuple y of shard s satisfies y >= bound componentwise,
     // so y can strictly dominate the candidate only if the bound corner
-    // itself does. (The candidate's own shard needs no check even across a
-    // replay: a shard's outputs are its local skyline, whose members never
-    // strictly dominate each other.)
+    // itself does. (The candidate's own shard needs no check across a
+    // plain replay: a shard's outputs are its local skyline, whose members
+    // never strictly dominate each other. But once the shard *resumed*
+    // from a checkpoint it skips regions, so an output may have its
+    // suppressor still in flight from the same shard — the own bound then
+    // blocks it until the suppressor arrives and Ingest prunes the twin.)
     if (shards_[s].bound.empty() ||
         DominatesMin(shards_[s].bound.data(), canon, k_, &merge_counter_)) {
       candidate->blocker = static_cast<int>(s);
@@ -535,6 +587,13 @@ void ShardedStream::RefreshBoundsAndRelease() {
     if (!shard.session->RemainingLowerBound(&bound_scratch_)) {
       shard.exhausted = true;
       advanced = true;
+      // The shard finished healthy: nothing can ever replay it, so the
+      // replay-dedup set (the largest per-shard merge structure) and the
+      // resume checkpoint are dead weight — free them now instead of at
+      // stream teardown.
+      std::unordered_set<uint64_t>().swap(shard.ingested);
+      shard.checkpoint = SessionCheckpoint{};
+      shard.has_checkpoint = false;
     } else if (shard.bound.empty()) {
       shard.bound = bound_scratch_;
       advanced = true;
@@ -694,6 +753,7 @@ ShardCoverage ShardedStream::coverage() const {
   cov.completed = 0;
   cov.remote = pool_ != nullptr ? cov.shards : 0;
   cov.retries = total_retries_;
+  cov.replay_pairs_saved = replay_pairs_saved_;
   // Early termination (max_results) closes the sub-sessions before they
   // exhaust, but the delivered set is the complete requested answer: every
   // surviving shard counts as covered, exactly as on a run-to-exhaustion

@@ -25,8 +25,12 @@
 //     frontier (ProgXeSession::RemainingLowerBound — the canonical
 //     lower-bound corner of everything it may still deliver); if that
 //     corner does not strictly dominate the candidate, no future tuple from
-//     that shard can either. The candidate's own shard needs no check: the
-//     engine's progressive guarantee already covers it. Release checks run
+//     that shard can either. The candidate's own shard needs no check
+//     *while it has never resumed from a checkpoint*: its outputs are then
+//     its local skyline, whose members never dominate each other. A shard
+//     that resumed skips regions, so it may emit tuples that are not
+//     locally final — its own bound must block them until the suppressor
+//     arrives and prunes the held twin. Release checks run
 //     once per pump batch and are version-gated: a candidate re-tests only
 //     after some shard's frontier corner actually advanced, starting with
 //     the shard that blocked it last time.
@@ -38,7 +42,13 @@
 // slice + options, the replay re-delivers the same local skyline — a
 // per-shard dedup set plus the accepted-frontier filtering make the replay
 // idempotent, so the merged delivered set stays bit-identical to a
-// fault-free run with zero retractions. The quarantined shard's last
+// fault-free run with zero retractions. With
+// ShardOptions::checkpoint_retry the coordinator additionally captures a
+// resumable SessionCheckpoint from each healthy pump and hands it to the
+// re-opened incarnation (locally restored in-process, shipped in
+// kOpenShard for remote shards), so the replay skips the regions the dead
+// incarnation provably finished — bounding the re-joined pairs instead of
+// restarting from scratch; coverage().replay_pairs_saved reports the win. The quarantined shard's last
 // published frontier corner remains a valid bound on anything *new* it may
 // still contribute, so the other shards keep releasing results while it
 // recovers. Retry exhaustion either fails the stream (last_status) or,
@@ -134,6 +144,14 @@ class ShardedStream : public ProgXeStream {
   /// release checks), excluding the sub-sessions' own work.
   double merge_seconds() const { return merge_seconds_; }
 
+  /// Total live entries across the per-shard replay-dedup sets
+  /// (diagnostic; drops to 0 per shard as each finishes healthy).
+  size_t dedup_entries() const {
+    size_t n = 0;
+    for (const SubShard& shard : shards_) n += shard.ingested.size();
+    return n;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -185,8 +203,18 @@ class ShardedStream : public ProgXeStream {
     /// this shard already ingested into the merge, across incarnations. A
     /// replayed duplicate is point-*equal* to its accepted twin, which
     /// strict dominance would not filter — this set is what makes replay
-    /// idempotent. Only populated when retries are enabled.
+    /// idempotent. Only populated when retries are enabled, and freed as
+    /// soon as the shard finishes healthy (nothing can replay then).
     std::unordered_set<uint64_t> ingested;
+    /// Freshest resume point captured from a healthy pump
+    /// (ShardOptions::checkpoint_retry); handed to the next incarnation on
+    /// a retry re-open so it skips the finished regions.
+    SessionCheckpoint checkpoint;
+    bool has_checkpoint = false;
+    /// True once any incarnation of this shard resumed from a checkpoint.
+    /// A resumed incarnation may emit tuples that are not locally final,
+    /// so GloballyFinal then also tests the candidate's *own* shard bound.
+    bool resumed = false;
   };
 
   /// One locally-final tuple awaiting the global finality check. Its
@@ -263,6 +291,9 @@ class ShardedStream : public ProgXeStream {
   bool failed_ = false;
   Status status_;  // non-OK once failed_
   uint64_t total_retries_ = 0;
+  /// Join pairs the checkpointed retries skipped re-generating, summed over
+  /// every resume (coverage().replay_pairs_saved).
+  uint64_t replay_pairs_saved_ = 0;
   /// Re-opens committed to (counted at the quarantine decision, before the
   /// re-open happens) against ShardOptions::max_total_retries. Separate
   /// from total_retries_ — the re-opens actually performed, reported in

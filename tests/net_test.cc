@@ -16,11 +16,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "equivalence_common.h"
 #include "net/net_stats.h"
 #include "net/remote_shard.h"
+#include "net/socket.h"
 #include "net/wire.h"
+#include "progxe/checkpoint.h"
 #include "net/worker_pool.h"
 #include "net/worker_service.h"
 #include "progxe/session.h"
@@ -186,6 +189,21 @@ std::vector<std::string> EncodeFieldGroups(const Config& cfg) {
     WriteStatusPayload(Status::Unavailable("worker died"), &w);
     payloads.push_back(std::move(buf));
   }
+  {
+    SessionCheckpoint checkpoint;
+    checkpoint.k = 2;
+    checkpoint.frontier_epoch = 17;
+    checkpoint.delivered = 23;
+    checkpoint.region_count = 64;
+    checkpoint.replay_pairs_saved = 4096;
+    checkpoint.skip_regions = {0, 3, 9, 41};
+    checkpoint.stats.join_pairs_generated = 4242;
+    checkpoint.stats.results_emitted = 23;
+    std::string buf;
+    WireWriter w(&buf);
+    WriteCheckpoint(checkpoint, &w);
+    payloads.push_back(std::move(buf));
+  }
   return payloads;
 }
 
@@ -231,9 +249,14 @@ Status DecodeFieldGroup(size_t index, const std::string& payload) {
       st = ReadWatermark(&r, &has_bound, &bound);
       break;
     }
-    default: {
+    case 7: {
       Status decoded;
       st = ReadStatusPayload(&r, &decoded);
+      break;
+    }
+    default: {
+      SessionCheckpoint checkpoint;
+      st = ReadCheckpoint(&r, &checkpoint);
       break;
     }
   }
@@ -616,6 +639,242 @@ TEST(Net, SemanticOpenFailureKeepsTheLinkUsable) {
   EXPECT_EQ(pool->connections_created(), 1u)
       << "the post-failure open must reuse the surviving link";
   (*good)->Close();
+}
+
+// --- Checkpointed remote recovery + transport chaos -------------------------
+
+std::shared_ptr<FaultInjector> MustParseFaults(const std::string& spec,
+                                               uint64_t seed) {
+  auto injector = FaultInjector::Parse(spec, seed);
+  EXPECT_TRUE(injector.ok()) << injector.status().ToString();
+  return injector.MoveValue();
+}
+
+/// Installs a net.* chaos injector for the enclosing scope; the nullptr
+/// reset on destruction keeps chaos from leaking into later tests.
+class ScopedNetChaos {
+ public:
+  explicit ScopedNetChaos(std::shared_ptr<FaultInjector> injector)
+      : injector_(std::move(injector)) {
+    SetNetFaultInjectorForTest(injector_.get());
+  }
+  ~ScopedNetChaos() { SetNetFaultInjectorForTest(nullptr); }
+
+ private:
+  std::shared_ptr<FaultInjector> injector_;
+};
+
+// Kill a worker after real pump progress: the displaced shards re-open on
+// the survivor *with their wire-shipped checkpoints*, so across the sweep
+// at least one resume must skip processed regions (replay_pairs_saved > 0)
+// — and every delivered set stays bit-identical to the in-process run.
+TEST(Net, WorkerKillMidStreamResumesFromCheckpoint) {
+  uint64_t total_retries = 0;
+  uint64_t total_saved = 0;
+  for (uint64_t seed : {uint64_t{1}, uint64_t{4}, uint64_t{12}}) {
+    Rng rng(0xd15d + seed);
+    const Config cfg = MakeConfig(&rng, false, seed % 2 == 0);
+    ProgXeOptions options;
+    options.seed = 0xfeed;
+    constexpr int kShards = 4;
+
+    ShardOptions local;
+    local.num_shards = kShards;
+    auto in_process = OpenProgXeStream(cfg.query(), options, local);
+    ASSERT_TRUE(in_process.ok());
+    const IdSet reference = SortedIds(DrainStream(in_process->get(), 0, 0));
+
+    auto doomed = MustStartWorker();
+    auto survivor = MustStartWorker();
+    ShardOptions distributed;
+    distributed.num_shards = kShards;
+    distributed.workers = {Endpoint(*doomed), Endpoint(*survivor)};
+    distributed.max_retries = 8;
+    distributed.retry_backoff = std::chrono::milliseconds(1);
+    auto stream = OpenProgXeStream(cfg.query(), options, distributed);
+    ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+
+    // Pump a couple of budgeted rounds so the doomed worker's shards have
+    // checkpoints on the coordinator, then pull the plug mid-stream.
+    std::vector<ResultTuple> batch;
+    IdSet delivered;
+    int pumps = 0;
+    while (!(*stream)->Finished()) {
+      (*stream)->NextBatch(0, 160, &batch);
+      for (const ResultTuple& res : batch) {
+        delivered.emplace_back(res.r_id, res.t_id);
+      }
+      if (++pumps == 2 && doomed != nullptr) {
+        doomed->Stop();
+        doomed.reset();
+      }
+    }
+    std::sort(delivered.begin(), delivered.end());
+    EXPECT_EQ(delivered, reference) << "seed=" << seed;
+    EXPECT_TRUE((*stream)->last_status().ok());
+    const ShardCoverage coverage = (*stream)->coverage();
+    EXPECT_TRUE(coverage.complete()) << "seed=" << seed;
+    total_retries += coverage.retries;
+    total_saved += coverage.replay_pairs_saved;
+  }
+  // The kill schedule must actually displace shards, and at least one
+  // re-open must resume from a checkpoint instead of replaying from
+  // scratch, or the remote resume path went untested.
+  EXPECT_GT(total_retries, 0u);
+  EXPECT_GT(total_saved, 0u);
+}
+
+// A coordinator pinned to wire v1 never ships checkpoints: the same kill
+// choreography still recovers bit-identically, but via full replay
+// (replay_pairs_saved stays 0) — the downlevel path must remain sound.
+TEST(Net, V1PinnedPoolRecoversViaFullReplay) {
+  Rng rng(0xd15e);
+  const Config cfg = MakeConfig(&rng, false, false);
+  ProgXeOptions options;
+  options.seed = 0xfeed;
+  constexpr int kShards = 4;
+
+  ShardOptions local;
+  local.num_shards = kShards;
+  auto in_process = OpenProgXeStream(cfg.query(), options, local);
+  ASSERT_TRUE(in_process.ok());
+  const IdSet reference = SortedIds(DrainStream(in_process->get(), 0, 0));
+
+  auto doomed = MustStartWorker();
+  auto survivor = MustStartWorker();
+  NetOptions net;
+  net.max_wire_version = 1;
+  auto pool = std::make_shared<WorkerPool>(net);
+
+  ShardOptions distributed;
+  distributed.num_shards = kShards;
+  distributed.workers = {Endpoint(*doomed), Endpoint(*survivor)};
+  distributed.worker_pool = pool;
+  distributed.max_retries = 8;
+  distributed.retry_backoff = std::chrono::milliseconds(1);
+  auto stream = OpenProgXeStream(cfg.query(), options, distributed);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+
+  std::vector<ResultTuple> batch;
+  IdSet delivered;
+  int pumps = 0;
+  while (!(*stream)->Finished()) {
+    (*stream)->NextBatch(0, 160, &batch);
+    for (const ResultTuple& res : batch) {
+      delivered.emplace_back(res.r_id, res.t_id);
+    }
+    if (++pumps == 2 && doomed != nullptr) {
+      doomed->Stop();
+      doomed.reset();
+    }
+  }
+  std::sort(delivered.begin(), delivered.end());
+  EXPECT_EQ(delivered, reference);
+  EXPECT_TRUE((*stream)->last_status().ok());
+  const ShardCoverage coverage = (*stream)->coverage();
+  EXPECT_TRUE(coverage.complete());
+  EXPECT_EQ(coverage.replay_pairs_saved, 0u)
+      << "a v1 link cannot ship checkpoints";
+}
+
+// Loopback run under seeded net.send/net.recv/net.frame chaos: torn
+// writes, dropped reads and corrupt length prefixes on both sides of the
+// link. The schedules are bounded (max=), so with enough retry budget the
+// stream must complete bit-identically — no hangs, no retractions.
+TEST(Net, TransportChaosLoopbackStaysExact) {
+  Rng rng(0xd15f);
+  const Config cfg = MakeConfig(&rng, false, true);
+  ProgXeOptions options;
+  options.seed = 0xfeed;
+  constexpr int kShards = 4;
+
+  ShardOptions local;
+  local.num_shards = kShards;
+  auto in_process = OpenProgXeStream(cfg.query(), options, local);
+  ASSERT_TRUE(in_process.ok());
+  const IdSet reference = SortedIds(DrainStream(in_process->get(), 0, 0));
+
+  // The chaos scope must outlive the workers: their handler threads consult
+  // the process-wide injector on every RecvFrame, so it is installed before
+  // the first worker starts and removed only after the last one has joined.
+  ScopedNetChaos chaos(MustParseFaults(
+      "net.send:p=0.2,max=4;net.recv:p=0.2,max=4;net.frame:p=0.2,max=3",
+      0xc4a05));
+  auto worker_a = MustStartWorker();
+  auto worker_b = MustStartWorker();
+  NetOptions net;
+  net.circuit_cooldown = std::chrono::milliseconds(5);
+  auto pool = std::make_shared<WorkerPool>(net);
+
+  ShardOptions distributed;
+  distributed.num_shards = kShards;
+  distributed.workers = {Endpoint(*worker_a), Endpoint(*worker_b)};
+  distributed.worker_pool = pool;
+  distributed.max_retries = 16;
+  distributed.retry_backoff = std::chrono::milliseconds(1);
+  auto stream = OpenProgXeStream(cfg.query(), options, distributed);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  const IdSet delivered = SortedIds(DrainStream(stream->get(), 0, 128));
+  EXPECT_EQ(delivered, reference);
+  EXPECT_TRUE((*stream)->last_status().ok());
+  EXPECT_TRUE((*stream)->coverage().complete());
+}
+
+// The circuit breaker: a dead endpoint accumulates consecutive transport
+// failures, its circuit opens (gauge + counter move), and shard placement
+// routes around it onto the live worker — the stream still delivers the
+// full bit-identical skyline.
+TEST(Net, CircuitBreakerRoutesAroundDeadEndpoint) {
+  Rng rng(0xd160);
+  const Config cfg = MakeConfig(&rng, false, false);
+  ProgXeOptions options;
+  options.seed = 0xfeed;
+  constexpr int kShards = 2;
+
+  ShardOptions local;
+  local.num_shards = kShards;
+  auto in_process = OpenProgXeStream(cfg.query(), options, local);
+  ASSERT_TRUE(in_process.ok());
+  const IdSet reference = SortedIds(DrainStream(in_process->get(), 0, 0));
+
+  auto live = MustStartWorker();
+  auto dead = MustStartWorker();
+  const std::string dead_endpoint = Endpoint(*dead);
+  dead->Stop();
+  dead.reset();
+
+  NetOptions net;
+  net.circuit_failure_threshold = 1;
+  net.circuit_cooldown = std::chrono::seconds(60);  // stays open to the end
+  auto pool = std::make_shared<WorkerPool>(net);
+  const NetStatsSnapshot before = SnapshotNetStats();
+
+  // Shard 0 dials workers[0] (the dead endpoint) first; the breaker must
+  // open on the dial failure and the retry must route onto the live one.
+  ShardOptions distributed;
+  distributed.num_shards = kShards;
+  distributed.workers = {dead_endpoint, Endpoint(*live)};
+  distributed.worker_pool = pool;
+  distributed.max_retries = 6;
+  distributed.retry_backoff = std::chrono::milliseconds(0);
+  auto stream = OpenProgXeStream(cfg.query(), options, distributed);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  const IdSet delivered = SortedIds(DrainStream(stream->get(), 0, 0));
+  EXPECT_EQ(delivered, reference);
+  EXPECT_TRUE((*stream)->last_status().ok());
+  EXPECT_TRUE((*stream)->coverage().complete());
+
+  EXPECT_TRUE(pool->IsOpen(dead_endpoint));
+  EXPECT_EQ(pool->open_circuits(), 1);
+  const NetStatsSnapshot after = SnapshotNetStats();
+  EXPECT_GT(after.circuits_opened, before.circuits_opened);
+  EXPECT_GT(after.open_circuits, before.open_circuits);
+  // Drop every co-owner (stream, options copy, local handle): the last
+  // teardown must release the open-circuits gauge.
+  stream->reset();
+  distributed.worker_pool.reset();
+  pool.reset();
+  EXPECT_EQ(SnapshotNetStats().open_circuits, before.open_circuits);
 }
 
 }  // namespace

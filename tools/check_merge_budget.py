@@ -27,7 +27,10 @@ The distributed loopback run (the `distributed` key, written by
 bench_distributed) is gated on its own `results_match`: a K-shard query
 served by remote worker processes must deliver exactly the in-process
 result set — distribution is a placement decision, never a results
-decision.
+decision. Its nested `recovery` key (a worker killed mid-stream, shards
+recovering via checkpointed retry) is gated the same way, plus
+`replay_pairs_saved > 0`: a resume that saves nothing means checkpoints
+are not actually shipping and every retry replays from scratch.
 
 Accepts a bare bench_sharded JSON ({"runs": [...]}), a full
 BENCH_progxe.json (takes its "sharded" key, plus "reuse"/"distributed"
@@ -119,6 +122,22 @@ def main(argv):
                 "FAIL: the distributed loopback run delivered a different "
                 "result set than the in-process run — remote shard workers "
                 "must be bit-identical to local execution")
+        recovery = distributed.get("recovery")
+        if isinstance(recovery, dict):
+            rec_match = recovery.get("results_match", False)
+            saved = recovery.get("replay_pairs_saved", 0)
+            print(f"recovery: results_match={rec_match} "
+                  f"replay_pairs_saved={saved}")
+            if not rec_match:
+                raise SystemExit(
+                    "FAIL: a worker-kill recovery run delivered a different "
+                    "result set than the in-process run — checkpointed "
+                    "resume must never change what a query returns")
+            if saved <= 0:
+                raise SystemExit(
+                    "FAIL: the checkpointed recovery run saved no replay "
+                    "pairs (replay_pairs_saved <= 0) — resumes are "
+                    "replaying from scratch, the checkpoint path is dead")
 
     if reuse is not None:
         skipped = reuse.get("prepare_skipped", 0)

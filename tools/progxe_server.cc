@@ -17,9 +17,15 @@
 //   --worker              shard-worker daemon mode: serve the wire protocol
 //                         (docs/worker_protocol.md) instead of the line
 //                         protocol below. Prints "worker listening port=<p>"
-//                         once bound, then runs until "quit" on stdin, EOF
-//                         followed by a signal, or SIGTERM.
+//                         once bound, then runs until "quit" on stdin or a
+//                         SIGTERM/SIGINT. A signal drains gracefully: stop
+//                         accepting, refuse new shard opens, finish
+//                         in-flight sessions (bounded by --drain_timeout_ms)
+//                         then exit 0.
 //   --listen=<port>       worker-mode listen port; 0 = ephemeral (default 0)
+//   --drain_timeout_ms=<ms>  worker-mode graceful-drain bound on SIGTERM/
+//                         SIGINT before in-flight sessions are severed
+//                         (default 5000)
 //
 // Protocol (one command per line; tokens are key=value or bare words):
 //   submit [dist=independent|correlated|anticorrelated] [n=10000] [dims=4]
@@ -71,9 +77,14 @@
 // value, over-limit workload — is answered with an explicit "err ..."
 // line; the server never guesses (atoi-style zero-on-garbage) and never
 // dies on bad input.
+#include <poll.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <charconv>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -147,6 +158,11 @@ bool ParseF64(const std::string& s, double* out) {
 }
 
 std::mutex g_out_mtx;
+
+/// Self-pipe for the worker-mode SIGTERM/SIGINT drain: the handler writes
+/// one byte, the serving loop polls the read end (file-scope because a
+/// signal handler must be a capture-less function).
+int g_signal_pipe[2] = {-1, -1};
 
 void Emit(const std::string& line) {
   std::lock_guard<std::mutex> lock(g_out_mtx);
@@ -418,6 +434,9 @@ void PrintStat(const ServedQuery& query) {
     line << " covered=" << coverage.completed << "/" << coverage.shards
          << " retries=" << coverage.retries;
     if (coverage.remote > 0) line << " remote=" << coverage.remote;
+    if (coverage.replay_pairs_saved > 0) {
+      line << " saved_pairs=" << coverage.replay_pairs_saved;
+    }
     if (!coverage.complete()) {
       line << " abandoned=";
       for (size_t i = 0; i < coverage.abandoned_shards.size(); ++i) {
@@ -442,6 +461,7 @@ int main(int argc, char** argv) {
   bool echo_results = false;
   bool worker_mode = false;
   int listen_port = 0;
+  int64_t drain_timeout_ms = 5000;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     auto flag_err = [arg] {
@@ -476,6 +496,10 @@ int main(int argc, char** argv) {
           listen_port > 65535) {
         return flag_err();
       }
+    } else if (std::strncmp(arg, "--drain_timeout_ms=", 19) == 0) {
+      if (!ParseI64(arg + 19, &drain_timeout_ms) || drain_timeout_ms < 0) {
+        return flag_err();
+      }
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf("see the header comment of tools/progxe_server.cc\n");
       return 0;
@@ -498,25 +522,75 @@ int main(int argc, char** argv) {
       return 1;
     }
     Emit("worker listening port=" + std::to_string((*server)->port()));
-    bool quit = false;
+    // Graceful drain on SIGTERM/SIGINT via the classic self-pipe trick: the
+    // handler only writes one byte (async-signal-safe), the main loop polls
+    // the read end next to stdin and runs the actual drain outside signal
+    // context. A second signal during the drain kills via the default
+    // disposition restored below.
+    if (::pipe(g_signal_pipe) != 0) {
+      std::fprintf(stderr, "worker signal pipe failed\n");
+      return 1;
+    }
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = [](int) {
+      const char byte = 1;
+      [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+    };
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESETHAND;  // second signal = immediate default kill
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    bool drain = false;
+    bool stdin_open = true;
+    std::string cmd_buf;
     char buf[256];
-    while (std::fgets(buf, sizeof buf, stdin) != nullptr) {
-      std::string cmd(buf);
-      while (!cmd.empty() && (cmd.back() == '\n' || cmd.back() == '\r')) {
-        cmd.pop_back();
-      }
-      if (cmd == "quit" || cmd == "exit") {
-        quit = true;
+    while (!drain) {
+      struct pollfd fds[2];
+      fds[0].fd = g_signal_pipe[0];
+      fds[0].events = POLLIN;
+      fds[0].revents = 0;
+      fds[1].fd = STDIN_FILENO;
+      fds[1].events = stdin_open ? POLLIN : 0;
+      fds[1].revents = 0;
+      if (::poll(fds, stdin_open ? 2 : 1, -1) < 0) {
+        if (errno == EINTR) continue;
         break;
       }
-      if (!cmd.empty()) Emit("err worker mode accepts only quit");
+      if (fds[0].revents != 0) {
+        drain = true;  // signal: drain gracefully, then exit
+        break;
+      }
+      if (!stdin_open || fds[1].revents == 0) continue;
+      const ssize_t n = ::read(STDIN_FILENO, buf, sizeof buf);
+      if (n <= 0) {
+        // EOF (daemonized with </dev/null): keep serving, signals only.
+        stdin_open = false;
+        continue;
+      }
+      cmd_buf.append(buf, static_cast<size_t>(n));
+      size_t nl;
+      bool quit = false;
+      while ((nl = cmd_buf.find('\n')) != std::string::npos) {
+        std::string cmd = cmd_buf.substr(0, nl);
+        cmd_buf.erase(0, nl + 1);
+        while (!cmd.empty() && cmd.back() == '\r') cmd.pop_back();
+        if (cmd == "quit" || cmd == "exit") {
+          quit = true;
+          break;
+        }
+        if (!cmd.empty()) Emit("err worker mode accepts only quit");
+      }
+      if (quit) {
+        (*server)->Stop();
+        return 0;
+      }
     }
-    if (!quit) {
-      // stdin hit EOF (daemonized with </dev/null): keep serving until a
-      // signal takes the process down.
-      for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
-    }
-    (*server)->Stop();
+    Emit("worker draining timeout_ms=" + std::to_string(drain_timeout_ms));
+    const bool clean =
+        (*server)->Drain(std::chrono::milliseconds(drain_timeout_ms));
+    Emit(std::string("worker drained clean=") + (clean ? "1" : "0"));
     return 0;
   }
 
@@ -644,6 +718,7 @@ int main(int argc, char** argv) {
         coverage_total.completed += c.completed;
         coverage_total.abandoned += c.abandoned;
         coverage_total.retries += c.retries;
+        coverage_total.replay_pairs_saved += c.replay_pairs_saved;
       }
       FoldSchedulerStats(scheduler.stats(), &reg);
       FoldShardCoverage(coverage_total, &reg);

@@ -135,6 +135,11 @@ if isinstance(distributed, dict):
         if key in distributed:
             entry[f"distributed_{key}" if not key.startswith("distributed")
                   else key] = distributed[key]
+    recovery = distributed.get("recovery")
+    if isinstance(recovery, dict):
+        for key in ("replay_pairs_saved", "results_match"):
+            if key in recovery:
+                entry[f"recovery_{key}"] = recovery[key]
 
 history = []
 if os.path.exists(sys.argv[2]):
